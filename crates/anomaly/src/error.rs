@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors produced by the anomaly-detection primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnomalyError {
+    /// A configuration parameter is out of its valid range.
+    InvalidConfig(String),
+    /// The training set is too small or otherwise unusable.
+    InvalidTrainingSet(String),
+    /// A query point does not match the model's dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the model was fitted with.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        found: usize,
+    },
+    /// A feature vector contains NaN or infinite components.
+    NonFiniteValue {
+        /// Index of the offending component.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AnomalyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AnomalyError::InvalidTrainingSet(msg) => write!(f, "invalid training set: {msg}"),
+            AnomalyError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: model expects {expected} features, point has {found}"
+            ),
+            AnomalyError::NonFiniteValue { index } => {
+                write!(f, "feature vector has a non-finite value at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnomalyError {}
+
+/// Validates that every component of `point` is finite.
+pub(crate) fn check_finite(point: &[f64]) -> Result<(), AnomalyError> {
+    for (index, value) in point.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(AnomalyError::NonFiniteValue { index });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            AnomalyError::InvalidConfig("k".into()),
+            AnomalyError::InvalidTrainingSet("empty".into()),
+            AnomalyError::DimensionMismatch {
+                expected: 3,
+                found: 2,
+            },
+            AnomalyError::NonFiniteValue { index: 1 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn check_finite_accepts_finite_and_rejects_nan() {
+        assert!(check_finite(&[0.0, 1.0, -3.5]).is_ok());
+        assert_eq!(
+            check_finite(&[0.0, f64::NAN]),
+            Err(AnomalyError::NonFiniteValue { index: 1 })
+        );
+        assert_eq!(
+            check_finite(&[f64::INFINITY]),
+            Err(AnomalyError::NonFiniteValue { index: 0 })
+        );
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnomalyError>();
+    }
+}

@@ -1,0 +1,179 @@
+use super::{BoundedNeighbors, Neighbor, NeighborIndex};
+use crate::error::check_finite;
+use crate::{AnomalyError, Distance};
+
+/// Exact k-nearest-neighbour search by linear scan.
+///
+/// Works with every [`Distance`], including the pmf divergence-derived
+/// metrics that the KD-tree cannot prune exactly.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    points: Vec<Vec<f64>>,
+    dimensions: usize,
+    distance: Distance,
+}
+
+impl BruteForceIndex {
+    /// Builds an index over `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidTrainingSet`] if `points` is empty or
+    /// the points do not all share one dimensionality, and
+    /// [`AnomalyError::NonFiniteValue`] if any component is NaN/infinite.
+    pub fn new(points: Vec<Vec<f64>>, distance: Distance) -> Result<Self, AnomalyError> {
+        let dimensions = validate_points(&points)?;
+        Ok(BruteForceIndex {
+            points,
+            dimensions,
+            distance,
+        })
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+}
+
+pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize, AnomalyError> {
+    let first = points
+        .first()
+        .ok_or_else(|| AnomalyError::InvalidTrainingSet("no points supplied".into()))?;
+    let dimensions = first.len();
+    if dimensions == 0 {
+        return Err(AnomalyError::InvalidTrainingSet(
+            "points have zero dimensions".into(),
+        ));
+    }
+    for point in points {
+        if point.len() != dimensions {
+            return Err(AnomalyError::DimensionMismatch {
+                expected: dimensions,
+                found: point.len(),
+            });
+        }
+        check_finite(point)?;
+    }
+    Ok(dimensions)
+}
+
+pub(crate) fn validate_query(query: &[f64], dimensions: usize) -> Result<(), AnomalyError> {
+    if query.len() != dimensions {
+        return Err(AnomalyError::DimensionMismatch {
+            expected: dimensions,
+            found: query.len(),
+        });
+    }
+    check_finite(query)
+}
+
+impl NeighborIndex for BruteForceIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    fn k_nearest(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbor>, AnomalyError> {
+        validate_query(query, self.dimensions)?;
+        let mut best = BoundedNeighbors::new(k);
+        for (index, point) in self.points.iter().enumerate() {
+            if Some(index) == exclude {
+                continue;
+            }
+            let distance = self.distance.eval(query, point);
+            best.push(Neighbor { index, distance });
+        }
+        Ok(best.into_sorted())
+    }
+
+    fn distance(&self) -> Distance {
+        self.distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceKind;
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        assert!(matches!(
+            BruteForceIndex::new(vec![], Distance::default()),
+            Err(AnomalyError::InvalidTrainingSet(_))
+        ));
+    }
+
+    #[test]
+    fn zero_dimensional_points_are_rejected() {
+        assert!(BruteForceIndex::new(vec![vec![]], Distance::default()).is_err());
+    }
+
+    #[test]
+    fn ragged_points_are_rejected() {
+        let result = BruteForceIndex::new(vec![vec![1.0, 2.0], vec![1.0]], Distance::default());
+        assert!(matches!(
+            result,
+            Err(AnomalyError::DimensionMismatch { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let result = BruteForceIndex::new(vec![vec![f64::NAN]], Distance::default());
+        assert!(matches!(result, Err(AnomalyError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn finds_the_true_nearest_neighbours() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![10.0, 10.0],
+        ];
+        let index = BruteForceIndex::new(points, Distance::default()).unwrap();
+        let neighbors = index.k_nearest(&[0.1, 0.1], 2, None).unwrap();
+        assert_eq!(neighbors.len(), 2);
+        assert_eq!(neighbors[0].index, 0);
+        assert!(neighbors[0].distance < neighbors[1].distance);
+    }
+
+    #[test]
+    fn query_dimension_mismatch_is_rejected() {
+        let index = BruteForceIndex::new(vec![vec![0.0, 0.0]], Distance::default()).unwrap();
+        assert!(index.k_nearest(&[0.0], 1, None).is_err());
+        assert!(index.k_nearest(&[0.0, f64::NAN], 1, None).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let index = BruteForceIndex::new(points, Distance::default()).unwrap();
+        let neighbors = index.k_nearest(&[0.0], 10, None).unwrap();
+        assert_eq!(neighbors.len(), 3);
+        let neighbors = index.k_nearest(&[0.0], 10, Some(0)).unwrap();
+        assert_eq!(neighbors.len(), 2);
+    }
+
+    #[test]
+    fn works_with_non_minkowski_distances() {
+        let points = vec![vec![0.9, 0.1], vec![0.5, 0.5], vec![0.1, 0.9]];
+        let index =
+            BruteForceIndex::new(points, Distance::new(DistanceKind::Hellinger)).unwrap();
+        let neighbors = index.k_nearest(&[0.85, 0.15], 1, None).unwrap();
+        assert_eq!(neighbors[0].index, 0);
+        assert_eq!(index.dimensions(), 2);
+        assert_eq!(index.len(), 3);
+        assert!(!index.is_empty());
+    }
+}

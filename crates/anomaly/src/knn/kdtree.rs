@@ -1,0 +1,230 @@
+use super::brute::{validate_points, validate_query};
+use super::{BoundedNeighbors, Neighbor, NeighborIndex};
+use crate::{AnomalyError, Distance};
+
+/// Exact k-nearest-neighbour search backed by a KD-tree.
+///
+/// Pruning relies on the distance being a Minkowski metric evaluated
+/// coordinate by coordinate (Euclidean, Manhattan or Chebyshev); building
+/// the index with any other [`Distance`] is rejected so results are never
+/// silently approximate.
+#[derive(Debug, Clone)]
+pub struct KdTreeIndex {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    dimensions: usize,
+    distance: Distance,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into `points`.
+    point: usize,
+    /// Split axis for this node.
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl KdTreeIndex {
+    /// Builds a KD-tree over `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidConfig`] if the distance is not
+    /// KD-tree compatible (see [`Distance::supports_kdtree`]), plus the same
+    /// validation errors as [`BruteForceIndex::new`].
+    ///
+    /// [`BruteForceIndex::new`]: crate::BruteForceIndex::new
+    pub fn new(points: Vec<Vec<f64>>, distance: Distance) -> Result<Self, AnomalyError> {
+        if !distance.supports_kdtree() {
+            return Err(AnomalyError::InvalidConfig(format!(
+                "distance {:?} cannot be used with a KD-tree; use BruteForceIndex",
+                distance.kind()
+            )));
+        }
+        let dimensions = validate_points(&points)?;
+        let mut tree = KdTreeIndex {
+            nodes: Vec::with_capacity(points.len()),
+            points,
+            root: None,
+            dimensions,
+            distance,
+        };
+        let mut order: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build(&mut order, 0);
+        Ok(tree)
+    }
+
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let axis = depth % self.dimensions;
+        indices.sort_by(|a, b| {
+            self.points[*a][axis]
+                .partial_cmp(&self.points[*b][axis])
+                .expect("points are validated finite")
+        });
+        let median = indices.len() / 2;
+        let point = indices[median];
+        let node_index = self.nodes.len();
+        self.nodes.push(Node {
+            point,
+            axis,
+            left: None,
+            right: None,
+        });
+        // Recurse on copies of the sub-slices (indices are small usizes).
+        let mut left: Vec<usize> = indices[..median].to_vec();
+        let mut right: Vec<usize> = indices[median + 1..].to_vec();
+        let left_child = self.build(&mut left, depth + 1);
+        let right_child = self.build(&mut right, depth + 1);
+        self.nodes[node_index].left = left_child;
+        self.nodes[node_index].right = right_child;
+        Some(node_index)
+    }
+
+    fn search(
+        &self,
+        node: Option<usize>,
+        query: &[f64],
+        exclude: Option<usize>,
+        best: &mut BoundedNeighbors,
+    ) {
+        let Some(node_index) = node else { return };
+        let node = &self.nodes[node_index];
+        let point = &self.points[node.point];
+
+        if Some(node.point) != exclude {
+            let distance = self.distance.eval(query, point);
+            best.push(Neighbor {
+                index: node.point,
+                distance,
+            });
+        }
+
+        let axis = node.axis;
+        let diff = query[axis] - point[axis];
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        self.search(near, query, exclude, best);
+        // The minimal possible distance from the query to the far half-space
+        // is |diff| along the split axis for every supported Minkowski metric.
+        if diff.abs() <= best.worst_distance() {
+            self.search(far, query, exclude, best);
+        }
+    }
+}
+
+impl NeighborIndex for KdTreeIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    fn k_nearest(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbor>, AnomalyError> {
+        validate_query(query, self.dimensions)?;
+        let mut best = BoundedNeighbors::new(k);
+        self.search(self.root, query, exclude, &mut best);
+        Ok(best.into_sorted())
+    }
+
+    fn distance(&self) -> Distance {
+        self.distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceIndex, DistanceKind};
+
+    #[test]
+    fn incompatible_distance_is_rejected() {
+        let result = KdTreeIndex::new(
+            vec![vec![0.0, 1.0]],
+            Distance::new(DistanceKind::JensenShannon),
+        );
+        assert!(matches!(result, Err(AnomalyError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        assert!(KdTreeIndex::new(vec![], Distance::default()).is_err());
+    }
+
+    #[test]
+    fn single_point_tree_answers_queries() {
+        let tree = KdTreeIndex::new(vec![vec![1.0, 2.0]], Distance::default()).unwrap();
+        let neighbors = tree.k_nearest(&[0.0, 0.0], 3, None).unwrap();
+        assert_eq!(neighbors.len(), 1);
+        assert_eq!(neighbors[0].index, 0);
+        let neighbors = tree.k_nearest(&[0.0, 0.0], 3, Some(0)).unwrap();
+        assert!(neighbors.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reachable() {
+        let points = vec![vec![1.0, 1.0]; 5];
+        let tree = KdTreeIndex::new(points, Distance::default()).unwrap();
+        let neighbors = tree.k_nearest(&[1.0, 1.0], 5, None).unwrap();
+        assert_eq!(neighbors.len(), 5);
+        assert!(neighbors.iter().all(|n| n.distance == 0.0));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_clouds() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for dims in [1usize, 2, 3, 8] {
+            for kind in [
+                DistanceKind::Euclidean,
+                DistanceKind::Manhattan,
+                DistanceKind::Chebyshev,
+            ] {
+                let distance = Distance::new(kind);
+                let points: Vec<Vec<f64>> = (0..200)
+                    .map(|_| (0..dims).map(|_| rng.gen_range(-5.0..5.0)).collect())
+                    .collect();
+                let brute = BruteForceIndex::new(points.clone(), distance).unwrap();
+                let tree = KdTreeIndex::new(points.clone(), distance).unwrap();
+                for _ in 0..20 {
+                    let query: Vec<f64> = (0..dims).map(|_| rng.gen_range(-6.0..6.0)).collect();
+                    let k = rng.gen_range(1..15);
+                    let a = brute.k_nearest(&query, k, None).unwrap();
+                    let b = tree.k_nearest(&query, k, None).unwrap();
+                    assert_eq!(a.len(), b.len());
+                    for (na, nb) in a.iter().zip(&b) {
+                        assert!(
+                            (na.distance - nb.distance).abs() < 1e-9,
+                            "kd-tree disagreed with brute force (dims={dims}, kind={kind:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exposes_metadata() {
+        let tree = KdTreeIndex::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]], Distance::default())
+            .unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.dimensions(), 2);
+        assert_eq!(tree.distance().kind(), DistanceKind::Euclidean);
+    }
+}

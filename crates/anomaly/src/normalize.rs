@@ -1,0 +1,83 @@
+//! Helpers to turn raw event-count vectors into probability mass functions.
+
+/// Normalises a non-negative vector so its components sum to one.
+///
+/// An all-zero vector maps to the uniform distribution so downstream
+/// divergences remain well defined (an empty trace window carries no
+/// information about the event mix).
+pub fn l1_normalize(counts: &[f64]) -> Vec<f64> {
+    let total: f64 = counts.iter().map(|c| c.max(0.0)).sum();
+    if total <= 0.0 {
+        if counts.is_empty() {
+            return Vec::new();
+        }
+        let uniform = 1.0 / counts.len() as f64;
+        return vec![uniform; counts.len()];
+    }
+    counts.iter().map(|c| c.max(0.0) / total).collect()
+}
+
+/// Applies additive (Laplace) smoothing with pseudo-count `alpha` and
+/// re-normalises, so no bin of the resulting pmf is exactly zero.
+///
+/// # Panics
+///
+/// Panics if `alpha` is negative or not finite.
+pub fn smooth_pmf(counts: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "smoothing pseudo-count must be finite and non-negative, got {alpha}"
+    );
+    let smoothed: Vec<f64> = counts.iter().map(|c| c.max(0.0) + alpha).collect();
+    l1_normalize(&smoothed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_produces_a_distribution() {
+        let pmf = l1_normalize(&[2.0, 6.0, 2.0]);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((pmf[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_maps_to_uniform() {
+        let pmf = l1_normalize(&[0.0, 0.0, 0.0, 0.0]);
+        assert!(pmf.iter().all(|p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_vector_stays_empty() {
+        assert!(l1_normalize(&[]).is_empty());
+        assert!(smooth_pmf(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn negative_components_are_clamped() {
+        let pmf = l1_normalize(&[-5.0, 1.0, 1.0]);
+        assert_eq!(pmf[0], 0.0);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_removes_zero_bins() {
+        let pmf = smooth_pmf(&[10.0, 0.0], 1.0);
+        assert!(pmf[1] > 0.0);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pmf[0] > pmf[1]);
+    }
+
+    #[test]
+    fn zero_alpha_is_plain_normalisation() {
+        assert_eq!(smooth_pmf(&[1.0, 3.0], 0.0), l1_normalize(&[1.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "pseudo-count")]
+    fn negative_alpha_panics() {
+        let _ = smooth_pmf(&[1.0], -0.1);
+    }
+}

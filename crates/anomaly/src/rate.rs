@@ -1,0 +1,106 @@
+//! Event-rate threshold detector, the simplest possible baseline.
+//!
+//! It ignores the event mix entirely and flags a window whenever its total
+//! event count deviates from the reference mean by more than a configurable
+//! relative margin. It is what an engineer would hack up in an afternoon,
+//! and the natural "straw-man" baseline for the paper's pmf + LOF approach.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AnomalyError;
+
+/// A fitted event-rate threshold detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateThresholdDetector {
+    mean_rate: f64,
+    relative_margin: f64,
+}
+
+impl RateThresholdDetector {
+    /// Fits the detector on the total event counts of reference windows.
+    ///
+    /// `relative_margin` is the tolerated relative deviation, e.g. `0.5`
+    /// flags windows whose count deviates from the reference mean by more
+    /// than ±50 %.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidTrainingSet`] for an empty reference
+    /// set and [`AnomalyError::InvalidConfig`] for a non-positive margin.
+    pub fn fit(reference_counts: &[f64], relative_margin: f64) -> Result<Self, AnomalyError> {
+        if reference_counts.is_empty() {
+            return Err(AnomalyError::InvalidTrainingSet(
+                "no reference window counts supplied".into(),
+            ));
+        }
+        if !(relative_margin.is_finite() && relative_margin > 0.0) {
+            return Err(AnomalyError::InvalidConfig(
+                "relative margin must be positive and finite".into(),
+            ));
+        }
+        let mean_rate = reference_counts.iter().sum::<f64>() / reference_counts.len() as f64;
+        Ok(RateThresholdDetector {
+            mean_rate,
+            relative_margin,
+        })
+    }
+
+    /// Mean event count per reference window.
+    pub fn mean_rate(&self) -> f64 {
+        self.mean_rate
+    }
+
+    /// Relative deviation of `count` from the reference mean (0 = identical).
+    pub fn deviation(&self, count: f64) -> f64 {
+        if self.mean_rate <= 0.0 {
+            if count > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            (count - self.mean_rate).abs() / self.mean_rate
+        }
+    }
+
+    /// Whether a window with `count` events should be flagged.
+    pub fn is_anomalous(&self, count: f64) -> bool {
+        self.deviation(count) > self.relative_margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_validates_inputs() {
+        assert!(RateThresholdDetector::fit(&[], 0.5).is_err());
+        assert!(RateThresholdDetector::fit(&[10.0], 0.0).is_err());
+        assert!(RateThresholdDetector::fit(&[10.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn flags_large_rate_changes_only() {
+        let detector = RateThresholdDetector::fit(&[90.0, 100.0, 110.0], 0.5).unwrap();
+        assert!((detector.mean_rate() - 100.0).abs() < 1e-9);
+        assert!(!detector.is_anomalous(100.0));
+        assert!(!detector.is_anomalous(130.0));
+        assert!(detector.is_anomalous(10.0));
+        assert!(detector.is_anomalous(300.0));
+    }
+
+    #[test]
+    fn deviation_is_relative() {
+        let detector = RateThresholdDetector::fit(&[100.0], 0.5).unwrap();
+        assert!((detector.deviation(150.0) - 0.5).abs() < 1e-12);
+        assert!((detector.deviation(50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mean_reference_is_handled() {
+        let detector = RateThresholdDetector::fit(&[0.0, 0.0], 0.5).unwrap();
+        assert!(!detector.is_anomalous(0.0));
+        assert!(detector.is_anomalous(5.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-dimension Gaussian z-score detector, used as an evaluation baseline.
+//!
+//! The detector models each feature independently as a Gaussian fitted on
+//! the reference set and scores a query by its maximum absolute z-score
+//! across dimensions. It is the classical "cheap" alternative to LOF: it
+//! catches gross rate changes but has no notion of joint structure or local
+//! density.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::check_finite;
+use crate::AnomalyError;
+
+/// A fitted per-dimension z-score detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZScoreDetector {
+    means: Vec<f64>,
+    /// Standard deviations, floored to avoid division by zero on constant
+    /// features.
+    std_devs: Vec<f64>,
+}
+
+impl ZScoreDetector {
+    /// Minimum standard deviation used for constant features.
+    pub const MIN_STD_DEV: f64 = 1e-9;
+
+    /// Fits the detector on reference points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::InvalidTrainingSet`] for an empty or ragged
+    /// training set and [`AnomalyError::NonFiniteValue`] for NaN/infinite
+    /// components.
+    pub fn fit(points: &[Vec<f64>]) -> Result<Self, AnomalyError> {
+        let first = points
+            .first()
+            .ok_or_else(|| AnomalyError::InvalidTrainingSet("no points supplied".into()))?;
+        let dims = first.len();
+        if dims == 0 {
+            return Err(AnomalyError::InvalidTrainingSet(
+                "points have zero dimensions".into(),
+            ));
+        }
+        for point in points {
+            if point.len() != dims {
+                return Err(AnomalyError::DimensionMismatch {
+                    expected: dims,
+                    found: point.len(),
+                });
+            }
+            check_finite(point)?;
+        }
+        let n = points.len() as f64;
+        let mut means = vec![0.0; dims];
+        for point in points {
+            for (m, x) in means.iter_mut().zip(point) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut variances = vec![0.0; dims];
+        for point in points {
+            for ((v, m), x) in variances.iter_mut().zip(&means).zip(point) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let std_devs = variances
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(Self::MIN_STD_DEV))
+            .collect();
+        Ok(ZScoreDetector { means, std_devs })
+    }
+
+    /// Dimensionality of the fitted detector.
+    pub fn dimensions(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Per-dimension means of the reference set.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Maximum absolute z-score of `query` across dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnomalyError::DimensionMismatch`] or
+    /// [`AnomalyError::NonFiniteValue`] for malformed queries.
+    pub fn score(&self, query: &[f64]) -> Result<f64, AnomalyError> {
+        if query.len() != self.means.len() {
+            return Err(AnomalyError::DimensionMismatch {
+                expected: self.means.len(),
+                found: query.len(),
+            });
+        }
+        check_finite(query)?;
+        let max_z = query
+            .iter()
+            .zip(&self.means)
+            .zip(&self.std_devs)
+            .map(|((x, m), s)| ((x - m) / s).abs())
+            .fold(0.0f64, f64::max);
+        Ok(max_z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Vec<Vec<f64>> {
+        // Feature 0 ~ around 10 with spread 1, feature 1 constant.
+        (0..100)
+            .map(|i| vec![10.0 + ((i % 5) as f64 - 2.0) * 0.5, 3.0])
+            .collect()
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_ragged_input() {
+        assert!(ZScoreDetector::fit(&[]).is_err());
+        assert!(ZScoreDetector::fit(&[vec![]]).is_err());
+        assert!(ZScoreDetector::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(ZScoreDetector::fit(&[vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn typical_points_score_low_and_outliers_high() {
+        let detector = ZScoreDetector::fit(&reference()).unwrap();
+        assert!(detector.score(&[10.0, 3.0]).unwrap() < 1.0);
+        assert!(detector.score(&[20.0, 3.0]).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn constant_features_do_not_divide_by_zero() {
+        let detector = ZScoreDetector::fit(&reference()).unwrap();
+        let score = detector.score(&[10.0, 3.1]).unwrap();
+        assert!(score.is_finite());
+        assert!(score > 1.0, "deviation on a constant feature is suspicious");
+    }
+
+    #[test]
+    fn query_validation() {
+        let detector = ZScoreDetector::fit(&reference()).unwrap();
+        assert!(detector.score(&[1.0]).is_err());
+        assert!(detector.score(&[f64::INFINITY, 3.0]).is_err());
+        assert_eq!(detector.dimensions(), 2);
+        assert_eq!(detector.means().len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the distance and divergence kernels used per window.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use lof_anomaly::{euclidean, hellinger, jensen_shannon, kl_divergence, l1_normalize, symmetric_kl};
+
+fn random_pmf(dims: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    let counts: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..100.0)).collect();
+    l1_normalize(&counts)
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dims in [14usize, 64, 256] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = random_pmf(dims, &mut rng);
+        let b = random_pmf(dims, &mut rng);
+        group.bench_with_input(BenchmarkId::new("euclidean", dims), &dims, |bench, _| {
+            bench.iter(|| euclidean(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("kl_divergence", dims), &dims, |bench, _| {
+            bench.iter(|| kl_divergence(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("symmetric_kl", dims), &dims, |bench, _| {
+            bench.iter(|| symmetric_kl(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("jensen_shannon", dims), &dims, |bench, _| {
+            bench.iter(|| jensen_shannon(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("hellinger", dims), &dims, |bench, _| {
+            bench.iter(|| hellinger(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

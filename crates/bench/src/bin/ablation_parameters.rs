@@ -1,0 +1,80 @@
+//! Ablation: sensitivity to the neighbourhood size `K` and the window
+//! length (the paper uses K = 20 and 40 ms windows but does not justify the
+//! choice; this sweep shows how sensitive the result is).
+//!
+//! ```text
+//! cargo run --release -p endurance-bench --bin ablation_parameters
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use endurance_core::{MonitorConfig, WindowStrategy};
+use endurance_eval::{Experiment, ExperimentResult};
+
+fn row(label: &str, result: &ExperimentResult) -> String {
+    format!(
+        "{:<18} {:>10.3} {:>8.3} {:>8.3} {:>10.1}x {:>12}",
+        label,
+        result.confusion.precision(),
+        result.confusion.recall(),
+        result.confusion.f1(),
+        result.report.reduction_factor(),
+        result.report.anomalous_windows
+    )
+}
+
+fn header() -> String {
+    format!(
+        "{:<18} {:>10} {:>8} {:>8} {:>11} {:>12}\n{}",
+        "setting",
+        "precision",
+        "recall",
+        "f1",
+        "reduction",
+        "recorded",
+        "-".repeat(74)
+    )
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(900);
+    let base = Experiment::scaled(Duration::from_secs(seconds), 42)?;
+    let registry = base.scenario.registry()?;
+    let dims = registry.len();
+    let reference = base.scenario.reference_duration;
+
+    println!("=== Ablation: LOF neighbourhood size K (40 ms windows) ===");
+    println!();
+    println!("{}", header());
+    for k in [5usize, 10, 20, 40] {
+        eprintln!("[ablation] K = {k} ...");
+        let config = MonitorConfig::builder()
+            .dimensions(dims)
+            .k(k)
+            .reference_duration(reference)
+            .build()?;
+        let result = base.with_monitor(config)?.run()?;
+        println!("{}", row(&format!("K = {k}"), &result));
+    }
+
+    println!();
+    println!("=== Ablation: window length (K = 20) ===");
+    println!();
+    println!("{}", header());
+    for millis in [10u64, 20, 40, 80, 160] {
+        eprintln!("[ablation] window = {millis} ms ...");
+        let config = MonitorConfig::builder()
+            .dimensions(dims)
+            .window(WindowStrategy::Time(Duration::from_millis(millis)))
+            .reference_duration(reference)
+            .build()?;
+        let result = base.with_monitor(config)?.run()?;
+        println!("{}", row(&format!("window = {millis} ms"), &result));
+    }
+    Ok(())
+}

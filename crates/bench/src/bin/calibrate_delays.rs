@@ -1,0 +1,76 @@
+//! Calibrates the buffering delays Δs and Δe, mirroring the paper's
+//! measurement of Δavg_s / Δavg_e on a short segment of the video.
+//!
+//! ```text
+//! cargo run --release -p endurance-bench --bin calibrate_delays
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use endurance_eval::DelayCalibration;
+use mm_sim::{Scenario, Simulation};
+use trace_model::Timestamp;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(700);
+    let scenario = Scenario::scaled_endurance(Duration::from_secs(seconds), 42)?;
+    eprintln!(
+        "[calibrate] simulating {} with {} perturbations...",
+        scenario.name,
+        scenario.perturbations.len()
+    );
+    let registry = scenario.registry()?;
+    let events: Vec<_> = Simulation::new(&scenario, &registry)?.collect();
+
+    println!("=== Delay calibration (buffering-induced impact shift) ===");
+    println!();
+    println!("per-perturbation first/last error:");
+    let error_times: Vec<Timestamp> = events
+        .iter()
+        .filter(|ev| ev.is_error())
+        .map(|ev| ev.timestamp)
+        .collect();
+    for interval in scenario.perturbations.intervals() {
+        let first = error_times.iter().find(|t| **t >= interval.start);
+        let last = error_times
+            .iter()
+            .rev()
+            .find(|t| **t >= interval.start && **t < interval.end.saturating_add(Duration::from_secs(30)));
+        match (first, last) {
+            (Some(first), Some(last)) => println!(
+                "  perturbation [{} - {}]: first error at {}, last at {}",
+                interval.start, interval.end, first, last
+            ),
+            _ => println!(
+                "  perturbation [{} - {}]: no errors observed",
+                interval.start, interval.end
+            ),
+        }
+    }
+    println!();
+    match DelayCalibration::from_events(&scenario.perturbations, &events) {
+        Some(delays) => {
+            println!(
+                "calibrated delta_s (start delay) = {:.3} s",
+                delays.delta_start.as_secs_f64()
+            );
+            println!(
+                "calibrated delta_e (end delay)   = {:.3} s",
+                delays.delta_end.as_secs_f64()
+            );
+            println!();
+            println!(
+                "ground-truth windows are therefore [start + {:.2}s, end + {:.2}s] for each perturbation",
+                delays.delta_start.as_secs_f64(),
+                delays.delta_end.as_secs_f64()
+            );
+        }
+        None => println!("no errors observed; delays cannot be calibrated"),
+    }
+    Ok(())
+}

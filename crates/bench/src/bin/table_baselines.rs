@@ -1,0 +1,57 @@
+//! Compares the LOF monitor against baseline recording strategies on the
+//! same workload and ground truth.
+//!
+//! ```text
+//! cargo run --release -p endurance-bench --bin table_baselines
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use endurance_eval::{baseline_table, format_bytes, run_baselines, BaselineKind, Experiment};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(900);
+    let experiment = Experiment::scaled(Duration::from_secs(seconds), 42)?;
+
+    eprintln!("[baselines] running the LOF monitor...");
+    let lof = experiment.run()?;
+    let lof_fraction = lof.report.recorder.recorded_fraction().clamp(0.01, 1.0);
+
+    eprintln!("[baselines] running baseline recording strategies...");
+    let baselines = run_baselines(
+        &experiment.scenario,
+        &[
+            BaselineKind::RecordAll,
+            BaselineKind::UniformSampling {
+                fraction: lof_fraction,
+            },
+            BaselineKind::RateThreshold {
+                relative_margin: 0.3,
+            },
+            BaselineKind::ZScore { threshold: 6.0 },
+        ],
+    )?;
+
+    println!("=== Baseline comparison ===");
+    println!();
+    println!("{}", baseline_table(&baselines));
+    println!(
+        "{:<25}  {:>9.3}  {:>6.3}  {:>13}  {:>8.1}x   <- this paper's approach",
+        "lof-monitor(alpha=1.2)",
+        lof.confusion.precision(),
+        lof.confusion.recall(),
+        format_bytes(lof.report.recorder.recorded_raw_bytes),
+        lof.report.reduction_factor()
+    );
+    println!();
+    println!(
+        "uniform sampling is given the same volume budget as the monitor ({:.1}% of windows)",
+        100.0 * lof_fraction
+    );
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! The Kullback–Leibler drift gate.
+//!
+//! Before paying for a LOF query, the monitor compares the new window's pmf
+//! (`Npmf`) with the running aggregate of past windows (`Ppmf`). If the two
+//! are similar the window is considered unremarkable: no anomaly test is
+//! performed and `Npmf` is merged into `Ppmf`, which lets the aggregate
+//! follow slow, legitimate changes of behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DriftGateConfig, WindowPmf};
+
+/// Outcome of the drift gate for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DriftDecision {
+    /// The window resembles the recent past; it was merged into the running
+    /// aggregate and needs no LOF test.
+    Similar {
+        /// Measured divergence between `Npmf` and `Ppmf`.
+        divergence: f64,
+    },
+    /// The window departs from the recent past; a LOF test is required.
+    Dissimilar {
+        /// Measured divergence between `Npmf` and `Ppmf`.
+        divergence: f64,
+    },
+    /// The gate is disabled; every window goes to the LOF test.
+    Bypassed,
+}
+
+impl DriftDecision {
+    /// Whether the window must be scored with LOF.
+    pub fn needs_lof(&self) -> bool {
+        !matches!(self, DriftDecision::Similar { .. })
+    }
+}
+
+/// The online drift gate state: the running aggregate `Ppmf` and the
+/// similarity threshold.
+#[derive(Debug, Clone)]
+pub struct DriftGate {
+    aggregate: WindowPmf,
+    threshold: Option<f64>,
+    merge_weight: f64,
+    similar_count: u64,
+    dissimilar_count: u64,
+}
+
+impl DriftGate {
+    /// Creates a gate seeded with the reference aggregate.
+    ///
+    /// `calibrated_threshold` is used when the configuration asks for
+    /// auto-calibration; `Disabled` turns the gate off entirely.
+    pub fn new(
+        initial_aggregate: WindowPmf,
+        config: DriftGateConfig,
+        calibrated_threshold: f64,
+        merge_weight: f64,
+    ) -> Self {
+        let threshold = match config {
+            DriftGateConfig::Fixed(t) => Some(t),
+            DriftGateConfig::Auto { .. } => Some(calibrated_threshold),
+            DriftGateConfig::Disabled => None,
+        };
+        DriftGate {
+            aggregate: initial_aggregate,
+            threshold,
+            merge_weight,
+            similar_count: 0,
+            dissimilar_count: 0,
+        }
+    }
+
+    /// The similarity threshold in use, or `None` when the gate is disabled.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// The current running aggregate `Ppmf`.
+    pub fn aggregate(&self) -> &WindowPmf {
+        &self.aggregate
+    }
+
+    /// Number of windows the gate classified as similar so far.
+    pub fn similar_count(&self) -> u64 {
+        self.similar_count
+    }
+
+    /// Number of windows the gate passed on to the LOF test so far.
+    pub fn dissimilar_count(&self) -> u64 {
+        self.dissimilar_count
+    }
+
+    /// Processes one window pmf: either merges it into the aggregate
+    /// (similar) or asks the caller to run the LOF test (dissimilar /
+    /// bypassed).
+    pub fn observe(&mut self, pmf: &WindowPmf) -> DriftDecision {
+        let Some(threshold) = self.threshold else {
+            self.dissimilar_count += 1;
+            return DriftDecision::Bypassed;
+        };
+        let divergence = pmf.divergence(&self.aggregate);
+        if divergence <= threshold {
+            self.aggregate.merge(pmf, self.merge_weight);
+            self.similar_count += 1;
+            DriftDecision::Similar { divergence }
+        } else {
+            self.dissimilar_count += 1;
+            DriftDecision::Dissimilar { divergence }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aggregate() -> WindowPmf {
+        WindowPmf::from_counts(&[50, 30, 20], 0.5)
+    }
+
+    #[test]
+    fn similar_windows_are_merged_and_skipped() {
+        let mut gate = DriftGate::new(aggregate(), DriftGateConfig::Fixed(0.05), 0.0, 0.1);
+        let similar = WindowPmf::from_counts(&[52, 29, 19], 0.5);
+        let decision = gate.observe(&similar);
+        assert!(matches!(decision, DriftDecision::Similar { .. }));
+        assert!(!decision.needs_lof());
+        assert_eq!(gate.similar_count(), 1);
+        assert_eq!(gate.dissimilar_count(), 0);
+    }
+
+    #[test]
+    fn dissimilar_windows_require_lof() {
+        let mut gate = DriftGate::new(aggregate(), DriftGateConfig::Fixed(0.05), 0.0, 0.1);
+        let different = WindowPmf::from_counts(&[5, 5, 200], 0.5);
+        let decision = gate.observe(&different);
+        assert!(matches!(decision, DriftDecision::Dissimilar { .. }));
+        assert!(decision.needs_lof());
+        assert_eq!(gate.dissimilar_count(), 1);
+        // Dissimilar windows are NOT merged: the aggregate is unchanged.
+        assert!(gate.aggregate().divergence(&aggregate()) < 1e-12);
+    }
+
+    #[test]
+    fn auto_configuration_uses_the_calibrated_threshold() {
+        let gate = DriftGate::new(
+            aggregate(),
+            DriftGateConfig::Auto { percentile: 0.95 },
+            0.123,
+            0.1,
+        );
+        assert_eq!(gate.threshold(), Some(0.123));
+    }
+
+    #[test]
+    fn disabled_gate_bypasses_everything() {
+        let mut gate = DriftGate::new(aggregate(), DriftGateConfig::Disabled, 0.5, 0.1);
+        assert_eq!(gate.threshold(), None);
+        let same = WindowPmf::from_counts(&[50, 30, 20], 0.5);
+        let decision = gate.observe(&same);
+        assert!(matches!(decision, DriftDecision::Bypassed));
+        assert!(decision.needs_lof());
+        assert_eq!(gate.dissimilar_count(), 1);
+        assert_eq!(gate.similar_count(), 0);
+    }
+
+    #[test]
+    fn gate_tracks_slow_drift() {
+        // A behaviour that shifts gradually: each window stays within the
+        // threshold of the (moving) aggregate, so the gate keeps absorbing
+        // it even though the final mix is far from the initial one.
+        let mut gate = DriftGate::new(aggregate(), DriftGateConfig::Fixed(0.02), 0.0, 0.3);
+        let start = gate.aggregate().clone();
+        let mut merged = 0;
+        for step in 0..200 {
+            let drifted = WindowPmf::from_counts(&[50 + step / 2, 30, 20], 0.5);
+            if matches!(gate.observe(&drifted), DriftDecision::Similar { .. }) {
+                merged += 1;
+            }
+        }
+        assert!(merged > 150, "gate should absorb most of the slow drift ({merged})");
+        assert!(
+            gate.aggregate().divergence(&start) > 0.005,
+            "aggregate should have moved with the drift"
+        );
+    }
+}

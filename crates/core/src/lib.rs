@@ -1,0 +1,72 @@
+//! # endurance-core
+//!
+//! Online trace-size reduction for multimedia endurance tests — a Rust
+//! reproduction of *"Reducing trace size in multimedia applications
+//! endurance tests"* (Emteu Tchagou et al., DATE 2015).
+//!
+//! The idea: endurance tests run a multimedia application for hours or days
+//! while tracing hardware streams execution events. Recording everything is
+//! impractical, so this library monitors the stream **online** and records
+//! only the windows whose behaviour departs from a learned reference:
+//!
+//! 1. the trace is cut into windows (40 ms or `N` events);
+//! 2. each window becomes a probability mass function (pmf) over event
+//!    types ([`WindowPmf`]);
+//! 3. a reference model is learned from a known-good segment
+//!    ([`ReferenceModel`]);
+//! 4. online, a cheap Kullback–Leibler gate ([`DriftGate`]) filters windows
+//!    that look like the recent past and merges them into the running
+//!    aggregate, tracking slow drift;
+//! 5. windows that pass the gate are scored with the Local Outlier Factor
+//!    against the reference model; scores at or above `α` mark the window
+//!    anomalous and it is recorded ([`TraceRecorder`]).
+//!
+//! The [`TraceReducer`] ties all of this together behind one call.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use endurance_core::{MonitorConfig, TraceReducer};
+//! use trace_model::{EventTypeId, TraceEvent, Timestamp};
+//!
+//! # fn main() -> Result<(), endurance_core::CoreError> {
+//! // A toy trace: one event type, steady rate.
+//! let events: Vec<TraceEvent> = (0..50_000)
+//!     .map(|i| TraceEvent::new(Timestamp::from_micros(i * 200), EventTypeId::new(0), 0))
+//!     .collect();
+//!
+//! let config = MonitorConfig::builder()
+//!     .dimensions(1)
+//!     .reference_duration(std::time::Duration::from_secs(2))
+//!     .build()?;
+//! let outcome = TraceReducer::new(config)?.run(events.into_iter())?;
+//! assert!(outcome.report.reduction_factor() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod drift;
+mod error;
+mod monitor;
+mod periodicity;
+mod pmf;
+mod recorder;
+mod reducer;
+mod reference;
+mod report;
+
+pub use config::{DriftGateConfig, MonitorConfig, MonitorConfigBuilder, WindowStrategy};
+pub use drift::{DriftDecision, DriftGate};
+pub use error::CoreError;
+pub use monitor::{OnlineMonitor, WindowDecision, WindowVerdict};
+pub use periodicity::{estimate_period, PeriodicSuppressor};
+pub use pmf::WindowPmf;
+pub use recorder::{RecorderStats, TraceRecorder};
+pub use reducer::{ReductionOutcome, TraceReducer};
+pub use reference::ReferenceModel;
+pub use report::ReductionReport;

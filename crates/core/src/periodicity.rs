@@ -1,0 +1,224 @@
+//! Periodicity-aware extensions.
+//!
+//! The paper's conclusion sketches a follow-up: *"We are also interested in
+//! further reducing the recorded trace size by exploiting the periodic
+//! behavior of the application."* This module implements two building
+//! blocks in that direction:
+//!
+//! * [`estimate_period`] — detects the dominant period of a per-window
+//!   activity signal by normalised autocorrelation, and
+//! * [`PeriodicSuppressor`] — de-duplicates recorded anomalies: an
+//!   anomalous window whose pmf closely matches a recently recorded one is
+//!   suppressed (only counted), because a periodic workload produces the
+//!   same anomaly signature again and again.
+
+use std::collections::VecDeque;
+
+use crate::WindowPmf;
+
+/// Estimates the dominant period (in samples) of `signal` by picking the
+/// lag in `[min_lag, max_lag]` with the highest normalised autocorrelation.
+///
+/// Returns `None` when the signal is too short (fewer than `2 * max_lag`
+/// samples), constant, or no lag achieves a correlation of at least
+/// `min_correlation`.
+pub fn estimate_period(
+    signal: &[f64],
+    min_lag: usize,
+    max_lag: usize,
+    min_correlation: f64,
+) -> Option<usize> {
+    if min_lag == 0 || max_lag < min_lag || signal.len() < 2 * max_lag {
+        return None;
+    }
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let variance: f64 = signal.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if variance <= f64::EPSILON {
+        return None;
+    }
+    let correlation_at = |lag: usize| {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += (signal[i] - mean) * (signal[i + lag] - mean);
+        }
+        acc / ((n - lag) as f64 * variance)
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for lag in min_lag..=max_lag {
+        let correlation = correlation_at(lag);
+        match best {
+            Some((_, best_corr)) if correlation <= best_corr => {}
+            _ => best = Some((lag, correlation)),
+        }
+    }
+    let (best_lag, best_corr) = best?;
+    if best_corr < min_correlation {
+        return None;
+    }
+    // A periodic signal correlates equally well at every multiple of its
+    // true period; prefer the smallest sub-multiple of the best lag that is
+    // nearly as good, so harmonics do not win.
+    let mut period = best_lag;
+    for divisor in (2..=8).rev() {
+        let candidate = best_lag / divisor;
+        if candidate >= min_lag && correlation_at(candidate) >= 0.9 * best_corr {
+            period = candidate;
+            break;
+        }
+    }
+    Some(period)
+}
+
+/// De-duplicates anomalous windows that repeat the signature of a recently
+/// recorded anomaly.
+///
+/// The suppressor keeps the pmfs of the last `memory` recorded anomalies;
+/// a new anomalous window whose symmetric-KL divergence to any of them is
+/// below `similarity_threshold` is *suppressed* — the caller should count
+/// it but not store its events, which further shrinks the recorded trace
+/// for periodic workloads whose perturbations all look alike.
+#[derive(Debug, Clone)]
+pub struct PeriodicSuppressor {
+    memory: usize,
+    similarity_threshold: f64,
+    recent: VecDeque<WindowPmf>,
+    suppressed: u64,
+    kept: u64,
+}
+
+impl PeriodicSuppressor {
+    /// Creates a suppressor remembering the last `memory` recorded
+    /// anomalies and suppressing repeats within `similarity_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory` is zero or the threshold is negative/not finite.
+    pub fn new(memory: usize, similarity_threshold: f64) -> Self {
+        assert!(memory > 0, "suppressor memory must be at least 1");
+        assert!(
+            similarity_threshold.is_finite() && similarity_threshold >= 0.0,
+            "similarity threshold must be finite and non-negative"
+        );
+        PeriodicSuppressor {
+            memory,
+            similarity_threshold,
+            recent: VecDeque::new(),
+            suppressed: 0,
+            kept: 0,
+        }
+    }
+
+    /// Decides whether an anomalous window should still be recorded.
+    ///
+    /// Returns `true` when the window is novel (record it) and `false` when
+    /// it repeats a recent signature (suppress it).
+    pub fn should_record(&mut self, pmf: &WindowPmf) -> bool {
+        let repeat = self
+            .recent
+            .iter()
+            .any(|seen| seen.divergence(pmf) <= self.similarity_threshold);
+        if repeat {
+            self.suppressed += 1;
+            false
+        } else {
+            self.kept += 1;
+            self.recent.push_back(pmf.clone());
+            if self.recent.len() > self.memory {
+                self.recent.pop_front();
+            }
+            true
+        }
+    }
+
+    /// Number of anomalous windows suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Number of anomalous windows kept (recorded) so far.
+    pub fn kept(&self) -> u64 {
+        self.kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_signal(period: usize, cycles: usize) -> Vec<f64> {
+        (0..period * cycles)
+            .map(|i| ((i % period) as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_the_period_of_a_sine() {
+        let signal = periodic_signal(50, 10);
+        let period = estimate_period(&signal, 10, 100, 0.5).unwrap();
+        assert!(
+            (45..=55).contains(&period),
+            "expected period near 50, got {period}"
+        );
+    }
+
+    #[test]
+    fn detects_longer_periods_too() {
+        let signal = periodic_signal(120, 8);
+        let period = estimate_period(&signal, 30, 200, 0.5).unwrap();
+        assert!((115..=125).contains(&period), "got {period}");
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(estimate_period(&[], 1, 10, 0.5), None);
+        assert_eq!(estimate_period(&[1.0; 100], 1, 10, 0.5), None);
+        assert_eq!(estimate_period(&periodic_signal(50, 10), 0, 10, 0.5), None);
+        assert_eq!(estimate_period(&periodic_signal(50, 10), 20, 10, 0.5), None);
+        // Too short for the requested max lag.
+        assert_eq!(estimate_period(&[1.0, 2.0, 3.0], 1, 10, 0.5), None);
+    }
+
+    #[test]
+    fn white_noise_has_no_confident_period() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let noise: Vec<f64> = (0..600).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        assert_eq!(estimate_period(&noise, 10, 200, 0.6), None);
+    }
+
+    #[test]
+    fn suppressor_deduplicates_repeated_signatures() {
+        let mut suppressor = PeriodicSuppressor::new(8, 0.02);
+        let signature_a = WindowPmf::from_counts(&[2, 2, 40], 0.5);
+        let signature_b = WindowPmf::from_counts(&[40, 2, 2], 0.5);
+        assert!(suppressor.should_record(&signature_a));
+        // Near-identical repeats are suppressed.
+        assert!(!suppressor.should_record(&WindowPmf::from_counts(&[2, 2, 41], 0.5)));
+        assert!(!suppressor.should_record(&signature_a));
+        // A genuinely different anomaly is still recorded.
+        assert!(suppressor.should_record(&signature_b));
+        assert_eq!(suppressor.kept(), 2);
+        assert_eq!(suppressor.suppressed(), 2);
+    }
+
+    #[test]
+    fn suppressor_memory_is_bounded() {
+        let mut suppressor = PeriodicSuppressor::new(2, 0.001);
+        let a = WindowPmf::from_counts(&[10, 1, 1], 0.5);
+        let b = WindowPmf::from_counts(&[1, 10, 1], 0.5);
+        let c = WindowPmf::from_counts(&[1, 1, 10], 0.5);
+        assert!(suppressor.should_record(&a));
+        assert!(suppressor.should_record(&b));
+        assert!(suppressor.should_record(&c));
+        // `a` has been evicted (memory = 2), so it is recorded again.
+        assert!(suppressor.should_record(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory")]
+    fn zero_memory_panics() {
+        let _ = PeriodicSuppressor::new(0, 0.1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Probability-mass-function representation of trace windows.
+
+use serde::{Deserialize, Serialize};
+
+use lof_anomaly::{smooth_pmf, symmetric_kl};
+use trace_model::Window;
+
+/// The pmf abstraction of one trace window: for each event type, the
+/// (smoothed, normalised) fraction of the window's events of that type.
+///
+/// This is the paper's data representation: "each window is transformed as
+/// a probability mass function, i.e. a vector giving for each event type
+/// the number of occurrences of that event type in the window".
+///
+/// ```rust
+/// use endurance_core::WindowPmf;
+/// use trace_model::{TraceEvent, Timestamp, EventTypeId, Window, WindowId};
+///
+/// let events = vec![
+///     TraceEvent::new(Timestamp::from_millis(0), EventTypeId::new(0), 0),
+///     TraceEvent::new(Timestamp::from_millis(1), EventTypeId::new(0), 0),
+///     TraceEvent::new(Timestamp::from_millis(2), EventTypeId::new(1), 0),
+/// ];
+/// let window = Window::new(WindowId::new(0), Timestamp::ZERO, Timestamp::from_millis(40), events);
+/// let pmf = WindowPmf::from_window(&window, 2, 0.0);
+/// assert!((pmf.probabilities()[0] - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowPmf {
+    probabilities: Vec<f64>,
+    total_events: u64,
+    /// Number of windows merged into this pmf (1 for a fresh window; grows
+    /// when used as the running aggregate `Ppmf`).
+    merged_windows: u64,
+}
+
+impl WindowPmf {
+    /// Builds the pmf of a window over `dimensions` event types, applying
+    /// Laplace smoothing with pseudo-count `smoothing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimensions` is zero (the monitor configuration validates
+    /// this before building pmfs).
+    pub fn from_window(window: &Window, dimensions: usize, smoothing: f64) -> Self {
+        let counts = window.type_counts(dimensions);
+        Self::from_counts(&counts, smoothing)
+    }
+
+    /// Builds a pmf directly from per-type counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn from_counts(counts: &[u64], smoothing: f64) -> Self {
+        assert!(!counts.is_empty(), "pmf needs at least one dimension");
+        let as_f64: Vec<f64> = counts.iter().map(|c| *c as f64).collect();
+        let probabilities = smooth_pmf(&as_f64, smoothing);
+        WindowPmf {
+            probabilities,
+            total_events: counts.iter().sum(),
+            merged_windows: 1,
+        }
+    }
+
+    /// The smoothed, normalised probabilities, indexed by event type.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Number of events in the window(s) this pmf summarises.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Number of windows merged into this pmf.
+    pub fn merged_windows(&self) -> u64 {
+        self.merged_windows
+    }
+
+    /// Dimensionality of the pmf.
+    pub fn dimensions(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Symmetric Kullback–Leibler divergence to another pmf.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the dimensionalities differ (the monitor
+    /// guarantees they match).
+    pub fn divergence(&self, other: &WindowPmf) -> f64 {
+        debug_assert_eq!(self.dimensions(), other.dimensions());
+        symmetric_kl(&self.probabilities, &other.probabilities)
+    }
+
+    /// Merges `other` into this pmf with exponential-moving-average weight
+    /// `weight` (the running-aggregate update of the paper's "similar"
+    /// branch: `Ppmf ← (1 − w)·Ppmf + w·Npmf`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not within `(0, 1]`.
+    pub fn merge(&mut self, other: &WindowPmf, weight: f64) {
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "merge weight must be within (0, 1], got {weight}"
+        );
+        debug_assert_eq!(self.dimensions(), other.dimensions());
+        for (p, q) in self.probabilities.iter_mut().zip(&other.probabilities) {
+            *p = (1.0 - weight) * *p + weight * q;
+        }
+        // Re-normalise to absorb floating-point drift.
+        let total: f64 = self.probabilities.iter().sum();
+        if total > 0.0 {
+            for p in &mut self.probabilities {
+                *p /= total;
+            }
+        }
+        self.total_events += other.total_events;
+        self.merged_windows += other.merged_windows;
+    }
+
+    /// Element-wise average of several pmfs, used to build the initial
+    /// running aggregate from the reference segment.
+    ///
+    /// Returns `None` if `pmfs` is empty.
+    pub fn mean_of(pmfs: &[WindowPmf]) -> Option<WindowPmf> {
+        let first = pmfs.first()?;
+        let dims = first.dimensions();
+        let mut mean = vec![0.0f64; dims];
+        for pmf in pmfs {
+            debug_assert_eq!(pmf.dimensions(), dims);
+            for (m, p) in mean.iter_mut().zip(&pmf.probabilities) {
+                *m += p;
+            }
+        }
+        let n = pmfs.len() as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        Some(WindowPmf {
+            probabilities: mean,
+            total_events: pmfs.iter().map(|p| p.total_events).sum(),
+            merged_windows: pmfs.iter().map(|p| p.merged_windows).sum(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{EventTypeId, TraceEvent, Timestamp, WindowId};
+
+    fn window_with_counts(counts: &[usize]) -> Window {
+        let mut events = Vec::new();
+        let mut ts = 0u64;
+        for (ty, count) in counts.iter().enumerate() {
+            for _ in 0..*count {
+                events.push(TraceEvent::new(
+                    Timestamp::from_micros(ts),
+                    EventTypeId::new(ty as u16),
+                    0,
+                ));
+                ts += 10;
+            }
+        }
+        events.sort_by_key(|ev| ev.timestamp);
+        Window::new(
+            WindowId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_millis(40),
+            events,
+        )
+    }
+
+    #[test]
+    fn pmf_matches_relative_frequencies_without_smoothing() {
+        let window = window_with_counts(&[6, 3, 1]);
+        let pmf = WindowPmf::from_window(&window, 3, 0.0);
+        assert!((pmf.probabilities()[0] - 0.6).abs() < 1e-9);
+        assert!((pmf.probabilities()[1] - 0.3).abs() < 1e-9);
+        assert!((pmf.probabilities()[2] - 0.1).abs() < 1e-9);
+        assert_eq!(pmf.total_events(), 10);
+        assert_eq!(pmf.dimensions(), 3);
+        assert_eq!(pmf.merged_windows(), 1);
+    }
+
+    #[test]
+    fn smoothing_fills_missing_types() {
+        let window = window_with_counts(&[10, 0]);
+        let unsmoothed = WindowPmf::from_window(&window, 2, 0.0);
+        let smoothed = WindowPmf::from_window(&window, 2, 1.0);
+        assert_eq!(unsmoothed.probabilities()[1], 0.0);
+        assert!(smoothed.probabilities()[1] > 0.0);
+        assert!((smoothed.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_uniform() {
+        let window = Window::new(
+            WindowId::new(1),
+            Timestamp::ZERO,
+            Timestamp::from_millis(40),
+            vec![],
+        );
+        let pmf = WindowPmf::from_window(&window, 4, 0.5);
+        assert!(pmf.probabilities().iter().all(|p| (p - 0.25).abs() < 1e-9));
+        assert_eq!(pmf.total_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dimensional_pmf_panics() {
+        let _ = WindowPmf::from_counts(&[], 0.0);
+    }
+
+    #[test]
+    fn divergence_is_zero_on_identity_and_positive_otherwise() {
+        let a = WindowPmf::from_counts(&[5, 5], 0.5);
+        let b = WindowPmf::from_counts(&[9, 1], 0.5);
+        assert!(a.divergence(&a) < 1e-9);
+        assert!(a.divergence(&b) > 0.1);
+        assert!((a.divergence(&b) - b.divergence(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_moves_the_aggregate_toward_the_new_window() {
+        let mut aggregate = WindowPmf::from_counts(&[10, 0], 0.5);
+        let new = WindowPmf::from_counts(&[0, 10], 0.5);
+        let before = aggregate.divergence(&new);
+        for _ in 0..30 {
+            aggregate.merge(&new, 0.2);
+        }
+        let after = aggregate.divergence(&new);
+        assert!(after < before / 5.0, "merging should converge toward the new pmf");
+        assert_eq!(aggregate.merged_windows(), 31);
+        assert_eq!(aggregate.total_events(), 10 + 30 * 10);
+        assert!((aggregate.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge weight")]
+    fn merge_rejects_out_of_range_weight() {
+        let mut a = WindowPmf::from_counts(&[1, 1], 0.0);
+        let b = WindowPmf::from_counts(&[1, 1], 0.0);
+        a.merge(&b, 0.0);
+    }
+
+    #[test]
+    fn mean_of_averages_probabilities() {
+        let a = WindowPmf::from_counts(&[10, 0], 0.0);
+        let b = WindowPmf::from_counts(&[0, 10], 0.0);
+        let mean = WindowPmf::mean_of(&[a, b]).unwrap();
+        assert!((mean.probabilities()[0] - 0.5).abs() < 1e-9);
+        assert!((mean.probabilities()[1] - 0.5).abs() < 1e-9);
+        assert_eq!(mean.total_events(), 20);
+        assert!(WindowPmf::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn overflow_types_fold_into_last_bucket() {
+        let window = window_with_counts(&[2, 2, 6]);
+        // Only 2 dimensions requested: type 2 folds into bucket 1.
+        let pmf = WindowPmf::from_window(&window, 2, 0.0);
+        assert!((pmf.probabilities()[0] - 0.2).abs() < 1e-9);
+        assert!((pmf.probabilities()[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let pmf = WindowPmf::from_counts(&[3, 4, 5], 0.5);
+        let json = serde_json::to_string(&pmf).unwrap();
+        let back: WindowPmf = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pmf);
+    }
+}

@@ -1,0 +1,361 @@
+//! End-to-end trace reduction: learn on the head of the stream, monitor the
+//! rest, record only anomalous windows.
+
+use trace_model::window::{CountWindower, TimeWindower, Windower};
+use trace_model::{MemorySink, TraceEvent, Timestamp, Window};
+
+use crate::{
+    CoreError, MonitorConfig, OnlineMonitor, ReductionReport, ReferenceModel, TraceRecorder,
+    WindowDecision, WindowStrategy,
+};
+
+/// Everything the reducer produced for one run.
+#[derive(Debug)]
+pub struct ReductionOutcome {
+    /// Headline volume/monitoring summary.
+    pub report: ReductionReport,
+    /// Per-window decisions for the monitored part of the stream, in
+    /// stream order (the evaluation harness labels these against the
+    /// ground truth).
+    pub decisions: Vec<WindowDecision>,
+    /// The events that were actually recorded (the content of the reduced
+    /// trace).
+    pub recorded_events: Vec<TraceEvent>,
+}
+
+/// The end-to-end online trace reducer.
+///
+/// [`TraceReducer::run`] consumes an event stream and performs both phases
+/// of the paper's approach: it learns the reference model from the first
+/// [`MonitorConfig::reference_duration`] of the stream, then monitors the
+/// remainder, recording only windows whose LOF score reaches `α`.
+///
+/// When a curated reference model is already available, use
+/// [`TraceReducer::run_with_model`] to skip the learning phase.
+#[derive(Debug)]
+pub struct TraceReducer {
+    config: MonitorConfig,
+}
+
+impl TraceReducer {
+    /// Creates a reducer with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: MonitorConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(TraceReducer { config })
+    }
+
+    /// The reducer's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Cuts an event stream into windows according to the configured
+    /// strategy.
+    fn windows<I>(&self, events: I) -> Box<dyn Iterator<Item = Window>>
+    where
+        I: Iterator<Item = TraceEvent> + 'static,
+    {
+        match self.config.window {
+            WindowStrategy::Time(duration) => {
+                let windower = TimeWindower::new(duration).expect("validated by MonitorConfig");
+                Box::new(windower.windows(events))
+            }
+            WindowStrategy::Count(size) => {
+                let windower = CountWindower::new(size).expect("validated by MonitorConfig");
+                Box::new(windower.windows(events))
+            }
+        }
+    }
+
+    /// Runs both phases (learning + monitoring) over an event stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidReference`] if the reference segment is
+    /// too short for the configured `K`, and propagates monitoring errors.
+    pub fn run<I>(&self, events: I) -> Result<ReductionOutcome, CoreError>
+    where
+        I: Iterator<Item = TraceEvent> + 'static,
+    {
+        let reference_end = Timestamp::from(self.config.reference_duration);
+        let mut windows = self.windows(events);
+
+        // Phase 1: learning. Windows that end before the reference horizon
+        // form the training set.
+        let mut reference_windows: Vec<Window> = Vec::new();
+        let mut first_monitored: Option<Window> = None;
+        for window in windows.by_ref() {
+            if window.end <= reference_end {
+                reference_windows.push(window);
+            } else {
+                first_monitored = Some(window);
+                break;
+            }
+        }
+        let model = ReferenceModel::learn_from_windows(&reference_windows, &self.config)?;
+        let reference_count = reference_windows.len();
+        drop(reference_windows);
+
+        // Phase 2: monitoring.
+        let monitored = first_monitored.into_iter().chain(windows);
+        self.monitor_windows(model, reference_count, monitored)
+    }
+
+    /// Runs only the monitoring phase, using an already learned reference
+    /// model (the "curated database of reference traces" workflow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates monitoring errors.
+    pub fn run_with_model<I>(
+        &self,
+        model: ReferenceModel,
+        events: I,
+    ) -> Result<ReductionOutcome, CoreError>
+    where
+        I: Iterator<Item = TraceEvent> + 'static,
+    {
+        let reference_count = model.reference_windows();
+        let windows = self.windows(events);
+        self.monitor_windows(model, reference_count, windows)
+    }
+
+    fn monitor_windows<W>(
+        &self,
+        model: ReferenceModel,
+        reference_count: usize,
+        windows: W,
+    ) -> Result<ReductionOutcome, CoreError>
+    where
+        W: Iterator<Item = Window>,
+    {
+        let mut monitor = OnlineMonitor::new(model);
+        monitor.set_alpha(self.config.alpha);
+        let mut recorder = TraceRecorder::new(MemorySink::new());
+        let mut decisions = Vec::new();
+
+        for window in windows {
+            let decision = monitor.observe(&window)?;
+            recorder.offer(&window, decision.recorded())?;
+            decisions.push(decision);
+        }
+
+        let (sink, recorder_stats) = recorder.into_parts();
+        let report = ReductionReport {
+            monitored_windows: monitor.windows_seen(),
+            reference_windows: reference_count as u64,
+            lof_evaluations: monitor.lof_evaluations(),
+            anomalous_windows: monitor.anomalies(),
+            alpha: self.config.alpha,
+            recorder: recorder_stats,
+        };
+        Ok(ReductionOutcome {
+            report,
+            decisions,
+            recorded_events: sink.into_events(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DriftGateConfig;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use std::time::Duration;
+    use trace_model::{EventTypeId, Severity};
+
+    /// Synthesises a stream with a regular mix, plus an optional disturbed
+    /// segment where the mix flips and error events appear.
+    fn synthetic_stream(
+        total: Duration,
+        disturbed: Option<(Duration, Duration)>,
+        seed: u64,
+    ) -> Vec<TraceEvent> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let tick = Duration::from_millis(10);
+        let mut t = Timestamp::ZERO;
+        let end = Timestamp::from(total);
+        while t < end {
+            let in_disturbance = disturbed
+                .map(|(s, e)| t >= Timestamp::from(s) && t < Timestamp::from(e))
+                .unwrap_or(false);
+            // Regular mix: types 0..3 with stable proportions.
+            let counts: [u64; 4] = if in_disturbance {
+                [1, 1, 2, 8 + rng.gen_range(0..3)]
+            } else {
+                [
+                    6 + rng.gen_range(0..2),
+                    4 + rng.gen_range(0..2),
+                    2,
+                    1,
+                ]
+            };
+            let mut offset = 0u64;
+            for (ty, count) in counts.iter().enumerate() {
+                for _ in 0..*count {
+                    let severity = if in_disturbance && ty == 3 && rng.gen_bool(0.3) {
+                        Severity::Error
+                    } else {
+                        Severity::Info
+                    };
+                    events.push(
+                        TraceEvent::new(
+                            Timestamp::from_nanos(t.as_nanos() + offset),
+                            EventTypeId::new(ty as u16),
+                            0,
+                        )
+                        .with_severity(severity),
+                    );
+                    offset += 50_000;
+                }
+            }
+            t = t.saturating_add(tick);
+        }
+        events
+    }
+
+    fn config() -> MonitorConfig {
+        MonitorConfig::builder()
+            .dimensions(4)
+            .k(10)
+            .alpha(1.2)
+            .reference_duration(Duration::from_secs(5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_stream_is_reduced_massively() {
+        let events = synthetic_stream(Duration::from_secs(30), None, 1);
+        let outcome = TraceReducer::new(config()).unwrap().run(events.into_iter()).unwrap();
+        assert!(outcome.report.reference_windows > 0);
+        assert!(outcome.report.monitored_windows > 500);
+        // Essentially nothing should be recorded on a clean run; a small
+        // false-positive rate is tolerated because the reference set in this
+        // toy test is only a few seconds long.
+        assert!(outcome.report.recorded_window_fraction() < 0.05);
+        assert!(outcome.report.reduction_factor() > 15.0);
+        assert_eq!(
+            outcome.recorded_events.len() as u64,
+            outcome.report.recorder.events_recorded
+        );
+    }
+
+    #[test]
+    fn disturbed_segment_is_recorded() {
+        let events = synthetic_stream(
+            Duration::from_secs(30),
+            Some((Duration::from_secs(15), Duration::from_secs(20))),
+            2,
+        );
+        let outcome = TraceReducer::new(config()).unwrap().run(events.into_iter()).unwrap();
+        assert!(outcome.report.anomalous_windows > 0);
+        // Recorded windows should overlap the disturbance interval.
+        let recorded_in_disturbance = outcome
+            .decisions
+            .iter()
+            .filter(|d| d.recorded())
+            .filter(|d| {
+                d.start >= Timestamp::from_secs(15) && d.start < Timestamp::from_secs(21)
+            })
+            .count();
+        let recorded_total = outcome.decisions.iter().filter(|d| d.recorded()).count();
+        assert!(recorded_in_disturbance > 0);
+        assert!(
+            recorded_in_disturbance as f64 >= 0.5 * recorded_total as f64,
+            "most recorded windows should fall in the disturbed segment \
+             ({recorded_in_disturbance}/{recorded_total})"
+        );
+        // But the total volume is still far below recording everything.
+        assert!(outcome.report.reduction_factor() > 3.0);
+    }
+
+    #[test]
+    fn too_short_reference_segment_is_rejected() {
+        let events = synthetic_stream(Duration::from_secs(30), None, 3);
+        let config = MonitorConfig::builder()
+            .dimensions(4)
+            .k(10)
+            .reference_duration(Duration::from_millis(80))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            TraceReducer::new(config).unwrap().run(events.into_iter()),
+            Err(CoreError::InvalidReference(_))
+        ));
+    }
+
+    #[test]
+    fn count_windows_are_supported() {
+        let events = synthetic_stream(Duration::from_secs(20), None, 4);
+        let config = MonitorConfig::builder()
+            .dimensions(4)
+            .k(10)
+            .window(WindowStrategy::Count(140))
+            .reference_duration(Duration::from_secs(5))
+            .build()
+            .unwrap();
+        let outcome = TraceReducer::new(config).unwrap().run(events.into_iter()).unwrap();
+        assert!(outcome.report.monitored_windows > 0);
+        assert!(outcome.report.recorded_window_fraction() < 0.05);
+    }
+
+    #[test]
+    fn run_with_model_skips_learning() {
+        let reference_events = synthetic_stream(Duration::from_secs(10), None, 5);
+        let cfg = config();
+        let reducer = TraceReducer::new(cfg.clone()).unwrap();
+        // Learn a model from a dedicated reference run.
+        let reference_outcome = reducer.run(reference_events.into_iter()).unwrap();
+        assert!(reference_outcome.report.monitored_windows > 0);
+
+        // Build the model explicitly and reuse it on a new stream.
+        let reference_events = synthetic_stream(Duration::from_secs(6), None, 5);
+        let windower = TimeWindower::new(Duration::from_millis(40)).unwrap();
+        let windows: Vec<Window> = windower.windows(reference_events.into_iter()).collect();
+        let model = ReferenceModel::learn_from_windows(&windows, &cfg).unwrap();
+
+        let monitored_events = synthetic_stream(
+            Duration::from_secs(20),
+            Some((Duration::from_secs(10), Duration::from_secs(12))),
+            6,
+        );
+        let outcome = reducer.run_with_model(model, monitored_events.into_iter()).unwrap();
+        // The whole stream (including its head) is monitored in this mode.
+        assert!(outcome.report.monitored_windows >= 480);
+        assert!(outcome.report.anomalous_windows > 0);
+    }
+
+    #[test]
+    fn gate_reduces_lof_evaluations() {
+        let events = synthetic_stream(Duration::from_secs(30), None, 7);
+        let gated = TraceReducer::new(config())
+            .unwrap()
+            .run(events.clone().into_iter())
+            .unwrap();
+        let ungated_config = MonitorConfig::builder()
+            .dimensions(4)
+            .k(10)
+            .reference_duration(Duration::from_secs(5))
+            .drift_gate(DriftGateConfig::Disabled)
+            .build()
+            .unwrap();
+        let ungated = TraceReducer::new(ungated_config)
+            .unwrap()
+            .run(events.into_iter())
+            .unwrap();
+        assert!(gated.report.lof_evaluations < ungated.report.lof_evaluations);
+        assert_eq!(
+            ungated.report.lof_evaluations,
+            ungated.report.monitored_windows
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Learning the reference ("correct behaviour") model.
+
+use serde::{Deserialize, Serialize};
+
+use lof_anomaly::{LofConfig, LofModel};
+use trace_model::Window;
+
+use crate::{CoreError, MonitorConfig, WindowPmf};
+
+/// The model of correct behaviour learned from a reference trace segment.
+///
+/// It bundles:
+/// * the fitted [`LofModel`] over the reference windows' pmf points,
+/// * the aggregate pmf of the reference segment (the initial `Ppmf`),
+/// * the calibrated drift-gate threshold (when auto-calibration is used).
+///
+/// Models can be serialised to JSON and reloaded, supporting the paper's
+/// "curated database of reference traces" that lets deployments skip the
+/// learning step.
+#[derive(Debug)]
+pub struct ReferenceModel {
+    lof: LofModel,
+    aggregate: WindowPmf,
+    calibrated_gate_threshold: f64,
+    reference_windows: usize,
+    config: MonitorConfig,
+}
+
+/// Serialisable form of a [`ReferenceModel`].
+#[derive(Debug, Serialize, Deserialize)]
+struct ReferenceModelData {
+    points: Vec<Vec<f64>>,
+    aggregate: WindowPmf,
+    calibrated_gate_threshold: f64,
+    reference_windows: usize,
+    config: MonitorConfig,
+}
+
+impl ReferenceModel {
+    /// Learns a reference model from the pmfs of the reference windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidReference`] if fewer than `K + 1` windows
+    /// are available, and propagates LOF fitting errors.
+    pub fn learn_from_pmfs(
+        pmfs: Vec<WindowPmf>,
+        config: &MonitorConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        if pmfs.len() < config.k + 1 {
+            return Err(CoreError::InvalidReference(format!(
+                "reference segment produced {} windows, but K = {} needs at least {}",
+                pmfs.len(),
+                config.k,
+                config.k + 1
+            )));
+        }
+        let aggregate = WindowPmf::mean_of(&pmfs)
+            .ok_or_else(|| CoreError::InvalidReference("reference segment is empty".into()))?;
+
+        // Calibrate the drift gate: distribution of divergences between each
+        // reference window and the aggregate.
+        let mut divergences: Vec<f64> = pmfs.iter().map(|p| p.divergence(&aggregate)).collect();
+        divergences.sort_by(|a, b| a.partial_cmp(b).expect("divergences are finite"));
+        let calibrated_gate_threshold = percentile(&divergences, 0.95);
+
+        let points: Vec<Vec<f64>> = pmfs.iter().map(|p| p.probabilities().to_vec()).collect();
+        let lof_config = LofConfig::new(config.k)?.with_distance(config.distance);
+        let lof = LofModel::fit(points, lof_config)?;
+
+        Ok(ReferenceModel {
+            lof,
+            aggregate,
+            calibrated_gate_threshold,
+            reference_windows: pmfs.len(),
+            config: config.clone(),
+        })
+    }
+
+    /// Learns a reference model directly from reference windows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReferenceModel::learn_from_pmfs`].
+    pub fn learn_from_windows(
+        windows: &[Window],
+        config: &MonitorConfig,
+    ) -> Result<Self, CoreError> {
+        let pmfs = windows
+            .iter()
+            .map(|w| WindowPmf::from_window(w, config.dimensions, config.smoothing))
+            .collect();
+        Self::learn_from_pmfs(pmfs, config)
+    }
+
+    /// The fitted LOF model.
+    pub fn lof(&self) -> &LofModel {
+        &self.lof
+    }
+
+    /// The aggregate pmf of the reference segment (initial `Ppmf`).
+    pub fn aggregate(&self) -> &WindowPmf {
+        &self.aggregate
+    }
+
+    /// The drift-gate threshold calibrated from the reference segment
+    /// (95th percentile of reference divergences).
+    pub fn calibrated_gate_threshold(&self) -> f64 {
+        self.calibrated_gate_threshold
+    }
+
+    /// How many reference windows the model was learned from.
+    pub fn reference_windows(&self) -> usize {
+        self.reference_windows
+    }
+
+    /// The monitor configuration the model was learned with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Scores a query pmf against the reference model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension-mismatch errors from the LOF model.
+    pub fn score(&self, pmf: &WindowPmf) -> Result<f64, CoreError> {
+        Ok(self.lof.score(pmf.probabilities())?)
+    }
+
+    /// Serialises the model to JSON (the on-disk format of the curated
+    /// reference-trace database).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelSerialization`] if encoding fails.
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        let data = ReferenceModelData {
+            points: self.lof.reference_points().to_vec(),
+            aggregate: self.aggregate.clone(),
+            calibrated_gate_threshold: self.calibrated_gate_threshold,
+            reference_windows: self.reference_windows,
+            config: self.config.clone(),
+        };
+        serde_json::to_string(&data).map_err(|e| CoreError::ModelSerialization(e.to_string()))
+    }
+
+    /// Reloads a model previously saved with [`ReferenceModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelSerialization`] for malformed JSON and
+    /// propagates LOF re-fitting errors.
+    pub fn from_json(json: &str) -> Result<Self, CoreError> {
+        let data: ReferenceModelData =
+            serde_json::from_str(json).map_err(|e| CoreError::ModelSerialization(e.to_string()))?;
+        let lof_config = LofConfig::new(data.config.k)?.with_distance(data.config.distance);
+        let lof = LofModel::fit(data.points, lof_config)?;
+        Ok(ReferenceModel {
+            lof,
+            aggregate: data.aggregate,
+            calibrated_gate_threshold: data.calibrated_gate_threshold,
+            reference_windows: data.reference_windows,
+            config: data.config,
+        })
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn config(dims: usize, k: usize) -> MonitorConfig {
+        MonitorConfig::builder()
+            .dimensions(dims)
+            .k(k)
+            .build()
+            .unwrap()
+    }
+
+    fn regular_pmfs(n: usize, dims: usize, seed: u64) -> Vec<WindowPmf> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let counts: Vec<u64> = (0..dims)
+                    .map(|d| 40 + 10 * d as u64 + rng.gen_range(0..5))
+                    .collect();
+                WindowPmf::from_counts(&counts, 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learning_requires_enough_windows() {
+        let cfg = config(3, 20);
+        let pmfs = regular_pmfs(10, 3, 1);
+        assert!(matches!(
+            ReferenceModel::learn_from_pmfs(pmfs, &cfg),
+            Err(CoreError::InvalidReference(_))
+        ));
+    }
+
+    #[test]
+    fn learned_model_scores_regular_windows_near_one() {
+        let cfg = config(4, 15);
+        let model = ReferenceModel::learn_from_pmfs(regular_pmfs(200, 4, 2), &cfg).unwrap();
+        let normal = WindowPmf::from_counts(&[42, 51, 61, 72], 0.5);
+        let anomalous = WindowPmf::from_counts(&[5, 5, 5, 300], 0.5);
+        let normal_score = model.score(&normal).unwrap();
+        let anomalous_score = model.score(&anomalous).unwrap();
+        assert!(normal_score < 1.5, "normal window scored {normal_score}");
+        assert!(
+            anomalous_score > normal_score * 2.0,
+            "anomalous window scored {anomalous_score}, normal {normal_score}"
+        );
+        assert_eq!(model.reference_windows(), 200);
+        assert!(model.calibrated_gate_threshold() >= 0.0);
+        assert_eq!(model.config().dimensions, 4);
+        assert_eq!(model.lof().len(), 200);
+        assert_eq!(model.aggregate().dimensions(), 4);
+    }
+
+    #[test]
+    fn learn_from_windows_builds_pmfs_internally() {
+        use trace_model::{EventTypeId, TraceEvent, Timestamp, Window, WindowId};
+        let cfg = config(2, 5);
+        let windows: Vec<Window> = (0..30)
+            .map(|i| {
+                let events: Vec<TraceEvent> = (0..20)
+                    .map(|j| {
+                        TraceEvent::new(
+                            Timestamp::from_micros(i * 40_000 + j * 100),
+                            EventTypeId::new((j % 2) as u16),
+                            0,
+                        )
+                    })
+                    .collect();
+                Window::new(
+                    WindowId::new(i),
+                    Timestamp::from_micros(i * 40_000),
+                    Timestamp::from_micros((i + 1) * 40_000),
+                    events,
+                )
+            })
+            .collect();
+        let model = ReferenceModel::learn_from_windows(&windows, &cfg).unwrap();
+        assert_eq!(model.reference_windows(), 30);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let cfg = config(3, 10);
+        let model = ReferenceModel::learn_from_pmfs(regular_pmfs(80, 3, 3), &cfg).unwrap();
+        let json = model.to_json().unwrap();
+        let reloaded = ReferenceModel::from_json(&json).unwrap();
+        let query = WindowPmf::from_counts(&[40, 55, 62], 0.5);
+        let a = model.score(&query).unwrap();
+        let b = reloaded.score(&query).unwrap();
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(reloaded.reference_windows(), model.reference_windows());
+        assert!(
+            (reloaded.calibrated_gate_threshold() - model.calibrated_gate_threshold()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            ReferenceModel::from_json("{not json"),
+            Err(CoreError::ModelSerialization(_))
+        ));
+    }
+
+    #[test]
+    fn percentile_helper_is_sane() {
+        let values = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&values, 0.0), 0.0);
+        assert_eq!(percentile(&values, 1.0), 4.0);
+        assert_eq!(percentile(&values, 0.5), 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

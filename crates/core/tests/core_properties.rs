@@ -1,0 +1,141 @@
+//! Property-based tests for the trace-reduction core: pmf invariants,
+//! drift-gate behaviour and monitor consistency.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use endurance_core::{
+    DriftGate, DriftGateConfig, MonitorConfig, OnlineMonitor, ReferenceModel, WindowPmf,
+};
+use trace_model::{EventTypeId, TraceEvent, Timestamp, Window, WindowId};
+
+fn counts_strategy(dims: usize, max: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..max, dims)
+}
+
+fn window_from_counts(id: u64, counts: &[u64]) -> Window {
+    let start = Timestamp::from_millis(id * 40);
+    let mut events = Vec::new();
+    let mut offset = 0u64;
+    for (ty, count) in counts.iter().enumerate() {
+        for _ in 0..*count {
+            events.push(TraceEvent::new(
+                Timestamp::from_nanos(start.as_nanos() + offset),
+                EventTypeId::new(ty as u16),
+                0,
+            ));
+            offset += 500;
+        }
+    }
+    Window::new(
+        WindowId::new(id),
+        start,
+        Timestamp::from_millis((id + 1) * 40),
+        events,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_pmfs_are_valid_distributions(
+        counts in counts_strategy(6, 200),
+        smoothing in 0.0f64..2.0,
+    ) {
+        let pmf = WindowPmf::from_counts(&counts, smoothing);
+        let sum: f64 = pmf.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(pmf.probabilities().iter().all(|p| *p >= 0.0 && *p <= 1.0));
+        prop_assert_eq!(pmf.total_events(), counts.iter().sum::<u64>());
+        prop_assert_eq!(pmf.dimensions(), 6);
+    }
+
+    #[test]
+    fn merging_keeps_the_aggregate_a_distribution(
+        base in counts_strategy(5, 100),
+        updates in prop::collection::vec(counts_strategy(5, 100), 1..20),
+        weight in 0.01f64..1.0,
+    ) {
+        let mut aggregate = WindowPmf::from_counts(&base, 0.5);
+        for update in &updates {
+            aggregate.merge(&WindowPmf::from_counts(update, 0.5), weight);
+            let sum: f64 = aggregate.probabilities().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+        prop_assert_eq!(aggregate.merged_windows(), 1 + updates.len() as u64);
+    }
+
+    #[test]
+    fn divergence_is_symmetric_and_nonnegative(
+        a in counts_strategy(5, 300),
+        b in counts_strategy(5, 300),
+    ) {
+        let pa = WindowPmf::from_counts(&a, 0.5);
+        let pb = WindowPmf::from_counts(&b, 0.5);
+        let ab = pa.divergence(&pb);
+        let ba = pb.divergence(&pa);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(pa.divergence(&pa) < 1e-9);
+    }
+
+    #[test]
+    fn drift_gate_partition_is_exhaustive(
+        windows in prop::collection::vec(counts_strategy(4, 100), 1..80),
+        threshold in 0.0f64..0.5,
+    ) {
+        let aggregate = WindowPmf::from_counts(&[25, 25, 25, 25], 0.5);
+        let mut gate = DriftGate::new(aggregate, DriftGateConfig::Fixed(threshold), 0.0, 0.1);
+        for counts in &windows {
+            let _ = gate.observe(&WindowPmf::from_counts(counts, 0.5));
+        }
+        prop_assert_eq!(
+            gate.similar_count() + gate.dissimilar_count(),
+            windows.len() as u64
+        );
+    }
+
+    #[test]
+    fn monitor_decisions_are_consistent(
+        monitored in prop::collection::vec(counts_strategy(4, 60), 1..60),
+    ) {
+        // Learn from a stable reference mix.
+        let config = MonitorConfig::builder()
+            .dimensions(4)
+            .k(8)
+            .alpha(1.2)
+            .reference_duration(Duration::from_secs(4))
+            .build()
+            .unwrap();
+        let reference: Vec<Window> = (0..60)
+            .map(|i| window_from_counts(i, &[40 + (i % 3), 30, 20, 10]))
+            .collect();
+        let model = ReferenceModel::learn_from_windows(&reference, &config).unwrap();
+        let mut monitor = OnlineMonitor::new(model);
+
+        let mut anomalies = 0;
+        let mut lof_evaluations = 0;
+        for (i, counts) in monitored.iter().enumerate() {
+            let window = window_from_counts(1_000 + i as u64, counts);
+            let decision = monitor.observe(&window).unwrap();
+            // Verdict and score must agree with the configured alpha.
+            match decision.lof {
+                Some(score) => {
+                    lof_evaluations += 1;
+                    if score >= 1.2 {
+                        prop_assert!(decision.recorded());
+                        anomalies += 1;
+                    } else {
+                        prop_assert!(!decision.recorded());
+                    }
+                }
+                None => prop_assert!(!decision.recorded()),
+            }
+            prop_assert_eq!(decision.events, counts.iter().sum::<u64>() as usize);
+        }
+        prop_assert_eq!(monitor.windows_seen(), monitored.len() as u64);
+        prop_assert_eq!(monitor.lof_evaluations(), lof_evaluations);
+        prop_assert_eq!(monitor.anomalies(), anomalies);
+    }
+}

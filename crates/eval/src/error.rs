@@ -1,0 +1,82 @@
+use std::fmt;
+
+use endurance_core::CoreError;
+use mm_sim::SimError;
+use trace_model::TraceError;
+
+/// Errors produced by the evaluation harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// An experiment was configured inconsistently.
+    InvalidExperiment(String),
+    /// The workload simulator failed.
+    Sim(SimError),
+    /// The trace-reduction core failed.
+    Core(CoreError),
+    /// The trace model failed (windowing, codecs).
+    Trace(TraceError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidExperiment(msg) => write!(f, "invalid experiment: {msg}"),
+            EvalError::Sim(err) => write!(f, "simulation error: {err}"),
+            EvalError::Core(err) => write!(f, "trace reduction error: {err}"),
+            EvalError::Trace(err) => write!(f, "trace model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Sim(err) => Some(err),
+            EvalError::Core(err) => Some(err),
+            EvalError::Trace(err) => Some(err),
+            EvalError::InvalidExperiment(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for EvalError {
+    fn from(err: SimError) -> Self {
+        EvalError::Sim(err)
+    }
+}
+
+impl From<CoreError> for EvalError {
+    fn from(err: CoreError) -> Self {
+        EvalError::Core(err)
+    }
+}
+
+impl From<TraceError> for EvalError {
+    fn from(err: TraceError) -> Self {
+        EvalError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources_work() {
+        use std::error::Error as _;
+        let variants: Vec<EvalError> = vec![
+            EvalError::InvalidExperiment("bad".into()),
+            EvalError::from(SimError::InvalidConfig("x".into())),
+            EvalError::from(CoreError::InvalidConfig("y".into())),
+            EvalError::from(TraceError::Registry("z".into())),
+        ];
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+        }
+        assert!(variants[0].source().is_none());
+        assert!(variants[1].source().is_some());
+        assert!(variants[2].source().is_some());
+        assert!(variants[3].source().is_some());
+    }
+}

@@ -1,0 +1,290 @@
+//! Ground truth: which windows are *actually* anomalous.
+//!
+//! Following the paper, the visible impact of a perturbation is delayed by
+//! the application's buffering: it starts `Δs` after the perturbation
+//! starts and ends `Δe` after the perturbation ends. The ground-truth
+//! interval for a perturbation `[start, end]` is therefore
+//! `[start + Δs, end + Δe]`, and a monitored window is a positive when it
+//! falls inside such an interval *and* the application reported an error
+//! in it.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use endurance_core::WindowDecision;
+use mm_sim::PerturbationSchedule;
+use trace_model::{TraceEvent, Timestamp};
+
+/// Measured buffering delays `Δs` (perturbation start → first visible
+/// error) and `Δe` (perturbation end → last visible error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayCalibration {
+    /// Average delay from perturbation start to the first reported error.
+    pub delta_start: Duration,
+    /// Average delay from perturbation end to the last reported error.
+    pub delta_end: Duration,
+}
+
+impl DelayCalibration {
+    /// No delay at all (useful when the workload has no buffering).
+    pub fn zero() -> Self {
+        DelayCalibration {
+            delta_start: Duration::ZERO,
+            delta_end: Duration::ZERO,
+        }
+    }
+
+    /// Measures the average delays from the timestamps of error events,
+    /// mirroring the paper's calibration on a short segment of the video.
+    ///
+    /// For every perturbation interval, the first error at or after its
+    /// start gives one `Δs` sample and the last error before the next
+    /// perturbation gives one `Δe` sample; the averages over all intervals
+    /// with at least one error are returned. Returns `None` when no
+    /// perturbation produced any error.
+    pub fn from_error_times(
+        schedule: &PerturbationSchedule,
+        error_times: &[Timestamp],
+    ) -> Option<Self> {
+        let intervals = schedule.intervals();
+        if intervals.is_empty() || error_times.is_empty() {
+            return None;
+        }
+        let mut start_delays = Vec::new();
+        let mut end_delays = Vec::new();
+        for (i, interval) in intervals.iter().enumerate() {
+            let horizon = intervals
+                .get(i + 1)
+                .map(|next| next.start)
+                .unwrap_or(Timestamp::MAX);
+            let in_scope: Vec<Timestamp> = error_times
+                .iter()
+                .copied()
+                .filter(|t| *t >= interval.start && *t < horizon)
+                .collect();
+            let (Some(first), Some(last)) = (in_scope.first(), in_scope.last()) else {
+                continue;
+            };
+            start_delays.push(first.saturating_since(interval.start));
+            end_delays.push(last.saturating_since(interval.end));
+        }
+        if start_delays.is_empty() {
+            return None;
+        }
+        let avg = |delays: &[Duration]| {
+            let total: Duration = delays.iter().sum();
+            total / delays.len() as u32
+        };
+        Some(DelayCalibration {
+            delta_start: avg(&start_delays),
+            delta_end: avg(&end_delays),
+        })
+    }
+
+    /// Measures the delays from a full event stream by extracting the
+    /// error-severity event timestamps.
+    pub fn from_events(schedule: &PerturbationSchedule, events: &[TraceEvent]) -> Option<Self> {
+        let error_times: Vec<Timestamp> = events
+            .iter()
+            .filter(|ev| ev.is_error())
+            .map(|ev| ev.timestamp)
+            .collect();
+        Self::from_error_times(schedule, &error_times)
+    }
+
+    /// Measures the delays from monitored window decisions, using the
+    /// midpoint of each window that contained an error event.
+    pub fn from_decisions(
+        schedule: &PerturbationSchedule,
+        decisions: &[WindowDecision],
+    ) -> Option<Self> {
+        let error_times: Vec<Timestamp> = decisions
+            .iter()
+            .filter(|d| d.has_error_event)
+            .map(midpoint)
+            .collect();
+        Self::from_error_times(schedule, &error_times)
+    }
+}
+
+fn midpoint(decision: &WindowDecision) -> Timestamp {
+    Timestamp::from_nanos((decision.start.as_nanos() + decision.end.as_nanos()) / 2)
+}
+
+/// The set of trace-time intervals in which windows count as ground-truth
+/// anomalous.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    intervals: Vec<(Timestamp, Timestamp)>,
+}
+
+impl GroundTruth {
+    /// Builds the ground truth from the perturbation schedule and the
+    /// calibrated delays: each perturbation `[start, end]` contributes the
+    /// interval `[start + Δs, end + Δe]`.
+    pub fn from_schedule(schedule: &PerturbationSchedule, delays: DelayCalibration) -> Self {
+        let intervals = schedule
+            .intervals()
+            .iter()
+            .map(|iv| {
+                (
+                    iv.start.saturating_add(delays.delta_start),
+                    iv.end.saturating_add(delays.delta_end),
+                )
+            })
+            .collect();
+        GroundTruth { intervals }
+    }
+
+    /// Builds a ground truth from explicit intervals (used in tests and for
+    /// custom workloads).
+    pub fn from_intervals(intervals: Vec<(Timestamp, Timestamp)>) -> Self {
+        GroundTruth { intervals }
+    }
+
+    /// The anomalous intervals.
+    pub fn intervals(&self) -> &[(Timestamp, Timestamp)] {
+        &self.intervals
+    }
+
+    /// Whether trace time `t` falls inside an anomalous interval.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.intervals.iter().any(|(s, e)| t >= *s && t < *e)
+    }
+
+    /// The paper's positive-window criterion: the window (by its midpoint)
+    /// lies in an anomalous interval *and* the application reported an
+    /// error in it.
+    pub fn is_positive(&self, decision: &WindowDecision) -> bool {
+        decision.has_error_event && self.contains(midpoint(decision))
+    }
+
+    /// Total anomalous trace time.
+    pub fn total_duration(&self) -> Duration {
+        self.intervals
+            .iter()
+            .map(|(s, e)| e.saturating_since(*s))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endurance_core::WindowVerdict;
+    use mm_sim::PerturbationInterval;
+    use trace_model::WindowId;
+
+    fn schedule() -> PerturbationSchedule {
+        PerturbationSchedule::from_intervals(vec![
+            PerturbationInterval::new(Timestamp::from_secs(100), Timestamp::from_secs(120), 0.8)
+                .unwrap(),
+            PerturbationInterval::new(Timestamp::from_secs(300), Timestamp::from_secs(320), 0.8)
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn decision(start_ms: u64, has_error: bool) -> WindowDecision {
+        WindowDecision {
+            window_id: WindowId::new(start_ms / 40),
+            start: Timestamp::from_millis(start_ms),
+            end: Timestamp::from_millis(start_ms + 40),
+            events: 20,
+            has_error_event: has_error,
+            divergence: None,
+            lof: None,
+            verdict: WindowVerdict::SimilarMerged,
+        }
+    }
+
+    #[test]
+    fn calibration_measures_average_delays() {
+        // Errors 2 s after each perturbation start, lasting until 1 s after
+        // its end.
+        let error_times = vec![
+            Timestamp::from_secs(102),
+            Timestamp::from_secs(110),
+            Timestamp::from_secs(121),
+            Timestamp::from_secs(302),
+            Timestamp::from_secs(315),
+            Timestamp::from_secs(321),
+        ];
+        let delays = DelayCalibration::from_error_times(&schedule(), &error_times).unwrap();
+        assert_eq!(delays.delta_start, Duration::from_secs(2));
+        assert_eq!(delays.delta_end, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn calibration_handles_missing_errors() {
+        assert!(DelayCalibration::from_error_times(&schedule(), &[]).is_none());
+        assert!(
+            DelayCalibration::from_error_times(&PerturbationSchedule::none(), &[
+                Timestamp::from_secs(1)
+            ])
+            .is_none()
+        );
+        // Errors only around the first perturbation still calibrate.
+        let delays = DelayCalibration::from_error_times(
+            &schedule(),
+            &[Timestamp::from_secs(103), Timestamp::from_secs(118)],
+        )
+        .unwrap();
+        assert_eq!(delays.delta_start, Duration::from_secs(3));
+        // Last error before the perturbation end: Δe saturates to zero.
+        assert_eq!(delays.delta_end, Duration::ZERO);
+    }
+
+    #[test]
+    fn ground_truth_intervals_are_shifted_by_the_delays() {
+        let delays = DelayCalibration {
+            delta_start: Duration::from_secs(2),
+            delta_end: Duration::from_secs(1),
+        };
+        let truth = GroundTruth::from_schedule(&schedule(), delays);
+        assert_eq!(truth.intervals().len(), 2);
+        assert_eq!(
+            truth.intervals()[0],
+            (Timestamp::from_secs(102), Timestamp::from_secs(121))
+        );
+        assert!(truth.contains(Timestamp::from_secs(110)));
+        assert!(!truth.contains(Timestamp::from_secs(101)));
+        assert!(!truth.contains(Timestamp::from_secs(121)));
+        assert_eq!(truth.total_duration(), Duration::from_secs(38));
+    }
+
+    #[test]
+    fn positive_windows_need_both_interval_and_error() {
+        let truth = GroundTruth::from_schedule(&schedule(), DelayCalibration::zero());
+        // Inside the interval with an error: positive.
+        assert!(truth.is_positive(&decision(105_000, true)));
+        // Inside the interval without an error: negative.
+        assert!(!truth.is_positive(&decision(105_000, false)));
+        // Outside the interval with an error: negative.
+        assert!(!truth.is_positive(&decision(50_000, true)));
+    }
+
+    #[test]
+    fn calibration_from_decisions_uses_error_windows() {
+        let mut decisions = Vec::new();
+        for ms in (90_000..130_000).step_by(40) {
+            let has_error = (102_000..121_000).contains(&ms);
+            decisions.push(decision(ms as u64, has_error));
+        }
+        let delays = DelayCalibration::from_decisions(&schedule(), &decisions).unwrap();
+        assert!(delays.delta_start >= Duration::from_millis(1_900));
+        assert!(delays.delta_start <= Duration::from_millis(2_100));
+        assert!(delays.delta_end >= Duration::from_millis(900));
+        assert!(delays.delta_end <= Duration::from_millis(1_100));
+    }
+
+    #[test]
+    fn zero_calibration_is_identity() {
+        let truth = GroundTruth::from_schedule(&schedule(), DelayCalibration::zero());
+        assert_eq!(
+            truth.intervals()[0],
+            (Timestamp::from_secs(100), Timestamp::from_secs(120))
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-window TP/FP/FN/TN labelling.
+
+use serde::{Deserialize, Serialize};
+
+use endurance_core::WindowDecision;
+
+use crate::GroundTruth;
+
+/// The label of one monitored window under the paper's evaluation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowLabel {
+    /// Ground-truth anomalous and flagged by the monitor.
+    TruePositive,
+    /// Ground-truth anomalous but missed by the monitor.
+    FalseNegative,
+    /// Flagged by the monitor but not ground-truth anomalous.
+    FalsePositive,
+    /// Neither anomalous nor flagged.
+    TrueNegative,
+}
+
+impl WindowLabel {
+    /// Derives a label from the ground truth and the monitor's prediction.
+    pub fn from_flags(truth_positive: bool, predicted_positive: bool) -> Self {
+        match (truth_positive, predicted_positive) {
+            (true, true) => WindowLabel::TruePositive,
+            (true, false) => WindowLabel::FalseNegative,
+            (false, true) => WindowLabel::FalsePositive,
+            (false, false) => WindowLabel::TrueNegative,
+        }
+    }
+
+    /// Whether the monitor flagged the window.
+    pub fn predicted_positive(&self) -> bool {
+        matches!(self, WindowLabel::TruePositive | WindowLabel::FalsePositive)
+    }
+
+    /// Whether the window was ground-truth anomalous.
+    pub fn truth_positive(&self) -> bool {
+        matches!(self, WindowLabel::TruePositive | WindowLabel::FalseNegative)
+    }
+}
+
+/// A monitored window decision together with its evaluation label.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledDecision {
+    /// The monitor's decision.
+    pub decision: WindowDecision,
+    /// The evaluation label.
+    pub label: WindowLabel,
+}
+
+/// Labels every monitored window decision against the ground truth, using
+/// the monitor's own record/ignore outcome as the prediction.
+pub fn label_decisions(decisions: &[WindowDecision], truth: &GroundTruth) -> Vec<LabeledDecision> {
+    decisions
+        .iter()
+        .map(|decision| LabeledDecision {
+            decision: *decision,
+            label: WindowLabel::from_flags(truth.is_positive(decision), decision.recorded()),
+        })
+        .collect()
+}
+
+/// Labels decisions using an explicit LOF threshold `alpha` as the
+/// prediction rule (`LOF ≥ α` predicts anomalous), which lets one run be
+/// re-evaluated at many thresholds without re-monitoring.
+pub fn label_decisions_at_alpha(
+    decisions: &[WindowDecision],
+    truth: &GroundTruth,
+    alpha: f64,
+) -> Vec<LabeledDecision> {
+    decisions
+        .iter()
+        .map(|decision| {
+            let predicted = decision.lof.is_some_and(|score| score >= alpha);
+            LabeledDecision {
+                decision: *decision,
+                label: WindowLabel::from_flags(truth.is_positive(decision), predicted),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endurance_core::WindowVerdict;
+    use trace_model::{Timestamp, WindowId};
+
+    fn decision(start_secs: u64, has_error: bool, lof: Option<f64>, recorded: bool) -> WindowDecision {
+        WindowDecision {
+            window_id: WindowId::new(start_secs),
+            start: Timestamp::from_secs(start_secs),
+            end: Timestamp::from_secs(start_secs + 1),
+            events: 10,
+            has_error_event: has_error,
+            divergence: Some(0.1),
+            lof,
+            verdict: if recorded {
+                WindowVerdict::Anomalous
+            } else {
+                WindowVerdict::CheckedNormal
+            },
+        }
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::from_intervals(vec![(Timestamp::from_secs(100), Timestamp::from_secs(200))])
+    }
+
+    #[test]
+    fn label_from_flags_covers_all_cases() {
+        assert_eq!(WindowLabel::from_flags(true, true), WindowLabel::TruePositive);
+        assert_eq!(WindowLabel::from_flags(true, false), WindowLabel::FalseNegative);
+        assert_eq!(WindowLabel::from_flags(false, true), WindowLabel::FalsePositive);
+        assert_eq!(WindowLabel::from_flags(false, false), WindowLabel::TrueNegative);
+        assert!(WindowLabel::TruePositive.predicted_positive());
+        assert!(WindowLabel::FalseNegative.truth_positive());
+        assert!(!WindowLabel::TrueNegative.predicted_positive());
+        assert!(!WindowLabel::FalsePositive.truth_positive());
+    }
+
+    #[test]
+    fn labeling_follows_the_paper_rule() {
+        let decisions = vec![
+            decision(150, true, Some(2.0), true),   // TP
+            decision(151, true, Some(1.0), false),  // FN
+            decision(50, false, Some(3.0), true),   // FP (outside interval)
+            decision(152, false, Some(3.0), true),  // FP (no error reported)
+            decision(51, false, Some(1.0), false),  // TN
+        ];
+        let labeled = label_decisions(&decisions, &truth());
+        let labels: Vec<WindowLabel> = labeled.iter().map(|l| l.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                WindowLabel::TruePositive,
+                WindowLabel::FalseNegative,
+                WindowLabel::FalsePositive,
+                WindowLabel::FalsePositive,
+                WindowLabel::TrueNegative,
+            ]
+        );
+    }
+
+    #[test]
+    fn alpha_relabeling_uses_the_raw_lof_scores() {
+        let decisions = vec![
+            decision(150, true, Some(1.5), false),
+            decision(151, true, Some(1.1), false),
+            decision(50, false, None, false),
+        ];
+        let strict = label_decisions_at_alpha(&decisions, &truth(), 2.0);
+        assert_eq!(strict[0].label, WindowLabel::FalseNegative);
+        assert_eq!(strict[1].label, WindowLabel::FalseNegative);
+        assert_eq!(strict[2].label, WindowLabel::TrueNegative);
+        let lax = label_decisions_at_alpha(&decisions, &truth(), 1.2);
+        assert_eq!(lax[0].label, WindowLabel::TruePositive);
+        assert_eq!(lax[1].label, WindowLabel::FalseNegative);
+        // Gated windows (no LOF score) are never predicted positive.
+        assert_eq!(lax[2].label, WindowLabel::TrueNegative);
+    }
+}

@@ -1,0 +1,168 @@
+//! Detection-quality metrics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LabeledDecision, WindowLabel};
+
+/// A confusion matrix over monitored windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Ground-truth anomalous windows that were flagged.
+    pub true_positives: u64,
+    /// Windows flagged although they were not ground-truth anomalous.
+    pub false_positives: u64,
+    /// Ground-truth anomalous windows that were missed.
+    pub false_negatives: u64,
+    /// Regular windows correctly left alone.
+    pub true_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix by counting labels.
+    pub fn from_labels(labeled: &[LabeledDecision]) -> Self {
+        let mut matrix = ConfusionMatrix::default();
+        for item in labeled {
+            matrix.observe(item.label);
+        }
+        matrix
+    }
+
+    /// Adds one labelled window to the matrix.
+    pub fn observe(&mut self, label: WindowLabel) {
+        match label {
+            WindowLabel::TruePositive => self.true_positives += 1,
+            WindowLabel::FalsePositive => self.false_positives += 1,
+            WindowLabel::FalseNegative => self.false_negatives += 1,
+            WindowLabel::TrueNegative => self.true_negatives += 1,
+        }
+    }
+
+    /// Total number of windows counted.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+
+    /// `TP / (TP + FP)` — the fraction of flagged windows that were truly
+    /// anomalous. Returns 0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// `TP / (TP + FN)` — the fraction of truly anomalous windows that were
+    /// flagged. Returns 0 when there were no anomalous windows.
+    pub fn recall(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_negatives)
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of windows classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.true_positives + self.true_negatives, self.total())
+    }
+
+    /// `FP / (FP + TN)` — the fraction of regular windows that were flagged.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.false_positives, self.false_positives + self.true_negatives)
+    }
+}
+
+fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} FP={} FN={} TN={} | precision={:.3} recall={:.3} f1={:.3}",
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives,
+            self.true_negatives,
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(tp: u64, fp: u64, fn_: u64, tn: u64) -> ConfusionMatrix {
+        ConfusionMatrix {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            true_negatives: tn,
+        }
+    }
+
+    #[test]
+    fn precision_and_recall_match_hand_computation() {
+        let m = matrix(30, 8, 9, 953);
+        assert!((m.precision() - 30.0 / 38.0).abs() < 1e-12);
+        assert!((m.recall() - 30.0 / 39.0).abs() < 1e-12);
+        assert!((m.accuracy() - 983.0 / 1000.0).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 8.0 / 961.0).abs() < 1e-12);
+        assert!(m.f1() > 0.7 && m.f1() < 0.9);
+        assert_eq!(m.total(), 1000);
+    }
+
+    #[test]
+    fn degenerate_matrices_are_well_defined() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.false_positive_rate(), 0.0);
+
+        let all_negative = matrix(0, 0, 0, 100);
+        assert_eq!(all_negative.precision(), 0.0);
+        assert_eq!(all_negative.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut m = ConfusionMatrix::default();
+        m.observe(WindowLabel::TruePositive);
+        m.observe(WindowLabel::TruePositive);
+        m.observe(WindowLabel::FalseNegative);
+        m.observe(WindowLabel::FalsePositive);
+        m.observe(WindowLabel::TrueNegative);
+        assert_eq!(m, matrix(2, 1, 1, 1));
+    }
+
+    #[test]
+    fn display_contains_the_metrics() {
+        let text = matrix(10, 2, 3, 85).to_string();
+        assert!(text.contains("TP=10"));
+        assert!(text.contains("precision=0.833"));
+    }
+
+    #[test]
+    fn perfect_detector_has_unit_scores() {
+        let m = matrix(50, 0, 0, 950);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Byte-size helpers for reports.
+
+/// Formats a byte count with a binary-prefix unit (KiB, MiB, GiB), keeping
+/// one decimal place, e.g. `format_bytes(6_200_000) == "5.9 MiB"`.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sizes_stay_in_bytes() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+    }
+
+    #[test]
+    fn larger_sizes_use_binary_prefixes() {
+        assert_eq!(format_bytes(1024), "1.0 KiB");
+        assert_eq!(format_bytes(1536), "1.5 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(format_bytes(6_200_000_000), "5.8 GiB");
+    }
+
+    #[test]
+    fn huge_sizes_cap_at_tebibytes() {
+        let text = format_bytes(u64::MAX);
+        assert!(text.ends_with("TiB"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Threshold sweeps: re-evaluate one monitored run at many values of `α`.
+//!
+//! The LOF score of a window does not depend on `α`, so Figure 1 of the
+//! paper (precision and recall versus the LOF threshold) can be regenerated
+//! from a single monitoring pass by re-thresholding the stored scores.
+
+use serde::{Deserialize, Serialize};
+
+use endurance_core::WindowDecision;
+use trace_model::TraceEvent;
+
+use crate::labeling::label_decisions_at_alpha;
+use crate::{ConfusionMatrix, GroundTruth};
+
+/// Detection quality and trace volume at one value of the LOF threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The LOF threshold `α`.
+    pub alpha: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// F1 score at this threshold.
+    pub f1: f64,
+    /// Number of windows that would be recorded.
+    pub recorded_windows: u64,
+    /// Raw bytes that would be recorded.
+    pub recorded_bytes: u64,
+    /// Raw bytes of the whole monitored stream.
+    pub total_bytes: u64,
+    /// Volume reduction factor (total / recorded).
+    pub reduction_factor: f64,
+    /// The full confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+/// The default threshold grid used for Figure 1: `α` from 1.0 to 3.0 in
+/// steps of 0.1.
+pub fn default_alpha_grid() -> Vec<f64> {
+    (10..=30).map(|i| f64::from(i) / 10.0).collect()
+}
+
+/// Re-evaluates one monitored run at every threshold in `alphas`.
+pub fn alpha_sweep_from_decisions(
+    decisions: &[WindowDecision],
+    truth: &GroundTruth,
+    alphas: &[f64],
+) -> Vec<SweepPoint> {
+    let total_bytes: u64 = decisions
+        .iter()
+        .map(|d| (d.events * TraceEvent::RAW_ENCODED_SIZE) as u64)
+        .sum();
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let labeled = label_decisions_at_alpha(decisions, truth, alpha);
+            let confusion = ConfusionMatrix::from_labels(&labeled);
+            let (recorded_windows, recorded_bytes) = labeled
+                .iter()
+                .filter(|l| l.label.predicted_positive())
+                .fold((0u64, 0u64), |(w, b), l| {
+                    (
+                        w + 1,
+                        b + (l.decision.events * TraceEvent::RAW_ENCODED_SIZE) as u64,
+                    )
+                });
+            let reduction_factor = if recorded_bytes == 0 {
+                f64::INFINITY
+            } else {
+                total_bytes as f64 / recorded_bytes as f64
+            };
+            SweepPoint {
+                alpha,
+                precision: confusion.precision(),
+                recall: confusion.recall(),
+                f1: confusion.f1(),
+                recorded_windows,
+                recorded_bytes,
+                total_bytes,
+                reduction_factor,
+                confusion,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endurance_core::WindowVerdict;
+    use trace_model::{Timestamp, WindowId};
+
+    /// A run where windows 100..200 are truly anomalous (with errors) and
+    /// LOF scores grow linearly with "how anomalous" the window is.
+    fn synthetic_run() -> (Vec<WindowDecision>, GroundTruth) {
+        let mut decisions = Vec::new();
+        for i in 0..1_000u64 {
+            let truth_positive = (100..200).contains(&i);
+            let lof = if truth_positive {
+                // Anomalous windows: scores spread between 1.1 and 3.0.
+                Some(1.1 + 1.9 * ((i - 100) as f64 / 100.0))
+            } else if i % 50 == 0 {
+                // Occasional borderline regular window.
+                Some(1.3)
+            } else {
+                Some(1.0)
+            };
+            decisions.push(WindowDecision {
+                window_id: WindowId::new(i),
+                start: Timestamp::from_millis(i * 40),
+                end: Timestamp::from_millis((i + 1) * 40),
+                events: 20,
+                has_error_event: truth_positive,
+                divergence: Some(0.2),
+                lof,
+                verdict: WindowVerdict::CheckedNormal,
+            });
+        }
+        let truth = GroundTruth::from_intervals(vec![(
+            Timestamp::from_millis(100 * 40),
+            Timestamp::from_millis(200 * 40),
+        )]);
+        (decisions, truth)
+    }
+
+    #[test]
+    fn default_grid_covers_one_to_three() {
+        let grid = default_alpha_grid();
+        assert_eq!(grid.len(), 21);
+        assert!((grid[0] - 1.0).abs() < 1e-12);
+        assert!((grid[20] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_decreases_as_alpha_grows() {
+        let (decisions, truth) = synthetic_run();
+        let sweep = alpha_sweep_from_decisions(&decisions, &truth, &default_alpha_grid());
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].recall <= pair[0].recall + 1e-12,
+                "recall must be non-increasing in alpha"
+            );
+            assert!(pair[1].recorded_windows <= pair[0].recorded_windows);
+            assert!(pair[1].reduction_factor >= pair[0].reduction_factor);
+        }
+    }
+
+    #[test]
+    fn precision_improves_once_borderline_false_positives_are_cut() {
+        let (decisions, truth) = synthetic_run();
+        let sweep = alpha_sweep_from_decisions(&decisions, &truth, &[1.2, 1.5]);
+        // At 1.2 the borderline regular windows (LOF = 1.3) are false
+        // positives; at 1.5 they are gone.
+        assert!(sweep[1].precision > sweep[0].precision);
+        assert!((sweep[1].precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_accounting_matches_window_counts() {
+        let (decisions, truth) = synthetic_run();
+        let sweep = alpha_sweep_from_decisions(&decisions, &truth, &[1.0]);
+        let point = sweep[0];
+        assert_eq!(point.total_bytes, 1_000 * 20 * 16);
+        assert_eq!(
+            point.recorded_bytes,
+            point.recorded_windows * 20 * 16
+        );
+        // At alpha = 1.0 every scored window is recorded.
+        assert_eq!(point.recorded_windows, 1_000);
+        assert!((point.reduction_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_threshold_records_nothing() {
+        let (decisions, truth) = synthetic_run();
+        let sweep = alpha_sweep_from_decisions(&decisions, &truth, &[100.0]);
+        assert_eq!(sweep[0].recorded_windows, 0);
+        assert!(sweep[0].reduction_factor.is_infinite());
+        assert_eq!(sweep[0].recall, 0.0);
+    }
+}

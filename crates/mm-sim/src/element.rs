@@ -1,0 +1,174 @@
+//! Pipeline element specifications and their processing-cost model.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FrameKind, SimError, SimRng};
+
+/// Which media path an element belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediaKind {
+    /// Video path: processes one frame per frame period.
+    Video,
+    /// Audio path: processes one chunk per audio period.
+    Audio,
+}
+
+impl std::fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MediaKind::Video => f.write_str("video"),
+            MediaKind::Audio => f.write_str("audio"),
+        }
+    }
+}
+
+/// A single element of the multimedia pipeline (demuxer, decoder, converter,
+/// sink, ...), together with its CPU cost model.
+///
+/// Each element emits exactly one trace event per processed frame/chunk; the
+/// element name doubles as the event-type name, so the set of elements
+/// defines the dimensionality of the pmf vectors the monitor works with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementSpec {
+    /// Element (and event type) name, e.g. `video.decode`.
+    pub name: String,
+    /// Which media path the element belongs to.
+    pub media: MediaKind,
+    /// CPU cost to process one P frame (video) or one chunk (audio).
+    pub base_cost: Duration,
+    /// Cost multiplier for I frames (video only).
+    pub i_frame_factor: f64,
+    /// Cost multiplier for B frames (video only).
+    pub b_frame_factor: f64,
+    /// Relative jitter applied to every cost sample (0.1 = ±10 %).
+    pub jitter: f64,
+}
+
+impl ElementSpec {
+    /// Creates a video-path element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the name is empty, a factor is
+    /// non-positive, or the jitter is not within `[0, 0.9]`.
+    pub fn video(
+        name: &str,
+        base_cost: Duration,
+        i_frame_factor: f64,
+        b_frame_factor: f64,
+        jitter: f64,
+    ) -> Result<Self, SimError> {
+        Self::validated(ElementSpec {
+            name: name.to_owned(),
+            media: MediaKind::Video,
+            base_cost,
+            i_frame_factor,
+            b_frame_factor,
+            jitter,
+        })
+    }
+
+    /// Creates an audio-path element (frame kind has no effect on cost).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ElementSpec::video`].
+    pub fn audio(name: &str, base_cost: Duration, jitter: f64) -> Result<Self, SimError> {
+        Self::validated(ElementSpec {
+            name: name.to_owned(),
+            media: MediaKind::Audio,
+            base_cost,
+            i_frame_factor: 1.0,
+            b_frame_factor: 1.0,
+            jitter,
+        })
+    }
+
+    fn validated(spec: ElementSpec) -> Result<Self, SimError> {
+        if spec.name.trim().is_empty() {
+            return Err(SimError::InvalidConfig("element name is empty".into()));
+        }
+        if !(spec.i_frame_factor > 0.0 && spec.b_frame_factor > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "frame-kind cost factors must be positive for element '{}'",
+                spec.name
+            )));
+        }
+        if !(0.0..=0.9).contains(&spec.jitter) {
+            return Err(SimError::InvalidConfig(format!(
+                "jitter for element '{}' must be within [0, 0.9]",
+                spec.name
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Samples the CPU cost for processing one frame of the given kind.
+    pub fn cost_for(&self, kind: FrameKind, rng: &mut SimRng) -> Duration {
+        let factor = match (self.media, kind) {
+            (MediaKind::Audio, _) => 1.0,
+            (MediaKind::Video, FrameKind::I) => self.i_frame_factor,
+            (MediaKind::Video, FrameKind::P) => 1.0,
+            (MediaKind::Video, FrameKind::B) => self.b_frame_factor,
+        };
+        let nanos = self.base_cost.as_secs_f64() * factor * rng.jitter(self.jitter);
+        Duration::from_secs_f64(nanos.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ElementSpec::video("", Duration::from_millis(1), 1.0, 1.0, 0.1).is_err());
+        assert!(ElementSpec::video("x", Duration::from_millis(1), 0.0, 1.0, 0.1).is_err());
+        assert!(ElementSpec::video("x", Duration::from_millis(1), 1.0, -1.0, 0.1).is_err());
+        assert!(ElementSpec::video("x", Duration::from_millis(1), 1.0, 1.0, 0.95).is_err());
+        assert!(ElementSpec::audio("a", Duration::from_micros(300), 0.05).is_ok());
+    }
+
+    #[test]
+    fn i_frames_cost_more_than_b_frames() {
+        let spec =
+            ElementSpec::video("video.decode", Duration::from_millis(5), 1.8, 0.6, 0.0).unwrap();
+        let mut rng = SimRng::new(1);
+        let i = spec.cost_for(FrameKind::I, &mut rng);
+        let p = spec.cost_for(FrameKind::P, &mut rng);
+        let b = spec.cost_for(FrameKind::B, &mut rng);
+        assert!(i > p);
+        assert!(p > b);
+        assert_eq!(p, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn audio_cost_ignores_frame_kind() {
+        let spec = ElementSpec::audio("audio.decode", Duration::from_micros(400), 0.0).unwrap();
+        let mut rng = SimRng::new(2);
+        assert_eq!(
+            spec.cost_for(FrameKind::I, &mut rng),
+            spec.cost_for(FrameKind::B, &mut rng)
+        );
+    }
+
+    #[test]
+    fn jitter_bounds_the_cost() {
+        let spec =
+            ElementSpec::video("video.decode", Duration::from_millis(10), 1.0, 1.0, 0.2).unwrap();
+        let mut rng = SimRng::new(3);
+        for _ in 0..200 {
+            let cost = spec.cost_for(FrameKind::P, &mut rng);
+            assert!(cost >= Duration::from_millis(8));
+            assert!(cost <= Duration::from_millis(12));
+        }
+    }
+
+    #[test]
+    fn media_kind_display() {
+        assert_eq!(MediaKind::Video.to_string(), "video");
+        assert_eq!(MediaKind::Audio.to_string(), "audio");
+    }
+}

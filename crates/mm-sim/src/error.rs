@@ -1,0 +1,59 @@
+use std::fmt;
+
+use trace_model::TraceError;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A scenario or pipeline parameter is out of its valid range.
+    InvalidConfig(String),
+    /// The underlying trace model rejected an operation (e.g. registering
+    /// duplicate event types for a custom pipeline).
+    Trace(TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+            SimError::Trace(err) => write!(f, "trace model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(err: TraceError) -> Self {
+        SimError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimError::InvalidConfig("x".into()).to_string().is_empty());
+        let trace_err = TraceError::Registry("dup".into());
+        let err = SimError::from(trace_err);
+        assert!(err.to_string().contains("dup"));
+    }
+
+    #[test]
+    fn source_is_exposed_for_trace_errors() {
+        use std::error::Error as _;
+        let err = SimError::from(TraceError::Registry("dup".into()));
+        assert!(err.source().is_some());
+        assert!(SimError::InvalidConfig("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Video frame and group-of-pictures modelling.
+
+use serde::{Deserialize, Serialize};
+
+use trace_model::Timestamp;
+
+use crate::SimError;
+
+/// Compression class of a video frame.
+///
+/// Decoding cost differs markedly between the three kinds, which is the main
+/// source of (regular, periodic) variation in the clean trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Intra-coded frame: self-contained, largest and most expensive.
+    I,
+    /// Predicted frame: references previous frames.
+    P,
+    /// Bi-directionally predicted frame: cheapest.
+    B,
+}
+
+impl FrameKind {
+    /// All frame kinds.
+    pub const ALL: [FrameKind; 3] = [FrameKind::I, FrameKind::P, FrameKind::B];
+}
+
+impl std::fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            FrameKind::I => 'I',
+            FrameKind::P => 'P',
+            FrameKind::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The repeating I/P/B pattern of an encoded video stream.
+///
+/// The pattern is the classical `I (B^n P)*` group of pictures: a GOP of
+/// length `gop_length` starts with an I frame, and every anchor (I or P)
+/// frame is followed by `b_per_anchor` B frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GopStructure {
+    gop_length: usize,
+    b_per_anchor: usize,
+}
+
+impl GopStructure {
+    /// Creates a GOP structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `gop_length` is zero or not
+    /// large enough to contain one anchor and its B frames.
+    pub fn new(gop_length: usize, b_per_anchor: usize) -> Result<Self, SimError> {
+        if gop_length == 0 {
+            return Err(SimError::InvalidConfig("GOP length must be at least 1".into()));
+        }
+        if b_per_anchor + 1 > gop_length {
+            return Err(SimError::InvalidConfig(format!(
+                "GOP of length {gop_length} cannot hold an anchor followed by {b_per_anchor} B frames"
+            )));
+        }
+        Ok(GopStructure {
+            gop_length,
+            b_per_anchor,
+        })
+    }
+
+    /// A typical broadcast structure: GOP of 12, 2 B frames per anchor
+    /// (IBBPBBPBBPBB).
+    pub fn broadcast() -> Self {
+        GopStructure {
+            gop_length: 12,
+            b_per_anchor: 2,
+        }
+    }
+
+    /// An all-intra structure (every frame is an I frame), as used by some
+    /// editing codecs.
+    pub fn all_intra() -> Self {
+        GopStructure {
+            gop_length: 1,
+            b_per_anchor: 0,
+        }
+    }
+
+    /// Number of frames in one GOP.
+    pub fn gop_length(&self) -> usize {
+        self.gop_length
+    }
+
+    /// The kind of the frame at position `number` in display order.
+    pub fn kind_of(&self, number: u64) -> FrameKind {
+        let pos = (number as usize) % self.gop_length;
+        if pos == 0 {
+            FrameKind::I
+        } else if self.b_per_anchor == 0 || pos.is_multiple_of(self.b_per_anchor + 1) {
+            // Every anchor position (and every frame of a B-less stream) is
+            // a P frame.
+            FrameKind::P
+        } else {
+            FrameKind::B
+        }
+    }
+}
+
+impl Default for GopStructure {
+    fn default() -> Self {
+        GopStructure::broadcast()
+    }
+}
+
+/// A single video frame travelling through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Display-order index of the frame.
+    pub number: u64,
+    /// Compression class.
+    pub kind: FrameKind,
+    /// Compressed size in bytes (drives source/demux payloads).
+    pub size_bytes: u32,
+    /// Presentation timestamp.
+    pub pts: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_gop_pattern_is_ibbp() {
+        let gop = GopStructure::broadcast();
+        let pattern: String = (0..12).map(|i| gop.kind_of(i).to_string()).collect();
+        assert_eq!(pattern, "IBBPBBPBBPBB");
+        // The pattern repeats.
+        assert_eq!(gop.kind_of(12), FrameKind::I);
+        assert_eq!(gop.kind_of(13), FrameKind::B);
+        assert_eq!(gop.gop_length(), 12);
+    }
+
+    #[test]
+    fn all_intra_gop_is_all_i_frames() {
+        let gop = GopStructure::all_intra();
+        assert!((0..50).all(|i| gop.kind_of(i) == FrameKind::I));
+    }
+
+    #[test]
+    fn zero_b_frames_gives_ip_pattern() {
+        let gop = GopStructure::new(4, 0).unwrap();
+        let pattern: String = (0..8).map(|i| gop.kind_of(i).to_string()).collect();
+        assert_eq!(pattern, "IPPPIPPP");
+    }
+
+    #[test]
+    fn invalid_gop_parameters_are_rejected() {
+        assert!(GopStructure::new(0, 0).is_err());
+        assert!(GopStructure::new(2, 5).is_err());
+        assert!(GopStructure::new(3, 2).is_ok());
+    }
+
+    #[test]
+    fn i_frame_frequency_matches_gop_length() {
+        let gop = GopStructure::new(25, 1).unwrap();
+        let i_frames = (0..250).filter(|i| gop.kind_of(*i) == FrameKind::I).count();
+        assert_eq!(i_frames, 10);
+    }
+
+    #[test]
+    fn display_of_kinds() {
+        assert_eq!(FrameKind::I.to_string(), "I");
+        assert_eq!(FrameKind::P.to_string(), "P");
+        assert_eq!(FrameKind::B.to_string(), "B");
+        assert_eq!(FrameKind::ALL.len(), 3);
+    }
+}

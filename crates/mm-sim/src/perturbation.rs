@@ -1,0 +1,266 @@
+//! CPU-contention perturbation injection.
+//!
+//! The paper's experiment perturbs GStreamer every 3 minutes for 20 seconds
+//! with a "heavy processing application". Here a perturbation is an interval
+//! of trace time during which a configurable fraction of the (single) CPU is
+//! stolen from the pipeline.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use trace_model::Timestamp;
+
+use crate::SimError;
+
+/// One contiguous interval of CPU contention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationInterval {
+    /// Start of the contention (inclusive).
+    pub start: Timestamp,
+    /// End of the contention (exclusive).
+    pub end: Timestamp,
+    /// Fraction of the CPU stolen from the pipeline, in `[0, 1)`.
+    pub load: f64,
+}
+
+impl PerturbationInterval {
+    /// Creates an interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `end <= start` or the load is
+    /// outside `[0, 1)`.
+    pub fn new(start: Timestamp, end: Timestamp, load: f64) -> Result<Self, SimError> {
+        if end <= start {
+            return Err(SimError::InvalidConfig(format!(
+                "perturbation interval must have positive length (start {start}, end {end})"
+            )));
+        }
+        if !(0.0..1.0).contains(&load) {
+            return Err(SimError::InvalidConfig(format!(
+                "perturbation load must be within [0, 1), got {load}"
+            )));
+        }
+        Ok(PerturbationInterval { start, end, load })
+    }
+
+    /// Whether `t` falls inside the interval.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Length of the interval.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The full perturbation schedule of a run.
+///
+/// Intervals are kept sorted by start time and never overlap; the schedule
+/// doubles as the ground truth handed to the evaluation harness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationSchedule {
+    intervals: Vec<PerturbationInterval>,
+}
+
+impl PerturbationSchedule {
+    /// A schedule with no perturbations (reference runs).
+    pub fn none() -> Self {
+        PerturbationSchedule::default()
+    }
+
+    /// Builds a schedule from explicit intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if intervals overlap.
+    pub fn from_intervals(mut intervals: Vec<PerturbationInterval>) -> Result<Self, SimError> {
+        intervals.sort_by_key(|iv| iv.start);
+        for pair in intervals.windows(2) {
+            if pair[1].start < pair[0].end {
+                return Err(SimError::InvalidConfig(format!(
+                    "perturbation intervals overlap around {}",
+                    pair[1].start
+                )));
+            }
+        }
+        Ok(PerturbationSchedule { intervals })
+    }
+
+    /// The paper's periodic schedule: starting at `first_start`, a
+    /// perturbation of `duration` and CPU `load` every `period`, up to
+    /// `until`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `duration >= period`, the load
+    /// is out of range, or `duration` is zero.
+    pub fn periodic(
+        first_start: Timestamp,
+        period: Duration,
+        duration: Duration,
+        load: f64,
+        until: Timestamp,
+    ) -> Result<Self, SimError> {
+        if duration.is_zero() {
+            return Err(SimError::InvalidConfig(
+                "perturbation duration must be non-zero".into(),
+            ));
+        }
+        if duration >= period {
+            return Err(SimError::InvalidConfig(
+                "perturbation duration must be shorter than the period".into(),
+            ));
+        }
+        let mut intervals = Vec::new();
+        let mut start = first_start;
+        while start < until {
+            let end = start.saturating_add(duration);
+            if end > until {
+                break;
+            }
+            intervals.push(PerturbationInterval::new(start, end, load)?);
+            start = start.saturating_add(period);
+        }
+        Ok(PerturbationSchedule { intervals })
+    }
+
+    /// The CPU fraction stolen from the pipeline at time `t` (0 when no
+    /// perturbation is active).
+    pub fn load_at(&self, t: Timestamp) -> f64 {
+        // Intervals are sorted; a binary search would work, but schedules
+        // hold at most a few thousand intervals and `load_at` is called once
+        // per 40 ms tick, so a partition point keeps it simple and exact.
+        let idx = self.intervals.partition_point(|iv| iv.end <= t);
+        match self.intervals.get(idx) {
+            Some(iv) if iv.contains(t) => iv.load,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether a perturbation is active at time `t`.
+    pub fn is_active(&self, t: Timestamp) -> bool {
+        self.load_at(t) > 0.0
+    }
+
+    /// The scheduled intervals, sorted by start time.
+    pub fn intervals(&self) -> &[PerturbationInterval] {
+        &self.intervals
+    }
+
+    /// Number of scheduled perturbations.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(PerturbationInterval::new(ts(10), ts(5), 0.5).is_err());
+        assert!(PerturbationInterval::new(ts(10), ts(10), 0.5).is_err());
+        assert!(PerturbationInterval::new(ts(10), ts(20), 1.0).is_err());
+        assert!(PerturbationInterval::new(ts(10), ts(20), -0.1).is_err());
+        let iv = PerturbationInterval::new(ts(10), ts(20), 0.7).unwrap();
+        assert!(iv.contains(ts(10)));
+        assert!(iv.contains(ts(19)));
+        assert!(!iv.contains(ts(20)));
+        assert_eq!(iv.duration(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_load_everywhere() {
+        let schedule = PerturbationSchedule::none();
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.load_at(ts(100)), 0.0);
+        assert!(!schedule.is_active(ts(100)));
+    }
+
+    #[test]
+    fn periodic_schedule_matches_paper_parameters() {
+        // Every 3 minutes, 20 s perturbations, from 300 s to 2400 s.
+        let schedule = PerturbationSchedule::periodic(
+            ts(300),
+            Duration::from_secs(180),
+            Duration::from_secs(20),
+            0.7,
+            ts(2400),
+        )
+        .unwrap();
+        assert_eq!(schedule.len(), 12);
+        assert_eq!(schedule.intervals()[0].start, ts(300));
+        assert_eq!(schedule.intervals()[0].end, ts(320));
+        assert_eq!(schedule.intervals()[1].start, ts(480));
+        // Load queries.
+        assert_eq!(schedule.load_at(ts(310)), 0.7);
+        assert_eq!(schedule.load_at(ts(330)), 0.0);
+        assert_eq!(schedule.load_at(ts(0)), 0.0);
+        assert!(schedule.is_active(ts(481)));
+    }
+
+    #[test]
+    fn periodic_schedule_validation() {
+        assert!(PerturbationSchedule::periodic(
+            ts(0),
+            Duration::from_secs(10),
+            Duration::from_secs(10),
+            0.5,
+            ts(100)
+        )
+        .is_err());
+        assert!(PerturbationSchedule::periodic(
+            ts(0),
+            Duration::from_secs(10),
+            Duration::ZERO,
+            0.5,
+            ts(100)
+        )
+        .is_err());
+        // A final interval that would extend past `until` is dropped, not
+        // emitted partially: [0, 20] fits before 70, [60, 80] does not.
+        let schedule = PerturbationSchedule::periodic(
+            ts(0),
+            Duration::from_secs(60),
+            Duration::from_secs(20),
+            0.5,
+            ts(70),
+        )
+        .unwrap();
+        assert_eq!(schedule.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_intervals_are_rejected() {
+        let a = PerturbationInterval::new(ts(0), ts(10), 0.5).unwrap();
+        let b = PerturbationInterval::new(ts(5), ts(15), 0.5).unwrap();
+        assert!(PerturbationSchedule::from_intervals(vec![a, b]).is_err());
+        let c = PerturbationInterval::new(ts(10), ts(15), 0.5).unwrap();
+        let schedule = PerturbationSchedule::from_intervals(vec![c, a]).unwrap();
+        assert_eq!(schedule.intervals()[0].start, ts(0));
+    }
+
+    #[test]
+    fn load_at_boundaries_is_half_open() {
+        let schedule = PerturbationSchedule::from_intervals(vec![
+            PerturbationInterval::new(ts(10), ts(20), 0.6).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(schedule.load_at(ts(10)), 0.6);
+        assert_eq!(schedule.load_at(Timestamp::from_nanos(ts(20).as_nanos() - 1)), 0.6);
+        assert_eq!(schedule.load_at(ts(20)), 0.0);
+    }
+}

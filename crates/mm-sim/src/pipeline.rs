@@ -1,0 +1,237 @@
+//! Pipeline topology: ordered video and audio element chains plus the
+//! playout buffer geometry.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use trace_model::{EventTypeRegistry, TraceError};
+
+use crate::{ElementSpec, MediaKind, SimError};
+
+/// The static description of a multimedia playback pipeline.
+///
+/// The default, [`PipelineSpec::gstreamer_playback`], mirrors a typical
+/// GStreamer `playbin` graph: file source, demuxer, H.264 video decoder,
+/// colour-space converter and video sink, plus an audio decoder/converter/
+/// sink chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    video_elements: Vec<ElementSpec>,
+    audio_elements: Vec<ElementSpec>,
+    /// Playout buffer capacity, in decoded frames.
+    playout_capacity: usize,
+    /// Occupancy (in frames) at which playback starts or resumes after an
+    /// underrun.
+    resume_threshold: usize,
+}
+
+impl PipelineSpec {
+    /// Creates an empty pipeline with the given playout-buffer geometry; add
+    /// elements with [`PipelineSpec::with_video_element`] /
+    /// [`PipelineSpec::with_audio_element`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the capacity is zero or the
+    /// resume threshold does not fit inside the capacity.
+    pub fn new(playout_capacity: usize, resume_threshold: usize) -> Result<Self, SimError> {
+        if playout_capacity == 0 {
+            return Err(SimError::InvalidConfig(
+                "playout buffer capacity must be at least 1 frame".into(),
+            ));
+        }
+        if resume_threshold == 0 || resume_threshold > playout_capacity {
+            return Err(SimError::InvalidConfig(format!(
+                "resume threshold must be within [1, capacity={playout_capacity}]"
+            )));
+        }
+        Ok(PipelineSpec {
+            video_elements: Vec::new(),
+            audio_elements: Vec::new(),
+            playout_capacity,
+            resume_threshold,
+        })
+    }
+
+    /// The default GStreamer-like playback pipeline used by the paper's
+    /// experiment: ~11 ms of video CPU work per P frame and ~0.9 ms of audio
+    /// work per 10 ms chunk, leaving ample headroom on an idle core but not
+    /// under heavy CPU contention.
+    pub fn gstreamer_playback() -> Self {
+        let video = vec![
+            ElementSpec::video("source.video.packet", Duration::from_micros(300), 1.6, 0.7, 0.10)
+                .expect("static spec is valid"),
+            ElementSpec::video("demux.video.packet", Duration::from_micros(500), 1.4, 0.8, 0.10)
+                .expect("static spec is valid"),
+            ElementSpec::video("video.decode", Duration::from_micros(6500), 1.9, 0.55, 0.12)
+                .expect("static spec is valid"),
+            ElementSpec::video("video.convert", Duration::from_micros(2500), 1.0, 1.0, 0.08)
+                .expect("static spec is valid"),
+            ElementSpec::video("video.queue.push", Duration::from_micros(150), 1.0, 1.0, 0.05)
+                .expect("static spec is valid"),
+            ElementSpec::video("video.sink.render", Duration::from_micros(900), 1.0, 1.0, 0.08)
+                .expect("static spec is valid"),
+        ];
+        let audio = vec![
+            ElementSpec::audio("demux.audio.packet", Duration::from_micros(80), 0.10)
+                .expect("static spec is valid"),
+            ElementSpec::audio("audio.decode", Duration::from_micros(450), 0.10)
+                .expect("static spec is valid"),
+            ElementSpec::audio("audio.convert", Duration::from_micros(150), 0.08)
+                .expect("static spec is valid"),
+            ElementSpec::audio("audio.sink.render", Duration::from_micros(200), 0.08)
+                .expect("static spec is valid"),
+        ];
+        PipelineSpec {
+            video_elements: video,
+            audio_elements: audio,
+            playout_capacity: 25,
+            resume_threshold: 5,
+        }
+    }
+
+    /// Adds a video-path element (builder style).
+    pub fn with_video_element(mut self, element: ElementSpec) -> Self {
+        debug_assert_eq!(element.media, MediaKind::Video);
+        self.video_elements.push(element);
+        self
+    }
+
+    /// Adds an audio-path element (builder style).
+    pub fn with_audio_element(mut self, element: ElementSpec) -> Self {
+        debug_assert_eq!(element.media, MediaKind::Audio);
+        self.audio_elements.push(element);
+        self
+    }
+
+    /// Video-path elements in processing order.
+    pub fn video_elements(&self) -> &[ElementSpec] {
+        &self.video_elements
+    }
+
+    /// Audio-path elements in processing order.
+    pub fn audio_elements(&self) -> &[ElementSpec] {
+        &self.audio_elements
+    }
+
+    /// Playout buffer capacity in frames.
+    pub fn playout_capacity(&self) -> usize {
+        self.playout_capacity
+    }
+
+    /// Playback resume threshold in frames.
+    pub fn resume_threshold(&self) -> usize {
+        self.resume_threshold
+    }
+
+    /// Registers the event types emitted by this pipeline (one per element)
+    /// into `registry`, in element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Registry`] if two elements share a name.
+    pub fn register_event_types(&self, registry: &mut EventTypeRegistry) -> Result<(), TraceError> {
+        for element in self.video_elements.iter().chain(&self.audio_elements) {
+            registry.register(&element.name)?;
+        }
+        Ok(())
+    }
+
+    /// Validates that the pipeline has at least a video path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if no video element is present.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.video_elements.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "pipeline needs at least one video element".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        PipelineSpec::gstreamer_playback()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_is_valid_and_has_both_paths() {
+        let spec = PipelineSpec::default();
+        assert!(spec.validate().is_ok());
+        assert!(spec.video_elements().len() >= 5);
+        assert!(spec.audio_elements().len() >= 3);
+        assert!(spec.playout_capacity() > spec.resume_threshold());
+    }
+
+    #[test]
+    fn buffer_geometry_is_validated() {
+        assert!(PipelineSpec::new(0, 1).is_err());
+        assert!(PipelineSpec::new(10, 0).is_err());
+        assert!(PipelineSpec::new(10, 11).is_err());
+        assert!(PipelineSpec::new(10, 10).is_ok());
+    }
+
+    #[test]
+    fn empty_video_path_is_invalid() {
+        let spec = PipelineSpec::new(10, 2).unwrap();
+        assert!(spec.validate().is_err());
+        let spec = spec.with_video_element(
+            ElementSpec::video("video.decode", Duration::from_millis(5), 1.5, 0.7, 0.1).unwrap(),
+        );
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn event_types_are_registered_per_element() {
+        let spec = PipelineSpec::default();
+        let mut registry = EventTypeRegistry::new();
+        spec.register_event_types(&mut registry).unwrap();
+        assert_eq!(
+            registry.len(),
+            spec.video_elements().len() + spec.audio_elements().len()
+        );
+        assert!(registry.id_of("video.decode").is_some());
+        assert!(registry.id_of("audio.decode").is_some());
+    }
+
+    #[test]
+    fn duplicate_element_names_fail_registration() {
+        let spec = PipelineSpec::new(10, 2)
+            .unwrap()
+            .with_video_element(
+                ElementSpec::video("video.decode", Duration::from_millis(5), 1.5, 0.7, 0.1)
+                    .unwrap(),
+            )
+            .with_video_element(
+                ElementSpec::video("video.decode", Duration::from_millis(2), 1.0, 1.0, 0.1)
+                    .unwrap(),
+            );
+        let mut registry = EventTypeRegistry::new();
+        assert!(spec.register_event_types(&mut registry).is_err());
+    }
+
+    #[test]
+    fn default_video_work_fits_in_a_frame_period() {
+        // The steady-state CPU cost of one frame must be below the 40 ms
+        // frame period, otherwise the pipeline cannot keep up even unloaded.
+        let spec = PipelineSpec::default();
+        let total: Duration = spec
+            .video_elements()
+            .iter()
+            .map(|e| e.base_cost)
+            .sum::<Duration>()
+            + spec.audio_elements().iter().map(|e| e.base_cost).sum::<Duration>() * 4;
+        assert!(total < Duration::from_millis(40));
+        // ...but not by so much that a strong perturbation cannot hurt it.
+        assert!(total > Duration::from_millis(8));
+    }
+}

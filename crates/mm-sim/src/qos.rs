@@ -1,0 +1,200 @@
+//! Playout buffer and quality-of-service bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one presentation tick at the video sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PresentOutcome {
+    /// Playback has not started yet: the buffer is still prebuffering.
+    Prebuffering,
+    /// A frame was presented on time.
+    Presented,
+    /// A frame was presented and playback just resumed after an underrun
+    /// (the first good frame after a stall).
+    Resumed,
+    /// No frame was available: the sink underran and playback stalled.
+    Underrun,
+}
+
+/// The decoded-frame playout buffer sitting between the decoder and the
+/// video sink.
+///
+/// Its drain time is what produces the paper's Δs delay (perturbation start
+/// → first visible error) and its refill time the Δe delay (perturbation end
+/// → last visible error).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlayoutBuffer {
+    capacity: usize,
+    resume_threshold: usize,
+    occupancy: usize,
+    playing: bool,
+    stalled: bool,
+}
+
+impl PlayoutBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `resume_threshold` is zero or larger
+    /// than the capacity (the pipeline spec validates these before
+    /// constructing the buffer).
+    pub fn new(capacity: usize, resume_threshold: usize) -> Self {
+        assert!(capacity > 0, "playout capacity must be positive");
+        assert!(
+            (1..=capacity).contains(&resume_threshold),
+            "resume threshold must be within [1, capacity]"
+        );
+        PlayoutBuffer {
+            capacity,
+            resume_threshold,
+            occupancy: 0,
+            playing: false,
+            stalled: false,
+        }
+    }
+
+    /// Number of decoded frames currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Maximum number of buffered frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether there is room for another decoded frame.
+    pub fn has_room(&self) -> bool {
+        self.occupancy < self.capacity
+    }
+
+    /// Whether playback has started (prebuffering finished).
+    pub fn is_playing(&self) -> bool {
+        self.playing
+    }
+
+    /// Whether the sink is currently stalled on an underrun.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Pushes one decoded frame into the buffer.
+    ///
+    /// Returns `false` (and drops the frame) if the buffer is full; the
+    /// simulator never does this because it checks [`PlayoutBuffer::has_room`]
+    /// before decoding ahead.
+    pub fn push_frame(&mut self) -> bool {
+        if self.occupancy >= self.capacity {
+            return false;
+        }
+        self.occupancy += 1;
+        true
+    }
+
+    /// Advances one presentation tick and reports what the sink did.
+    pub fn tick_present(&mut self) -> PresentOutcome {
+        if !self.playing || self.stalled {
+            // Waiting for (re)buffering: resume once enough frames are ready.
+            if self.occupancy >= self.resume_threshold {
+                let was_stalled = self.stalled;
+                self.playing = true;
+                self.stalled = false;
+                self.occupancy -= 1;
+                return if was_stalled {
+                    PresentOutcome::Resumed
+                } else {
+                    PresentOutcome::Presented
+                };
+            }
+            return if self.playing {
+                PresentOutcome::Underrun
+            } else {
+                PresentOutcome::Prebuffering
+            };
+        }
+        if self.occupancy == 0 {
+            self.stalled = true;
+            return PresentOutcome::Underrun;
+        }
+        self.occupancy -= 1;
+        PresentOutcome::Presented
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = PlayoutBuffer::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume threshold")]
+    fn bad_resume_threshold_panics() {
+        let _ = PlayoutBuffer::new(5, 6);
+    }
+
+    #[test]
+    fn prebuffering_until_threshold() {
+        let mut buffer = PlayoutBuffer::new(10, 3);
+        assert_eq!(buffer.tick_present(), PresentOutcome::Prebuffering);
+        buffer.push_frame();
+        buffer.push_frame();
+        assert_eq!(buffer.tick_present(), PresentOutcome::Prebuffering);
+        buffer.push_frame();
+        assert_eq!(buffer.tick_present(), PresentOutcome::Presented);
+        assert!(buffer.is_playing());
+        assert_eq!(buffer.occupancy(), 2);
+    }
+
+    #[test]
+    fn steady_state_presents_every_tick() {
+        let mut buffer = PlayoutBuffer::new(5, 2);
+        for _ in 0..5 {
+            buffer.push_frame();
+        }
+        assert!(!buffer.has_room());
+        for _ in 0..3 {
+            assert_eq!(buffer.tick_present(), PresentOutcome::Presented);
+            buffer.push_frame();
+        }
+        assert_eq!(buffer.occupancy(), 5);
+    }
+
+    #[test]
+    fn underrun_and_resume_cycle() {
+        let mut buffer = PlayoutBuffer::new(4, 2);
+        for _ in 0..4 {
+            buffer.push_frame();
+        }
+        // Drain without refilling: 4 presents then underruns.
+        for _ in 0..4 {
+            assert_eq!(buffer.tick_present(), PresentOutcome::Presented);
+        }
+        assert_eq!(buffer.tick_present(), PresentOutcome::Underrun);
+        assert!(buffer.is_stalled());
+        // One frame is not enough to resume (threshold 2).
+        buffer.push_frame();
+        assert_eq!(buffer.tick_present(), PresentOutcome::Underrun);
+        // Two frames: playback resumes.
+        buffer.push_frame();
+        buffer.push_frame();
+        assert_eq!(buffer.tick_present(), PresentOutcome::Resumed);
+        assert!(!buffer.is_stalled());
+        assert_eq!(buffer.tick_present(), PresentOutcome::Presented);
+    }
+
+    #[test]
+    fn push_into_full_buffer_is_rejected() {
+        let mut buffer = PlayoutBuffer::new(2, 1);
+        assert!(buffer.push_frame());
+        assert!(buffer.push_frame());
+        assert!(!buffer.push_frame());
+        assert_eq!(buffer.occupancy(), 2);
+        assert_eq!(buffer.capacity(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic random-number generation for simulations.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seedable, reproducible random-number generator used for processing-time
+/// jitter and frame-size variation.
+///
+/// Wrapping [`ChaCha8Rng`] keeps simulations bit-for-bit reproducible across
+/// platforms and `rand` versions, which matters because the evaluation
+/// harness compares runs against stored expectations.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator for a named sub-component, so that
+    /// adding randomness to one part of the simulation does not perturb the
+    /// random sequence seen by another.
+    pub fn derive(&self, stream: u64) -> SimRng {
+        let mut child = self.inner.clone();
+        child.set_stream(stream);
+        SimRng { inner: child }
+    }
+
+    /// Uniform sample in `[low, high)`; returns `low` when the range is
+    /// empty or degenerate.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        // NaN bounds also take this early return, keeping the sampler total.
+        if high.partial_cmp(&low) != Some(std::cmp::Ordering::Greater) {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Multiplicative jitter factor in `[1 - amount, 1 + amount]`.
+    pub fn jitter(&mut self, amount: f64) -> f64 {
+        if amount <= 0.0 {
+            return 1.0;
+        }
+        self.uniform(1.0 - amount, 1.0 + amount)
+    }
+
+    /// Uniform integer sample in `[low, high)`.
+    pub fn uniform_u32(&mut self, low: u32, high: u32) -> u32 {
+        if high <= low {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_same_sequence() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0).to_bits(), b.uniform(0.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_sequences() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..50).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn derived_streams_are_independent_of_each_other() {
+        let base = SimRng::new(3);
+        let mut audio = base.derive(1);
+        let mut video = base.derive(2);
+        let a: Vec<u32> = (0..20).map(|_| audio.uniform_u32(0, 1000)).collect();
+        let v: Vec<u32> = (0..20).map(|_| video.uniform_u32(0, 1000)).collect();
+        assert_ne!(a, v);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..500 {
+            let j = rng.jitter(0.2);
+            assert!((0.8..=1.2).contains(&j));
+        }
+        assert_eq!(rng.jitter(0.0), 1.0);
+        assert_eq!(rng.jitter(-1.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_ranges_are_handled() {
+        let mut rng = SimRng::new(13);
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform(5.0, 4.0), 5.0);
+        assert_eq!(rng.uniform_u32(9, 9), 9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(7.0));
+    }
+}

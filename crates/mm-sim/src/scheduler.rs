@@ -1,0 +1,109 @@
+//! Single-core CPU model with external contention.
+
+use std::time::Duration;
+
+use trace_model::Timestamp;
+
+use crate::PerturbationSchedule;
+
+/// The (single) CPU core shared between the multimedia pipeline and the
+/// perturbation workload.
+///
+/// The paper pins GStreamer to one core of the laptop; the perturbation
+/// application competes for that core. We model the competition by scaling
+/// wall-clock processing time: a task costing `c` of CPU time takes
+/// `c / (1 - load)` of wall time while a perturbation steals `load` of the
+/// core.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    schedule: PerturbationSchedule,
+}
+
+impl CpuModel {
+    /// Creates a CPU model subject to the given contention schedule.
+    pub fn new(schedule: PerturbationSchedule) -> Self {
+        CpuModel { schedule }
+    }
+
+    /// CPU share available to the pipeline at time `t`, in `(0, 1]`.
+    pub fn available_share(&self, t: Timestamp) -> f64 {
+        (1.0 - self.schedule.load_at(t)).max(1e-3)
+    }
+
+    /// Wall-clock time needed to perform `cpu_cost` of work starting at `t`.
+    ///
+    /// The share is sampled at `t`; ticks are short (one frame period), so
+    /// sub-tick load changes are negligible.
+    pub fn wall_time_for(&self, cpu_cost: Duration, t: Timestamp) -> Duration {
+        Duration::from_secs_f64(cpu_cost.as_secs_f64() / self.available_share(t))
+    }
+
+    /// CPU work achievable within `wall_budget` of wall time starting at `t`.
+    pub fn cpu_budget_within(&self, wall_budget: Duration, t: Timestamp) -> Duration {
+        Duration::from_secs_f64(wall_budget.as_secs_f64() * self.available_share(t))
+    }
+
+    /// The contention schedule driving this model.
+    pub fn schedule(&self) -> &PerturbationSchedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerturbationInterval;
+
+    fn schedule() -> PerturbationSchedule {
+        PerturbationSchedule::from_intervals(vec![PerturbationInterval::new(
+            Timestamp::from_secs(10),
+            Timestamp::from_secs(20),
+            0.75,
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_share_outside_perturbations() {
+        let cpu = CpuModel::new(schedule());
+        assert_eq!(cpu.available_share(Timestamp::from_secs(5)), 1.0);
+        assert_eq!(
+            cpu.wall_time_for(Duration::from_millis(8), Timestamp::from_secs(5)),
+            Duration::from_millis(8)
+        );
+        assert_eq!(
+            cpu.cpu_budget_within(Duration::from_millis(40), Timestamp::from_secs(5)),
+            Duration::from_millis(40)
+        );
+    }
+
+    #[test]
+    fn contention_inflates_wall_time_and_shrinks_budget() {
+        let cpu = CpuModel::new(schedule());
+        let t = Timestamp::from_secs(15);
+        assert!((cpu.available_share(t) - 0.25).abs() < 1e-12);
+        assert_eq!(
+            cpu.wall_time_for(Duration::from_millis(5), t),
+            Duration::from_millis(20)
+        );
+        assert_eq!(
+            cpu.cpu_budget_within(Duration::from_millis(40), t),
+            Duration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn share_never_reaches_zero() {
+        let full = PerturbationSchedule::from_intervals(vec![PerturbationInterval::new(
+            Timestamp::ZERO,
+            Timestamp::from_secs(1),
+            0.999_999,
+        )
+        .unwrap()])
+        .unwrap();
+        let cpu = CpuModel::new(full);
+        assert!(cpu.available_share(Timestamp::from_millis(500)) >= 1e-3);
+        assert!(cpu.schedule().len() == 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Convenience helpers to run a scenario end-to-end and summarise it.
+
+use serde::{Deserialize, Serialize};
+
+use trace_model::{EventTypeRegistry, TraceEvent, TraceStats};
+
+use crate::{Scenario, SimError, Simulation};
+
+/// Summary of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Total number of trace events emitted.
+    pub total_events: u64,
+    /// Number of error-severity (QoS violation) events.
+    pub error_events: u64,
+    /// Frames fully decoded.
+    pub decoded_frames: u64,
+    /// Frames presented on time.
+    pub presented_frames: u64,
+    /// Presentation ticks lost to underruns.
+    pub underrun_ticks: u64,
+    /// Audio chunks that missed their deadline.
+    pub starved_chunks: u64,
+    /// Raw (uncompressed) trace size in bytes.
+    pub raw_trace_bytes: u64,
+}
+
+/// Runs `scenario` to completion, materialising the whole trace in memory.
+///
+/// Suitable for scenarios up to roughly an hour of simulated time; for the
+/// full 6 h 17 m endurance run feed the [`Simulation`] iterator straight
+/// into the monitor instead.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the scenario is invalid.
+pub fn simulate_to_vec(
+    scenario: &Scenario,
+) -> Result<(EventTypeRegistry, Vec<TraceEvent>, WorkloadSummary), SimError> {
+    let registry = scenario.registry()?;
+    let mut simulation = Simulation::new(scenario, &registry)?;
+    let events: Vec<TraceEvent> = simulation.by_ref().collect();
+    let stats = TraceStats::from_events(&events);
+    let summary = WorkloadSummary {
+        scenario: scenario.name.clone(),
+        total_events: stats.total_events(),
+        error_events: stats.error_events(),
+        decoded_frames: simulation.decoded_frames(),
+        presented_frames: simulation.presented_frames(),
+        underrun_ticks: simulation.underrun_ticks(),
+        starved_chunks: simulation.starved_chunks(),
+        raw_trace_bytes: stats.raw_size_bytes(),
+    };
+    Ok((registry, events, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn summary_matches_the_trace() {
+        let scenario = Scenario::reference(Duration::from_secs(8), 11).unwrap();
+        let (registry, events, summary) = simulate_to_vec(&scenario).unwrap();
+        assert_eq!(summary.total_events, events.len() as u64);
+        assert_eq!(summary.error_events, 0);
+        assert_eq!(
+            summary.raw_trace_bytes,
+            events.len() as u64 * TraceEvent::RAW_ENCODED_SIZE as u64
+        );
+        assert!(summary.decoded_frames > 150);
+        assert!(registry.len() > 10);
+        assert_eq!(summary.scenario, scenario.name);
+    }
+
+    #[test]
+    fn endurance_run_reports_errors_in_summary() {
+        let scenario = Scenario::scaled_endurance(Duration::from_secs(520), 2).unwrap();
+        let (_, _, summary) = simulate_to_vec(&scenario).unwrap();
+        assert!(summary.error_events > 0);
+        assert!(summary.underrun_ticks > 0);
+        assert!(summary.error_events >= summary.underrun_ticks);
+    }
+}

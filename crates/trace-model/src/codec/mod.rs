@@ -1,0 +1,93 @@
+//! Trace serialisation codecs.
+//!
+//! Two codecs are provided:
+//!
+//! * [`binary`] — a compact delta/varint encoding, the format used by the
+//!   recording sink for the trace-volume figures (this is what the recorded
+//!   trace would actually occupy on the storage device),
+//! * [`text`] — a line-oriented CSV-like format for debugging and for
+//!   interoperability with spreadsheet tools.
+//!
+//! Both codecs are lossless for the [`TraceEvent`](crate::TraceEvent)
+//! fields they carry and round-trip exactly.
+
+pub mod binary;
+pub mod text;
+mod varint;
+
+pub use binary::{BinaryDecoder, BinaryEncoder};
+pub use text::{TextDecoder, TextEncoder};
+pub(crate) use varint::{decode_u64, encode_u64};
+
+use crate::{TraceError, TraceEvent};
+
+/// A codec that turns a batch of events into bytes.
+pub trait TraceEncoder {
+    /// Appends the encoded form of `events` to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the events cannot be represented in the
+    /// target format.
+    fn encode(&mut self, events: &[TraceEvent], out: &mut Vec<u8>) -> Result<(), TraceError>;
+}
+
+/// A codec that turns bytes back into events.
+pub trait TraceDecoder {
+    /// Decodes every event contained in `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] (or [`TraceError::ParseLine`] for the
+    /// text codec) if the input is malformed or truncated.
+    fn decode(&mut self, bytes: &[u8]) -> Result<Vec<TraceEvent>, TraceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventTypeId, Severity, Timestamp};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        (0..200u64)
+            .map(|i| {
+                TraceEvent::new(
+                    Timestamp::from_micros(i * 137),
+                    EventTypeId::new((i % 7) as u16),
+                    (i * 3) as u32,
+                )
+                .with_severity(if i % 50 == 0 {
+                    Severity::Error
+                } else {
+                    Severity::Info
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_and_text_round_trip_the_same_events() {
+        let events = sample_events();
+
+        let mut bin_out = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut bin_out).unwrap();
+        let bin_back = BinaryDecoder::new().decode(&bin_out).unwrap();
+        assert_eq!(bin_back, events);
+
+        let mut text_out = Vec::new();
+        TextEncoder::new().encode(&events, &mut text_out).unwrap();
+        let text_back = TextDecoder::new().decode(&text_out).unwrap();
+        assert_eq!(text_back, events);
+    }
+
+    #[test]
+    fn binary_is_more_compact_than_text_and_raw() {
+        let events = sample_events();
+        let mut bin_out = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut bin_out).unwrap();
+        let mut text_out = Vec::new();
+        TextEncoder::new().encode(&events, &mut text_out).unwrap();
+        assert!(bin_out.len() < text_out.len());
+        assert!(bin_out.len() < events.len() * TraceEvent::RAW_ENCODED_SIZE);
+    }
+}

@@ -1,0 +1,183 @@
+//! Line-oriented textual trace format.
+//!
+//! One event per line: `timestamp_ns,event_type,payload,severity`, with a
+//! single header line. Intended for debugging, diffing and importing into
+//! spreadsheet or plotting tools, not for production recording.
+
+use super::{TraceDecoder, TraceEncoder};
+use crate::{EventTypeId, Severity, TraceError, TraceEvent, Timestamp};
+
+const HEADER: &str = "timestamp_ns,event_type,payload,severity";
+
+/// Encoder for the textual trace format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextEncoder {
+    _private: (),
+}
+
+impl TextEncoder {
+    /// Creates a text encoder.
+    pub fn new() -> Self {
+        TextEncoder::default()
+    }
+}
+
+impl TraceEncoder for TextEncoder {
+    fn encode(&mut self, events: &[TraceEvent], out: &mut Vec<u8>) -> Result<(), TraceError> {
+        out.extend_from_slice(HEADER.as_bytes());
+        out.push(b'\n');
+        for ev in events {
+            let line = format!(
+                "{},{},{},{}\n",
+                ev.timestamp.as_nanos(),
+                ev.event_type.as_u16(),
+                ev.payload,
+                ev.severity.as_u8()
+            );
+            out.extend_from_slice(line.as_bytes());
+        }
+        Ok(())
+    }
+}
+
+/// Decoder for the textual trace format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextDecoder {
+    _private: (),
+}
+
+impl TextDecoder {
+    /// Creates a text decoder.
+    pub fn new() -> Self {
+        TextDecoder::default()
+    }
+}
+
+impl TraceDecoder for TextDecoder {
+    fn decode(&mut self, bytes: &[u8]) -> Result<Vec<TraceEvent>, TraceError> {
+        let text = std::str::from_utf8(bytes).map_err(|err| TraceError::Decode {
+            offset: err.valid_up_to(),
+            reason: "trace text is not valid UTF-8".into(),
+        })?;
+        let mut events = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let line_no = index + 1;
+            if index == 0 {
+                if line != HEADER {
+                    return Err(TraceError::ParseLine {
+                        line: line_no,
+                        reason: format!("expected header '{HEADER}'"),
+                    });
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let mut next_field = |name: &str| {
+                fields.next().ok_or_else(|| TraceError::ParseLine {
+                    line: line_no,
+                    reason: format!("missing field '{name}'"),
+                })
+            };
+            let ts: u64 = parse(next_field("timestamp_ns")?, line_no, "timestamp_ns")?;
+            let ty: u16 = parse(next_field("event_type")?, line_no, "event_type")?;
+            let payload: u32 = parse(next_field("payload")?, line_no, "payload")?;
+            let severity_raw: u8 = parse(next_field("severity")?, line_no, "severity")?;
+            if fields.next().is_some() {
+                return Err(TraceError::ParseLine {
+                    line: line_no,
+                    reason: "too many fields".into(),
+                });
+            }
+            let severity = Severity::from_u8(severity_raw).ok_or_else(|| TraceError::ParseLine {
+                line: line_no,
+                reason: format!("invalid severity {severity_raw}"),
+            })?;
+            events.push(
+                TraceEvent::new(Timestamp::from_nanos(ts), EventTypeId::new(ty), payload)
+                    .with_severity(severity),
+            );
+        }
+        Ok(events)
+    }
+}
+
+fn parse<T: std::str::FromStr>(field: &str, line: usize, name: &str) -> Result<T, TraceError> {
+    field.trim().parse().map_err(|_| TraceError::ParseLine {
+        line,
+        reason: format!("field '{name}' has invalid value '{field}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64, ty: u16, payload: u32, sev: Severity) -> TraceEvent {
+        TraceEvent::new(Timestamp::from_nanos(ns), EventTypeId::new(ty), payload)
+            .with_severity(sev)
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let events = vec![
+            ev(0, 0, 0, Severity::Debug),
+            ev(999, 65535, u32::MAX, Severity::Error),
+        ];
+        let mut out = Vec::new();
+        TextEncoder::new().encode(&events, &mut out).unwrap();
+        assert_eq!(TextDecoder::new().decode(&out).unwrap(), events);
+    }
+
+    #[test]
+    fn output_is_human_readable() {
+        let mut out = Vec::new();
+        TextEncoder::new()
+            .encode(&[ev(12, 3, 4, Severity::Warning)], &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("timestamp_ns,"));
+        assert!(text.contains("12,3,4,2"));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let result = TextDecoder::new().decode(b"1,2,3,1\n");
+        assert!(matches!(result, Err(TraceError::ParseLine { line: 1, .. })));
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let text = format!("{HEADER}\n1,2,3,1\nnot-a-number,2,3,1\n");
+        let result = TextDecoder::new().decode(text.as_bytes());
+        assert!(matches!(result, Err(TraceError::ParseLine { line: 3, .. })));
+    }
+
+    #[test]
+    fn missing_and_extra_fields_are_rejected() {
+        let missing = format!("{HEADER}\n1,2,3\n");
+        assert!(TextDecoder::new().decode(missing.as_bytes()).is_err());
+        let extra = format!("{HEADER}\n1,2,3,1,9\n");
+        assert!(TextDecoder::new().decode(extra.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn invalid_severity_is_rejected() {
+        let text = format!("{HEADER}\n1,2,3,9\n");
+        assert!(TextDecoder::new().decode(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = format!("{HEADER}\n1,2,3,1\n\n\n4,5,6,0\n");
+        let events = TextDecoder::new().decode(text.as_bytes()).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn non_utf8_input_is_rejected() {
+        assert!(TextDecoder::new().decode(&[0xff, 0xfe, 0x00]).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! LEB128 variable-length integer encoding shared by the binary codec.
+
+use crate::TraceError;
+
+/// Appends `value` to `out` as an LEB128 varint (1–10 bytes).
+pub(crate) fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let mut byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if value == 0 {
+            break;
+        }
+    }
+}
+
+/// Decodes an LEB128 varint starting at `offset`, returning the value and
+/// the offset just past it.
+pub(crate) fn decode_u64(bytes: &[u8], offset: usize) -> Result<(u64, usize), TraceError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    let mut pos = offset;
+    loop {
+        let byte = *bytes.get(pos).ok_or_else(|| TraceError::Decode {
+            offset: pos,
+            reason: "truncated varint".into(),
+        })?;
+        if shift >= 63 && byte > 1 {
+            return Err(TraceError::Decode {
+                offset: pos,
+                reason: "varint overflows u64".into(),
+            });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        pos += 1;
+        if byte & 0x80 == 0 {
+            return Ok((value, pos));
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Decode {
+                offset: pos,
+                reason: "varint longer than 10 bytes".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: u64) {
+        let mut buf = Vec::new();
+        encode_u64(value, &mut buf);
+        let (decoded, consumed) = decode_u64(&buf, 0).unwrap();
+        assert_eq!(decoded, value);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn small_values_fit_one_byte() {
+        for value in 0..128u64 {
+            let mut buf = Vec::new();
+            encode_u64(value, &mut buf);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn round_trips_representative_values() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            round_trip(value);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        encode_u64(u64::MAX, &mut buf);
+        buf.pop();
+        assert!(matches!(
+            decode_u64(&buf, 0),
+            Err(TraceError::Decode { .. })
+        ));
+        assert!(matches!(decode_u64(&[], 0), Err(TraceError::Decode { .. })));
+    }
+
+    #[test]
+    fn overlong_input_is_an_error() {
+        // 11 continuation bytes cannot be a valid u64 varint.
+        let buf = vec![0xff; 11];
+        assert!(matches!(
+            decode_u64(&buf, 0),
+            Err(TraceError::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn decoding_respects_offset() {
+        let mut buf = vec![0xAA, 0xBB];
+        encode_u64(300, &mut buf);
+        let (value, next) = decode_u64(&buf, 2).unwrap();
+        assert_eq!(value, 300);
+        assert_eq!(next, buf.len());
+    }
+}

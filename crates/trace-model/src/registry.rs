@@ -1,0 +1,254 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EventTypeId, TraceError};
+
+/// Metadata attached to a registered event type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTypeInfo {
+    /// The id handed out at registration time.
+    pub id: EventTypeId,
+    /// Fully-qualified dotted name, e.g. `video.decode.start`.
+    pub name: String,
+    /// Optional free-form description.
+    pub description: String,
+}
+
+/// Bidirectional mapping between event-type names and dense [`EventTypeId`]s.
+///
+/// The monitor represents each trace window as a vector indexed by event
+/// type, so ids must stay dense and stable for the lifetime of a run. The
+/// registry is also what makes recorded traces self-describing: it is
+/// serialised alongside the recorded windows.
+///
+/// ```rust
+/// use trace_model::EventTypeRegistry;
+///
+/// # fn main() -> Result<(), trace_model::TraceError> {
+/// let mut registry = EventTypeRegistry::new();
+/// let decode = registry.register("video.decode")?;
+/// assert_eq!(registry.name_of(decode), Some("video.decode"));
+/// assert_eq!(registry.id_of("video.decode"), Some(decode));
+/// assert_eq!(registry.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTypeRegistry {
+    entries: Vec<EventTypeInfo>,
+    #[serde(skip)]
+    by_name: HashMap<String, EventTypeId>,
+}
+
+impl EventTypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        EventTypeRegistry::default()
+    }
+
+    /// Registers a new event type and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Registry`] if the name is empty, already
+    /// registered, or the id space (65 536 types) is exhausted.
+    pub fn register(&mut self, name: &str) -> Result<EventTypeId, TraceError> {
+        self.register_with_description(name, "")
+    }
+
+    /// Registers a new event type with a description and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EventTypeRegistry::register`].
+    pub fn register_with_description(
+        &mut self,
+        name: &str,
+        description: &str,
+    ) -> Result<EventTypeId, TraceError> {
+        if name.is_empty() {
+            return Err(TraceError::Registry("event type name is empty".into()));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(TraceError::Registry(format!(
+                "event type '{name}' is already registered"
+            )));
+        }
+        let raw = u16::try_from(self.entries.len()).map_err(|_| {
+            TraceError::Registry("event type id space exhausted (65536 types)".into())
+        })?;
+        let id = EventTypeId::new(raw);
+        self.entries.push(EventTypeInfo {
+            id,
+            name: name.to_owned(),
+            description: description.to_owned(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Returns the id for `name`, registering it if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Registry`] if a fresh registration would fail.
+    pub fn register_or_lookup(&mut self, name: &str) -> Result<EventTypeId, TraceError> {
+        if let Some(id) = self.id_of(name) {
+            Ok(id)
+        } else {
+            self.register(name)
+        }
+    }
+
+    /// Looks up the id of a registered name.
+    pub fn id_of(&self, name: &str) -> Option<EventTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up the name of a registered id.
+    pub fn name_of(&self, id: EventTypeId) -> Option<&str> {
+        self.entries.get(id.index()).map(|info| info.name.as_str())
+    }
+
+    /// Looks up the full metadata of a registered id.
+    pub fn info(&self, id: EventTypeId) -> Option<&EventTypeInfo> {
+        self.entries.get(id.index())
+    }
+
+    /// Number of registered event types.
+    ///
+    /// This is also the dimensionality of the pmf vectors built from traces
+    /// that use this registry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no event types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over registered event types in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventTypeInfo> {
+        self.entries.iter()
+    }
+
+    /// Rebuilds the name index after deserialisation.
+    ///
+    /// `serde` skips the internal `HashMap`; call this after deserialising a
+    /// registry to restore name lookups. Id-based lookups work regardless.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .entries
+            .iter()
+            .map(|info| (info.name.clone(), info.id))
+            .collect();
+    }
+}
+
+impl fmt::Display for EventTypeRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "event type registry ({} types)", self.len())?;
+        for info in &self.entries {
+            writeln!(f, "  {:>5}  {}", info.id.as_u16(), info.name)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a EventTypeRegistry {
+    type Item = &'a EventTypeInfo;
+    type IntoIter = std::slice::Iter<'a, EventTypeInfo>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut reg = EventTypeRegistry::new();
+        let a = reg.register("a").unwrap();
+        let b = reg.register("b").unwrap();
+        let c = reg.register("c").unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.index(), 2);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut reg = EventTypeRegistry::new();
+        reg.register("a").unwrap();
+        assert!(matches!(reg.register("a"), Err(TraceError::Registry(_))));
+    }
+
+    #[test]
+    fn empty_name_is_rejected() {
+        let mut reg = EventTypeRegistry::new();
+        assert!(reg.register("").is_err());
+    }
+
+    #[test]
+    fn register_or_lookup_is_idempotent() {
+        let mut reg = EventTypeRegistry::new();
+        let a1 = reg.register_or_lookup("a").unwrap();
+        let a2 = reg.register_or_lookup("a").unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn lookups_work_both_ways() {
+        let mut reg = EventTypeRegistry::new();
+        let id = reg.register_with_description("x.y", "a test type").unwrap();
+        assert_eq!(reg.id_of("x.y"), Some(id));
+        assert_eq!(reg.name_of(id), Some("x.y"));
+        assert_eq!(reg.info(id).unwrap().description, "a test type");
+        assert_eq!(reg.id_of("missing"), None);
+        assert_eq!(reg.name_of(EventTypeId::new(99)), None);
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut reg = EventTypeRegistry::new();
+        reg.register("a").unwrap();
+        reg.register("b").unwrap();
+        let names: Vec<_> = reg.iter().map(|info| info.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let names: Vec<_> = (&reg).into_iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn serde_round_trip_with_rebuilt_index() {
+        let mut reg = EventTypeRegistry::new();
+        reg.register("a").unwrap();
+        reg.register("b").unwrap();
+        let json = serde_json::to_string(&reg).unwrap();
+        let mut back: EventTypeRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name_of(EventTypeId::new(1)), Some("b"));
+        // Name lookup requires the index rebuild.
+        assert_eq!(back.id_of("b"), None);
+        back.rebuild_index();
+        assert_eq!(back.id_of("b"), Some(EventTypeId::new(1)));
+    }
+
+    #[test]
+    fn display_lists_all_types() {
+        let mut reg = EventTypeRegistry::new();
+        reg.register("alpha").unwrap();
+        reg.register("beta").unwrap();
+        let text = reg.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("2 types"));
+    }
+}

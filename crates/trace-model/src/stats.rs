@@ -1,0 +1,255 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EventTypeId, Severity, TraceEvent, Timestamp};
+
+/// Aggregate statistics over a trace (or a portion of one).
+///
+/// Statistics are accumulated incrementally with [`TraceStats::observe`] so
+/// they can be computed in one pass over an arbitrarily long stream without
+/// buffering it.
+///
+/// ```rust
+/// use trace_model::{TraceStats, TraceEvent, Timestamp, EventTypeId};
+///
+/// let mut stats = TraceStats::new();
+/// for i in 0..10u64 {
+///     stats.observe(&TraceEvent::new(
+///         Timestamp::from_millis(i * 10),
+///         EventTypeId::new((i % 2) as u16),
+///         0,
+///     ));
+/// }
+/// assert_eq!(stats.total_events(), 10);
+/// assert!(stats.mean_rate_hz() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    total: u64,
+    by_type: BTreeMap<u16, u64>,
+    by_severity: [u64; 4],
+    first: Option<Timestamp>,
+    last: Option<Timestamp>,
+}
+
+impl TraceStats {
+    /// Creates an empty statistics accumulator.
+    pub fn new() -> Self {
+        TraceStats::default()
+    }
+
+    /// Computes statistics over a slice of events in one pass.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut stats = TraceStats::new();
+        for ev in events {
+            stats.observe(ev);
+        }
+        stats
+    }
+
+    /// Folds one event into the statistics.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.total += 1;
+        *self.by_type.entry(event.event_type.as_u16()).or_insert(0) += 1;
+        self.by_severity[event.severity.as_u8() as usize] += 1;
+        if self.first.is_none() {
+            self.first = Some(event.timestamp);
+        }
+        self.last = Some(match self.last {
+            Some(last) if last > event.timestamp => last,
+            _ => event.timestamp,
+        });
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.total += other.total;
+        for (ty, count) in &other.by_type {
+            *self.by_type.entry(*ty).or_insert(0) += count;
+        }
+        for (i, count) in other.by_severity.iter().enumerate() {
+            self.by_severity[i] += count;
+        }
+        self.first = match (self.first, other.first) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last = match (self.last, other.last) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Total number of observed events.
+    pub fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observed events of the given type.
+    pub fn events_of_type(&self, event_type: EventTypeId) -> u64 {
+        self.by_type.get(&event_type.as_u16()).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct event types observed.
+    pub fn distinct_types(&self) -> usize {
+        self.by_type.len()
+    }
+
+    /// Number of observed events at the given severity.
+    pub fn events_at_severity(&self, severity: Severity) -> u64 {
+        self.by_severity[severity.as_u8() as usize]
+    }
+
+    /// Number of error-severity events observed.
+    pub fn error_events(&self) -> u64 {
+        self.events_at_severity(Severity::Error)
+    }
+
+    /// Timestamp of the first observed event, if any.
+    pub fn first_timestamp(&self) -> Option<Timestamp> {
+        self.first
+    }
+
+    /// Timestamp of the last observed event, if any.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.last
+    }
+
+    /// Trace-time span covered by the observed events.
+    pub fn span(&self) -> Duration {
+        match (self.first, self.last) {
+            (Some(first), Some(last)) => last.saturating_since(first),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Mean event rate in events per second of trace time.
+    ///
+    /// Returns `0.0` when fewer than two events were observed.
+    pub fn mean_rate_hz(&self) -> f64 {
+        let span = self.span().as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.total as f64 / span
+        }
+    }
+
+    /// Raw encoded size of the observed events in bytes (see
+    /// [`TraceEvent::RAW_ENCODED_SIZE`]).
+    pub fn raw_size_bytes(&self) -> u64 {
+        self.total * TraceEvent::RAW_ENCODED_SIZE as u64
+    }
+
+    /// Per-type counts in event-type-id order.
+    pub fn type_histogram(&self) -> impl Iterator<Item = (EventTypeId, u64)> + '_ {
+        self.by_type
+            .iter()
+            .map(|(ty, count)| (EventTypeId::new(*ty), *count))
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events over {:.3}s ({:.0} ev/s), {} types, {} errors, {} bytes raw",
+            self.total,
+            self.span().as_secs_f64(),
+            self.mean_rate_hz(),
+            self.distinct_types(),
+            self.error_events(),
+            self.raw_size_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64, ty: u16, sev: Severity) -> TraceEvent {
+        TraceEvent::new(Timestamp::from_millis(ms), EventTypeId::new(ty), 0).with_severity(sev)
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let stats = TraceStats::new();
+        assert_eq!(stats.total_events(), 0);
+        assert_eq!(stats.distinct_types(), 0);
+        assert_eq!(stats.span(), Duration::ZERO);
+        assert_eq!(stats.mean_rate_hz(), 0.0);
+        assert_eq!(stats.first_timestamp(), None);
+        assert_eq!(stats.last_timestamp(), None);
+    }
+
+    #[test]
+    fn observe_accumulates_counts() {
+        let events = vec![
+            ev(0, 0, Severity::Info),
+            ev(10, 1, Severity::Info),
+            ev(20, 0, Severity::Error),
+            ev(1000, 2, Severity::Warning),
+        ];
+        let stats = TraceStats::from_events(&events);
+        assert_eq!(stats.total_events(), 4);
+        assert_eq!(stats.events_of_type(EventTypeId::new(0)), 2);
+        assert_eq!(stats.events_of_type(EventTypeId::new(9)), 0);
+        assert_eq!(stats.distinct_types(), 3);
+        assert_eq!(stats.error_events(), 1);
+        assert_eq!(stats.events_at_severity(Severity::Warning), 1);
+        assert_eq!(stats.span(), Duration::from_millis(1000));
+        assert!((stats.mean_rate_hz() - 4.0).abs() < 1e-9);
+        assert_eq!(stats.raw_size_bytes(), 4 * TraceEvent::RAW_ENCODED_SIZE as u64);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_segments() {
+        let first = TraceStats::from_events(&[ev(0, 0, Severity::Info), ev(10, 1, Severity::Info)]);
+        let second =
+            TraceStats::from_events(&[ev(500, 0, Severity::Error), ev(900, 3, Severity::Info)]);
+        let mut merged = first.clone();
+        merged.merge(&second);
+        assert_eq!(merged.total_events(), 4);
+        assert_eq!(merged.error_events(), 1);
+        assert_eq!(merged.first_timestamp(), Some(Timestamp::ZERO));
+        assert_eq!(merged.last_timestamp(), Some(Timestamp::from_millis(900)));
+        assert_eq!(merged.distinct_types(), 3);
+
+        // Merging into an empty accumulator is the identity.
+        let mut empty = TraceStats::new();
+        empty.merge(&second);
+        assert_eq!(empty, second);
+    }
+
+    #[test]
+    fn type_histogram_is_ordered() {
+        let stats = TraceStats::from_events(&[
+            ev(0, 3, Severity::Info),
+            ev(1, 1, Severity::Info),
+            ev(2, 1, Severity::Info),
+        ]);
+        let histogram: Vec<_> = stats.type_histogram().collect();
+        assert_eq!(
+            histogram,
+            vec![(EventTypeId::new(1), 2), (EventTypeId::new(3), 1)]
+        );
+    }
+
+    #[test]
+    fn display_mentions_event_count() {
+        let stats = TraceStats::from_events(&[ev(0, 0, Severity::Info)]);
+        assert!(stats.to_string().contains("1 events"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let stats = TraceStats::from_events(&[ev(0, 0, Severity::Info), ev(5, 2, Severity::Error)]);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: TraceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

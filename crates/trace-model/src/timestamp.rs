@@ -1,0 +1,241 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in trace time, expressed in nanoseconds since the start of the
+/// trace.
+///
+/// Trace time is monotonic simulated (or hardware) time, not wall-clock
+/// time. The newtype prevents accidentally mixing raw nanosecond counts
+/// with, say, event counts or byte offsets.
+///
+/// ```rust
+/// use trace_model::Timestamp;
+/// use std::time::Duration;
+///
+/// let t = Timestamp::from_millis(40);
+/// assert_eq!(t.as_nanos(), 40_000_000);
+/// assert_eq!(t + Duration::from_millis(10), Timestamp::from_millis(50));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The origin of trace time.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from nanoseconds since trace start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Timestamp(nanos)
+    }
+
+    /// Creates a timestamp from microseconds since trace start.
+    pub const fn from_micros(micros: u64) -> Self {
+        Timestamp(micros * 1_000)
+    }
+
+    /// Creates a timestamp from milliseconds since trace start.
+    pub const fn from_millis(millis: u64) -> Self {
+        Timestamp(millis * 1_000_000)
+    }
+
+    /// Creates a timestamp from whole seconds since trace start.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000_000_000)
+    }
+
+    /// Creates a timestamp from fractional seconds since trace start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "timestamp seconds must be finite and non-negative, got {secs}"
+        );
+        Timestamp((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since trace start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since trace start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since trace start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole seconds since trace start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Fractional seconds since trace start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns `self + duration`, or `None` on overflow.
+    pub fn checked_add(self, duration: Duration) -> Option<Timestamp> {
+        let nanos = u64::try_from(duration.as_nanos()).ok()?;
+        self.0.checked_add(nanos).map(Timestamp)
+    }
+
+    /// Returns `self - duration`, or `None` if the result would be negative.
+    pub fn checked_sub(self, duration: Duration) -> Option<Timestamp> {
+        let nanos = u64::try_from(duration.as_nanos()).ok()?;
+        self.0.checked_sub(nanos).map(Timestamp)
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// later than `self`.
+    pub fn saturating_since(self, earlier: Timestamp) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`Timestamp::MAX`].
+    pub fn saturating_add(self, duration: Duration) -> Timestamp {
+        let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        Timestamp(self.0.saturating_add(nanos))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl From<Duration> for Timestamp {
+    fn from(duration: Duration) -> Self {
+        Timestamp(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<Timestamp> for Duration {
+    fn from(ts: Timestamp) -> Self {
+        Duration::from_nanos(ts.0)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Duration) -> Timestamp {
+        self.checked_add(rhs)
+            .expect("timestamp addition overflowed")
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("timestamp subtraction underflowed"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(Timestamp::from_secs(1), Timestamp::from_millis(1_000));
+        assert_eq!(Timestamp::from_millis(1), Timestamp::from_micros(1_000));
+        assert_eq!(Timestamp::from_micros(1), Timestamp::from_nanos(1_000));
+    }
+
+    #[test]
+    fn accessors_truncate() {
+        let t = Timestamp::from_nanos(1_999_999_999);
+        assert_eq!(t.as_secs(), 1);
+        assert_eq!(t.as_millis(), 1_999);
+        assert_eq!(t.as_micros(), 1_999_999);
+    }
+
+    #[test]
+    fn from_secs_f64_round_trips_approximately() {
+        let t = Timestamp::from_secs_f64(1.5);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = Timestamp::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let start = Timestamp::from_millis(100);
+        let later = start + Duration::from_millis(40);
+        assert_eq!(later - start, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn checked_sub_returns_none_below_zero() {
+        assert_eq!(
+            Timestamp::from_nanos(5).checked_sub(Duration::from_nanos(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = Timestamp::from_secs(1);
+        let b = Timestamp::from_secs(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn saturating_add_clamps_to_max() {
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_secs(1)),
+            Timestamp::MAX
+        );
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Timestamp::from_millis(1) < Timestamp::from_millis(2));
+        assert!(Timestamp::ZERO < Timestamp::MAX);
+    }
+
+    #[test]
+    fn display_shows_seconds() {
+        assert_eq!(Timestamp::from_millis(1_500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn duration_conversions_round_trip() {
+        let d = Duration::from_micros(123_456);
+        let t = Timestamp::from(d);
+        assert_eq!(Duration::from(t), d);
+    }
+}

@@ -1,0 +1,536 @@
+//! Window segmentation of trace streams.
+//!
+//! The tracing hardware delivers events in buffers of `N` consecutive
+//! events; the paper's monitor uses such a buffer (or a fixed time slice,
+//! 40 ms in the experiments) as its elementary processing unit. Two
+//! [`Windower`] implementations are provided:
+//!
+//! * [`CountWindower`] — fixed number of events per window,
+//! * [`TimeWindower`] — fixed trace-time duration per window.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EventTypeId, Severity, TraceError, TraceEvent, Timestamp};
+
+/// Sequential index of a window within a run, starting at zero.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct WindowId(u64);
+
+impl WindowId {
+    /// Creates a window id from its raw index.
+    pub const fn new(raw: u64) -> Self {
+        WindowId(raw)
+    }
+
+    /// The raw index of this window.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The id of the window following this one.
+    pub const fn next(self) -> WindowId {
+        WindowId(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for WindowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "window#{}", self.0)
+    }
+}
+
+/// A contiguous slice of the trace: the monitor's elementary processing
+/// unit.
+///
+/// A window owns its events so it can be recorded (or dropped) wholesale
+/// once the anomaly decision has been made.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Sequential index of this window in the run.
+    pub id: WindowId,
+    /// Timestamp at which the window starts (inclusive).
+    pub start: Timestamp,
+    /// Timestamp at which the window ends (exclusive); for count-based
+    /// windows this is the timestamp of the last event plus one nanosecond.
+    pub end: Timestamp,
+    /// The events that fall inside the window, in timestamp order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Window {
+    /// Creates a window from its parts.
+    pub fn new(id: WindowId, start: Timestamp, end: Timestamp, events: Vec<TraceEvent>) -> Self {
+        Window {
+            id,
+            start,
+            end,
+            events,
+        }
+    }
+
+    /// Number of events in the window.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the window contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Trace-time span covered by the window.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// The midpoint of the window, used when matching windows against
+    /// ground-truth intervals.
+    pub fn midpoint(&self) -> Timestamp {
+        Timestamp::from_nanos((self.start.as_nanos() + self.end.as_nanos()) / 2)
+    }
+
+    /// Counts occurrences of each event type, producing a dense vector of
+    /// length `dimensions`.
+    ///
+    /// Event types whose index is `>= dimensions` are counted in the last
+    /// bucket so that information is not silently lost when a trace
+    /// contains types unknown to the reference registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimensions` is zero.
+    pub fn type_counts(&self, dimensions: usize) -> Vec<u64> {
+        assert!(dimensions > 0, "dimensions must be non-zero");
+        let mut counts = vec![0u64; dimensions];
+        for ev in &self.events {
+            let idx = ev.event_type.index().min(dimensions - 1);
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Number of events of exactly the given type.
+    pub fn count_of(&self, event_type: EventTypeId) -> usize {
+        self.events
+            .iter()
+            .filter(|ev| ev.event_type == event_type)
+            .count()
+    }
+
+    /// Number of events at or above the given severity.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.events.iter().filter(|ev| ev.severity >= severity).count()
+    }
+
+    /// Whether the window contains at least one error-severity event.
+    pub fn has_error(&self) -> bool {
+        self.events.iter().any(TraceEvent::is_error)
+    }
+
+    /// Raw encoded size of the window's events, used for trace-volume
+    /// accounting (see [`TraceEvent::RAW_ENCODED_SIZE`]).
+    pub fn raw_size_bytes(&self) -> usize {
+        self.events.len() * TraceEvent::RAW_ENCODED_SIZE
+    }
+}
+
+/// Splits a stream of events into [`Window`]s.
+pub trait Windower {
+    /// Wraps an event iterator into a window iterator.
+    fn windows<I>(&self, events: I) -> WindowIter<I>
+    where
+        I: Iterator<Item = TraceEvent>;
+}
+
+/// Strategy used by [`WindowIter`] to decide window boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Boundary {
+    Count(usize),
+    Time(Duration),
+}
+
+/// Windower producing windows of a fixed number of events.
+///
+/// This matches the "windows of `N` consecutive events" delivered by the
+/// tracing hardware buffers described in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountWindower {
+    size: usize,
+}
+
+impl CountWindower {
+    /// Creates a windower emitting windows of exactly `size` events (the
+    /// final window of a trace may be shorter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidWindowConfig`] if `size` is zero.
+    pub fn new(size: usize) -> Result<Self, TraceError> {
+        if size == 0 {
+            return Err(TraceError::InvalidWindowConfig(
+                "count window size must be at least 1".into(),
+            ));
+        }
+        Ok(CountWindower { size })
+    }
+
+    /// The configured number of events per window.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Windower for CountWindower {
+    fn windows<I>(&self, events: I) -> WindowIter<I>
+    where
+        I: Iterator<Item = TraceEvent>,
+    {
+        WindowIter::new(events, Boundary::Count(self.size))
+    }
+}
+
+/// Windower producing windows of a fixed trace-time duration (the paper's
+/// experiments use 40 ms).
+///
+/// Empty time slices produce empty windows so that window indexes remain
+/// aligned with wall-clock time; the monitor treats empty windows as
+/// "no activity" rather than skipping them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWindower {
+    duration: Duration,
+}
+
+impl TimeWindower {
+    /// Creates a windower emitting windows covering `duration` of trace
+    /// time each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidWindowConfig`] if `duration` is zero.
+    pub fn new(duration: Duration) -> Result<Self, TraceError> {
+        if duration.is_zero() {
+            return Err(TraceError::InvalidWindowConfig(
+                "time window duration must be non-zero".into(),
+            ));
+        }
+        Ok(TimeWindower { duration })
+    }
+
+    /// The configured window duration.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+}
+
+impl Windower for TimeWindower {
+    fn windows<I>(&self, events: I) -> WindowIter<I>
+    where
+        I: Iterator<Item = TraceEvent>,
+    {
+        WindowIter::new(events, Boundary::Time(self.duration))
+    }
+}
+
+/// Iterator over windows produced by a [`Windower`].
+#[derive(Debug)]
+pub struct WindowIter<I> {
+    events: I,
+    boundary: Boundary,
+    next_id: WindowId,
+    /// Event read from the source but belonging to a future window.
+    pending: Option<TraceEvent>,
+    /// Start of the next time window (time-based mode only).
+    next_window_start: Timestamp,
+    started: bool,
+    finished: bool,
+}
+
+impl<I> WindowIter<I>
+where
+    I: Iterator<Item = TraceEvent>,
+{
+    fn new(events: I, boundary: Boundary) -> Self {
+        WindowIter {
+            events,
+            boundary,
+            next_id: WindowId::new(0),
+            pending: None,
+            next_window_start: Timestamp::ZERO,
+            started: false,
+            finished: false,
+        }
+    }
+
+    fn next_count_window(&mut self, size: usize) -> Option<Window> {
+        let mut buf = Vec::with_capacity(size);
+        while buf.len() < size {
+            match self.events.next() {
+                Some(ev) => buf.push(ev),
+                None => break,
+            }
+        }
+        if buf.is_empty() {
+            self.finished = true;
+            return None;
+        }
+        let start = buf.first().map(|ev| ev.timestamp).unwrap_or(Timestamp::ZERO);
+        let end = buf
+            .last()
+            .map(|ev| Timestamp::from_nanos(ev.timestamp.as_nanos() + 1))
+            .unwrap_or(start);
+        let id = self.next_id;
+        self.next_id = id.next();
+        Some(Window::new(id, start, end, buf))
+    }
+
+    fn next_time_window(&mut self, duration: Duration) -> Option<Window> {
+        // Prime the first event so the first window starts at the stream's
+        // first timestamp (aligned down to a multiple of the duration).
+        if !self.started {
+            match self.events.next() {
+                Some(first) => {
+                    let dur_nanos = duration.as_nanos() as u64;
+                    let aligned = (first.timestamp.as_nanos() / dur_nanos) * dur_nanos;
+                    self.next_window_start = Timestamp::from_nanos(aligned);
+                    self.pending = Some(first);
+                    self.started = true;
+                }
+                None => {
+                    self.finished = true;
+                    return None;
+                }
+            }
+        }
+
+        let start = self.next_window_start;
+        let end = start.saturating_add(duration);
+        let mut buf = Vec::new();
+
+        if let Some(ev) = self.pending {
+            if ev.timestamp < end {
+                buf.push(ev);
+                self.pending = None;
+            }
+        }
+
+        if self.pending.is_none() {
+            loop {
+                match self.events.next() {
+                    Some(ev) => {
+                        if ev.timestamp < end {
+                            buf.push(ev);
+                        } else {
+                            self.pending = Some(ev);
+                            break;
+                        }
+                    }
+                    None => {
+                        if buf.is_empty() {
+                            self.finished = true;
+                            return None;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.next_window_start = end;
+        let id = self.next_id;
+        self.next_id = id.next();
+        Some(Window::new(id, start, end, buf))
+    }
+}
+
+impl<I> Iterator for WindowIter<I>
+where
+    I: Iterator<Item = TraceEvent>,
+{
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        if self.finished {
+            return None;
+        }
+        match self.boundary {
+            Boundary::Count(size) => self.next_count_window(size),
+            Boundary::Time(duration) => self.next_time_window(duration),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventTypeId;
+
+    fn ev_at(ms: u64, ty: u16) -> TraceEvent {
+        TraceEvent::new(Timestamp::from_millis(ms), EventTypeId::new(ty), 0)
+    }
+
+    #[test]
+    fn count_windower_rejects_zero() {
+        assert!(CountWindower::new(0).is_err());
+        assert_eq!(CountWindower::new(5).unwrap().size(), 5);
+    }
+
+    #[test]
+    fn time_windower_rejects_zero() {
+        assert!(TimeWindower::new(Duration::ZERO).is_err());
+        assert_eq!(
+            TimeWindower::new(Duration::from_millis(40)).unwrap().duration(),
+            Duration::from_millis(40)
+        );
+    }
+
+    #[test]
+    fn count_windows_have_exact_size_except_last() {
+        let events: Vec<_> = (0..23).map(|i| ev_at(i, 0)).collect();
+        let windows: Vec<_> = CountWindower::new(10)
+            .unwrap()
+            .windows(events.into_iter())
+            .collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].len(), 10);
+        assert_eq!(windows[1].len(), 10);
+        assert_eq!(windows[2].len(), 3);
+        assert_eq!(windows[0].id, WindowId::new(0));
+        assert_eq!(windows[2].id, WindowId::new(2));
+    }
+
+    #[test]
+    fn count_windows_on_empty_stream_is_empty() {
+        let windows: Vec<_> = CountWindower::new(4)
+            .unwrap()
+            .windows(std::iter::empty())
+            .collect();
+        assert!(windows.is_empty());
+    }
+
+    #[test]
+    fn time_windows_partition_by_duration() {
+        // Events every 10ms for 100ms; 40ms windows -> windows of 4 events.
+        let events: Vec<_> = (0..10).map(|i| ev_at(i * 10, 0)).collect();
+        let windows: Vec<_> = TimeWindower::new(Duration::from_millis(40))
+            .unwrap()
+            .windows(events.into_iter())
+            .collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].len(), 4); // 0,10,20,30
+        assert_eq!(windows[1].len(), 4); // 40,50,60,70
+        assert_eq!(windows[2].len(), 2); // 80,90
+        assert_eq!(windows[0].start, Timestamp::ZERO);
+        assert_eq!(windows[1].start, Timestamp::from_millis(40));
+    }
+
+    #[test]
+    fn time_windows_emit_empty_gap_windows() {
+        // Events at 0ms and 100ms; 40ms windows -> window 1 is empty.
+        let events = vec![ev_at(0, 0), ev_at(100, 0)];
+        let windows: Vec<_> = TimeWindower::new(Duration::from_millis(40))
+            .unwrap()
+            .windows(events.into_iter())
+            .collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].len(), 1);
+        assert!(windows[1].is_empty());
+        assert_eq!(windows[2].len(), 1);
+    }
+
+    #[test]
+    fn time_windows_align_to_first_event() {
+        // First event at 85ms with 40ms windows -> first window starts at 80ms.
+        let events = vec![ev_at(85, 0), ev_at(90, 0), ev_at(125, 0)];
+        let windows: Vec<_> = TimeWindower::new(Duration::from_millis(40))
+            .unwrap()
+            .windows(events.into_iter())
+            .collect();
+        assert_eq!(windows[0].start, Timestamp::from_millis(80));
+        assert_eq!(windows[0].len(), 2);
+        assert_eq!(windows[1].len(), 1);
+    }
+
+    #[test]
+    fn window_type_counts_are_dense() {
+        let events = vec![ev_at(0, 0), ev_at(1, 1), ev_at(2, 1), ev_at(3, 2)];
+        let window = Window::new(
+            WindowId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_millis(4),
+            events,
+        );
+        assert_eq!(window.type_counts(3), vec![1, 2, 1]);
+        // Overflowing types are folded into the last bucket.
+        assert_eq!(window.type_counts(2), vec![1, 3]);
+        assert_eq!(window.count_of(EventTypeId::new(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be non-zero")]
+    fn window_type_counts_rejects_zero_dimensions() {
+        let window = Window::new(WindowId::new(0), Timestamp::ZERO, Timestamp::ZERO, vec![]);
+        let _ = window.type_counts(0);
+    }
+
+    #[test]
+    fn window_error_detection() {
+        let mut events = vec![ev_at(0, 0), ev_at(1, 1)];
+        assert!(!Window::new(
+            WindowId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_millis(2),
+            events.clone()
+        )
+        .has_error());
+        events.push(ev_at(2, 2).with_severity(Severity::Error));
+        let window = Window::new(
+            WindowId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_millis(3),
+            events,
+        );
+        assert!(window.has_error());
+        assert_eq!(window.count_at_least(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn window_geometry_helpers() {
+        let window = Window::new(
+            WindowId::new(7),
+            Timestamp::from_millis(40),
+            Timestamp::from_millis(80),
+            vec![ev_at(50, 0)],
+        );
+        assert_eq!(window.duration(), Duration::from_millis(40));
+        assert_eq!(window.midpoint(), Timestamp::from_millis(60));
+        assert_eq!(window.raw_size_bytes(), TraceEvent::RAW_ENCODED_SIZE);
+        assert_eq!(window.id.index(), 7);
+        assert_eq!(window.id.next(), WindowId::new(8));
+        assert_eq!(window.id.to_string(), "window#7");
+    }
+
+    #[test]
+    fn windows_cover_all_events_exactly_once() {
+        let events: Vec<_> = (0..250).map(|i| ev_at(i * 3, (i % 5) as u16)).collect();
+        let total = events.len();
+        for windower_size in [1usize, 7, 50, 251] {
+            let windows: Vec<_> = CountWindower::new(windower_size)
+                .unwrap()
+                .windows(events.clone().into_iter())
+                .collect();
+            let covered: usize = windows.iter().map(Window::len).sum();
+            assert_eq!(covered, total);
+        }
+        let windows: Vec<_> = TimeWindower::new(Duration::from_millis(40))
+            .unwrap()
+            .windows(events.clone().into_iter())
+            .collect();
+        let covered: usize = windows.iter().map(Window::len).sum();
+        assert_eq!(covered, total);
+    }
+}

@@ -1,0 +1,41 @@
+//! A full endurance-test evaluation, scaled to run in seconds.
+//!
+//! ```text
+//! cargo run --release --example endurance_run            # ~20 simulated minutes
+//! cargo run --release --example endurance_run -- 3600    # 1 simulated hour
+//! cargo run --release --example endurance_run -- full    # the paper's 6 h 17 m
+//! ```
+//!
+//! Prints the headline table of the experiment: precision, recall, trace
+//! volumes and the calibrated buffering delays Δs / Δe.
+
+use std::error::Error;
+use std::time::Duration;
+
+use endurance_eval::{headline_table, Experiment};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let arg = std::env::args().nth(1);
+    let experiment = match arg.as_deref() {
+        Some("full") => Experiment::paper_full(42)?,
+        Some(seconds) => Experiment::scaled(Duration::from_secs(seconds.parse()?), 42)?,
+        None => Experiment::scaled(Duration::from_secs(1200), 42)?,
+    };
+
+    println!(
+        "scenario: {} ({} s simulated, {} perturbations)",
+        experiment.scenario.name,
+        experiment.scenario.duration.as_secs(),
+        experiment.scenario.perturbations.len()
+    );
+    println!(
+        "monitor: {:?} windows, K = {}, alpha = {}",
+        experiment.monitor.window, experiment.monitor.k, experiment.monitor.alpha
+    );
+    println!();
+
+    let result = experiment.run()?;
+    println!("{}", headline_table(&result));
+    println!("{}", result.confusion);
+    Ok(())
+}

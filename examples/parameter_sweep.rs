@@ -1,0 +1,41 @@
+//! Sweep the LOF threshold α over one monitored run (the data behind the
+//! paper's Figure 1).
+//!
+//! ```text
+//! cargo run --release --example parameter_sweep
+//! cargo run --release --example parameter_sweep -- 2400   # longer run
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use endurance_eval::{alpha_sweep_from_decisions, default_alpha_grid, sweep_table, Experiment};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1200);
+    let experiment = Experiment::scaled(Duration::from_secs(seconds), 42)?;
+    println!(
+        "sweeping alpha over one {}-second monitored run...",
+        experiment.scenario.duration.as_secs()
+    );
+
+    let result = experiment.run()?;
+    let sweep = alpha_sweep_from_decisions(&result.decisions, &result.truth, &default_alpha_grid());
+    println!();
+    println!("{}", sweep_table(&sweep));
+
+    // Point out the paper's operating point.
+    if let Some(point) = sweep.iter().find(|p| (p.alpha - 1.2).abs() < 1e-9) {
+        println!(
+            "at alpha = 1.2: precision {:.1}%, recall {:.1}%, reduction {:.1}x",
+            100.0 * point.precision,
+            100.0 * point.recall,
+            point.reduction_factor
+        );
+    }
+    Ok(())
+}

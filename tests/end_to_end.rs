@@ -1,0 +1,156 @@
+//! End-to-end integration test: simulate an endurance workload, run the
+//! online monitor, and check that the reduction and detection quality are
+//! in the expected regime.
+
+use std::time::Duration;
+
+use endurance_core::MonitorConfig;
+use endurance_eval::Experiment;
+use mm_sim::{PerturbationSchedule, Scenario};
+use trace_model::Timestamp;
+
+/// A compressed version of the paper's experiment that runs quickly even in
+/// debug builds: 40 s of reference, then a 12 s perturbation every 60 s.
+fn fast_endurance(seed: u64) -> Scenario {
+    let reference = Duration::from_secs(40);
+    let duration = Duration::from_secs(340);
+    let perturbations = PerturbationSchedule::periodic(
+        Timestamp::from(reference),
+        Duration::from_secs(60),
+        Duration::from_secs(12),
+        0.9,
+        Timestamp::from(duration),
+    )
+    .expect("valid schedule");
+    Scenario::builder("fast-endurance")
+        .duration(duration)
+        .reference_duration(reference)
+        .perturbations(perturbations)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+fn fast_experiment(seed: u64, alpha: f64) -> Experiment {
+    let scenario = fast_endurance(seed);
+    let registry = scenario.registry().expect("registry");
+    let monitor = MonitorConfig::builder()
+        .dimensions(registry.len())
+        .k(15)
+        .alpha(alpha)
+        .reference_duration(scenario.reference_duration)
+        .build()
+        .expect("valid monitor config");
+    Experiment::new(scenario, monitor).expect("valid experiment")
+}
+
+#[test]
+fn monitor_detects_perturbations_and_reduces_the_trace() {
+    let result = fast_experiment(1, 1.2).run().expect("experiment runs");
+    eprintln!("confusion: {}", result.confusion);
+    eprintln!("report: {}", result.report);
+    eprintln!("delays: {:?}", result.delays);
+    eprintln!("truth intervals: {:?}", result.truth.intervals());
+
+    // The workload contains perturbations, so anomalies must be recorded.
+    assert!(result.report.anomalous_windows > 0);
+    // ... but far fewer windows than the whole trace.
+    assert!(
+        result.report.recorded_window_fraction() < 0.35,
+        "recorded fraction {}",
+        result.report.recorded_window_fraction()
+    );
+    assert!(
+        result.report.reduction_factor() > 2.0,
+        "reduction factor {}",
+        result.report.reduction_factor()
+    );
+
+    // Detection quality: both precision and recall clearly better than
+    // chance. (The paper reports ~0.77/0.79 on its own workload; the exact
+    // values depend on the simulated substrate, the shape must hold.)
+    assert!(
+        result.confusion.precision() > 0.5,
+        "precision {}",
+        result.confusion.precision()
+    );
+    assert!(
+        result.confusion.recall() > 0.5,
+        "recall {}",
+        result.confusion.recall()
+    );
+    // The false positive rate over regular windows stays small.
+    assert!(
+        result.confusion.false_positive_rate() < 0.1,
+        "false positive rate {}",
+        result.confusion.false_positive_rate()
+    );
+
+    // Buffering delays were calibrated and are positive but much shorter
+    // than a perturbation.
+    let delays = result.delays.expect("delays calibrated");
+    assert!(delays.delta_start > Duration::ZERO);
+    assert!(delays.delta_start < Duration::from_secs(12));
+
+    // The KL gate must be doing real work: most regular windows never reach
+    // the LOF computation.
+    assert!(
+        result.report.lof_evaluation_fraction() < 0.7,
+        "LOF evaluation fraction {}",
+        result.report.lof_evaluation_fraction()
+    );
+}
+
+#[test]
+fn clean_workload_records_almost_nothing() {
+    let scenario = Scenario::builder("fast-clean")
+        .duration(Duration::from_secs(180))
+        .reference_duration(Duration::from_secs(40))
+        .seed(3)
+        .build()
+        .expect("valid scenario");
+    let registry = scenario.registry().expect("registry");
+    let monitor = MonitorConfig::builder()
+        .dimensions(registry.len())
+        .k(15)
+        .alpha(1.2)
+        .reference_duration(scenario.reference_duration)
+        .build()
+        .expect("valid monitor config");
+    let result = Experiment::new(scenario, monitor)
+        .expect("valid experiment")
+        .run()
+        .expect("experiment runs");
+
+    assert_eq!(result.confusion.true_positives + result.confusion.false_negatives, 0,
+        "a clean run has no ground-truth anomalies");
+    assert!(
+        result.report.recorded_window_fraction() < 0.03,
+        "clean run recorded fraction {}",
+        result.report.recorded_window_fraction()
+    );
+    assert!(result.report.reduction_factor() > 20.0);
+}
+
+#[test]
+fn results_are_deterministic_for_a_fixed_seed() {
+    let first = fast_experiment(7, 1.2).run().expect("first run");
+    let second = fast_experiment(7, 1.2).run().expect("second run");
+    assert_eq!(first.report.anomalous_windows, second.report.anomalous_windows);
+    assert_eq!(first.report.monitored_windows, second.report.monitored_windows);
+    assert_eq!(first.confusion, second.confusion);
+
+    let other_seed = fast_experiment(8, 1.2).run().expect("third run");
+    // A different seed gives a different (but still valid) trace.
+    assert_eq!(other_seed.report.monitored_windows, first.report.monitored_windows);
+}
+
+#[test]
+fn stricter_alpha_records_less() {
+    let lax = fast_experiment(5, 1.1).run().expect("lax run");
+    let strict = fast_experiment(5, 2.5).run().expect("strict run");
+    assert!(strict.report.anomalous_windows <= lax.report.anomalous_windows);
+    assert!(strict.report.reduction_factor() >= lax.report.reduction_factor());
+    // Recall can only go down when the threshold rises.
+    assert!(strict.confusion.recall() <= lax.confusion.recall() + 1e-12);
+}

@@ -1,0 +1,166 @@
+//! Reproduction-shape tests: the qualitative results of the paper must hold
+//! on the simulated substrate — threshold-sweep monotonicity, a usable
+//! operating point around α = 1.2, and the LOF monitor beating blind
+//! baselines.
+
+use std::time::Duration;
+
+use endurance_core::MonitorConfig;
+use endurance_eval::{
+    alpha_sweep_from_decisions, default_alpha_grid, run_baselines, BaselineKind, Experiment,
+};
+use mm_sim::{PerturbationSchedule, Scenario};
+use trace_model::Timestamp;
+
+fn fast_endurance(seed: u64) -> Scenario {
+    let reference = Duration::from_secs(40);
+    let duration = Duration::from_secs(340);
+    let perturbations = PerturbationSchedule::periodic(
+        Timestamp::from(reference),
+        Duration::from_secs(60),
+        Duration::from_secs(12),
+        0.9,
+        Timestamp::from(duration),
+    )
+    .expect("valid schedule");
+    Scenario::builder("fast-endurance-shape")
+        .duration(duration)
+        .reference_duration(reference)
+        .perturbations(perturbations)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+fn fast_experiment(seed: u64) -> Experiment {
+    let scenario = fast_endurance(seed);
+    let registry = scenario.registry().expect("registry");
+    let monitor = MonitorConfig::builder()
+        .dimensions(registry.len())
+        .k(15)
+        .alpha(1.2)
+        .reference_duration(scenario.reference_duration)
+        .build()
+        .expect("valid monitor config");
+    Experiment::new(scenario, monitor).expect("valid experiment")
+}
+
+#[test]
+fn figure1_shape_recall_falls_and_reduction_grows_with_alpha() {
+    let result = fast_experiment(11).run().expect("experiment runs");
+    let sweep =
+        alpha_sweep_from_decisions(&result.decisions, &result.truth, &default_alpha_grid());
+    assert_eq!(sweep.len(), 21);
+
+    for pair in sweep.windows(2) {
+        assert!(
+            pair[1].recall <= pair[0].recall + 1e-12,
+            "recall must not increase with alpha"
+        );
+        assert!(
+            pair[1].recorded_bytes <= pair[0].recorded_bytes,
+            "recorded volume must not increase with alpha"
+        );
+        assert!(pair[1].reduction_factor >= pair[0].reduction_factor - 1e-9);
+    }
+
+    // The paper's operating point (α = 1.2) is a usable trade-off: both
+    // precision and recall well above 0.5, an order-of-magnitude fewer
+    // bytes than recording everything.
+    let at_1_2 = sweep
+        .iter()
+        .find(|p| (p.alpha - 1.2).abs() < 1e-9)
+        .expect("grid contains 1.2");
+    assert!(at_1_2.precision > 0.55, "precision {}", at_1_2.precision);
+    assert!(at_1_2.recall > 0.55, "recall {}", at_1_2.recall);
+    assert!(
+        at_1_2.reduction_factor > 3.0,
+        "reduction {}",
+        at_1_2.reduction_factor
+    );
+
+    // Precision at a strict threshold is at least as good as at the laxest
+    // one (cutting borderline windows removes false positives faster than
+    // true positives in this workload).
+    let first = sweep.first().expect("non-empty");
+    let best_precision = sweep
+        .iter()
+        .map(|p| p.precision)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(best_precision >= first.precision);
+}
+
+#[test]
+fn lof_monitor_beats_blind_baselines() {
+    let experiment = fast_experiment(13);
+    let result = experiment.run().expect("experiment runs");
+    let lof_recall = result.confusion.recall();
+    let lof_fraction = result.report.recorder.recorded_fraction();
+
+    let baselines = run_baselines(
+        &experiment.scenario,
+        &[
+            BaselineKind::RecordAll,
+            // Give uniform sampling the same volume budget as the monitor.
+            BaselineKind::UniformSampling {
+                fraction: lof_fraction.clamp(0.01, 1.0),
+            },
+        ],
+    )
+    .expect("baselines run");
+
+    let record_all = &baselines[0];
+    let sampled = &baselines[1];
+
+    // Record-all trivially achieves recall 1 at reduction 1.
+    assert_eq!(record_all.recall(), 1.0);
+    assert!((record_all.reduction_factor - 1.0).abs() < 1e-9);
+
+    // At a comparable recording budget, the LOF monitor finds far more of
+    // the anomalous windows than blind sampling.
+    assert!(
+        lof_recall > sampled.recall() + 0.2,
+        "LOF recall {lof_recall} vs uniform sampling {}",
+        sampled.recall()
+    );
+    // And the monitor's precision beats the record-all base rate.
+    assert!(result.confusion.precision() > record_all.precision());
+}
+
+#[test]
+fn drift_gate_ablation_preserves_detection_but_cuts_lof_work() {
+    use endurance_core::DriftGateConfig;
+
+    let experiment = fast_experiment(17);
+    let gated_result = experiment.run().expect("gated run");
+
+    let registry = experiment.scenario.registry().expect("registry");
+    let ungated_config = MonitorConfig::builder()
+        .dimensions(registry.len())
+        .k(15)
+        .alpha(1.2)
+        .reference_duration(experiment.scenario.reference_duration)
+        .drift_gate(DriftGateConfig::Disabled)
+        .build()
+        .expect("config");
+    let ungated_result = experiment
+        .with_monitor(ungated_config)
+        .expect("experiment")
+        .run()
+        .expect("ungated run");
+
+    // Without the gate every window is LOF-scored.
+    assert_eq!(
+        ungated_result.report.lof_evaluations,
+        ungated_result.report.monitored_windows
+    );
+    // With the gate, the LOF work drops substantially.
+    assert!(
+        gated_result.report.lof_evaluations * 2 < ungated_result.report.lof_evaluations,
+        "gate should cut LOF evaluations at least in half ({} vs {})",
+        gated_result.report.lof_evaluations,
+        ungated_result.report.lof_evaluations
+    );
+    // Detection quality stays in the same regime.
+    assert!(gated_result.confusion.recall() > ungated_result.confusion.recall() - 0.2);
+}
