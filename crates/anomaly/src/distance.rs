@@ -265,6 +265,9 @@ mod tests {
         assert!(Distance::new(DistanceKind::Euclidean).supports_kdtree());
         assert!(!Distance::new(DistanceKind::Hellinger).supports_kdtree());
         assert_eq!(Distance::default().kind(), DistanceKind::Euclidean);
-        assert_eq!(Distance::from(DistanceKind::Manhattan).kind(), DistanceKind::Manhattan);
+        assert_eq!(
+            Distance::from(DistanceKind::Manhattan).kind(),
+            DistanceKind::Manhattan
+        );
     }
 }

@@ -123,7 +123,10 @@ mod tests {
         let result = BruteForceIndex::new(vec![vec![1.0, 2.0], vec![1.0]], Distance::default());
         assert!(matches!(
             result,
-            Err(AnomalyError::DimensionMismatch { expected: 2, found: 1 })
+            Err(AnomalyError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 
@@ -168,8 +171,7 @@ mod tests {
     #[test]
     fn works_with_non_minkowski_distances() {
         let points = vec![vec![0.9, 0.1], vec![0.5, 0.5], vec![0.1, 0.9]];
-        let index =
-            BruteForceIndex::new(points, Distance::new(DistanceKind::Hellinger)).unwrap();
+        let index = BruteForceIndex::new(points, Distance::new(DistanceKind::Hellinger)).unwrap();
         let neighbors = index.k_nearest(&[0.85, 0.15], 1, None).unwrap();
         assert_eq!(neighbors[0].index, 0);
         assert_eq!(index.dimensions(), 2);

@@ -221,8 +221,8 @@ mod tests {
 
     #[test]
     fn exposes_metadata() {
-        let tree = KdTreeIndex::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]], Distance::default())
-            .unwrap();
+        let tree =
+            KdTreeIndex::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]], Distance::default()).unwrap();
         assert_eq!(tree.len(), 2);
         assert_eq!(tree.dimensions(), 2);
         assert_eq!(tree.distance().kind(), DistanceKind::Euclidean);

@@ -87,7 +87,10 @@ impl BoundedNeighbors {
         if self.items.len() < self.k {
             f64::INFINITY
         } else {
-            self.items.last().map(|n| n.distance).unwrap_or(f64::INFINITY)
+            self.items
+                .last()
+                .map(|n| n.distance)
+                .unwrap_or(f64::INFINITY)
         }
     }
 

@@ -42,8 +42,8 @@ mod rate;
 mod zscore;
 
 pub use distance::{
-    Distance, DistanceKind, chebyshev, euclidean, hellinger, jensen_shannon, kl_divergence,
-    manhattan, symmetric_kl,
+    chebyshev, euclidean, hellinger, jensen_shannon, kl_divergence, manhattan, symmetric_kl,
+    Distance, DistanceKind,
 };
 pub use error::AnomalyError;
 pub use knn::{BruteForceIndex, KdTreeIndex, Neighbor, NeighborIndex};

@@ -259,10 +259,7 @@ impl LofModel {
     ///
     /// Same as [`LofModel::score`].
     pub fn score_detailed(&self, query: &[f64]) -> Result<LofScore, AnomalyError> {
-        let neighbors = self
-            .index
-            .as_dyn()
-            .k_nearest(query, self.config.k, None)?;
+        let neighbors = self.index.as_dyn().k_nearest(query, self.config.k, None)?;
         let k_distance = neighbors.last().map(|nb| nb.distance).unwrap_or(0.0);
         let lrd_query = Self::lrd_from(&neighbors, &self.k_distances);
         let lof = self.lof_from(&neighbors, lrd_query);

@@ -12,7 +12,9 @@ use trace_model::TraceEvent;
 fn simulated_events() -> Vec<TraceEvent> {
     let scenario = Scenario::reference(Duration::from_secs(20), 5).expect("scenario");
     let registry = scenario.registry().expect("registry");
-    Simulation::new(&scenario, &registry).expect("simulation").collect()
+    Simulation::new(&scenario, &registry)
+        .expect("simulation")
+        .collect()
 }
 
 fn bench_codecs(c: &mut Criterion) {
@@ -25,17 +27,26 @@ fn bench_codecs(c: &mut Criterion) {
     group.bench_function("binary_encode", |bench| {
         bench.iter(|| {
             let mut out = Vec::with_capacity(encoded.len());
-            BinaryEncoder::new().encode(black_box(&events), &mut out).unwrap();
+            BinaryEncoder::new()
+                .encode(black_box(&events), &mut out)
+                .unwrap();
             out.len()
         })
     });
     group.bench_function("binary_decode", |bench| {
-        bench.iter(|| BinaryDecoder::new().decode(black_box(&encoded)).unwrap().len())
+        bench.iter(|| {
+            BinaryDecoder::new()
+                .decode(black_box(&encoded))
+                .unwrap()
+                .len()
+        })
     });
     group.bench_function("text_encode", |bench| {
         bench.iter(|| {
             let mut out = Vec::new();
-            TextEncoder::new().encode(black_box(&events), &mut out).unwrap();
+            TextEncoder::new()
+                .encode(black_box(&events), &mut out)
+                .unwrap();
             out.len()
         })
     });

@@ -4,7 +4,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
-use lof_anomaly::{euclidean, hellinger, jensen_shannon, kl_divergence, l1_normalize, symmetric_kl};
+use lof_anomaly::{
+    euclidean, hellinger, jensen_shannon, kl_divergence, l1_normalize, symmetric_kl,
+};
 
 fn random_pmf(dims: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
     let counts: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..100.0)).collect();
@@ -20,15 +22,19 @@ fn bench_distances(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("euclidean", dims), &dims, |bench, _| {
             bench.iter(|| euclidean(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("kl_divergence", dims), &dims, |bench, _| {
-            bench.iter(|| kl_divergence(black_box(&a), black_box(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kl_divergence", dims),
+            &dims,
+            |bench, _| bench.iter(|| kl_divergence(black_box(&a), black_box(&b))),
+        );
         group.bench_with_input(BenchmarkId::new("symmetric_kl", dims), &dims, |bench, _| {
             bench.iter(|| symmetric_kl(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("jensen_shannon", dims), &dims, |bench, _| {
-            bench.iter(|| jensen_shannon(black_box(&a), black_box(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("jensen_shannon", dims),
+            &dims,
+            |bench, _| bench.iter(|| jensen_shannon(black_box(&a), black_box(&b))),
+        );
         group.bench_with_input(BenchmarkId::new("hellinger", dims), &dims, |bench, _| {
             bench.iter(|| hellinger(black_box(&a), black_box(&b)))
         });

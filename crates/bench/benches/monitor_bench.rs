@@ -61,7 +61,10 @@ fn bench_monitor(c: &mut Criterion) {
     group.throughput(Throughput::Elements(fixture.monitored.len() as u64));
 
     for (name, gate) in [
-        ("observe_with_gate", DriftGateConfig::Auto { percentile: 0.95 }),
+        (
+            "observe_with_gate",
+            DriftGateConfig::Auto { percentile: 0.95 },
+        ),
         ("observe_without_gate", DriftGateConfig::Disabled),
     ] {
         let cfg = config(fixture.dimensions, gate);
@@ -93,7 +96,9 @@ fn bench_learning(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("learn_reference_3000_windows", |bench| {
         bench.iter(|| {
-            ReferenceModel::learn_from_windows(black_box(&fixture.reference), &cfg).unwrap().reference_windows()
+            ReferenceModel::learn_from_windows(black_box(&fixture.reference), &cfg)
+                .unwrap()
+                .reference_windows()
         })
     });
     group.finish();

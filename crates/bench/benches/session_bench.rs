@@ -1,0 +1,76 @@
+//! Push-based session throughput: how many events per second the
+//! streaming `ReductionSession` sustains end-to-end (windowing + drift
+//! gate + LOF + recording), pushed one at a time and in
+//! hardware-buffer-sized batches.
+//!
+//! This is the rate that must beat the tracing hardware's event rate for
+//! the monitor to run online, which is the whole point of the push API.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use endurance_core::{MonitorConfig, ReductionSession};
+use mm_sim::{Scenario, Simulation};
+use trace_model::{CountingSink, TraceEvent};
+
+struct Fixture {
+    events: Vec<TraceEvent>,
+    config: MonitorConfig,
+}
+
+fn fixture() -> Fixture {
+    // 60 s reference + 120 s of monitored traffic.
+    let scenario = Scenario::builder("bench-session")
+        .duration(Duration::from_secs(180))
+        .reference_duration(Duration::from_secs(60))
+        .seed(7)
+        .build()
+        .expect("valid scenario");
+    let registry = scenario.registry().expect("registry");
+    let events: Vec<TraceEvent> = Simulation::new(&scenario, &registry)
+        .expect("simulation")
+        .collect();
+    let config = MonitorConfig::builder()
+        .dimensions(registry.len())
+        .reference_duration(scenario.reference_duration)
+        .build()
+        .expect("valid monitor config");
+    Fixture { events, config }
+}
+
+fn bench_session_push(c: &mut Criterion) {
+    let fixture = fixture();
+    let mut group = c.benchmark_group("session_push");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fixture.events.len() as u64));
+
+    group.bench_function("event_by_event", |bench| {
+        bench.iter(|| {
+            let mut session = ReductionSession::new(fixture.config.clone())
+                .expect("session")
+                .with_sink(CountingSink::new());
+            for event in &fixture.events {
+                session.push(black_box(*event)).expect("push");
+            }
+            session.finish().expect("finish").report
+        });
+    });
+
+    group.bench_function("batched_4096", |bench| {
+        bench.iter(|| {
+            let mut session = ReductionSession::new(fixture.config.clone())
+                .expect("session")
+                .with_sink(CountingSink::new());
+            for chunk in fixture.events.chunks(4096) {
+                session.push_batch(black_box(chunk)).expect("push_batch");
+            }
+            session.finish().expect("finish").report
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_push);
+criterion_main!(benches);

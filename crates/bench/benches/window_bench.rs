@@ -13,7 +13,9 @@ use trace_model::TraceEvent;
 fn simulated_events(seconds: u64) -> Vec<TraceEvent> {
     let scenario = Scenario::reference(Duration::from_secs(seconds), 3).expect("scenario");
     let registry = scenario.registry().expect("registry");
-    Simulation::new(&scenario, &registry).expect("simulation").collect()
+    Simulation::new(&scenario, &registry)
+        .expect("simulation")
+        .collect()
 }
 
 fn bench_windowing(c: &mut Criterion) {

@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_monitor(make_config(DriftGateConfig::Auto { percentile: 0.95 })?)?
         .run()?;
     eprintln!("[ablation] drift gate disabled (LOF on every window)...");
-    let ungated = base.with_monitor(make_config(DriftGateConfig::Disabled)?)?.run()?;
+    let ungated = base
+        .with_monitor(make_config(DriftGateConfig::Disabled)?)?
+        .run()?;
     eprintln!("[ablation] drift gate with a tight fixed threshold...");
     let tight = base
         .with_monitor(make_config(DriftGateConfig::Fixed(0.005))?)?

@@ -20,7 +20,7 @@ use endurance_core::{
 use endurance_eval::format_bytes;
 use mm_sim::{Scenario, Simulation};
 use trace_model::window::{TimeWindower, Windower};
-use trace_model::{TraceEvent, Timestamp, Window};
+use trace_model::{Timestamp, TraceEvent, Window};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let seconds: u64 = std::env::args()
@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .reference_duration(scenario.reference_duration)
         .build()?;
 
-    eprintln!("[periodicity] simulating and windowing {} ...", scenario.name);
+    eprintln!(
+        "[periodicity] simulating and windowing {} ...",
+        scenario.name
+    );
     let events: Vec<TraceEvent> = Simulation::new(&scenario, &registry)?.collect();
     let windower = TimeWindower::new(Duration::from_millis(40))?;
     let reference_end = Timestamp::from(scenario.reference_duration);
@@ -44,7 +47,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         .partition(|w| w.end <= reference_end);
 
     // 1. Period detection on the per-window decode activity.
-    let decode_id = registry.id_of("video.decode").expect("registry has video.decode");
+    let decode_id = registry
+        .id_of("video.decode")
+        .expect("registry has video.decode");
     let activity: Vec<f64> = monitored
         .iter()
         .map(|w| w.count_of(decode_id) as f64)

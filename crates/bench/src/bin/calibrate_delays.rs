@@ -37,10 +37,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         .collect();
     for interval in scenario.perturbations.intervals() {
         let first = error_times.iter().find(|t| **t >= interval.start);
-        let last = error_times
-            .iter()
-            .rev()
-            .find(|t| **t >= interval.start && **t < interval.end.saturating_add(Duration::from_secs(30)));
+        let last = error_times.iter().rev().find(|t| {
+            **t >= interval.start && **t < interval.end.saturating_add(Duration::from_secs(30))
+        });
         match (first, last) {
             (Some(first), Some(last)) => println!(
                 "  perturbation [{} - {}]: first error at {}, last at {}",

@@ -257,7 +257,10 @@ mod tests {
     #[test]
     fn paper_defaults_match_the_publication() {
         let config = MonitorConfig::paper_defaults(14).unwrap();
-        assert_eq!(config.window, WindowStrategy::Time(Duration::from_millis(40)));
+        assert_eq!(
+            config.window,
+            WindowStrategy::Time(Duration::from_millis(40))
+        );
         assert_eq!(config.k, 20);
         assert!((config.alpha - 1.2).abs() < 1e-12);
         assert_eq!(config.reference_duration, Duration::from_secs(300));
@@ -268,7 +271,11 @@ mod tests {
     fn builder_rejects_invalid_parameters() {
         assert!(MonitorConfig::builder().dimensions(0).build().is_err());
         assert!(MonitorConfig::builder().dimensions(4).k(0).build().is_err());
-        assert!(MonitorConfig::builder().dimensions(4).alpha(0.5).build().is_err());
+        assert!(MonitorConfig::builder()
+            .dimensions(4)
+            .alpha(0.5)
+            .build()
+            .is_err());
         assert!(MonitorConfig::builder()
             .dimensions(4)
             .alpha(f64::NAN)

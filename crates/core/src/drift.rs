@@ -179,7 +179,10 @@ mod tests {
                 merged += 1;
             }
         }
-        assert!(merged > 150, "gate should absorb most of the slow drift ({merged})");
+        assert!(
+            merged > 150,
+            "gate should absorb most of the slow drift ({merged})"
+        );
         assert!(
             gate.aggregate().divergence(&start) > 0.005,
             "aggregate should have moved with the drift"

@@ -76,7 +76,9 @@ mod tests {
     #[test]
     fn sources_are_preserved_for_wrapped_errors() {
         use std::error::Error as _;
-        assert!(CoreError::from(TraceError::Registry("x".into())).source().is_some());
+        assert!(CoreError::from(TraceError::Registry("x".into()))
+            .source()
+            .is_some());
         assert!(CoreError::from(AnomalyError::NonFiniteValue { index: 0 })
             .source()
             .is_some());

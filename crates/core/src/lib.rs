@@ -21,29 +21,79 @@
 //!    against the reference model; scores at or above `α` mark the window
 //!    anomalous and it is recorded ([`TraceRecorder`]).
 //!
-//! The [`TraceReducer`] ties all of this together behind one call.
+//! The [`ReductionSession`] ties all of this together behind a push-based,
+//! bounded-memory API: create a session, feed it events as they arrive,
+//! and finish it to obtain the [`ReductionReport`]. Because the session
+//! never buffers more than the open window (plus the reference segment
+//! while learning), it runs for days next to the tracing hardware.
 //!
 //! ## Quick example
 //!
 //! ```rust
-//! use endurance_core::{MonitorConfig, TraceReducer};
+//! use endurance_core::{MonitorConfig, ReductionSession};
 //! use trace_model::{EventTypeId, TraceEvent, Timestamp};
 //!
 //! # fn main() -> Result<(), endurance_core::CoreError> {
-//! // A toy trace: one event type, steady rate.
-//! let events: Vec<TraceEvent> = (0..50_000)
-//!     .map(|i| TraceEvent::new(Timestamp::from_micros(i * 200), EventTypeId::new(0), 0))
-//!     .collect();
-//!
 //! let config = MonitorConfig::builder()
 //!     .dimensions(1)
 //!     .reference_duration(std::time::Duration::from_secs(2))
 //!     .build()?;
-//! let outcome = TraceReducer::new(config)?.run(events.into_iter())?;
+//!
+//! // Push the stream incrementally — a toy trace: one event type, steady
+//! // rate. Real callers push from a hardware buffer as data arrives.
+//! let mut session = ReductionSession::new(config)?;
+//! for i in 0..50_000u64 {
+//!     let event = TraceEvent::new(Timestamp::from_micros(i * 200), EventTypeId::new(0), 0);
+//!     session.push(event)?;
+//! }
+//!
+//! let outcome = session.finish()?;
 //! assert!(outcome.report.reduction_factor() > 1.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Sessions are generic over where recorded events go
+//! ([`trace_model::EventSink`]) and who sees the per-window decisions
+//! ([`DecisionObserver`]); install both before pushing:
+//!
+//! ```rust
+//! use endurance_core::{FnObserver, MonitorConfig, ReductionSession};
+//! use trace_model::CountingSink;
+//!
+//! # fn main() -> Result<(), endurance_core::CoreError> {
+//! # let config = MonitorConfig::builder()
+//! #     .dimensions(1)
+//! #     .reference_duration(std::time::Duration::from_secs(2))
+//! #     .build()?;
+//! let session = ReductionSession::new(config)?
+//!     .with_sink(CountingSink::new())
+//!     .with_observer(FnObserver(|d: &endurance_core::WindowDecision| {
+//!         if d.recorded() {
+//!             eprintln!("anomalous window at {}", d.start);
+//!         }
+//!     }));
+//! # let _ = session;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Migrating from the batch API
+//!
+//! [`TraceReducer::run`] and [`TraceReducer::run_with_model`] remain as
+//! thin compatibility wrappers that drive a session and collect its
+//! streamed output into the historical [`ReductionOutcome`] (every
+//! decision and recorded event in `Vec`s). They are deprecated in spirit
+//! for endurance-scale runs — prefer a session with a storage-backed sink
+//! — and are kept for short traces, tests and one-shot evaluations. The
+//! mapping is mechanical:
+//!
+//! | batch | streaming |
+//! |---|---|
+//! | `TraceReducer::new(config)?.run(events)?` | `ReductionSession::new(config)?` + `push`/`finish` |
+//! | `run_with_model(model, events)?` | `ReductionSession::from_model(model)?` + `push`/`finish` |
+//! | `outcome.decisions` | a [`DecisionObserver`] (e.g. `Vec<WindowDecision>`) |
+//! | `outcome.recorded_events` | the [`trace_model::EventSink`] you installed |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +109,7 @@ mod recorder;
 mod reducer;
 mod reference;
 mod report;
+mod session;
 
 pub use config::{DriftGateConfig, MonitorConfig, MonitorConfigBuilder, WindowStrategy};
 pub use drift::{DriftDecision, DriftGate};
@@ -70,3 +121,6 @@ pub use recorder::{RecorderStats, TraceRecorder};
 pub use reducer::{ReductionOutcome, TraceReducer};
 pub use reference::ReferenceModel;
 pub use report::ReductionReport;
+pub use session::{
+    DecisionObserver, FnObserver, NullObserver, ReductionSession, SessionOutcome, SessionPhase,
+};

@@ -189,7 +189,7 @@ mod tests {
     use crate::DriftGateConfig;
     use rand::prelude::*;
     use rand_chacha::ChaCha8Rng;
-    use trace_model::{EventTypeId, Severity, TraceEvent, Timestamp};
+    use trace_model::{EventTypeId, Severity, Timestamp, TraceEvent};
 
     /// Builds a window whose per-type counts are `counts`, 40 ms long.
     fn window(id: u64, counts: &[u64], with_error: bool) -> Window {

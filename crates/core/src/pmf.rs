@@ -150,7 +150,7 @@ impl WindowPmf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trace_model::{EventTypeId, TraceEvent, Timestamp, WindowId};
+    use trace_model::{EventTypeId, Timestamp, TraceEvent, WindowId};
 
     fn window_with_counts(counts: &[usize]) -> Window {
         let mut events = Vec::new();
@@ -233,7 +233,10 @@ mod tests {
             aggregate.merge(&new, 0.2);
         }
         let after = aggregate.divergence(&new);
-        assert!(after < before / 5.0, "merging should converge toward the new pmf");
+        assert!(
+            after < before / 5.0,
+            "merging should converge toward the new pmf"
+        );
         assert_eq!(aggregate.merged_windows(), 31);
         assert_eq!(aggregate.total_events(), 10 + 30 * 10);
         assert!((aggregate.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -3,9 +3,9 @@
 use serde::{Deserialize, Serialize};
 
 use trace_model::codec::{BinaryEncoder, TraceEncoder};
-use trace_model::{EventSink, Window};
 #[cfg(test)]
 use trace_model::TraceEvent;
+use trace_model::{EventSink, Window};
 
 use crate::CoreError;
 
@@ -89,10 +89,13 @@ impl<S: EventSink> TraceRecorder<S> {
             self.stats.windows_recorded += 1;
             self.stats.events_recorded += window.len() as u64;
             self.stats.recorded_raw_bytes += window.raw_size_bytes() as u64;
+            // Encode exactly once: the same bytes serve the volume
+            // accounting and the sink, so storage-backed sinks never have
+            // to re-encode the window.
             self.scratch.clear();
             self.encoder.encode(&window.events, &mut self.scratch)?;
             self.stats.recorded_encoded_bytes += self.scratch.len() as u64;
-            self.sink.record(&window.events)?;
+            self.sink.record_encoded(&window.events, &self.scratch)?;
         }
         Ok(())
     }
@@ -135,7 +138,12 @@ mod tests {
                 )
             })
             .collect();
-        Window::new(WindowId::new(id), start, Timestamp::from_millis((id + 1) * 40), events)
+        Window::new(
+            WindowId::new(id),
+            start,
+            Timestamp::from_millis((id + 1) * 40),
+            events,
+        )
     }
 
     #[test]

@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn learn_from_windows_builds_pmfs_internally() {
-        use trace_model::{EventTypeId, TraceEvent, Timestamp, Window, WindowId};
+        use trace_model::{EventTypeId, Timestamp, TraceEvent, Window, WindowId};
         let cfg = config(2, 5);
         let windows: Vec<Window> = (0..30)
             .map(|i| {

@@ -1,0 +1,796 @@
+//! The push-based streaming reduction API.
+//!
+//! Endurance tests run for hours or days, so the reducer must operate
+//! online with bounded memory. [`ReductionSession`] is the core public API
+//! for that: callers create a session from a [`MonitorConfig`] (or a
+//! pre-learned [`ReferenceModel`]), feed events incrementally with
+//! [`ReductionSession::push`] / [`ReductionSession::push_batch`], and call
+//! [`ReductionSession::finish`] to flush the trailing partial window and
+//! obtain the final [`ReductionReport`].
+//!
+//! Internally the session is a two-phase state machine
+//! (`Learning → Monitoring`) driving an incremental
+//! [`trace_model::WindowAssembler`]. Nothing stream-length-proportional is
+//! buffered by the session itself:
+//!
+//! * the open window is `O(window size)`;
+//! * during learning, the reference windows are `O(reference duration)`
+//!   and are dropped the moment the model is fitted;
+//! * decisions are streamed to a [`DecisionObserver`] instead of being
+//!   accumulated;
+//! * recorded events go straight to the configured
+//!   [`trace_model::EventSink`].
+//!
+//! The legacy batch API ([`crate::TraceReducer`]) is a thin compatibility
+//! wrapper that collects a session's streamed output into the historical
+//! [`crate::ReductionOutcome`].
+
+use trace_model::{
+    EventSink, EventSource, MemorySink, Timestamp, TraceEvent, Window, WindowAssembler,
+};
+
+use crate::{
+    CoreError, MonitorConfig, OnlineMonitor, ReductionReport, ReferenceModel, TraceRecorder,
+    WindowDecision, WindowStrategy,
+};
+
+/// Observer of per-window monitoring decisions, notified in stream order.
+///
+/// The session streams decisions out instead of buffering them, so memory
+/// stays bounded on multi-day runs. Implementations range from ignoring
+/// everything ([`NullObserver`]) through counting, down-sampling or
+/// forwarding to a metrics pipeline. `Vec<WindowDecision>` implements the
+/// trait by collecting (the batch-compatibility path), and [`FnObserver`]
+/// adapts any closure.
+pub trait DecisionObserver {
+    /// Called once per monitored window, in stream order.
+    fn on_decision(&mut self, decision: &WindowDecision);
+}
+
+/// Ignores every decision; the bounded-memory default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl DecisionObserver for NullObserver {
+    fn on_decision(&mut self, _decision: &WindowDecision) {}
+}
+
+/// Collects decisions in stream order (the batch-compatibility observer;
+/// memory grows with the stream, use deliberately).
+impl DecisionObserver for Vec<WindowDecision> {
+    fn on_decision(&mut self, decision: &WindowDecision) {
+        self.push(*decision);
+    }
+}
+
+impl<O: DecisionObserver> DecisionObserver for &mut O {
+    fn on_decision(&mut self, decision: &WindowDecision) {
+        (**self).on_decision(decision);
+    }
+}
+
+/// Adapts a closure into a [`DecisionObserver`].
+///
+/// ```rust
+/// use endurance_core::FnObserver;
+///
+/// let mut anomalies = 0u64;
+/// let observer = FnObserver(|decision: &endurance_core::WindowDecision| {
+///     if decision.recorded() {
+///         anomalies += 1;
+///     }
+/// });
+/// # let _ = observer;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnObserver<F>(pub F);
+
+impl<F: FnMut(&WindowDecision)> DecisionObserver for FnObserver<F> {
+    fn on_decision(&mut self, decision: &WindowDecision) {
+        (self.0)(decision);
+    }
+}
+
+/// Which phase a [`ReductionSession`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Collecting reference windows; no decisions are produced yet.
+    Learning,
+    /// The reference model is fitted; every closed window is monitored.
+    Monitoring,
+}
+
+/// Everything a finished session hands back: the report plus the caller's
+/// sink and observer (with whatever they accumulated).
+#[derive(Debug)]
+pub struct SessionOutcome<S, O> {
+    /// Headline volume/monitoring summary.
+    pub report: ReductionReport,
+    /// The event sink, containing the recorded (reduced) trace.
+    pub sink: S,
+    /// The decision observer, with whatever state it accumulated.
+    pub observer: O,
+}
+
+/// Internal state machine: learning buffers reference windows, monitoring
+/// owns the fitted model.
+#[derive(Debug)]
+enum PhaseState {
+    Learning {
+        reference: Vec<Window>,
+    },
+    Monitoring {
+        // Boxed: the monitor (model + gate) dwarfs the learning variant.
+        monitor: Box<OnlineMonitor>,
+        reference_count: usize,
+    },
+}
+
+/// The push-based online trace reducer.
+///
+/// Feed events in timestamp order with [`ReductionSession::push`] (or in
+/// chunks with [`ReductionSession::push_batch`] /
+/// [`ReductionSession::push_source`]); windows that depart from the learned
+/// reference behaviour are recorded to the sink, and every decision is
+/// streamed to the observer. [`ReductionSession::finish`] flushes the
+/// trailing partial window and returns the [`SessionOutcome`].
+///
+/// ```rust
+/// use endurance_core::{MonitorConfig, ReductionSession};
+/// use trace_model::{EventTypeId, TraceEvent, Timestamp};
+///
+/// # fn main() -> Result<(), endurance_core::CoreError> {
+/// let config = MonitorConfig::builder()
+///     .dimensions(1)
+///     .reference_duration(std::time::Duration::from_secs(2))
+///     .build()?;
+/// let mut session = ReductionSession::new(config)?;
+/// for i in 0..50_000u64 {
+///     session.push(TraceEvent::new(
+///         Timestamp::from_micros(i * 200),
+///         EventTypeId::new(0),
+///         0,
+///     ))?;
+/// }
+/// let outcome = session.finish()?;
+/// assert!(outcome.report.reduction_factor() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReductionSession<S: EventSink = MemorySink, O: DecisionObserver = NullObserver> {
+    config: MonitorConfig,
+    assembler: WindowAssembler,
+    state: PhaseState,
+    recorder: TraceRecorder<S>,
+    observer: O,
+    reference_end: Timestamp,
+    events_pushed: u64,
+    /// High-water mark of the assembler's open-window buffer, proving the
+    /// bounded-memory claim in tests.
+    peak_buffered_events: usize,
+}
+
+impl ReductionSession<MemorySink, NullObserver> {
+    /// Creates a session that learns its reference model from the first
+    /// [`MonitorConfig::reference_duration`] of the stream.
+    ///
+    /// The default sink keeps recorded events in memory and the default
+    /// observer discards decisions; exchange them with
+    /// [`ReductionSession::with_sink`] and
+    /// [`ReductionSession::with_observer`] before pushing events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: MonitorConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let reference_end = Timestamp::from(config.reference_duration);
+        Ok(ReductionSession {
+            assembler: Self::assembler_for(&config),
+            state: PhaseState::Learning {
+                reference: Vec::new(),
+            },
+            recorder: TraceRecorder::new(MemorySink::new()),
+            observer: NullObserver,
+            reference_end,
+            events_pushed: 0,
+            peak_buffered_events: 0,
+            config,
+        })
+    }
+
+    /// Creates a session that skips the learning phase, monitoring every
+    /// window against an already fitted model (the paper's "curated
+    /// database of reference traces" workflow). The model's embedded
+    /// configuration drives windowing and thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the model's configuration is
+    /// invalid.
+    pub fn from_model(model: ReferenceModel) -> Result<Self, CoreError> {
+        let config = model.config().clone();
+        Self::from_model_with_config(config, model)
+    }
+
+    /// Like [`ReductionSession::from_model`], but with an explicit
+    /// configuration overriding the model's embedded one — the curated
+    /// model supplies the reference behaviour while the caller picks the
+    /// window strategy and `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `config` is invalid.
+    pub fn from_model_with_config(
+        config: MonitorConfig,
+        model: ReferenceModel,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let reference_count = model.reference_windows();
+        let mut monitor = OnlineMonitor::new(model);
+        monitor.set_alpha(config.alpha);
+        Ok(ReductionSession {
+            assembler: Self::assembler_for(&config),
+            state: PhaseState::Monitoring {
+                monitor: Box::new(monitor),
+                reference_count,
+            },
+            recorder: TraceRecorder::new(MemorySink::new()),
+            observer: NullObserver,
+            reference_end: Timestamp::ZERO,
+            events_pushed: 0,
+            peak_buffered_events: 0,
+            config,
+        })
+    }
+}
+
+impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
+    fn assembler_for(config: &MonitorConfig) -> WindowAssembler {
+        match config.window {
+            WindowStrategy::Time(duration) => {
+                WindowAssembler::for_time(duration).expect("validated by MonitorConfig")
+            }
+            WindowStrategy::Count(size) => {
+                WindowAssembler::for_count(size).expect("validated by MonitorConfig")
+            }
+        }
+    }
+
+    /// Replaces the event sink, keeping every other setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed: the sink may hold
+    /// recorded data that would be silently dropped.
+    pub fn with_sink<S2: EventSink>(self, sink: S2) -> ReductionSession<S2, O> {
+        assert_eq!(
+            self.events_pushed, 0,
+            "the sink must be installed before any event is pushed"
+        );
+        ReductionSession {
+            config: self.config,
+            assembler: self.assembler,
+            state: self.state,
+            recorder: TraceRecorder::new(sink),
+            observer: self.observer,
+            reference_end: self.reference_end,
+            events_pushed: 0,
+            peak_buffered_events: 0,
+        }
+    }
+
+    /// Replaces the decision observer, keeping every other setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed: the observer would have
+    /// missed earlier decisions.
+    pub fn with_observer<O2: DecisionObserver>(self, observer: O2) -> ReductionSession<S, O2> {
+        assert_eq!(
+            self.events_pushed, 0,
+            "the observer must be installed before any event is pushed"
+        );
+        ReductionSession {
+            config: self.config,
+            assembler: self.assembler,
+            state: self.state,
+            recorder: self.recorder,
+            observer,
+            reference_end: self.reference_end,
+            events_pushed: 0,
+            peak_buffered_events: 0,
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The current phase of the session.
+    pub fn phase(&self) -> SessionPhase {
+        match self.state {
+            PhaseState::Learning { .. } => SessionPhase::Learning,
+            PhaseState::Monitoring { .. } => SessionPhase::Monitoring,
+        }
+    }
+
+    /// The reference model, once the learning phase has completed.
+    pub fn model(&self) -> Option<&ReferenceModel> {
+        match &self.state {
+            PhaseState::Learning { .. } => None,
+            PhaseState::Monitoring { monitor, .. } => Some(monitor.model()),
+        }
+    }
+
+    /// Read access to the event sink.
+    pub fn sink(&self) -> &S {
+        self.recorder.sink()
+    }
+
+    /// Read access to the decision observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the decision observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Total events pushed so far.
+    pub fn events_pushed(&self) -> u64 {
+        self.events_pushed
+    }
+
+    /// Events buffered in the currently open window.
+    pub fn buffered_events(&self) -> usize {
+        self.assembler.buffered_events()
+    }
+
+    /// High-water mark of the open-window buffer over the whole session —
+    /// the session's only stream-facing buffer, so this stays `O(window)`
+    /// no matter how long the run is.
+    pub fn peak_buffered_events(&self) -> usize {
+        self.peak_buffered_events
+    }
+
+    /// Windows monitored so far (zero while learning).
+    pub fn windows_monitored(&self) -> u64 {
+        match &self.state {
+            PhaseState::Learning { .. } => 0,
+            PhaseState::Monitoring { monitor, .. } => monitor.windows_seen(),
+        }
+    }
+
+    /// Pushes one event.
+    ///
+    /// Every window the event closes is routed through the phase state
+    /// machine: buffered as reference material while learning, or
+    /// monitored (and possibly recorded) once the model is fitted. The
+    /// learning→monitoring transition happens inline the moment a closed
+    /// window ends past the reference horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidReference`] if the reference segment is
+    /// too short for the configured `K` when the transition fires, and
+    /// propagates monitoring, encoding and sink errors.
+    pub fn push(&mut self, event: TraceEvent) -> Result<(), CoreError> {
+        self.events_pushed += 1;
+        let ReductionSession {
+            config,
+            assembler,
+            state,
+            recorder,
+            observer,
+            reference_end,
+            ..
+        } = self;
+        assembler.push(event, &mut |window| {
+            Self::handle_window(config, state, recorder, observer, *reference_end, window)
+        })?;
+        self.peak_buffered_events = self
+            .peak_buffered_events
+            .max(self.assembler.buffered_events());
+        Ok(())
+    }
+
+    /// Pushes a batch of events (in timestamp order), as delivered by a
+    /// tracing-hardware buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReductionSession::push`].
+    pub fn push_batch(&mut self, events: &[TraceEvent]) -> Result<(), CoreError> {
+        for event in events {
+            self.push(*event)?;
+        }
+        Ok(())
+    }
+
+    /// Drains an [`EventSource`] to exhaustion, pushing every event.
+    /// Returns how many events were read.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReductionSession::push`].
+    pub fn push_source<Src: EventSource>(&mut self, source: &mut Src) -> Result<u64, CoreError> {
+        let mut pushed = 0u64;
+        while let Some(event) = source.next_event() {
+            self.push(event)?;
+            pushed += 1;
+        }
+        Ok(pushed)
+    }
+
+    /// Flushes the end-of-stream work while the session is still usable:
+    /// the trailing partial window is routed through the state machine,
+    /// and a stream that never left the reference horizon learns its
+    /// model (surfacing the same [`CoreError::InvalidReference`] as the
+    /// batch path).
+    ///
+    /// [`ReductionSession::finish`] calls this internally; call it
+    /// explicitly first when the sink must survive a failure — on error
+    /// the session is still owned, so [`ReductionSession::abort`] can
+    /// recover the sink and observer. Idempotent: a second call is a
+    /// no-op. Do not push further events afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning, monitoring, encoding and sink errors.
+    pub fn flush(&mut self) -> Result<(), CoreError> {
+        if let Some(window) = self.assembler.finish() {
+            let ReductionSession {
+                config,
+                state,
+                recorder,
+                observer,
+                reference_end,
+                ..
+            } = self;
+            Self::handle_window(config, state, recorder, observer, *reference_end, window)?;
+        }
+        // A stream that never left the reference horizon still learns, for
+        // parity with the batch reducer (and to surface reference errors).
+        if let PhaseState::Learning { reference } = &self.state {
+            self.state = Self::fit_monitor(reference, &self.config)?;
+        }
+        Ok(())
+    }
+
+    /// Tears the session down without finishing, returning the sink and
+    /// observer with whatever they accumulated. The open window (if any)
+    /// is discarded. This is the recovery path after a push or
+    /// [`ReductionSession::flush`] error on a long run whose recorded
+    /// trace must not be lost.
+    pub fn abort(self) -> (S, O) {
+        let (sink, _) = self.recorder.into_parts();
+        (sink, self.observer)
+    }
+
+    /// Flushes the trailing partial window and returns the final report,
+    /// the sink (holding the reduced trace) and the observer.
+    ///
+    /// If the stream ended inside the reference segment, the model is
+    /// fitted from whatever reference windows were collected and zero
+    /// windows are reported as monitored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning, monitoring and sink errors. The sink is
+    /// dropped on error; when that matters (storage-backed sinks on long
+    /// runs), call [`ReductionSession::flush`] first and recover with
+    /// [`ReductionSession::abort`] on failure.
+    pub fn finish(mut self) -> Result<SessionOutcome<S, O>, CoreError> {
+        self.flush()?;
+        let PhaseState::Monitoring {
+            monitor,
+            reference_count,
+        } = self.state
+        else {
+            unreachable!("session is always monitoring after flush()");
+        };
+        let (sink, recorder_stats) = self.recorder.into_parts();
+        let report = ReductionReport {
+            monitored_windows: monitor.windows_seen(),
+            reference_windows: reference_count as u64,
+            lof_evaluations: monitor.lof_evaluations(),
+            anomalous_windows: monitor.anomalies(),
+            alpha: self.config.alpha,
+            recorder: recorder_stats,
+        };
+        Ok(SessionOutcome {
+            report,
+            sink,
+            observer: self.observer,
+        })
+    }
+
+    /// Fits the reference model and builds the monitoring state, shared
+    /// by the in-stream transition and the end-of-stream flush.
+    fn fit_monitor(reference: &[Window], config: &MonitorConfig) -> Result<PhaseState, CoreError> {
+        let model = ReferenceModel::learn_from_windows(reference, config)?;
+        let mut monitor = OnlineMonitor::new(model);
+        monitor.set_alpha(config.alpha);
+        Ok(PhaseState::Monitoring {
+            monitor: Box::new(monitor),
+            reference_count: reference.len(),
+        })
+    }
+
+    /// Routes one closed window through the phase state machine.
+    fn handle_window(
+        config: &MonitorConfig,
+        state: &mut PhaseState,
+        recorder: &mut TraceRecorder<S>,
+        observer: &mut O,
+        reference_end: Timestamp,
+        window: Window,
+    ) -> Result<(), CoreError> {
+        if let PhaseState::Learning { reference } = state {
+            if window.end <= reference_end {
+                reference.push(window);
+                return Ok(());
+            }
+            // First window past the horizon: fit the model, drop the
+            // reference windows, and monitor this window.
+            *state = Self::fit_monitor(reference, config)?;
+        }
+        let PhaseState::Monitoring { monitor, .. } = state else {
+            unreachable!("handled above");
+        };
+        let decision = monitor.observe(&window)?;
+        recorder.offer(&window, decision.recorded())?;
+        observer.on_decision(&decision);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use trace_model::{CountingSink, EventTypeId};
+
+    fn steady_stream(total: Duration) -> impl Iterator<Item = TraceEvent> {
+        let tick_nanos = 200_000u64; // 5 kHz
+        let end = Timestamp::from(total).as_nanos();
+        (0..end / tick_nanos).map(move |i| {
+            TraceEvent::new(
+                Timestamp::from_nanos(i * tick_nanos),
+                EventTypeId::new((i % 3) as u16),
+                0,
+            )
+        })
+    }
+
+    fn config() -> MonitorConfig {
+        MonitorConfig::builder()
+            .dimensions(3)
+            .k(10)
+            .reference_duration(Duration::from_secs(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn phases_transition_learning_to_monitoring() {
+        let mut session = ReductionSession::new(config()).unwrap();
+        assert_eq!(session.phase(), SessionPhase::Learning);
+        assert!(session.model().is_none());
+        for event in steady_stream(Duration::from_secs(5)) {
+            session.push(event).unwrap();
+        }
+        assert_eq!(session.phase(), SessionPhase::Monitoring);
+        assert!(session.model().is_some());
+        assert!(session.windows_monitored() > 0);
+        let outcome = session.finish().unwrap();
+        assert!(outcome.report.monitored_windows > 0);
+        assert!(outcome.report.reference_windows > 0);
+    }
+
+    #[test]
+    fn open_window_buffer_is_independent_of_stream_length() {
+        let short = {
+            let mut session = ReductionSession::new(config()).unwrap();
+            for event in steady_stream(Duration::from_secs(4)) {
+                session.push(event).unwrap();
+            }
+            session.peak_buffered_events()
+        };
+        let long = {
+            let mut session = ReductionSession::new(config()).unwrap();
+            for event in steady_stream(Duration::from_secs(40)) {
+                session.push(event).unwrap();
+            }
+            session.peak_buffered_events()
+        };
+        assert_eq!(
+            short, long,
+            "peak open-window buffer must not grow with the stream"
+        );
+    }
+
+    #[test]
+    fn custom_sink_and_observer_receive_the_stream() {
+        let mut recorded_decisions = 0u64;
+        let mut session = ReductionSession::new(config())
+            .unwrap()
+            .with_sink(CountingSink::new())
+            .with_observer(FnObserver(|decision: &WindowDecision| {
+                if decision.recorded() {
+                    recorded_decisions += 1;
+                }
+            }));
+        for event in steady_stream(Duration::from_secs(6)) {
+            session.push(event).unwrap();
+        }
+        let SessionOutcome {
+            report,
+            sink,
+            observer,
+        } = session.finish().unwrap();
+        let _ = observer; // release the closure's borrow on the counter
+        assert_eq!(report.anomalous_windows, recorded_decisions);
+        assert_eq!(
+            sink.recorded_events() as u64,
+            report.recorder.events_recorded
+        );
+    }
+
+    #[test]
+    fn too_short_stream_surfaces_reference_error_on_finish() {
+        let mut session = ReductionSession::new(config()).unwrap();
+        for event in steady_stream(Duration::from_millis(200)) {
+            session.push(event).unwrap();
+        }
+        assert!(matches!(
+            session.finish(),
+            Err(CoreError::InvalidReference(_))
+        ));
+    }
+
+    #[test]
+    fn from_model_monitors_from_the_first_window() {
+        // Learn on one clean stream...
+        let mut learn = ReductionSession::new(config()).unwrap();
+        for event in steady_stream(Duration::from_secs(4)) {
+            learn.push(event).unwrap();
+        }
+        let json = learn.model().unwrap().to_json().unwrap();
+        let model = ReferenceModel::from_json(&json).unwrap();
+
+        // ...monitor another without a learning phase.
+        let mut session = ReductionSession::from_model(model).unwrap();
+        assert_eq!(session.phase(), SessionPhase::Monitoring);
+        for event in steady_stream(Duration::from_secs(3)) {
+            session.push(event).unwrap();
+        }
+        let outcome = session.finish().unwrap();
+        // Every window of the stream was monitored, including the head.
+        assert_eq!(outcome.report.monitored_windows, 3_000 / 40);
+    }
+
+    #[test]
+    fn with_sink_after_push_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut session = ReductionSession::new(config()).unwrap();
+            session
+                .push(TraceEvent::new(Timestamp::ZERO, EventTypeId::new(0), 0))
+                .unwrap();
+            session.with_sink(CountingSink::new())
+        });
+        assert!(result.is_err());
+    }
+
+    /// A sink that starts failing after a set number of record calls,
+    /// standing in for a storage backend hitting a transient fault.
+    #[derive(Debug, Default)]
+    struct FlakySink {
+        events: Vec<TraceEvent>,
+        records_left: usize,
+    }
+
+    impl trace_model::EventSink for FlakySink {
+        fn record(&mut self, events: &[TraceEvent]) -> Result<(), trace_model::TraceError> {
+            if self.records_left == 0 {
+                return Err(trace_model::TraceError::InvalidWindowConfig(
+                    "sink storage failed".into(),
+                ));
+            }
+            self.records_left -= 1;
+            self.events.extend_from_slice(events);
+            Ok(())
+        }
+
+        fn recorded_events(&self) -> usize {
+            self.events.len()
+        }
+    }
+
+    #[test]
+    fn abort_recovers_the_sink_after_a_push_error() {
+        // A config whose alpha records essentially every window, driving
+        // the flaky sink to its failure quickly.
+        let config = MonitorConfig::builder()
+            .dimensions(3)
+            .k(10)
+            .alpha(1.0)
+            .drift_gate(crate::DriftGateConfig::Disabled)
+            .reference_duration(Duration::from_secs(2))
+            .build()
+            .unwrap();
+        let mut session = ReductionSession::new(config).unwrap().with_sink(FlakySink {
+            events: Vec::new(),
+            records_left: 3,
+        });
+        let mut push_error = None;
+        for event in steady_stream(Duration::from_secs(10)) {
+            if let Err(error) = session.push(event) {
+                push_error = Some(error);
+                break;
+            }
+        }
+        let error = push_error.expect("the flaky sink must eventually fail a push");
+        assert!(matches!(error, CoreError::Trace(_)));
+
+        // The session is still owned: the recorded trace survives.
+        let (sink, _observer) = session.abort();
+        assert!(sink.recorded_events() > 0, "earlier windows were recorded");
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_finish_after_flush_succeeds() {
+        let mut session = ReductionSession::new(config()).unwrap();
+        for event in steady_stream(Duration::from_secs(5)) {
+            session.push(event).unwrap();
+        }
+        session.flush().unwrap();
+        let monitored_after_first_flush = session.windows_monitored();
+        session.flush().unwrap();
+        assert_eq!(session.windows_monitored(), monitored_after_first_flush);
+        let outcome = session.finish().unwrap();
+        assert_eq!(
+            outcome.report.monitored_windows,
+            monitored_after_first_flush
+        );
+    }
+
+    #[test]
+    fn push_batch_and_push_source_agree_with_push() {
+        let events: Vec<TraceEvent> = steady_stream(Duration::from_secs(5)).collect();
+
+        let mut one_by_one = ReductionSession::new(config())
+            .unwrap()
+            .with_observer(Vec::new());
+        for event in &events {
+            one_by_one.push(*event).unwrap();
+        }
+        let a = one_by_one.finish().unwrap();
+
+        let mut batched = ReductionSession::new(config())
+            .unwrap()
+            .with_observer(Vec::new());
+        batched.push_batch(&events).unwrap();
+        let b = batched.finish().unwrap();
+
+        let mut sourced = ReductionSession::new(config())
+            .unwrap()
+            .with_observer(Vec::new());
+        let mut source = events.clone().into_iter();
+        let read = sourced.push_source(&mut source).unwrap();
+        let c = sourced.finish().unwrap();
+
+        assert_eq!(read, events.len() as u64);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.report, c.report);
+        assert_eq!(a.observer, b.observer);
+        assert_eq!(a.observer, c.observer);
+        assert_eq!(a.sink.events(), b.sink.events());
+        assert_eq!(a.sink.events(), c.sink.events());
+    }
+}

@@ -7,7 +7,7 @@ use std::time::Duration;
 use endurance_core::{
     DriftGate, DriftGateConfig, MonitorConfig, OnlineMonitor, ReferenceModel, WindowPmf,
 };
-use trace_model::{EventTypeId, TraceEvent, Timestamp, Window, WindowId};
+use trace_model::{EventTypeId, Timestamp, TraceEvent, Window, WindowId};
 
 fn counts_strategy(dims: usize, max: u64) -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..max, dims)

@@ -110,9 +110,20 @@ pub fn run_baselines(
     let dimensions = scenario.registry()?.len();
     let reference_end = Timestamp::from(scenario.reference_duration);
 
+    // Single streaming pass, in the spirit of the push-based session API:
+    // reference windows accumulate fitting material, then every baseline
+    // folds the monitored windows incrementally — no `Vec<Window>` of the
+    // whole monitored segment is ever materialised.
     let mut reference_counts: Vec<f64> = Vec::new();
     let mut reference_pmfs: Vec<Vec<f64>> = Vec::new();
-    let mut monitored: Vec<Window> = Vec::new();
+    let mut predictors: Option<Vec<Predictor>> = None;
+    let mut accumulators: Vec<BaselineAccumulator> = kinds
+        .iter()
+        .map(|_| BaselineAccumulator::default())
+        .collect();
+    let mut total_bytes = 0u64;
+    let mut monitored_index = 0usize;
+
     for window in windower.windows(events.into_iter()) {
         if window.end <= reference_end {
             reference_counts.push(window.len() as f64);
@@ -122,48 +133,78 @@ pub fn run_baselines(
                 .map(|c| c as f64)
                 .collect();
             reference_pmfs.push(l1_normalize(&counts));
-        } else {
-            monitored.push(window);
+            continue;
         }
+        // First monitored window: fit every baseline from the reference
+        // material collected so far.
+        let predictors = match &mut predictors {
+            Some(fitted) => fitted,
+            None => {
+                if reference_counts.is_empty() {
+                    return Err(EvalError::InvalidExperiment(
+                        "scenario too short: reference segment is empty".into(),
+                    ));
+                }
+                predictors.insert(
+                    kinds
+                        .iter()
+                        .map(|kind| {
+                            Predictor::fit(kind, &reference_counts, &reference_pmfs, dimensions)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
+
+        let raw_bytes = window.raw_size_bytes() as u64;
+        total_bytes += raw_bytes;
+        let truth_positive = window.has_error() && truth.contains(window.midpoint());
+        for (predictor, accumulator) in predictors.iter().zip(accumulators.iter_mut()) {
+            let predicted = predictor.predict(monitored_index, &window);
+            accumulator
+                .confusion
+                .observe(WindowLabel::from_flags(truth_positive, predicted));
+            if predicted {
+                accumulator.recorded_windows += 1;
+                accumulator.recorded_bytes += raw_bytes;
+            }
+        }
+        monitored_index += 1;
     }
-    if reference_counts.is_empty() || monitored.is_empty() {
+
+    if monitored_index == 0 {
         return Err(EvalError::InvalidExperiment(
             "scenario too short: reference or monitored segment is empty".into(),
         ));
     }
 
-    let total_bytes: u64 = monitored.iter().map(|w| w.raw_size_bytes() as u64).sum();
-
-    let mut results = Vec::with_capacity(kinds.len());
-    for kind in kinds {
-        let predictor = Predictor::fit(kind, &reference_counts, &reference_pmfs, dimensions)?;
-        let mut confusion = ConfusionMatrix::default();
-        let mut recorded_windows = 0u64;
-        let mut recorded_bytes = 0u64;
-        for (index, window) in monitored.iter().enumerate() {
-            let predicted = predictor.predict(index, window);
-            let truth_positive = window.has_error() && truth.contains(window.midpoint());
-            confusion.observe(WindowLabel::from_flags(truth_positive, predicted));
-            if predicted {
-                recorded_windows += 1;
-                recorded_bytes += window.raw_size_bytes() as u64;
+    Ok(kinds
+        .iter()
+        .zip(accumulators)
+        .map(|(kind, accumulator)| {
+            let reduction_factor = if accumulator.recorded_bytes == 0 {
+                f64::INFINITY
+            } else {
+                total_bytes as f64 / accumulator.recorded_bytes as f64
+            };
+            BaselineResult {
+                name: kind.name(),
+                confusion: accumulator.confusion,
+                recorded_windows: accumulator.recorded_windows,
+                recorded_bytes: accumulator.recorded_bytes,
+                total_bytes,
+                reduction_factor,
             }
-        }
-        let reduction_factor = if recorded_bytes == 0 {
-            f64::INFINITY
-        } else {
-            total_bytes as f64 / recorded_bytes as f64
-        };
-        results.push(BaselineResult {
-            name: kind.name(),
-            confusion,
-            recorded_windows,
-            recorded_bytes,
-            total_bytes,
-            reduction_factor,
-        });
-    }
-    Ok(results)
+        })
+        .collect())
+}
+
+/// Per-baseline running totals for the streaming evaluation pass.
+#[derive(Debug, Default)]
+struct BaselineAccumulator {
+    confusion: ConfusionMatrix,
+    recorded_windows: u64,
+    recorded_bytes: u64,
 }
 
 fn validate(kind: &BaselineKind) -> Result<(), EvalError> {
@@ -173,11 +214,9 @@ fn validate(kind: &BaselineKind) -> Result<(), EvalError> {
                 "uniform-sampling fraction must be within (0, 1]".into(),
             ))
         }
-        BaselineKind::RateThreshold { relative_margin } if *relative_margin <= 0.0 => {
-            Err(EvalError::InvalidExperiment(
-                "rate-threshold margin must be positive".into(),
-            ))
-        }
+        BaselineKind::RateThreshold { relative_margin } if *relative_margin <= 0.0 => Err(
+            EvalError::InvalidExperiment("rate-threshold margin must be positive".into()),
+        ),
         BaselineKind::ZScore { threshold } if *threshold <= 0.0 => Err(
             EvalError::InvalidExperiment("z-score threshold must be positive".into()),
         ),
@@ -189,9 +228,15 @@ fn validate(kind: &BaselineKind) -> Result<(), EvalError> {
 #[derive(Debug)]
 enum Predictor {
     RecordAll,
-    UniformSampling { stride: usize },
+    UniformSampling {
+        stride: usize,
+    },
     Rate(RateThresholdDetector),
-    ZScore { detector: ZScoreDetector, threshold: f64, dimensions: usize },
+    ZScore {
+        detector: ZScoreDetector,
+        threshold: f64,
+        dimensions: usize,
+    },
 }
 
 impl Predictor {
@@ -256,7 +301,10 @@ mod tests {
     fn baseline_parameters_are_validated() {
         assert!(validate(&BaselineKind::UniformSampling { fraction: 0.0 }).is_err());
         assert!(validate(&BaselineKind::UniformSampling { fraction: 1.5 }).is_err());
-        assert!(validate(&BaselineKind::RateThreshold { relative_margin: 0.0 }).is_err());
+        assert!(validate(&BaselineKind::RateThreshold {
+            relative_margin: 0.0
+        })
+        .is_err());
         assert!(validate(&BaselineKind::ZScore { threshold: -1.0 }).is_err());
         assert!(validate(&BaselineKind::RecordAll).is_ok());
     }
@@ -266,7 +314,9 @@ mod tests {
         let kinds = [
             BaselineKind::RecordAll,
             BaselineKind::UniformSampling { fraction: 0.1 },
-            BaselineKind::RateThreshold { relative_margin: 0.3 },
+            BaselineKind::RateThreshold {
+                relative_margin: 0.3,
+            },
             BaselineKind::ZScore { threshold: 4.0 },
         ];
         let names: Vec<String> = kinds.iter().map(BaselineKind::name).collect();
@@ -305,7 +355,9 @@ mod tests {
         let results = run_baselines(
             &short_endurance(),
             &[
-                BaselineKind::RateThreshold { relative_margin: 0.3 },
+                BaselineKind::RateThreshold {
+                    relative_margin: 0.3,
+                },
                 BaselineKind::ZScore { threshold: 6.0 },
             ],
         )
@@ -331,5 +383,4 @@ mod tests {
             assert!(result.precision() >= 0.0 && result.precision() <= 1.0);
         }
     }
-
 }

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use endurance_core::{MonitorConfig, ReductionReport, TraceReducer, WindowDecision};
+use endurance_core::{MonitorConfig, ReductionReport, ReductionSession, WindowDecision};
 use mm_sim::{Scenario, Simulation};
 
 use crate::{
@@ -113,24 +113,32 @@ impl Experiment {
     /// Propagates simulation and monitoring errors.
     pub fn run(&self) -> Result<ExperimentResult, EvalError> {
         let registry = self.scenario.registry()?;
-        let simulation = Simulation::new(&self.scenario, &registry)?;
-        let reducer = TraceReducer::new(self.monitor.clone())?;
-        let outcome = reducer.run(simulation)?;
+        let mut simulation = Simulation::new(&self.scenario, &registry)?;
 
-        let delays = DelayCalibration::from_decisions(&self.scenario.perturbations, &outcome.decisions);
+        // Stream the simulated trace through a push-based session: events
+        // flow from the simulator straight into the monitor without ever
+        // materialising the whole trace. The harness keeps the decision
+        // list (a `Vec<WindowDecision>` observer) because labelling needs
+        // it; production deployments would install a bounded observer.
+        let mut session = ReductionSession::new(self.monitor.clone())?.with_observer(Vec::new());
+        session.push_source(&mut simulation)?;
+        let outcome = session.finish()?;
+        let (report, decisions) = (outcome.report, outcome.observer);
+
+        let delays = DelayCalibration::from_decisions(&self.scenario.perturbations, &decisions);
         let truth = GroundTruth::from_schedule(
             &self.scenario.perturbations,
             delays.unwrap_or_else(DelayCalibration::zero),
         );
-        let labeled = label_decisions(&outcome.decisions, &truth);
+        let labeled = label_decisions(&decisions, &truth);
         let confusion = ConfusionMatrix::from_labels(&labeled);
 
         Ok(ExperimentResult {
-            report: outcome.report,
+            report,
             confusion,
             delays,
             truth,
-            decisions: outcome.decisions,
+            decisions,
             labeled,
         })
     }

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use endurance_core::WindowDecision;
 use mm_sim::PerturbationSchedule;
-use trace_model::{TraceEvent, Timestamp};
+use trace_model::{Timestamp, TraceEvent};
 
 /// Measured buffering delays `Δs` (perturbation start → first visible
 /// error) and `Δe` (perturbation end → last visible error).
@@ -219,12 +219,11 @@ mod tests {
     #[test]
     fn calibration_handles_missing_errors() {
         assert!(DelayCalibration::from_error_times(&schedule(), &[]).is_none());
-        assert!(
-            DelayCalibration::from_error_times(&PerturbationSchedule::none(), &[
-                Timestamp::from_secs(1)
-            ])
-            .is_none()
-        );
+        assert!(DelayCalibration::from_error_times(
+            &PerturbationSchedule::none(),
+            &[Timestamp::from_secs(1)]
+        )
+        .is_none());
         // Errors only around the first perturbation still calibrate.
         let delays = DelayCalibration::from_error_times(
             &schedule(),

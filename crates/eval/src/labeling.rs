@@ -88,7 +88,12 @@ mod tests {
     use endurance_core::WindowVerdict;
     use trace_model::{Timestamp, WindowId};
 
-    fn decision(start_secs: u64, has_error: bool, lof: Option<f64>, recorded: bool) -> WindowDecision {
+    fn decision(
+        start_secs: u64,
+        has_error: bool,
+        lof: Option<f64>,
+        recorded: bool,
+    ) -> WindowDecision {
         WindowDecision {
             window_id: WindowId::new(start_secs),
             start: Timestamp::from_secs(start_secs),
@@ -111,10 +116,22 @@ mod tests {
 
     #[test]
     fn label_from_flags_covers_all_cases() {
-        assert_eq!(WindowLabel::from_flags(true, true), WindowLabel::TruePositive);
-        assert_eq!(WindowLabel::from_flags(true, false), WindowLabel::FalseNegative);
-        assert_eq!(WindowLabel::from_flags(false, true), WindowLabel::FalsePositive);
-        assert_eq!(WindowLabel::from_flags(false, false), WindowLabel::TrueNegative);
+        assert_eq!(
+            WindowLabel::from_flags(true, true),
+            WindowLabel::TruePositive
+        );
+        assert_eq!(
+            WindowLabel::from_flags(true, false),
+            WindowLabel::FalseNegative
+        );
+        assert_eq!(
+            WindowLabel::from_flags(false, true),
+            WindowLabel::FalsePositive
+        );
+        assert_eq!(
+            WindowLabel::from_flags(false, false),
+            WindowLabel::TrueNegative
+        );
         assert!(WindowLabel::TruePositive.predicted_positive());
         assert!(WindowLabel::FalseNegative.truth_positive());
         assert!(!WindowLabel::TrueNegative.predicted_positive());
@@ -124,11 +141,11 @@ mod tests {
     #[test]
     fn labeling_follows_the_paper_rule() {
         let decisions = vec![
-            decision(150, true, Some(2.0), true),   // TP
-            decision(151, true, Some(1.0), false),  // FN
-            decision(50, false, Some(3.0), true),   // FP (outside interval)
-            decision(152, false, Some(3.0), true),  // FP (no error reported)
-            decision(51, false, Some(1.0), false),  // TN
+            decision(150, true, Some(2.0), true),  // TP
+            decision(151, true, Some(1.0), false), // FN
+            decision(50, false, Some(3.0), true),  // FP (outside interval)
+            decision(152, false, Some(3.0), true), // FP (no error reported)
+            decision(51, false, Some(1.0), false), // TN
         ];
         let labeled = label_decisions(&decisions, &truth());
         let labels: Vec<WindowLabel> = labeled.iter().map(|l| l.label).collect();

@@ -47,13 +47,19 @@ impl ConfusionMatrix {
     /// `TP / (TP + FP)` — the fraction of flagged windows that were truly
     /// anomalous. Returns 0 when nothing was flagged.
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// `TP / (TP + FN)` — the fraction of truly anomalous windows that were
     /// flagged. Returns 0 when there were no anomalous windows.
     pub fn recall(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// Harmonic mean of precision and recall (0 when both are 0).
@@ -74,7 +80,10 @@ impl ConfusionMatrix {
 
     /// `FP / (FP + TN)` — the fraction of regular windows that were flagged.
     pub fn false_positive_rate(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 }
 

@@ -6,8 +6,12 @@ use crate::{format_bytes, BaselineResult, ExperimentResult, SweepPoint};
 /// threshold, one row per `α`.
 pub fn sweep_table(points: &[SweepPoint]) -> String {
     let mut out = String::new();
-    out.push_str("alpha   precision  recall   f1      recorded_windows  recorded_size  reduction\n");
-    out.push_str("-----   ---------  ------   ------  ----------------  -------------  ---------\n");
+    out.push_str(
+        "alpha   precision  recall   f1      recorded_windows  recorded_size  reduction\n",
+    );
+    out.push_str(
+        "-----   ---------  ------   ------  ----------------  -------------  ---------\n",
+    );
     for p in points {
         let reduction = if p.reduction_factor.is_finite() {
             format!("{:8.1}x", p.reduction_factor)
@@ -35,10 +39,7 @@ pub fn headline_table(result: &ExperimentResult) -> String {
     let mut out = String::new();
     out.push_str("metric                     measured\n");
     out.push_str("-------------------------  ---------------\n");
-    out.push_str(&format!(
-        "alpha                      {:.2}\n",
-        report.alpha
-    ));
+    out.push_str(&format!("alpha                      {:.2}\n", report.alpha));
     out.push_str(&format!(
         "precision                  {:.1}%\n",
         100.0 * result.confusion.precision()
@@ -200,7 +201,7 @@ mod tests {
                 recorded_bytes: 5_000_000,
                 total_bytes: 5_000_000,
                 reduction_factor: 1.0,
-                },
+            },
             BaselineResult {
                 name: "z-score(4.0)".into(),
                 confusion: ConfusionMatrix::default(),

@@ -162,10 +162,7 @@ mod tests {
         let sweep = alpha_sweep_from_decisions(&decisions, &truth, &[1.0]);
         let point = sweep[0];
         assert_eq!(point.total_bytes, 1_000 * 20 * 16);
-        assert_eq!(
-            point.recorded_bytes,
-            point.recorded_windows * 20 * 16
-        );
+        assert_eq!(point.recorded_bytes, point.recorded_windows * 20 * 16);
         // At alpha = 1.0 every scored window is recorded.
         assert_eq!(point.recorded_windows, 1_000);
         assert!((point.reduction_factor - 1.0).abs() < 1e-12);

@@ -56,7 +56,9 @@ impl GopStructure {
     /// large enough to contain one anchor and its B frames.
     pub fn new(gop_length: usize, b_per_anchor: usize) -> Result<Self, SimError> {
         if gop_length == 0 {
-            return Err(SimError::InvalidConfig("GOP length must be at least 1".into()));
+            return Err(SimError::InvalidConfig(
+                "GOP length must be at least 1".into(),
+            ));
         }
         if b_per_anchor + 1 > gop_length {
             return Err(SimError::InvalidConfig(format!(

@@ -255,12 +255,18 @@ mod tests {
 
     #[test]
     fn load_at_boundaries_is_half_open() {
-        let schedule = PerturbationSchedule::from_intervals(vec![
-            PerturbationInterval::new(ts(10), ts(20), 0.6).unwrap(),
-        ])
+        let schedule = PerturbationSchedule::from_intervals(vec![PerturbationInterval::new(
+            ts(10),
+            ts(20),
+            0.6,
+        )
+        .unwrap()])
         .unwrap();
         assert_eq!(schedule.load_at(ts(10)), 0.6);
-        assert_eq!(schedule.load_at(Timestamp::from_nanos(ts(20).as_nanos() - 1)), 0.6);
+        assert_eq!(
+            schedule.load_at(Timestamp::from_nanos(ts(20).as_nanos() - 1)),
+            0.6
+        );
         assert_eq!(schedule.load_at(ts(20)), 0.0);
     }
 }

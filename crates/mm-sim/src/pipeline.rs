@@ -60,18 +60,42 @@ impl PipelineSpec {
     /// under heavy CPU contention.
     pub fn gstreamer_playback() -> Self {
         let video = vec![
-            ElementSpec::video("source.video.packet", Duration::from_micros(300), 1.6, 0.7, 0.10)
-                .expect("static spec is valid"),
-            ElementSpec::video("demux.video.packet", Duration::from_micros(500), 1.4, 0.8, 0.10)
-                .expect("static spec is valid"),
+            ElementSpec::video(
+                "source.video.packet",
+                Duration::from_micros(300),
+                1.6,
+                0.7,
+                0.10,
+            )
+            .expect("static spec is valid"),
+            ElementSpec::video(
+                "demux.video.packet",
+                Duration::from_micros(500),
+                1.4,
+                0.8,
+                0.10,
+            )
+            .expect("static spec is valid"),
             ElementSpec::video("video.decode", Duration::from_micros(6500), 1.9, 0.55, 0.12)
                 .expect("static spec is valid"),
             ElementSpec::video("video.convert", Duration::from_micros(2500), 1.0, 1.0, 0.08)
                 .expect("static spec is valid"),
-            ElementSpec::video("video.queue.push", Duration::from_micros(150), 1.0, 1.0, 0.05)
-                .expect("static spec is valid"),
-            ElementSpec::video("video.sink.render", Duration::from_micros(900), 1.0, 1.0, 0.08)
-                .expect("static spec is valid"),
+            ElementSpec::video(
+                "video.queue.push",
+                Duration::from_micros(150),
+                1.0,
+                1.0,
+                0.05,
+            )
+            .expect("static spec is valid"),
+            ElementSpec::video(
+                "video.sink.render",
+                Duration::from_micros(900),
+                1.0,
+                1.0,
+                0.08,
+            )
+            .expect("static spec is valid"),
         ];
         let audio = vec![
             ElementSpec::audio("demux.audio.packet", Duration::from_micros(80), 0.10)
@@ -229,7 +253,12 @@ mod tests {
             .iter()
             .map(|e| e.base_cost)
             .sum::<Duration>()
-            + spec.audio_elements().iter().map(|e| e.base_cost).sum::<Duration>() * 4;
+            + spec
+                .audio_elements()
+                .iter()
+                .map(|e| e.base_cost)
+                .sum::<Duration>()
+                * 4;
         assert!(total < Duration::from_millis(40));
         // ...but not by so much that a strong perturbation cannot hurt it.
         assert!(total > Duration::from_millis(8));

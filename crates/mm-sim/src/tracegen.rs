@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use trace_model::{EventTypeId, EventTypeRegistry, Severity, TraceEvent, Timestamp};
+use trace_model::{EventTypeId, EventTypeRegistry, Severity, Timestamp, TraceEvent};
 
 use crate::{
     CpuModel, ElementSpec, Frame, FrameKind, PlayoutBuffer, PresentOutcome, Scenario, SimError,
@@ -106,8 +106,8 @@ impl Simulation {
             audio_stages.push((lookup(&element.name)?, element.clone()));
         }
         let [underrun, late, resume, starved] = qos_event_names();
-        let audio_chunks_per_tick = (scenario.frame_period.as_nanos()
-            / scenario.audio_period.as_nanos().max(1)) as u32;
+        let audio_chunks_per_tick =
+            (scenario.frame_period.as_nanos() / scenario.audio_period.as_nanos().max(1)) as u32;
         Ok(Simulation {
             frame_period: scenario.frame_period,
             audio_chunks_per_tick,
@@ -275,8 +275,7 @@ impl Simulation {
                 // Budget exhausted mid-stage: carry the remaining CPU work
                 // over to the next tick.
                 let cpu_done = wall_left * share;
-                let remaining =
-                    flight.remaining_cpu.as_secs_f64() - cpu_done;
+                let remaining = flight.remaining_cpu.as_secs_f64() - cpu_done;
                 flight.remaining_cpu = Duration::from_secs_f64(remaining.max(0.0));
                 self.in_flight = Some(flight);
                 wall_left = 0.0;
@@ -297,9 +296,11 @@ impl Simulation {
             }
             PresentOutcome::Resumed => {
                 self.presented_frames += 1;
-                self.pending.push_back(
-                    TraceEvent::new(tick_last, self.qos_resume, self.buffer.occupancy() as u32),
-                );
+                self.pending.push_back(TraceEvent::new(
+                    tick_last,
+                    self.qos_resume,
+                    self.buffer.occupancy() as u32,
+                ));
             }
             PresentOutcome::Underrun => {
                 self.underrun_ticks += 1;
@@ -347,8 +348,15 @@ mod tests {
     fn clean_run_is_regular_and_error_free() {
         let scenario = Scenario::reference(Duration::from_secs(20), 1).unwrap();
         let (registry, events, stats) = run(&scenario);
-        assert!(stats.total_events() > 5_000, "20 s should emit thousands of events");
-        assert_eq!(stats.error_events(), 0, "clean run must not report QoS errors");
+        assert!(
+            stats.total_events() > 5_000,
+            "20 s should emit thousands of events"
+        );
+        assert_eq!(
+            stats.error_events(),
+            0,
+            "clean run must not report QoS errors"
+        );
         // Timestamps are non-decreasing.
         assert!(events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
         // Roughly one presented frame per tick once playback started.
@@ -387,10 +395,18 @@ mod tests {
             .build()
             .unwrap();
         let (_, events, stats) = run(&scenario);
-        assert!(stats.error_events() > 0, "perturbation must cause QoS errors");
+        assert!(
+            stats.error_events() > 0,
+            "perturbation must cause QoS errors"
+        );
 
         let first_error = events.iter().find(|ev| ev.is_error()).unwrap().timestamp;
-        let last_error = events.iter().rev().find(|ev| ev.is_error()).unwrap().timestamp;
+        let last_error = events
+            .iter()
+            .rev()
+            .find(|ev| ev.is_error())
+            .unwrap()
+            .timestamp;
         // Errors appear only after the perturbation starts, with a buffering
         // delay, and stop shortly after it ends.
         assert!(first_error > Timestamp::from_secs(20));
@@ -446,7 +462,10 @@ mod tests {
         let mut sim = Simulation::new(&scenario, &registry).unwrap();
         let events: Vec<_> = sim.by_ref().collect();
         let underrun_id = registry.id_of("qos.video.underrun").unwrap();
-        let underruns = events.iter().filter(|ev| ev.event_type == underrun_id).count();
+        let underruns = events
+            .iter()
+            .filter(|ev| ev.event_type == underrun_id)
+            .count();
         assert_eq!(sim.underrun_ticks(), underruns as u64);
         assert!(sim.decoded_frames() > 0);
         assert!(sim.presented_frames() > 0);
@@ -460,7 +479,10 @@ mod tests {
         let scenario = Scenario::reference(Duration::from_secs(5), 0).unwrap();
         let mut registry = EventTypeRegistry::new();
         // Register only the pipeline elements, not the QoS types.
-        scenario.pipeline.register_event_types(&mut registry).unwrap();
+        scenario
+            .pipeline
+            .register_event_types(&mut registry)
+            .unwrap();
         assert!(matches!(
             Simulation::new(&scenario, &registry),
             Err(SimError::InvalidConfig(_))

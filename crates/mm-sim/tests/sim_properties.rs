@@ -11,11 +11,11 @@ use trace_model::{Severity, Timestamp, TraceStats};
 /// Strategy over short but varied scenarios (clean or with one perturbation).
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     (
-        5u64..30,            // duration seconds
-        0u64..1_000,         // seed
+        5u64..30,                                            // duration seconds
+        0u64..1_000,                                         // seed
         prop::option::of((2u64..10, 2u64..8, 0.5f64..0.95)), // perturbation (start, len, load)
-        0.0f64..0.15,        // complexity burst probability
-        1.0f64..4.0,         // complexity burst factor
+        0.0f64..0.15,                                        // complexity burst probability
+        1.0f64..4.0,                                         // complexity burst factor
     )
         .prop_map(|(secs, seed, perturbation, burst_p, burst_f)| {
             let duration = Duration::from_secs(secs.max(6));

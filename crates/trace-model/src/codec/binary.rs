@@ -17,7 +17,7 @@
 //! microseconds apart, so deltas almost always fit in one or two bytes.
 
 use super::{decode_u64, encode_u64, TraceDecoder, TraceEncoder};
-use crate::{EventTypeId, Severity, TraceError, TraceEvent, Timestamp};
+use crate::{EventTypeId, Severity, Timestamp, TraceError, TraceEvent};
 
 const MAGIC: &[u8; 4] = b"ETRC";
 const VERSION: u8 = 1;
@@ -130,10 +130,12 @@ impl TraceDecoder for BinaryDecoder {
             })?;
             offset += 1;
 
-            let ts = previous.checked_add(delta).ok_or_else(|| TraceError::Decode {
-                offset,
-                reason: "timestamp overflow".into(),
-            })?;
+            let ts = previous
+                .checked_add(delta)
+                .ok_or_else(|| TraceError::Decode {
+                    offset,
+                    reason: "timestamp overflow".into(),
+                })?;
             previous = ts;
             let event_type = u16::try_from(ty).map_err(|_| TraceError::Decode {
                 offset,
@@ -148,8 +150,12 @@ impl TraceDecoder for BinaryDecoder {
                 reason: format!("invalid severity byte {severity_byte}"),
             })?;
             events.push(
-                TraceEvent::new(Timestamp::from_nanos(ts), EventTypeId::new(event_type), payload)
-                    .with_severity(severity),
+                TraceEvent::new(
+                    Timestamp::from_nanos(ts),
+                    EventTypeId::new(event_type),
+                    payload,
+                )
+                .with_severity(severity),
             );
         }
         if offset != bytes.len() {

@@ -5,7 +5,7 @@
 //! spreadsheet or plotting tools, not for production recording.
 
 use super::{TraceDecoder, TraceEncoder};
-use crate::{EventTypeId, Severity, TraceError, TraceEvent, Timestamp};
+use crate::{EventTypeId, Severity, Timestamp, TraceError, TraceEvent};
 
 const HEADER: &str = "timestamp_ns,event_type,payload,severity";
 
@@ -91,10 +91,11 @@ impl TraceDecoder for TextDecoder {
                     reason: "too many fields".into(),
                 });
             }
-            let severity = Severity::from_u8(severity_raw).ok_or_else(|| TraceError::ParseLine {
-                line: line_no,
-                reason: format!("invalid severity {severity_raw}"),
-            })?;
+            let severity =
+                Severity::from_u8(severity_raw).ok_or_else(|| TraceError::ParseLine {
+                    line: line_no,
+                    reason: format!("invalid severity {severity_raw}"),
+                })?;
             events.push(
                 TraceEvent::new(Timestamp::from_nanos(ts), EventTypeId::new(ty), payload)
                     .with_severity(severity),
@@ -116,8 +117,7 @@ mod tests {
     use super::*;
 
     fn ev(ns: u64, ty: u16, payload: u32, sev: Severity) -> TraceEvent {
-        TraceEvent::new(Timestamp::from_nanos(ns), EventTypeId::new(ty), payload)
-            .with_severity(sev)
+        TraceEvent::new(Timestamp::from_nanos(ns), EventTypeId::new(ty), payload).with_severity(sev)
     }
 
     #[test]

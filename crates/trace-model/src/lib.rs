@@ -57,6 +57,6 @@ pub use error::TraceError;
 pub use event::{EventTypeId, Severity, TraceEvent};
 pub use registry::{EventTypeInfo, EventTypeRegistry};
 pub use stats::TraceStats;
-pub use stream::{EventSource, EventSink, MemorySink, MemorySource};
+pub use stream::{CountingSink, EventSink, EventSource, MemorySink, MemorySource};
 pub use timestamp::Timestamp;
-pub use window::{Window, WindowId};
+pub use window::{Window, WindowAssembler, WindowId};

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{EventTypeId, Severity, TraceEvent, Timestamp};
+use crate::{EventTypeId, Severity, Timestamp, TraceEvent};
 
 /// Aggregate statistics over a trace (or a portion of one).
 ///
@@ -203,7 +203,10 @@ mod tests {
         assert_eq!(stats.events_at_severity(Severity::Warning), 1);
         assert_eq!(stats.span(), Duration::from_millis(1000));
         assert!((stats.mean_rate_hz() - 4.0).abs() < 1e-9);
-        assert_eq!(stats.raw_size_bytes(), 4 * TraceEvent::RAW_ENCODED_SIZE as u64);
+        assert_eq!(
+            stats.raw_size_bytes(),
+            4 * TraceEvent::RAW_ENCODED_SIZE as u64
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! or (in a real deployment) a hardware trace buffer, and record selected
 //! windows to any storage backend.
 
-use crate::{TraceEvent, TraceError, Timestamp};
+use crate::{Timestamp, TraceError, TraceEvent};
 
 /// A producer of trace events in non-decreasing timestamp order.
 ///
@@ -53,6 +53,23 @@ pub trait EventSink {
     /// Implementations return [`TraceError`] if the underlying storage
     /// fails; in-memory sinks are infallible in practice.
     fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError>;
+
+    /// Records a batch of events for which the compact binary encoding has
+    /// already been produced by the caller.
+    ///
+    /// The recorder encodes every recorded window once for byte
+    /// accounting; sinks that persist the encoded form (files, sockets)
+    /// override this to write `encoded` directly instead of re-encoding
+    /// the events. The default ignores `encoded` and forwards to
+    /// [`EventSink::record`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EventSink::record`].
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        let _ = encoded;
+        self.record(events)
+    }
 
     /// Number of events recorded so far.
     fn recorded_events(&self) -> usize;
@@ -183,7 +200,10 @@ mod tests {
     fn memory_source_yields_in_order() {
         let mut src = MemorySource::new(vec![ev(1), ev(2), ev(3)]).unwrap();
         assert_eq!(src.remaining(), 3);
-        assert_eq!(src.next_event().unwrap().timestamp, Timestamp::from_millis(1));
+        assert_eq!(
+            src.next_event().unwrap().timestamp,
+            Timestamp::from_millis(1)
+        );
         assert_eq!(src.remaining(), 2);
         let rest: Vec<_> = src.collect();
         assert_eq!(rest.len(), 2);

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{EventTypeId, Severity, TraceError, TraceEvent, Timestamp};
+use crate::{EventTypeId, Severity, Timestamp, TraceError, TraceEvent};
 
 /// Sequential index of a window within a run, starting at zero.
 #[derive(
@@ -124,7 +124,10 @@ impl Window {
 
     /// Number of events at or above the given severity.
     pub fn count_at_least(&self, severity: Severity) -> usize {
-        self.events.iter().filter(|ev| ev.severity >= severity).count()
+        self.events
+            .iter()
+            .filter(|ev| ev.severity >= severity)
+            .count()
     }
 
     /// Whether the window contains at least one error-severity event.
@@ -236,18 +239,207 @@ impl Windower for TimeWindower {
     }
 }
 
+/// Incremental, push-based window assembly: feed events one at a time,
+/// closed windows are handed to a callback as soon as their boundary is
+/// reached.
+///
+/// This is the engine behind both the pull-based [`WindowIter`] and the
+/// streaming `ReductionSession` in `endurance-core`: there is exactly one
+/// windowing implementation, so pushing a stream event-by-event yields the
+/// same window sequence as iterating it in one batch.
+///
+/// Memory is bounded by the current (open) window: closed windows are moved
+/// out immediately.
+///
+/// ```rust
+/// use trace_model::window::WindowAssembler;
+/// use trace_model::{EventTypeId, TraceEvent, Timestamp};
+///
+/// let mut assembler = WindowAssembler::for_count(2).unwrap();
+/// let mut closed = Vec::new();
+/// for i in 0..5u64 {
+///     let ev = TraceEvent::new(Timestamp::from_millis(i), EventTypeId::new(0), 0);
+///     assembler
+///         .push::<std::convert::Infallible>(ev, &mut |w| {
+///             closed.push(w);
+///             Ok(())
+///         })
+///         .unwrap();
+/// }
+/// assert_eq!(closed.len(), 2);
+/// let trailing = assembler.finish().expect("one partial window remains");
+/// assert_eq!(trailing.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowAssembler {
+    boundary: Boundary,
+    next_id: WindowId,
+    /// Events of the currently open window.
+    buf: Vec<TraceEvent>,
+    /// Start of the currently open window (time-based mode only).
+    window_start: Timestamp,
+    started: bool,
+}
+
+impl WindowAssembler {
+    /// Creates an assembler emitting windows of exactly `size` events (the
+    /// final window of a trace may be shorter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidWindowConfig`] if `size` is zero.
+    pub fn for_count(size: usize) -> Result<Self, TraceError> {
+        CountWindower::new(size)?;
+        Ok(WindowAssembler::new(Boundary::Count(size)))
+    }
+
+    /// Creates an assembler emitting windows covering `duration` of trace
+    /// time each, aligned down to a multiple of `duration` from the first
+    /// event. Gaps in the stream produce empty windows so window indexes
+    /// stay aligned with trace time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidWindowConfig`] if `duration` is zero.
+    pub fn for_time(duration: Duration) -> Result<Self, TraceError> {
+        TimeWindower::new(duration)?;
+        Ok(WindowAssembler::new(Boundary::Time(duration)))
+    }
+
+    fn new(boundary: Boundary) -> Self {
+        WindowAssembler {
+            boundary,
+            next_id: WindowId::new(0),
+            buf: Vec::new(),
+            window_start: Timestamp::ZERO,
+            started: false,
+        }
+    }
+
+    /// Number of events buffered in the currently open window.
+    pub fn buffered_events(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Id of the next window that will be emitted.
+    pub fn next_window_id(&self) -> WindowId {
+        self.next_id
+    }
+
+    /// Pushes one event, invoking `emit` for every window this closes
+    /// (several when a time gap produces empty windows). `emit` may fail;
+    /// the first error is propagated and the event is still consumed —
+    /// it is filed into its correct window slot so the assembler's
+    /// boundaries stay consistent and subsequent pushes continue in the
+    /// next slot. The window handed to the failing `emit` call (and, for
+    /// count windows, the events inside it) cannot be replayed; gap
+    /// windows closed after a failure are necessarily empty and are
+    /// dropped.
+    ///
+    /// Events must arrive in non-decreasing timestamp order for time-based
+    /// windows; out-of-order events are filed into the currently open
+    /// window (matching the historical batch behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `emit`.
+    pub fn push<E>(
+        &mut self,
+        event: TraceEvent,
+        emit: &mut dyn FnMut(Window) -> Result<(), E>,
+    ) -> Result<(), E> {
+        match self.boundary {
+            Boundary::Count(size) => {
+                self.buf.push(event);
+                if self.buf.len() >= size {
+                    let window = self.close_count_window();
+                    emit(window)?;
+                }
+                Ok(())
+            }
+            Boundary::Time(duration) => {
+                if !self.started {
+                    let dur_nanos = duration.as_nanos() as u64;
+                    let aligned = (event.timestamp.as_nanos() / dur_nanos) * dur_nanos;
+                    self.window_start = Timestamp::from_nanos(aligned);
+                    self.started = true;
+                }
+                // Close every window (possibly empty gap windows) that ends
+                // at or before this event. On emit failure keep closing —
+                // the remaining gap windows are empty (the buffer drained
+                // into the first close) — so the event below still lands
+                // in its correct slot.
+                let mut failure: Option<E> = None;
+                while event.timestamp >= self.window_start.saturating_add(duration) {
+                    let window = self.close_time_window(duration);
+                    if failure.is_none() {
+                        if let Err(error) = emit(window) {
+                            failure = Some(error);
+                        }
+                    }
+                }
+                self.buf.push(event);
+                match failure {
+                    Some(error) => Err(error),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Flushes the trailing partial window, if any events are buffered.
+    ///
+    /// The assembler is reusable afterwards: window ids keep counting up
+    /// and time windows continue from the next slot.
+    pub fn finish(&mut self) -> Option<Window> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let window = match self.boundary {
+            Boundary::Count(_) => self.close_count_window(),
+            Boundary::Time(duration) => self.close_time_window(duration),
+        };
+        Some(window)
+    }
+
+    fn close_count_window(&mut self) -> Window {
+        let buf = std::mem::take(&mut self.buf);
+        let start = buf
+            .first()
+            .map(|ev| ev.timestamp)
+            .unwrap_or(Timestamp::ZERO);
+        let end = buf
+            .last()
+            .map(|ev| Timestamp::from_nanos(ev.timestamp.as_nanos() + 1))
+            .unwrap_or(start);
+        let id = self.next_id;
+        self.next_id = id.next();
+        Window::new(id, start, end, buf)
+    }
+
+    fn close_time_window(&mut self, duration: Duration) -> Window {
+        let buf = std::mem::take(&mut self.buf);
+        let start = self.window_start;
+        let end = start.saturating_add(duration);
+        self.window_start = end;
+        let id = self.next_id;
+        self.next_id = id.next();
+        Window::new(id, start, end, buf)
+    }
+}
+
 /// Iterator over windows produced by a [`Windower`].
+///
+/// A thin pull adapter over [`WindowAssembler`]; both paths share one
+/// windowing implementation.
 #[derive(Debug)]
 pub struct WindowIter<I> {
     events: I,
-    boundary: Boundary,
-    next_id: WindowId,
-    /// Event read from the source but belonging to a future window.
-    pending: Option<TraceEvent>,
-    /// Start of the next time window (time-based mode only).
-    next_window_start: Timestamp,
-    started: bool,
-    finished: bool,
+    assembler: WindowAssembler,
+    /// Windows closed by the last push but not yet yielded (time gaps can
+    /// close several windows per event).
+    ready: std::collections::VecDeque<Window>,
+    exhausted: bool,
 }
 
 impl<I> WindowIter<I>
@@ -257,93 +449,10 @@ where
     fn new(events: I, boundary: Boundary) -> Self {
         WindowIter {
             events,
-            boundary,
-            next_id: WindowId::new(0),
-            pending: None,
-            next_window_start: Timestamp::ZERO,
-            started: false,
-            finished: false,
+            assembler: WindowAssembler::new(boundary),
+            ready: std::collections::VecDeque::new(),
+            exhausted: false,
         }
-    }
-
-    fn next_count_window(&mut self, size: usize) -> Option<Window> {
-        let mut buf = Vec::with_capacity(size);
-        while buf.len() < size {
-            match self.events.next() {
-                Some(ev) => buf.push(ev),
-                None => break,
-            }
-        }
-        if buf.is_empty() {
-            self.finished = true;
-            return None;
-        }
-        let start = buf.first().map(|ev| ev.timestamp).unwrap_or(Timestamp::ZERO);
-        let end = buf
-            .last()
-            .map(|ev| Timestamp::from_nanos(ev.timestamp.as_nanos() + 1))
-            .unwrap_or(start);
-        let id = self.next_id;
-        self.next_id = id.next();
-        Some(Window::new(id, start, end, buf))
-    }
-
-    fn next_time_window(&mut self, duration: Duration) -> Option<Window> {
-        // Prime the first event so the first window starts at the stream's
-        // first timestamp (aligned down to a multiple of the duration).
-        if !self.started {
-            match self.events.next() {
-                Some(first) => {
-                    let dur_nanos = duration.as_nanos() as u64;
-                    let aligned = (first.timestamp.as_nanos() / dur_nanos) * dur_nanos;
-                    self.next_window_start = Timestamp::from_nanos(aligned);
-                    self.pending = Some(first);
-                    self.started = true;
-                }
-                None => {
-                    self.finished = true;
-                    return None;
-                }
-            }
-        }
-
-        let start = self.next_window_start;
-        let end = start.saturating_add(duration);
-        let mut buf = Vec::new();
-
-        if let Some(ev) = self.pending {
-            if ev.timestamp < end {
-                buf.push(ev);
-                self.pending = None;
-            }
-        }
-
-        if self.pending.is_none() {
-            loop {
-                match self.events.next() {
-                    Some(ev) => {
-                        if ev.timestamp < end {
-                            buf.push(ev);
-                        } else {
-                            self.pending = Some(ev);
-                            break;
-                        }
-                    }
-                    None => {
-                        if buf.is_empty() {
-                            self.finished = true;
-                            return None;
-                        }
-                        break;
-                    }
-                }
-            }
-        }
-
-        self.next_window_start = end;
-        let id = self.next_id;
-        self.next_id = id.next();
-        Some(Window::new(id, start, end, buf))
     }
 }
 
@@ -354,12 +463,31 @@ where
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
-        if self.finished {
-            return None;
-        }
-        match self.boundary {
-            Boundary::Count(size) => self.next_count_window(size),
-            Boundary::Time(duration) => self.next_time_window(duration),
+        loop {
+            if let Some(window) = self.ready.pop_front() {
+                return Some(window);
+            }
+            if self.exhausted {
+                return None;
+            }
+            match self.events.next() {
+                Some(event) => {
+                    let ready = &mut self.ready;
+                    self.assembler
+                        .push::<std::convert::Infallible>(event, &mut |window| {
+                            ready.push_back(window);
+                            Ok(())
+                        })
+                        .expect("queueing a window cannot fail");
+                }
+                None => {
+                    self.exhausted = true;
+                    if let Some(window) = self.assembler.finish() {
+                        return Some(window);
+                    }
+                    return None;
+                }
+            }
         }
     }
 }
@@ -383,7 +511,9 @@ mod tests {
     fn time_windower_rejects_zero() {
         assert!(TimeWindower::new(Duration::ZERO).is_err());
         assert_eq!(
-            TimeWindower::new(Duration::from_millis(40)).unwrap().duration(),
+            TimeWindower::new(Duration::from_millis(40))
+                .unwrap()
+                .duration(),
             Duration::from_millis(40)
         );
     }

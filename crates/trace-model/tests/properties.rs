@@ -8,7 +8,7 @@ use trace_model::codec::{
     BinaryDecoder, BinaryEncoder, TextDecoder, TextEncoder, TraceDecoder, TraceEncoder,
 };
 use trace_model::window::{CountWindower, TimeWindower, Windower};
-use trace_model::{EventTypeId, Severity, TraceEvent, TraceStats, Timestamp};
+use trace_model::{EventTypeId, Severity, Timestamp, TraceEvent, TraceStats};
 
 /// Strategy producing a timestamp-ordered vector of arbitrary events.
 fn ordered_events(max_len: usize) -> impl Strategy<Value = Vec<TraceEvent>> {

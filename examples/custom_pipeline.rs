@@ -14,7 +14,7 @@
 use std::error::Error;
 use std::time::Duration;
 
-use endurance_core::{MonitorConfig, TraceReducer, WindowStrategy};
+use endurance_core::{FnObserver, MonitorConfig, ReductionSession, WindowStrategy};
 use mm_sim::{
     ElementSpec, GopStructure, PerturbationInterval, PerturbationSchedule, PipelineSpec, Scenario,
     Simulation,
@@ -102,19 +102,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         .reference_duration(scenario.reference_duration)
         .build()?;
 
-    let simulation = Simulation::new(&scenario, &registry)?;
-    let outcome = TraceReducer::new(config)?.run(simulation)?;
-    println!("{}", outcome.report);
-
-    // Show where the recorded windows fall relative to the perturbations.
+    // Stream the trace through a session, printing recorded windows the
+    // moment the monitor flags them — no decision list is accumulated.
+    println!("recorded windows (start time, LOF), streamed live:");
+    let mut printed = 0u32;
+    let mut simulation = Simulation::new(&scenario, &registry)?;
+    let mut session = ReductionSession::new(config)?.with_observer(FnObserver(
+        |decision: &endurance_core::WindowDecision| {
+            if decision.recorded() && printed < 15 {
+                println!(
+                    "  {}  LOF = {:.2}",
+                    decision.start,
+                    decision.lof.unwrap_or(f64::NAN)
+                );
+                printed += 1;
+            }
+        },
+    ));
+    session.push_source(&mut simulation)?;
+    let outcome = session.finish()?;
     println!();
-    println!("recorded windows (start time, LOF):");
-    for decision in outcome.decisions.iter().filter(|d| d.recorded()).take(15) {
-        println!(
-            "  {}  LOF = {:.2}",
-            decision.start,
-            decision.lof.unwrap_or(f64::NAN)
-        );
-    }
+    println!("{}", outcome.report);
     Ok(())
 }

@@ -7,11 +7,15 @@
 //! The example simulates two minutes of video playback with a CPU
 //! perturbation in the middle, learns the reference model from the first
 //! 30 seconds, and prints how much of the trace the monitor recorded.
+//!
+//! Events are pushed into a [`ReductionSession`] as the simulator produces
+//! them — the same way a real deployment would feed the monitor from a
+//! tracing-hardware buffer.
 
 use std::error::Error;
 use std::time::Duration;
 
-use endurance_core::{MonitorConfig, TraceReducer};
+use endurance_core::{MonitorConfig, ReductionSession};
 use mm_sim::{PerturbationInterval, PerturbationSchedule, Scenario, Simulation};
 use trace_model::Timestamp;
 
@@ -41,9 +45,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         .reference_duration(scenario.reference_duration)
         .build()?;
 
-    // Stream the simulated trace through the reducer.
-    let simulation = Simulation::new(&scenario, &registry)?;
-    let outcome = TraceReducer::new(config)?.run(simulation)?;
+    // Stream the simulated trace through a push-based session, keeping the
+    // per-window decisions for inspection.
+    let mut simulation = Simulation::new(&scenario, &registry)?;
+    let mut session = ReductionSession::new(config)?.with_observer(Vec::new());
+    session.push_source(&mut simulation)?;
+    let outcome = session.finish()?;
 
     println!("{}", outcome.report);
     println!();
@@ -51,7 +58,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "recorded {} of {} monitored windows",
         outcome.report.anomalous_windows, outcome.report.monitored_windows
     );
-    let first_recorded = outcome.decisions.iter().find(|d| d.recorded());
+    let first_recorded = outcome.observer.iter().find(|d| d.recorded());
     if let Some(decision) = first_recorded {
         println!(
             "first recorded window starts at {} (LOF = {:.2})",

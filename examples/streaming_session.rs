@@ -1,0 +1,128 @@
+//! A bounded-memory endurance run with a custom [`EventSink`].
+//!
+//! ```text
+//! cargo run --release --example streaming_session            # ~10 simulated minutes
+//! cargo run --release --example streaming_session -- 3600    # 1 simulated hour
+//! ```
+//!
+//! This is the deployment shape the paper targets: the monitor runs
+//! **online** next to the tracing hardware for hours or days, so nothing
+//! may grow with the stream. The example wires a [`ReductionSession`] to
+//!
+//! * a custom sink that spills the *already encoded* bytes of each
+//!   recorded window to storage (here: a growing byte count standing in
+//!   for a file descriptor) via [`EventSink::record_encoded`] — the
+//!   recorder encodes each recorded window exactly once, for both byte
+//!   accounting and the sink;
+//! * a closure observer that keeps a few running counters instead of a
+//!   decision list;
+//!
+//! and feeds it from the simulator in hardware-buffer-sized batches. At
+//! the end it prints the reduction report and the session's peak open
+//! window buffer, demonstrating that peak memory is independent of run
+//! length.
+
+use std::error::Error;
+use std::time::Duration;
+
+use endurance_core::{FnObserver, MonitorConfig, ReductionSession, WindowDecision};
+use mm_sim::{Scenario, Simulation};
+use trace_model::{EventSink, EventSource, TraceError, TraceEvent};
+
+/// A sink that persists the compact binary encoding of recorded windows.
+///
+/// A real deployment would hand `encoded` to a file or a socket; the
+/// example only counts the bytes so it stays self-contained. Because the
+/// recorder passes the encoded form in, the sink never re-encodes.
+#[derive(Debug, Default)]
+struct EncodedVolumeSink {
+    events: usize,
+    encoded_bytes: u64,
+}
+
+impl EventSink for EncodedVolumeSink {
+    fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+        // Only reached if a caller bypasses the recorder; count events and
+        // leave the byte accounting to `record_encoded`.
+        self.events += events.len();
+        Ok(())
+    }
+
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        self.events += events.len();
+        self.encoded_bytes += encoded.len() as u64;
+        Ok(())
+    }
+
+    fn recorded_events(&self) -> usize {
+        self.events
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(600);
+
+    // The paper's endurance workload, scaled to `seconds` of simulated
+    // time (periodic CPU perturbations after a 300 s reference segment,
+    // compressed for short runs).
+    let scenario = Scenario::scaled_endurance(Duration::from_secs(seconds), 42)?;
+    let registry = scenario.registry()?;
+    let config = MonitorConfig::builder()
+        .dimensions(registry.len())
+        .reference_duration(scenario.reference_duration)
+        .build()?;
+
+    // Running counters instead of a decision list: O(1) memory.
+    let mut anomalous = 0u64;
+    let mut last_recorded_start = None;
+    let mut session = ReductionSession::new(config)?
+        .with_sink(EncodedVolumeSink::default())
+        .with_observer(FnObserver(|decision: &WindowDecision| {
+            if decision.recorded() {
+                anomalous += 1;
+                last_recorded_start = Some(decision.start);
+            }
+        }));
+
+    // Feed the session in chunks the size of a tracing-hardware buffer.
+    const HARDWARE_BUFFER: usize = 4096;
+    let mut simulation = Simulation::new(&scenario, &registry)?;
+    let mut buffer = Vec::with_capacity(HARDWARE_BUFFER);
+    loop {
+        buffer.clear();
+        if simulation.fill(&mut buffer, HARDWARE_BUFFER) == 0 {
+            break;
+        }
+        session.push_batch(&buffer)?;
+    }
+
+    let peak_buffered = session.peak_buffered_events();
+    let events_pushed = session.events_pushed();
+    let endurance_core::SessionOutcome {
+        report,
+        sink,
+        observer,
+    } = session.finish()?;
+    let _ = observer; // release the closure's borrows on the counters
+
+    println!("{report}");
+    println!();
+    println!("streamed {events_pushed} events in {HARDWARE_BUFFER}-event batches");
+    println!(
+        "sink persisted {} events as {} encoded bytes",
+        sink.recorded_events(),
+        sink.encoded_bytes
+    );
+    println!("anomalous windows seen by the observer: {anomalous}");
+    if let Some(start) = last_recorded_start {
+        println!("last recorded window started at {start}");
+    }
+    println!(
+        "peak open-window buffer: {peak_buffered} events (independent of the {seconds} s run length)"
+    );
+    Ok(())
+}

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use endurance_core::{
-    MonitorConfig, PeriodicSuppressor, ReferenceModel, TraceReducer, WindowPmf,
+    MonitorConfig, PeriodicSuppressor, ReductionSession, ReferenceModel, WindowPmf,
 };
 use endurance_eval::{DelayCalibration, Experiment};
 use mm_sim::{PerturbationSchedule, Scenario, Simulation};
@@ -49,19 +49,19 @@ fn recorded_trace_round_trips_through_the_binary_codec() {
     let scenario = fast_endurance(21);
     let registry = scenario.registry().expect("registry");
     let config = monitor_config(&scenario);
-    let simulation = Simulation::new(&scenario, &registry).expect("simulation");
-    let outcome = TraceReducer::new(config)
-        .expect("reducer")
-        .run(simulation)
-        .expect("run");
-    assert!(!outcome.recorded_events.is_empty());
+    let mut simulation = Simulation::new(&scenario, &registry).expect("simulation");
+    let mut session = ReductionSession::new(config).expect("session");
+    session.push_source(&mut simulation).expect("push");
+    let outcome = session.finish().expect("finish");
+    let recorded_events = outcome.sink.into_events();
+    assert!(!recorded_events.is_empty());
 
     let mut encoded = Vec::new();
     BinaryEncoder::new()
-        .encode(&outcome.recorded_events, &mut encoded)
+        .encode(&recorded_events, &mut encoded)
         .expect("encode recorded trace");
     let decoded = BinaryDecoder::new().decode(&encoded).expect("decode");
-    assert_eq!(decoded, outcome.recorded_events);
+    assert_eq!(decoded, recorded_events);
     // The on-disk form is smaller than the raw accounting size.
     assert!((encoded.len() as u64) < outcome.report.recorder.recorded_raw_bytes);
     // Every recorded event belongs to the registry.
@@ -94,18 +94,21 @@ fn curated_reference_model_can_be_saved_and_reused() {
 
     // ... and monitor a *different* run without any learning phase.
     let monitored_scenario = fast_endurance(34);
-    let monitored_events = Simulation::new(&monitored_scenario, &registry).expect("simulation");
-    let outcome = TraceReducer::new(config)
-        .expect("reducer")
-        .run_with_model(reloaded, monitored_events)
+    let mut monitored_events = Simulation::new(&monitored_scenario, &registry).expect("simulation");
+    let mut session = ReductionSession::from_model_with_config(config, reloaded)
+        .expect("session from curated model")
+        .with_observer(Vec::new());
+    session
+        .push_source(&mut monitored_events)
         .expect("monitor with curated model");
+    let outcome = session.finish().expect("finish");
 
     assert!(outcome.report.anomalous_windows > 0);
     assert!(outcome.report.reduction_factor() > 2.0);
     // Every window of the monitored run is scored (no learning segment).
     assert_eq!(
         outcome.report.monitored_windows,
-        outcome.decisions.len() as u64
+        outcome.observer.len() as u64
     );
 }
 

@@ -122,8 +122,11 @@ fn clean_workload_records_almost_nothing() {
         .run()
         .expect("experiment runs");
 
-    assert_eq!(result.confusion.true_positives + result.confusion.false_negatives, 0,
-        "a clean run has no ground-truth anomalies");
+    assert_eq!(
+        result.confusion.true_positives + result.confusion.false_negatives,
+        0,
+        "a clean run has no ground-truth anomalies"
+    );
     assert!(
         result.report.recorded_window_fraction() < 0.03,
         "clean run recorded fraction {}",
@@ -136,13 +139,22 @@ fn clean_workload_records_almost_nothing() {
 fn results_are_deterministic_for_a_fixed_seed() {
     let first = fast_experiment(7, 1.2).run().expect("first run");
     let second = fast_experiment(7, 1.2).run().expect("second run");
-    assert_eq!(first.report.anomalous_windows, second.report.anomalous_windows);
-    assert_eq!(first.report.monitored_windows, second.report.monitored_windows);
+    assert_eq!(
+        first.report.anomalous_windows,
+        second.report.anomalous_windows
+    );
+    assert_eq!(
+        first.report.monitored_windows,
+        second.report.monitored_windows
+    );
     assert_eq!(first.confusion, second.confusion);
 
     let other_seed = fast_experiment(8, 1.2).run().expect("third run");
     // A different seed gives a different (but still valid) trace.
-    assert_eq!(other_seed.report.monitored_windows, first.report.monitored_windows);
+    assert_eq!(
+        other_seed.report.monitored_windows,
+        first.report.monitored_windows
+    );
 }
 
 #[test]

@@ -48,8 +48,7 @@ fn fast_experiment(seed: u64) -> Experiment {
 #[test]
 fn figure1_shape_recall_falls_and_reduction_grows_with_alpha() {
     let result = fast_experiment(11).run().expect("experiment runs");
-    let sweep =
-        alpha_sweep_from_decisions(&result.decisions, &result.truth, &default_alpha_grid());
+    let sweep = alpha_sweep_from_decisions(&result.decisions, &result.truth, &default_alpha_grid());
     assert_eq!(sweep.len(), 21);
 
     for pair in sweep.windows(2) {

@@ -1,0 +1,221 @@
+//! Equivalence of the push-based `ReductionSession` and the legacy batch
+//! `TraceReducer`: pushing a stream event-by-event, or in ragged batches,
+//! must yield byte-for-byte identical decisions, report and recorded
+//! events as the one-shot batch call on the same stream.
+
+use std::time::Duration;
+
+use endurance_core::{
+    MonitorConfig, ReductionOutcome, ReductionSession, ReferenceModel, TraceReducer, WindowStrategy,
+};
+use mm_sim::{PerturbationSchedule, Scenario, Simulation};
+use trace_model::window::{TimeWindower, Windower};
+use trace_model::{Timestamp, TraceEvent, Window};
+
+/// Simulated endurance workload: returns the event stream and the number
+/// of event types in the scenario's registry (the pmf dimensionality).
+fn endurance_events(seed: u64) -> (Vec<TraceEvent>, usize) {
+    let reference = Duration::from_secs(40);
+    let duration = Duration::from_secs(220);
+    let perturbations = PerturbationSchedule::periodic(
+        Timestamp::from(reference),
+        Duration::from_secs(60),
+        Duration::from_secs(12),
+        0.9,
+        Timestamp::from(duration),
+    )
+    .expect("valid schedule");
+    let scenario = Scenario::builder("session-equivalence")
+        .duration(duration)
+        .reference_duration(reference)
+        .perturbations(perturbations)
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    let registry = scenario.registry().expect("registry");
+    let events = Simulation::new(&scenario, &registry)
+        .expect("simulation")
+        .collect();
+    (events, registry.len())
+}
+
+fn monitor_config(dimensions: usize, window: WindowStrategy) -> MonitorConfig {
+    MonitorConfig::builder()
+        .dimensions(dimensions)
+        .k(15)
+        .alpha(1.2)
+        .window(window)
+        .reference_duration(Duration::from_secs(40))
+        .build()
+        .expect("valid monitor config")
+}
+
+/// Runs the same events through a session, pushing in chunks given by
+/// `chunks` (cycled); `0` means push event-by-event.
+fn run_session(
+    config: &MonitorConfig,
+    events: &[TraceEvent],
+    chunks: &[usize],
+) -> (
+    endurance_core::ReductionReport,
+    Vec<endurance_core::WindowDecision>,
+    Vec<TraceEvent>,
+) {
+    let mut session = ReductionSession::new(config.clone())
+        .expect("session")
+        .with_observer(Vec::new());
+    let mut cursor = 0usize;
+    let mut chunk_index = 0usize;
+    while cursor < events.len() {
+        let chunk = chunks[chunk_index % chunks.len()];
+        chunk_index += 1;
+        if chunk == 0 {
+            session.push(events[cursor]).expect("push");
+            cursor += 1;
+        } else {
+            let end = (cursor + chunk).min(events.len());
+            session
+                .push_batch(&events[cursor..end])
+                .expect("push_batch");
+            cursor = end;
+        }
+    }
+    let outcome = session.finish().expect("finish");
+    (outcome.report, outcome.observer, outcome.sink.into_events())
+}
+
+fn assert_equivalent(
+    batch: &ReductionOutcome,
+    session: &(
+        endurance_core::ReductionReport,
+        Vec<endurance_core::WindowDecision>,
+        Vec<TraceEvent>,
+    ),
+) {
+    assert_eq!(batch.report, session.0, "reports must match");
+    assert_eq!(batch.decisions, session.1, "decisions must match");
+    assert_eq!(
+        batch.recorded_events, session.2,
+        "recorded events must match"
+    );
+}
+
+#[test]
+fn event_by_event_session_matches_batch_reducer() {
+    let (events, dims) = endurance_events(101);
+    let config = monitor_config(dims, WindowStrategy::Time(Duration::from_millis(40)));
+    let batch = TraceReducer::new(config.clone())
+        .expect("reducer")
+        .run(events.iter().copied())
+        .expect("batch run");
+    assert!(batch.report.anomalous_windows > 0, "workload has anomalies");
+
+    let session = run_session(&config, &events, &[0]);
+    assert_equivalent(&batch, &session);
+}
+
+#[test]
+fn ragged_batches_match_batch_reducer() {
+    let (events, dims) = endurance_events(102);
+    let config = monitor_config(dims, WindowStrategy::Time(Duration::from_millis(40)));
+    let batch = TraceReducer::new(config.clone())
+        .expect("reducer")
+        .run(events.iter().copied())
+        .expect("batch run");
+
+    // Mix single pushes with ragged batch sizes, including ones far larger
+    // than a window and prime-sized ones that straddle window boundaries.
+    let session = run_session(&config, &events, &[1, 7, 0, 97, 1024, 3, 0, 4096]);
+    assert_equivalent(&batch, &session);
+}
+
+#[test]
+fn count_window_session_matches_batch_reducer() {
+    let (events, dims) = endurance_events(103);
+    let config = monitor_config(dims, WindowStrategy::Count(256));
+    let batch = TraceReducer::new(config.clone())
+        .expect("reducer")
+        .run(events.iter().copied())
+        .expect("batch run");
+
+    let session = run_session(&config, &events, &[0, 13, 999]);
+    assert_equivalent(&batch, &session);
+
+    // Count windows bound the open buffer by the window size itself.
+    let mut probe = ReductionSession::new(config).expect("session");
+    probe.push_batch(&events).expect("push");
+    assert!(probe.peak_buffered_events() <= 256);
+}
+
+#[test]
+fn curated_model_session_matches_batch_reducer() {
+    // Learn a model from a dedicated clean reference run.
+    let (reference_events, dims) = endurance_events(104);
+    let config = monitor_config(dims, WindowStrategy::Time(Duration::from_millis(40)));
+    let windower = TimeWindower::new(Duration::from_millis(40)).expect("windower");
+    let reference_end = Timestamp::from_secs(40);
+    let windows: Vec<Window> = windower
+        .windows(reference_events.into_iter())
+        .filter(|w| w.end <= reference_end)
+        .collect();
+    let model = ReferenceModel::learn_from_windows(&windows, &config).expect("learn");
+    let model_json = model.to_json().expect("serialise");
+
+    let (events, _) = endurance_events(105);
+    let batch = TraceReducer::new(config.clone())
+        .expect("reducer")
+        .run_with_model(
+            ReferenceModel::from_json(&model_json).expect("reload"),
+            events.iter().copied(),
+        )
+        .expect("batch run_with_model");
+
+    let mut session = ReductionSession::from_model_with_config(
+        config,
+        ReferenceModel::from_json(&model_json).expect("reload"),
+    )
+    .expect("session")
+    .with_observer(Vec::new());
+    session.push_batch(&events).expect("push");
+    let outcome = session.finish().expect("finish");
+
+    assert_eq!(batch.report, outcome.report);
+    assert_eq!(batch.decisions, outcome.observer);
+    assert_eq!(batch.recorded_events, outcome.sink.into_events());
+}
+
+#[test]
+fn session_buffering_is_independent_of_stream_length() {
+    // A 10-minute synthetic stream versus a 2-minute prefix: the peak
+    // open-window buffer (the session's only stream-facing buffer) must
+    // not grow with the run length.
+    let tick_nanos = 250_000u64; // 4 kHz synthetic event rate
+    let config = MonitorConfig::builder()
+        .dimensions(4)
+        .k(10)
+        .reference_duration(Duration::from_secs(5))
+        .build()
+        .expect("config");
+
+    let peak_for = |total: Duration| {
+        let mut session = ReductionSession::new(config.clone()).expect("session");
+        let end = Timestamp::from(total).as_nanos();
+        for i in 0..end / tick_nanos {
+            let event = TraceEvent::new(
+                Timestamp::from_nanos(i * tick_nanos),
+                trace_model::EventTypeId::new((i % 4) as u16),
+                0,
+            );
+            session.push(event).expect("push");
+        }
+        assert!(session.windows_monitored() > 0);
+        session.peak_buffered_events()
+    };
+
+    let short = peak_for(Duration::from_secs(120));
+    let long = peak_for(Duration::from_secs(600));
+    assert_eq!(
+        short, long,
+        "peak buffering must be O(window), not O(stream): {short} vs {long}"
+    );
+}

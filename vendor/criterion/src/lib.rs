@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface this workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, throughput,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) with a simple
+//! median-of-samples wall-clock measurement. No plots, no statistics
+//! beyond the median; good enough to compare hot paths locally.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(3);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Finishes the group (separator line in the report).
+    pub fn finish(&mut self) {
+        eprintln!();
+    }
+
+    fn run(&self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mut line = format!("{}/{id}: median {median:?}", self.name);
+        if let Some(throughput) = self.throughput {
+            let per_second = |count: u64| {
+                if median.is_zero() {
+                    f64::INFINITY
+                } else {
+                    count as f64 / median.as_secs_f64()
+                }
+            };
+            match throughput {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" ({:.3} Melem/s)", per_second(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        " ({:.3} MiB/s)",
+                        per_second(n) / (1024.0 * 1024.0)
+                    ));
+                }
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine once, timing it.
+    ///
+    /// Real criterion runs many iterations per sample; one iteration per
+    /// sample keeps total bench time bounded for the heavyweight fixtures
+    /// in this workspace while the median over samples still smooths noise.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let output = routine();
+        self.elapsed = start.elapsed();
+        black_box(output);
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(1000));
+        let mut runs = 0;
+        group.bench_function("sum", |bench| {
+            bench.iter(|| (0..100u64).sum::<u64>());
+            runs += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 32), &32usize, |bench, n| {
+            bench.iter(|| vec![0u8; *n].len());
+        });
+        group.finish();
+        assert_eq!(runs, 5);
+    }
+}

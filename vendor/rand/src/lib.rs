@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the small API surface this workspace uses: [`RngCore`],
+//! [`SeedableRng`], and the [`Rng`] extension trait with `gen_range` over
+//! integer and float ranges plus `gen_bool`. The sequences are
+//! deterministic for a given seed but do **not** match upstream `rand`
+//! bit-for-bit — everything in this workspace that cares about
+//! reproducibility seeds its own generator.
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A half-open range that can be sampled uniformly to produce `T`.
+///
+/// Mirrors upstream `rand`: a single blanket impl over [`SampleUniform`]
+/// types, so integer-literal ranges infer their width from the call site.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that support uniform sampling from a half-open interval.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[low, high)`.
+    fn sample_in<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "cannot sample empty range");
+                let width = (high - low) as u64;
+                // Lemire widening-multiply; the slight bias over 2^64 is
+                // irrelevant for simulation and test workloads.
+                let sample = ((u128::from(rng.next_u64()) * u128::from(width)) >> 64) as u64;
+                low + sample as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "cannot sample empty range");
+                let width = (high as i128 - low as i128) as u64;
+                let sample = ((u128::from(rng.next_u64()) * u128::from(width)) >> 64) as u64;
+                (low as i128 + sample as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let sampled = low as f64 + unit * (high as f64 - low as f64);
+                // Rounding can land exactly on `high` for tiny ranges; clamp
+                // back inside the half-open interval.
+                if sampled as $ty >= high {
+                    low
+                } else {
+                    sampled as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// The usual glob-import module, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // A weak but sufficient mixing for unit tests.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 ^ (self.0 >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..2_000 {
+            let a = rng.gen_range(0u64..3);
+            assert!(a < 3);
+            let b = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&b));
+            let c = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&c));
+        }
+    }
+
+    #[test]
+    fn gen_bool_handles_edges() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        assert!(rng.gen_bool(7.5));
+        assert!(!rng.gen_bool(-1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn all_integer_widths_sample() {
+        let mut rng = Counter(3);
+        let _: u8 = rng.gen_range(0u8..10);
+        let _: u16 = rng.gen_range(0u16..10);
+        let _: u32 = rng.gen_range(0u32..10);
+        let _: usize = rng.gen_range(0usize..10);
+        let _: i32 = rng.gen_range(-3i32..3);
+        let _: f32 = rng.gen_range(0.0f32..1.0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses: structs with named fields, tuple structs,
+//! and enums whose variants are units, tuples or named-field records.
+//! Container attribute `#[serde(transparent)]` and field attribute
+//! `#[serde(skip)]` are honoured. Generic containers are not supported.
+//!
+//! The macro parses the raw token stream directly (no `syn`/`quote`
+//! available offline) and emits code by formatting strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("serde derive: expected `{ch}`, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes (`#[...]`), extracting serde flags.
+    fn parse_attrs(&mut self) -> Attrs {
+        let mut attrs = Attrs::default();
+        while self.is_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(group.stream());
+                    if inner.is_ident("serde") {
+                        inner.next();
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            for token in args.stream() {
+                                if let TokenTree::Ident(word) = token {
+                                    match word.to_string().as_str() {
+                                        "transparent" => attrs.transparent = true,
+                                        "skip" => attrs.skip = true,
+                                        other => panic!(
+                                            "serde derive: unsupported serde attribute `{other}`"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            }
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(group)) = self.peek() {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens of a type (or expression) up to a top-level comma,
+    /// tracking angle-bracket depth so `Vec<(A, B)>` stays intact.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(token) = self.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.parse_attrs();
+        cursor.skip_visibility();
+        let name = cursor.expect_ident();
+        cursor.expect_punct(':');
+        cursor.skip_until_top_level_comma();
+        if cursor.is_punct(',') {
+            cursor.next();
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    let mut count = 0;
+    while !cursor.at_end() {
+        cursor.parse_attrs();
+        cursor.skip_visibility();
+        cursor.skip_until_top_level_comma();
+        count += 1;
+        if cursor.is_punct(',') {
+            cursor.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.parse_attrs();
+        let name = cursor.expect_ident();
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                cursor.next();
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream());
+                cursor.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`Variant = 3`).
+        if cursor.is_punct('=') {
+            cursor.next();
+            cursor.skip_until_top_level_comma();
+        }
+        if cursor.is_punct(',') {
+            cursor.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut cursor = Cursor::new(input);
+    let attrs = cursor.parse_attrs();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident();
+    let name = cursor.expect_ident();
+    if cursor.is_punct('<') {
+        panic!("serde derive: generic containers are not supported by the offline stand-in");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+    Container {
+        name,
+        transparent: attrs.transparent,
+        shape,
+    }
+}
+
+fn generate_serialize(container: &Container) -> String {
+    let name = &container.name;
+    let body = match &container.shape {
+        Shape::NamedStruct(fields) => {
+            if container.transparent {
+                let inner = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent struct needs one field");
+                format!("::serde::Serialize::to_value(&self.{})", inner.name)
+            } else {
+                let mut pushes = String::new();
+                for field in fields.iter().filter(|f| !f.skip) {
+                    pushes.push_str(&format!(
+                        "__fields.push((\"{0}\".to_owned(), ::serde::Serialize::to_value(&self.{0})));\n",
+                        field.name
+                    ));
+                }
+                format!(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+                )
+            }
+        }
+        Shape::TupleStruct(count) => {
+            if container.transparent {
+                assert!(*count == 1, "transparent tuple struct needs one field");
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*count)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_owned()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(count) => {
+                        let binders: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_owned(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binders.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn named_struct_constructor(path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        if field.skip {
+            inits.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                field.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: ::serde::__get_field({source}, \"{0}\")?,\n",
+                field.name
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn generate_deserialize(container: &Container) -> String {
+    let name = &container.name;
+    let body = match &container.shape {
+        Shape::NamedStruct(fields) => {
+            if container.transparent {
+                let inner = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent struct needs one field");
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    inner.name
+                )
+            } else {
+                format!("Ok({})", named_struct_constructor(name, fields, "__v"))
+            }
+        }
+        Shape::TupleStruct(count) => {
+            if container.transparent {
+                assert!(*count == 1, "transparent tuple struct needs one field");
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*count)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.expect_array({count})?;\nOk({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(count) => {
+                        let items: Vec<String> = (0..*count)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __items = __payload.expect_array({count})?; Ok({name}::{vname}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let ctor = named_struct_constructor(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "__payload",
+                        );
+                        payload_arms.push_str(&format!("\"{vname}\" => Ok({ctor}),\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => Err(::serde::DeError::new(format!(\"invalid value for enum {name}: {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Derives the offline `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    generate_serialize(&container)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives the offline `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    generate_deserialize(&container)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders the [`serde::Value`] tree produced by the offline `serde`
+//! stand-in as JSON text, and parses JSON text back into that tree. Floats
+//! are printed with Rust's shortest round-trip formatting; non-finite
+//! floats become `null` (as in real `serde_json`).
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Error type for JSON encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(err: DeError) -> Self {
+        Error::new(err.to_string())
+    }
+}
+
+/// Serializes a value to a JSON string.
+///
+/// # Errors
+///
+/// Infallible for the value shapes this workspace produces; the `Result`
+/// mirrors the real `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] for malformed JSON or a tree that does not match `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if !parser.at_end() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Keep a decimal point so integral floats parse back as
+                // floats; Rust's `{}` is shortest-round-trip.
+                let rendered = x.to_string();
+                out.push_str(&rendered);
+                if !rendered.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{word}` at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_whitespace();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Array(items)),
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Object(entries)),
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| Error::new("malformed \\u escape"))?;
+                            code = code * 16 + digit;
+                        }
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| Error::new("invalid \\u code point"))?;
+                        out.push(ch);
+                    }
+                    other => return Err(Error::new(format!("bad escape {other:?}"))),
+                },
+                Some(byte) => {
+                    // Re-assemble UTF-8 multi-byte sequences.
+                    if byte < 0x80 {
+                        out.push(byte as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match byte {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let end = start + len;
+                        let slice = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| Error::new("truncated UTF-8 sequence"))?;
+                        let s = std::str::from_utf8(slice)
+                            .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&1.25f64).unwrap(), "1.25");
+        assert_eq!(from_str::<f64>("1.25").unwrap(), 1.25);
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&json).unwrap(), v);
+
+        let nested: Vec<Vec<f64>> = vec![vec![0.5, 1.5], vec![]];
+        let json = to_string(&nested).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&json).unwrap(), nested);
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "a \"quoted\"\npath\\with\ttabs and émojis 🎥".to_owned();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for &x in &[std::f64::consts::PI, 1e-300, 123_456_789.123_456_79, -0.1] {
+            let json = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_str::<u64>("{not json").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+    }
+}
