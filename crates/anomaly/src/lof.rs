@@ -85,7 +85,7 @@ impl LofScore {
 /// Fitting pre-computes, for every reference point, its `k`-distance and
 /// local reachability density (lrd); scoring a query then needs only one
 /// k-nearest-neighbour search plus `O(k)` arithmetic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LofModel {
     /// Reference points (also stored in the index; kept here so the model
     /// can introspect itself regardless of the index backend).
@@ -98,7 +98,7 @@ pub struct LofModel {
     lrds: Vec<f64>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum IndexImpl {
     Brute(BruteForceIndex),
     KdTree(KdTreeIndex),

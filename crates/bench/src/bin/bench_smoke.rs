@@ -1,0 +1,335 @@
+//! CI benchmark smoke gate: measures session and sharded reduction
+//! throughput in quick mode, writes a `BENCH_session.json` artifact, and
+//! fails when throughput regresses more than 30 % against a checked-in
+//! baseline.
+//!
+//! ```text
+//! bench_smoke [--quick] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! * `--quick` shrinks the workload for CI (the gate thresholds do not
+//!   change: throughput is normalised to events per second).
+//! * `--out` is where the measurement artifact is written
+//!   (default `BENCH_session.json`).
+//! * `--baseline` points at the reference JSON
+//!   (`crates/bench/baselines/bench_session_baseline.json` in CI); when
+//!   omitted, no regression gate is applied (measurement-only mode).
+//!
+//! Two gates:
+//!
+//! 1. **Regression**: every measured configuration must reach at least
+//!    70 % of its baseline `reference_events_per_sec`.
+//! 2. **Sharded speedup**: with ≥ 4 hardware threads available, the
+//!    4-shard configuration must sustain ≥ 2× the single-threaded
+//!    session rate on the same multi-stream reduction
+//!    (`serial_4_sessions`: one `ReductionSession` per device, routed
+//!    inline on one thread — the only single-threaded implementation
+//!    with the same per-device windows and recorded traces). On smaller
+//!    hosts the check is reported but skipped — a bounded channel cannot
+//!    conjure cores.
+//!
+//! The artifact also records `session_push` — one session over the merged
+//! untagged feed. That configuration does per-*fleet* windows (4× fewer
+//! windows than per-device reduction), so it is faster per event but does
+//! not produce per-device traces; it is context, not the speedup
+//! baseline.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
+use mm_sim::{Scenario, Simulation};
+use trace_model::{CountingSink, InterleavedStreams, MemorySource, StreamId, TraceEvent};
+
+const DEVICES: u32 = 4;
+const SHARD_CONFIGS: [usize; 3] = [1, 2, 4];
+const REGRESSION_TOLERANCE: f64 = 0.30;
+const REQUIRED_SPEEDUP: f64 = 2.0;
+const MIN_PARALLELISM_FOR_SPEEDUP_GATE: usize = 4;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Measurement {
+    name: String,
+    events: u64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Artifact {
+    schema: u32,
+    quick: bool,
+    parallelism: usize,
+    configs: Vec<Measurement>,
+    speedup_4_shards: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BaselineEntry {
+    name: String,
+    reference_events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    schema: u32,
+    note: String,
+    configs: Vec<BaselineEntry>,
+}
+
+struct Options {
+    quick: bool,
+    out: String,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        out: "BENCH_session.json".to_string(),
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--out" => {
+                options.out = args.next().ok_or("--out needs a path")?;
+            }
+            "--baseline" => {
+                options.baseline = Some(args.next().ok_or("--baseline needs a path")?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Builds the four-device fleet workload: per-device event streams merged
+/// into one tagged, timestamp-ordered feed.
+fn fleet_workload(quick: bool) -> (Vec<(StreamId, TraceEvent)>, MonitorConfig) {
+    let (duration, reference) = if quick {
+        (Duration::from_secs(40), Duration::from_secs(15))
+    } else {
+        (Duration::from_secs(120), Duration::from_secs(40))
+    };
+    let mut config = None;
+    let sources: Vec<MemorySource> = (0..DEVICES)
+        .map(|device| {
+            // High-rate tracing (5 ms frames, 2 ms audio chunks): per-event
+            // cost dominates per-window cost, which is what the engine
+            // sees next to real tracing hardware.
+            let scenario = Scenario::builder(&format!("bench-smoke-{device}"))
+                .duration(duration)
+                .reference_duration(reference)
+                .frame_period(Duration::from_millis(5))
+                .audio_period(Duration::from_millis(2))
+                .seed(7 + u64::from(device))
+                .build()
+                .expect("valid scenario");
+            let registry = scenario.registry().expect("registry");
+            config.get_or_insert_with(|| {
+                MonitorConfig::builder()
+                    .dimensions(registry.len())
+                    .reference_duration(reference)
+                    .build()
+                    .expect("valid monitor config")
+            });
+            let events: Vec<TraceEvent> = Simulation::new(&scenario, &registry)
+                .expect("simulation")
+                .collect();
+            MemorySource::new(events).expect("ordered")
+        })
+        .collect();
+    let tagged: Vec<(StreamId, TraceEvent)> = InterleavedStreams::new(sources).collect();
+    (tagged, config.expect("at least one device"))
+}
+
+/// Best-of-`reps` events/second for one measured closure.
+fn measure(reps: usize, events: u64, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(events as f64 / elapsed);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("bench_smoke: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps = if options.quick { 2 } else { 3 };
+
+    eprintln!(
+        "bench_smoke: building {} workload on {parallelism} hardware thread(s)...",
+        if options.quick { "quick" } else { "full" }
+    );
+    let (tagged, config) = fleet_workload(options.quick);
+    let events = tagged.len() as u64;
+    let mut configs = Vec::new();
+
+    // Single push-based session over the merged stream: the baseline the
+    // sharded engine is compared against.
+    let session_rate = measure(reps, events, || {
+        let mut session = ReductionSession::new(config.clone())
+            .expect("session")
+            .with_sink(CountingSink::new());
+        for (_, event) in &tagged {
+            session.push(*event).expect("push");
+        }
+        std::hint::black_box(session.finish().expect("finish").report);
+    });
+    eprintln!("  session_push:      {:>12.0} events/s", session_rate);
+    configs.push(Measurement {
+        name: "session_push".to_string(),
+        events,
+        events_per_sec: session_rate,
+    });
+
+    // The single-threaded counterpart of the sharded engine: one session
+    // per device, routed inline on this thread. Identical output semantics
+    // (per-device windows and traces), no parallelism.
+    let serial_rate = measure(reps, events, || {
+        let mut sessions: Vec<_> = (0..DEVICES as usize)
+            .map(|_| {
+                ReductionSession::new(config.clone())
+                    .expect("session")
+                    .with_sink(CountingSink::new())
+            })
+            .collect();
+        for (source, event) in &tagged {
+            sessions[source.index() % DEVICES as usize]
+                .push(*event)
+                .expect("push");
+        }
+        for session in sessions {
+            std::hint::black_box(session.finish().expect("finish").report);
+        }
+    });
+    eprintln!("  serial_4_sessions: {:>12.0} events/s", serial_rate);
+    configs.push(Measurement {
+        name: "serial_4_sessions".to_string(),
+        events,
+        events_per_sec: serial_rate,
+    });
+
+    let mut sharded_4_rate = session_rate;
+    for shards in SHARD_CONFIGS {
+        let rate = measure(reps, events, || {
+            let mut reducer = ShardedReducer::new(config.clone(), shards)
+                .expect("reducer")
+                .with_sinks(|_| CountingSink::new());
+            reducer.push_batch(&tagged).expect("push");
+            std::hint::black_box(reducer.finish().expect("finish").report);
+        });
+        eprintln!("  sharded_{shards}:         {:>12.0} events/s", rate);
+        if shards == 4 {
+            sharded_4_rate = rate;
+        }
+        configs.push(Measurement {
+            name: format!("sharded_{shards}"),
+            events,
+            events_per_sec: rate,
+        });
+    }
+
+    let speedup = sharded_4_rate / serial_rate.max(1e-9);
+    let artifact = Artifact {
+        schema: 1,
+        quick: options.quick,
+        parallelism,
+        configs,
+        speedup_4_shards: speedup,
+    };
+    let json = serde_json::to_string(&artifact).expect("serialise artifact");
+    if let Err(error) = std::fs::write(&options.out, &json) {
+        eprintln!("bench_smoke: cannot write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench_smoke: wrote {} ({} configs, 4-shard speedup {speedup:.2}x)",
+        options.out,
+        artifact.configs.len()
+    );
+
+    let mut failed = false;
+
+    // Gate 1: regression against the checked-in baseline.
+    if let Some(path) = &options.baseline {
+        let baseline: Baseline = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(baseline) => baseline,
+            Err(error) => {
+                eprintln!("bench_smoke: cannot read baseline {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for entry in &baseline.configs {
+            let Some(measured) = artifact.configs.iter().find(|m| m.name == entry.name) else {
+                eprintln!("bench_smoke: FAIL {}: missing from this run", entry.name);
+                failed = true;
+                continue;
+            };
+            let floor = entry.reference_events_per_sec * (1.0 - REGRESSION_TOLERANCE);
+            if measured.events_per_sec < floor {
+                eprintln!(
+                    "bench_smoke: FAIL {}: {:.0} events/s is below the regression floor \
+                     {:.0} (reference {:.0}, tolerance {:.0}%)",
+                    entry.name,
+                    measured.events_per_sec,
+                    floor,
+                    entry.reference_events_per_sec,
+                    REGRESSION_TOLERANCE * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "bench_smoke: ok   {}: {:.0} events/s (floor {:.0})",
+                    entry.name, measured.events_per_sec, floor
+                );
+            }
+        }
+    } else {
+        eprintln!("bench_smoke: no --baseline given, regression gate skipped");
+    }
+
+    // Gate 2: the sharded engine must actually scale where cores exist.
+    if parallelism >= MIN_PARALLELISM_FOR_SPEEDUP_GATE {
+        if speedup < REQUIRED_SPEEDUP {
+            eprintln!(
+                "bench_smoke: FAIL sharded speedup: {speedup:.2}x over serial_4_sessions at \
+                 4 shards on {parallelism} threads, need >= {REQUIRED_SPEEDUP:.1}x"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "bench_smoke: ok   sharded speedup: {speedup:.2}x over serial_4_sessions at \
+                 4 shards (>= {REQUIRED_SPEEDUP:.1}x)"
+            );
+        }
+    } else {
+        eprintln!(
+            "bench_smoke: skip sharded speedup gate: only {parallelism} hardware thread(s) \
+             available (needs {MIN_PARALLELISM_FOR_SPEEDUP_GATE}); measured {speedup:.2}x"
+        );
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -17,6 +17,15 @@ pub enum CoreError {
     Anomaly(AnomalyError),
     /// A reference model could not be serialised or deserialised.
     ModelSerialization(String),
+    /// One worker of a sharded reduction failed; the other shards' recorded
+    /// traces are unaffected and remain recoverable from the outcome.
+    Shard {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Rendering of the shard's underlying error (the error itself is
+        /// kept, with the shard's recovered sink, in the sharded outcome).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +37,9 @@ impl fmt::Display for CoreError {
             CoreError::Anomaly(err) => write!(f, "anomaly detection error: {err}"),
             CoreError::ModelSerialization(msg) => {
                 write!(f, "reference model serialisation error: {msg}")
+            }
+            CoreError::Shard { shard, message } => {
+                write!(f, "shard {shard} failed: {message}")
             }
         }
     }
@@ -67,6 +79,10 @@ mod tests {
             CoreError::Trace(TraceError::Registry("dup".into())),
             CoreError::Anomaly(AnomalyError::InvalidConfig("k".into())),
             CoreError::ModelSerialization("bad json".into()),
+            CoreError::Shard {
+                shard: 3,
+                message: "sink storage failed".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

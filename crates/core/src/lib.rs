@@ -27,6 +27,12 @@
 //! never buffers more than the open window (plus the reference segment
 //! while learning), it runs for days next to the tracing hardware.
 //!
+//! Multi-stream rigs (one trace stream per device, pipeline or tenant)
+//! scale past one core with the [`ShardedReducer`]: a pluggable
+//! [`ShardKey`] routes tagged events to N independent session workers on
+//! bounded channels, and `finish` merges the per-shard reports into one
+//! consolidated [`ShardedReport`].
+//!
 //! ## Quick example
 //!
 //! ```rust
@@ -110,6 +116,7 @@ mod reducer;
 mod reference;
 mod report;
 mod session;
+mod shard;
 
 pub use config::{DriftGateConfig, MonitorConfig, MonitorConfigBuilder, WindowStrategy};
 pub use drift::{DriftDecision, DriftGate};
@@ -123,4 +130,8 @@ pub use reference::ReferenceModel;
 pub use report::ReductionReport;
 pub use session::{
     DecisionObserver, FnObserver, NullObserver, ReductionSession, SessionOutcome, SessionPhase,
+};
+pub use shard::{
+    HashShardKey, RoundRobinShardKey, ShardKey, ShardReportEntry, ShardResult, ShardedOutcome,
+    ShardedReducer, ShardedReport, SourceShardKey, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_DEPTH,
 };

@@ -52,6 +52,17 @@ impl RecorderStats {
         }
         self.recorded_raw_bytes as f64 / self.total_raw_bytes as f64
     }
+
+    /// Folds another recorder's accounting into this one (used when the
+    /// sharded engine consolidates per-shard reports).
+    pub fn merge(&mut self, other: &RecorderStats) {
+        self.windows_seen += other.windows_seen;
+        self.windows_recorded += other.windows_recorded;
+        self.events_recorded += other.events_recorded;
+        self.total_raw_bytes += other.total_raw_bytes;
+        self.recorded_raw_bytes += other.recorded_raw_bytes;
+        self.recorded_encoded_bytes += other.recorded_encoded_bytes;
+    }
 }
 
 /// Records anomalous windows into an [`EventSink`], encoding them with the

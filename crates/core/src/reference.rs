@@ -17,7 +17,7 @@ use crate::{CoreError, MonitorConfig, WindowPmf};
 /// Models can be serialised to JSON and reloaded, supporting the paper's
 /// "curated database of reference traces" that lets deployments skip the
 /// learning step.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReferenceModel {
     lof: LofModel,
     aggregate: WindowPmf,

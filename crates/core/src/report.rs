@@ -52,6 +52,32 @@ impl ReductionReport {
             self.lof_evaluations as f64 / self.monitored_windows as f64
         }
     }
+
+    /// A report with every counter at zero, the unit of [`merge`]; used by
+    /// the sharded engine for shards that never received an event.
+    ///
+    /// [`merge`]: ReductionReport::merge
+    pub fn empty(alpha: f64) -> Self {
+        ReductionReport {
+            monitored_windows: 0,
+            reference_windows: 0,
+            lof_evaluations: 0,
+            anomalous_windows: 0,
+            alpha,
+            recorder: RecorderStats::default(),
+        }
+    }
+
+    /// Folds another report's counters into this one, consolidating
+    /// per-shard reports into the multi-shard aggregate. `alpha` is left
+    /// untouched: all shards of one run share a configuration.
+    pub fn merge(&mut self, other: &ReductionReport) {
+        self.monitored_windows += other.monitored_windows;
+        self.reference_windows += other.reference_windows;
+        self.lof_evaluations += other.lof_evaluations;
+        self.anomalous_windows += other.anomalous_windows;
+        self.recorder.merge(&other.recorder);
+    }
 }
 
 impl fmt::Display for ReductionReport {

@@ -1,0 +1,1251 @@
+//! Sharded multi-stream reduction: N [`ReductionSession`] workers behind
+//! bounded channels.
+//!
+//! A single push-based session is bounded by one core. Real endurance rigs
+//! emit many concurrent streams — one per device, pipeline or tenant — so
+//! the [`ShardedReducer`] partitions the reduction the way large-scale
+//! trace collectors do: a pluggable [`ShardKey`] routes every tagged event
+//! to one of N shards, each shard is an independent [`ReductionSession`]
+//! running on its own `std::thread` worker fed by a bounded SPSC channel,
+//! and [`ShardedReducer::finish`] joins the workers and merges their
+//! [`ReductionReport`]s into one [`ShardedReport`].
+//!
+//! Design points:
+//!
+//! * **Backpressure.** Channels are `std::sync::mpsc::sync_channel`s of
+//!   event batches; when a worker falls behind, the router blocks instead
+//!   of buffering without bound — the same O(window) memory discipline the
+//!   session itself guarantees.
+//! * **Batching.** The router accumulates [`ShardedReducer::batch_size`]
+//!   events per shard before sending, so channel synchronisation is paid
+//!   once per few thousand events, not per event.
+//! * **Failure isolation.** A shard whose session fails (say its
+//!   storage-backed sink errors) aborts *its own* session, recovering its
+//!   sink and observer, and exits. The router surfaces the failure as
+//!   [`CoreError::Shard`] on the next push to that shard; every other
+//!   shard keeps running, and `finish` hands back all N sinks — including
+//!   the failed shard's partial recorded trace.
+//! * **Per-shard equivalence.** Routing by source id with one shard per
+//!   source makes each worker see exactly the stream a standalone session
+//!   would: the recorded traces are byte-for-byte identical (property
+//!   tested in `tests/shard_properties.rs`).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+use trace_model::{EventSink, MemorySink, ShardedSink, StreamId, TraceEvent};
+
+use crate::{
+    CoreError, DecisionObserver, MonitorConfig, NullObserver, ReductionReport, ReductionSession,
+    ReferenceModel,
+};
+
+/// Routes tagged events to shards.
+///
+/// Implementations must be deterministic per source when per-source trace
+/// equivalence matters (see [`SourceShardKey`] / [`HashShardKey`]);
+/// [`RoundRobinShardKey`] trades that property for perfect balance. Any
+/// `FnMut(StreamId, &TraceEvent, usize) -> usize` closure is a key too.
+///
+/// The returned index is taken modulo the shard count, so keys may simply
+/// hash without worrying about range.
+pub trait ShardKey {
+    /// Picks the shard (modulo `shard_count`) for one event of `source`.
+    fn shard(&mut self, source: StreamId, event: &TraceEvent, shard_count: usize) -> usize;
+}
+
+impl<F: FnMut(StreamId, &TraceEvent, usize) -> usize> ShardKey for F {
+    fn shard(&mut self, source: StreamId, event: &TraceEvent, shard_count: usize) -> usize {
+        (self)(source, event, shard_count)
+    }
+}
+
+/// Routes by raw source index: source `i` goes to shard `i % N`. With one
+/// shard per source this gives per-source trace equivalence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceShardKey;
+
+impl ShardKey for SourceShardKey {
+    fn shard(&mut self, source: StreamId, _event: &TraceEvent, shard_count: usize) -> usize {
+        source.index() % shard_count
+    }
+}
+
+/// Routes by an FNV-1a hash of the source id, decorrelating shard load
+/// from source numbering while keeping every source pinned to one shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashShardKey;
+
+impl ShardKey for HashShardKey {
+    fn shard(&mut self, source: StreamId, _event: &TraceEvent, shard_count: usize) -> usize {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in source.as_u32().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash % shard_count as u64) as usize
+    }
+}
+
+/// Routes events round-robin regardless of source — perfect balance, but
+/// one source's events spread over every shard, so per-source trace
+/// equivalence is lost. Useful when streams are homogeneous and only
+/// throughput matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinShardKey {
+    next: usize,
+}
+
+impl ShardKey for RoundRobinShardKey {
+    fn shard(&mut self, _source: StreamId, _event: &TraceEvent, shard_count: usize) -> usize {
+        let shard = self.next % shard_count;
+        self.next = self.next.wrapping_add(1);
+        shard
+    }
+}
+
+/// One shard's line in a [`ShardedReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReportEntry {
+    /// Index of the shard.
+    pub shard: usize,
+    /// Events the router handed to this shard's worker. Events queued in
+    /// the channel when a shard failed may not all have been processed.
+    pub events_routed: u64,
+    /// The shard's own reduction report (`None` if the shard failed).
+    pub report: Option<ReductionReport>,
+    /// Rendering of the shard's error, if it failed.
+    pub error: Option<String>,
+}
+
+/// Consolidated report of a sharded run: per-shard reduction reports plus
+/// the merged aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedReport {
+    /// Counters of every successful shard merged together.
+    pub aggregate: ReductionReport,
+    /// Per-shard reports, indexed by shard.
+    pub per_shard: Vec<ShardReportEntry>,
+}
+
+impl ShardedReport {
+    /// Number of shards in the run.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Total events routed across all shards.
+    pub fn events_routed(&self) -> u64 {
+        self.per_shard.iter().map(|entry| entry.events_routed).sum()
+    }
+
+    /// Indexes of the shards that failed.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .filter(|entry| entry.error.is_some())
+            .map(|entry| entry.shard)
+            .collect()
+    }
+
+    /// Whether every shard finished cleanly.
+    pub fn is_complete(&self) -> bool {
+        self.per_shard.iter().all(|entry| entry.error.is_none())
+    }
+
+    /// Aggregate volume reduction factor across all successful shards.
+    pub fn reduction_factor(&self) -> f64 {
+        self.aggregate.reduction_factor()
+    }
+}
+
+impl std::fmt::Display for ShardedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sharded reduction report: {} shards, {} events routed",
+            self.shard_count(),
+            self.events_routed()
+        )?;
+        for entry in &self.per_shard {
+            match (&entry.report, &entry.error) {
+                (Some(report), _) => writeln!(
+                    f,
+                    "  shard {}: {} events, {} monitored windows, {} recorded, {:.1}x reduction",
+                    entry.shard,
+                    entry.events_routed,
+                    report.monitored_windows,
+                    report.anomalous_windows,
+                    report.reduction_factor()
+                )?,
+                (None, Some(error)) => writeln!(f, "  shard {}: FAILED — {error}", entry.shard)?,
+                (None, None) => writeln!(f, "  shard {}: no report", entry.shard)?,
+            }
+        }
+        write!(f, "  aggregate: {}", self.aggregate)
+    }
+}
+
+/// One shard's share of a finished run: its report or error, plus the sink
+/// and observer with whatever they accumulated (the sink keeps its
+/// recorded trace even when the shard failed).
+#[derive(Debug)]
+pub struct ShardResult<S, O> {
+    /// Index of the shard.
+    pub shard: usize,
+    /// Events the router sent to this shard.
+    pub events_routed: u64,
+    /// The shard's reduction report (`None` if the shard failed).
+    pub report: Option<ReductionReport>,
+    /// The shard's error, if it failed.
+    pub error: Option<CoreError>,
+    /// The shard's event sink, holding its recorded (reduced) trace.
+    pub sink: S,
+    /// The shard's decision observer.
+    pub observer: O,
+}
+
+/// Everything a finished [`ShardedReducer`] hands back.
+#[derive(Debug)]
+pub struct ShardedOutcome<S, O> {
+    /// Consolidated per-shard and aggregate reporting (always covers every
+    /// shard).
+    pub report: ShardedReport,
+    /// Per-shard sinks, observers and errors, in shard order. A worker
+    /// that panicked lost its sink, so its entry is absent here (use
+    /// [`ShardResult::shard`], not the position, to identify shards);
+    /// session-level failures keep their entry with the partial sink.
+    pub shards: Vec<ShardResult<S, O>>,
+}
+
+impl<S: EventSink, O> ShardedOutcome<S, O> {
+    /// Whether every shard finished cleanly.
+    pub fn is_complete(&self) -> bool {
+        self.report.is_complete()
+    }
+
+    /// The first shard error, if any shard failed.
+    pub fn first_error(&self) -> Option<&CoreError> {
+        self.shards.iter().find_map(|shard| shard.error.as_ref())
+    }
+
+    /// Splits the outcome into the report, the per-shard sinks regrouped
+    /// as one [`ShardedSink`] bank, and the per-shard observers. Lane `i`
+    /// is the `i`-th recovered shard (identical to shard `i` unless a
+    /// worker panicked and its entry is absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard survived (every worker panicked, so no sink
+    /// exists to regroup); check [`ShardedOutcome::is_complete`] or the
+    /// report's errors first when user sink/observer code may panic.
+    pub fn into_parts(self) -> (ShardedReport, ShardedSink<S>, Vec<O>) {
+        assert!(
+            !self.shards.is_empty(),
+            "no shard survived: every worker panicked, there is no sink to regroup"
+        );
+        let (sinks, observers): (Vec<S>, Vec<O>) = self
+            .shards
+            .into_iter()
+            .map(|shard| (shard.sink, shard.observer))
+            .unzip();
+        (self.report, ShardedSink::from_lanes(sinks), observers)
+    }
+}
+
+/// What a worker thread hands back when it exits.
+struct ShardRun<S, O> {
+    result: Result<ReductionReport, CoreError>,
+    sink: S,
+    observer: O,
+}
+
+/// Router-side state of one shard.
+struct ShardHandle<S, O> {
+    sender: Option<SyncSender<Vec<TraceEvent>>>,
+    worker: Option<JoinHandle<ShardRun<S, O>>>,
+    /// Events routed to this shard but not yet sent to the worker.
+    pending: Vec<TraceEvent>,
+    events_routed: u64,
+    /// The worker's outcome, recovered early when the shard failed
+    /// mid-stream (a send found the channel disconnected).
+    early: Option<ShardRun<S, O>>,
+    /// The worker's rendered panic message, when it panicked instead of
+    /// returning a run (its sink is lost in that case).
+    panic: Option<String>,
+}
+
+/// Renders a worker's panic payload, preserving `panic!` string messages
+/// (the common case for bugs in user sinks/observers).
+fn panic_summary(payload: &(dyn std::any::Any + Send)) -> String {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned());
+    match detail {
+        Some(detail) => format!("worker thread panicked: {detail}"),
+        None => "worker thread panicked".into(),
+    }
+}
+
+impl<S, O> std::fmt::Debug for ShardHandle<S, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle")
+            .field("running", &self.sender.is_some())
+            .field("pending", &self.pending.len())
+            .field("events_routed", &self.events_routed)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+enum EngineState<S: EventSink, O: DecisionObserver> {
+    /// Sessions built, workers not yet spawned (no event pushed so far).
+    Idle {
+        sessions: Vec<ReductionSession<S, O>>,
+    },
+    /// Workers running.
+    Running { shards: Vec<ShardHandle<S, O>> },
+}
+
+/// Default events accumulated per shard before a channel send.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+/// Default bounded-channel depth, in batches.
+pub const DEFAULT_QUEUE_DEPTH: usize = 4;
+
+/// The sharded multi-stream reduction engine.
+///
+/// Create one with [`ShardedReducer::new`] (learning per shard) or
+/// [`ShardedReducer::from_model`] (every shard monitors against the same
+/// curated model), install sinks/observers/key before the first push, feed
+/// tagged events with [`ShardedReducer::push`], and call
+/// [`ShardedReducer::finish`] for the consolidated [`ShardedOutcome`].
+///
+/// ```rust
+/// use endurance_core::{MonitorConfig, ShardedReducer};
+/// use trace_model::{EventTypeId, StreamId, Timestamp, TraceEvent};
+///
+/// # fn main() -> Result<(), endurance_core::CoreError> {
+/// let config = MonitorConfig::builder()
+///     .dimensions(1)
+///     .reference_duration(std::time::Duration::from_secs(2))
+///     .build()?;
+/// let mut reducer = ShardedReducer::new(config, 2)?;
+/// for i in 0..50_000u64 {
+///     let source = StreamId::new((i % 2) as u32);
+///     let event = TraceEvent::new(Timestamp::from_micros(i / 2 * 200), EventTypeId::new(0), 0);
+///     reducer.push(source, event)?;
+/// }
+/// let outcome = reducer.finish()?;
+/// assert!(outcome.is_complete());
+/// assert!(outcome.report.aggregate.reduction_factor() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedReducer<
+    S: EventSink = MemorySink,
+    O: DecisionObserver = NullObserver,
+    K = SourceShardKey,
+> {
+    config: MonitorConfig,
+    key: K,
+    batch_size: usize,
+    queue_depth: usize,
+    state: EngineState<S, O>,
+}
+
+impl ShardedReducer<MemorySink, NullObserver, SourceShardKey> {
+    /// Creates a sharded reducer with `shards` independent learning
+    /// sessions, default in-memory sinks, discarding observers and
+    /// source-id routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is
+    /// invalid or `shards` is zero.
+    pub fn new(config: MonitorConfig, shards: usize) -> Result<Self, CoreError> {
+        Self::build(config, shards, ReductionSession::new)
+    }
+
+    /// Creates a sharded reducer whose shards all monitor against the same
+    /// already fitted model, skipping the learning phase (the paper's
+    /// curated-reference workflow, fanned out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the model's configuration
+    /// is invalid or `shards` is zero.
+    pub fn from_model(model: ReferenceModel, shards: usize) -> Result<Self, CoreError> {
+        let config = model.config().clone();
+        Self::build(config, shards, |_| {
+            ReductionSession::from_model(model.clone())
+        })
+    }
+
+    fn build(
+        config: MonitorConfig,
+        shards: usize,
+        mut session: impl FnMut(MonitorConfig) -> Result<ReductionSession, CoreError>,
+    ) -> Result<Self, CoreError> {
+        if shards == 0 {
+            return Err(CoreError::InvalidConfig(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        config.validate()?;
+        let sessions = (0..shards)
+            .map(|_| session(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedReducer {
+            config,
+            key: SourceShardKey,
+            batch_size: DEFAULT_BATCH_SIZE,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            state: EngineState::Idle { sessions },
+        })
+    }
+}
+
+impl<S: EventSink, O: DecisionObserver, K: ShardKey> ShardedReducer<S, O, K> {
+    /// The shared monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        match &self.state {
+            EngineState::Idle { sessions } => sessions.len(),
+            EngineState::Running { shards } => shards.len(),
+        }
+    }
+
+    /// Total events routed so far.
+    pub fn events_routed(&self) -> u64 {
+        match &self.state {
+            EngineState::Idle { .. } => 0,
+            EngineState::Running { shards } => shards.iter().map(|s| s.events_routed).sum(),
+        }
+    }
+
+    /// Events accumulated per shard before a channel send.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    fn idle_sessions(self) -> (MonitorConfig, K, usize, usize, Vec<ReductionSession<S, O>>) {
+        let EngineState::Idle { sessions } = self.state else {
+            panic!(
+                "sinks, observers and the shard key must be installed before any event is pushed"
+            );
+        };
+        (
+            self.config,
+            self.key,
+            self.batch_size,
+            self.queue_depth,
+            sessions,
+        )
+    }
+
+    /// Replaces every shard's sink, calling `factory` with each shard
+    /// index; keeps every other setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_sinks<S2: EventSink>(
+        self,
+        mut factory: impl FnMut(usize) -> S2,
+    ) -> ShardedReducer<S2, O, K> {
+        let (config, key, batch_size, queue_depth, sessions) = self.idle_sessions();
+        let sessions = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(index, session)| session.with_sink(factory(index)))
+            .collect();
+        ShardedReducer {
+            config,
+            key,
+            batch_size,
+            queue_depth,
+            state: EngineState::Idle { sessions },
+        }
+    }
+
+    /// Replaces every shard's decision observer, calling `factory` with
+    /// each shard index; keeps every other setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_observers<O2: DecisionObserver>(
+        self,
+        mut factory: impl FnMut(usize) -> O2,
+    ) -> ShardedReducer<S, O2, K> {
+        let (config, key, batch_size, queue_depth, sessions) = self.idle_sessions();
+        let sessions = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(index, session)| session.with_observer(factory(index)))
+            .collect();
+        ShardedReducer {
+            config,
+            key,
+            batch_size,
+            queue_depth,
+            state: EngineState::Idle { sessions },
+        }
+    }
+
+    /// Replaces the routing key; keeps every other setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_shard_key<K2: ShardKey>(self, key: K2) -> ShardedReducer<S, O, K2> {
+        let (config, _, batch_size, queue_depth, sessions) = self.idle_sessions();
+        ShardedReducer {
+            config,
+            key,
+            batch_size,
+            queue_depth,
+            state: EngineState::Idle { sessions },
+        }
+    }
+
+    /// Sets how many events the router accumulates per shard before a
+    /// channel send (clamped to at least 1), and how many such batches a
+    /// shard's channel buffers before the router blocks (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_channel(mut self, batch_size: usize, queue_depth: usize) -> Self {
+        assert!(
+            matches!(self.state, EngineState::Idle { .. }),
+            "the channel geometry must be set before any event is pushed"
+        );
+        self.batch_size = batch_size.max(1);
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+}
+
+impl<S, O, K> ShardedReducer<S, O, K>
+where
+    S: EventSink + Send + 'static,
+    O: DecisionObserver + Send + 'static,
+    K: ShardKey,
+{
+    /// Spawns the worker threads (first push only).
+    fn start(&mut self) {
+        if matches!(self.state, EngineState::Running { .. }) {
+            return;
+        }
+        let EngineState::Idle { sessions } =
+            std::mem::replace(&mut self.state, EngineState::Running { shards: Vec::new() })
+        else {
+            unreachable!("checked above");
+        };
+        let batch_size = self.batch_size;
+        let queue_depth = self.queue_depth;
+        let shards = sessions
+            .into_iter()
+            .map(|session| {
+                let (sender, receiver) = sync_channel(queue_depth);
+                let worker = std::thread::spawn(move || run_shard(session, receiver));
+                ShardHandle {
+                    sender: Some(sender),
+                    worker: Some(worker),
+                    pending: Vec::with_capacity(batch_size),
+                    events_routed: 0,
+                    early: None,
+                    panic: None,
+                }
+            })
+            .collect();
+        self.state = EngineState::Running { shards };
+    }
+
+    /// Routes one tagged event to its shard.
+    ///
+    /// The router buffers up to [`ShardedReducer::batch_size`] events per
+    /// shard before handing them to the worker; when the shard's bounded
+    /// channel is full the call blocks (backpressure). Events of one
+    /// source must arrive in non-decreasing timestamp order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] when the target shard's worker has
+    /// failed. The failure is sticky for that shard, other shards keep
+    /// running, and the failed shard's partial recorded trace remains
+    /// available from [`ShardedReducer::finish`].
+    pub fn push(&mut self, source: StreamId, event: TraceEvent) -> Result<(), CoreError> {
+        self.start();
+        let batch_size = self.batch_size;
+        let EngineState::Running { shards } = &mut self.state else {
+            unreachable!("started above");
+        };
+        let index = self.key.shard(source, &event, shards.len()) % shards.len();
+        let shard = &mut shards[index];
+        if shard.sender.is_none() {
+            return Err(shard_failed(index, shard));
+        }
+        shard.pending.push(event);
+        shard.events_routed += 1;
+        if shard.pending.len() >= batch_size {
+            flush_shard(shard, index, batch_size)?;
+        }
+        Ok(())
+    }
+
+    /// Routes a batch of tagged events (convenience over
+    /// [`ShardedReducer::push`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedReducer::push`].
+    pub fn push_batch(&mut self, events: &[(StreamId, TraceEvent)]) -> Result<(), CoreError> {
+        for (source, event) in events {
+            self.push(*source, *event)?;
+        }
+        Ok(())
+    }
+
+    /// Drains an iterator of tagged events (for example
+    /// [`trace_model::InterleavedStreams`]) to exhaustion, routing
+    /// *around* failed shards: events destined for a shard whose worker
+    /// already failed are dropped (their worker is gone), while every
+    /// healthy shard keeps receiving its full stream — the failure
+    /// isolation the engine promises. Per-shard failures surface in the
+    /// [`ShardedOutcome`]. Returns how many events were routed to live
+    /// shards.
+    ///
+    /// Use [`ShardedReducer::push`] / [`ShardedReducer::push_batch`]
+    /// instead when the caller wants to react to the first shard failure
+    /// (they fail fast).
+    ///
+    /// # Errors
+    ///
+    /// Currently never fails; the `Result` mirrors the other push APIs.
+    pub fn push_tagged<I>(&mut self, events: I) -> Result<u64, CoreError>
+    where
+        I: IntoIterator<Item = (StreamId, TraceEvent)>,
+    {
+        // Count via the routed-events accounting rather than per-push
+        // returns: a failed flush retracts the whole dropped batch, which
+        // earlier pushes had already accepted.
+        let before = self.events_routed();
+        for (source, event) in events {
+            // Push errors are always sticky per-shard failures
+            // (CoreError::Shard), already recorded for the outcome.
+            let _ = self.push(source, event);
+        }
+        Ok(self.events_routed() - before)
+    }
+
+    /// Flushes router buffers, joins every worker and merges the per-shard
+    /// reports into a [`ShardedOutcome`].
+    ///
+    /// Shards that failed mid-run are reported per shard (report `None`,
+    /// error set) — their sinks still hold whatever was recorded before
+    /// the failure, and the aggregate report covers the successful shards.
+    /// A shard that never received an event contributes an empty report
+    /// rather than a learning error.
+    ///
+    /// A worker that *panicked* (a bug in a user sink or observer, not an
+    /// I/O failure) took its sink down with it: its `per_shard` entry
+    /// carries the panic as its error and no [`ShardResult`] exists for
+    /// it, but every other shard is still joined and handed back intact.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` is reserved for
+    /// consolidation-level failures.
+    pub fn finish(mut self) -> Result<ShardedOutcome<S, O>, CoreError> {
+        self.start();
+        let alpha = self.config.alpha;
+        let EngineState::Running { shards } = &mut self.state else {
+            unreachable!("started above");
+        };
+        // Hand every worker its trailing batch and close the channels so
+        // they all wind down in parallel.
+        for (index, shard) in shards.iter_mut().enumerate() {
+            if shard.sender.is_some() && !shard.pending.is_empty() {
+                // A failure here is the worker exiting early; its error is
+                // collected at join below.
+                let _ = flush_shard(shard, index, 0);
+            }
+            shard.sender = None;
+        }
+        let mut results = Vec::with_capacity(shards.len());
+        let mut entries = Vec::with_capacity(shards.len());
+        let mut aggregate = ReductionReport::empty(alpha);
+        for (index, shard) in shards.iter_mut().enumerate() {
+            // Three cases: the run was recovered early (mid-stream
+            // failure), the worker is still joinable, or the worker
+            // panicked (either now at join, or earlier — in which case it
+            // was already joined by `flush_shard` and left nothing).
+            let mut run = shard.early.take();
+            if run.is_none() {
+                if let Some(worker) = shard.worker.take() {
+                    match worker.join() {
+                        Ok(joined) => run = Some(joined),
+                        Err(payload) => shard.panic = Some(panic_summary(payload.as_ref())),
+                    }
+                }
+            }
+            let Some(run) = run else {
+                // The worker panicked and its sink is gone; report the
+                // shard as failed and keep consolidating the others.
+                entries.push(ShardReportEntry {
+                    shard: index,
+                    events_routed: shard.events_routed,
+                    report: None,
+                    error: Some(
+                        shard
+                            .panic
+                            .clone()
+                            .unwrap_or_else(|| "worker thread panicked".into()),
+                    ),
+                });
+                continue;
+            };
+            let (report, error) = match run.result {
+                Ok(report) => {
+                    aggregate.merge(&report);
+                    (Some(report), None)
+                }
+                Err(error) => (None, Some(error)),
+            };
+            entries.push(ShardReportEntry {
+                shard: index,
+                events_routed: shard.events_routed,
+                report,
+                error: error.as_ref().map(ToString::to_string),
+            });
+            results.push(ShardResult {
+                shard: index,
+                events_routed: shard.events_routed,
+                report,
+                error,
+                sink: run.sink,
+                observer: run.observer,
+            });
+        }
+        Ok(ShardedOutcome {
+            report: ShardedReport {
+                aggregate,
+                per_shard: entries,
+            },
+            shards: results,
+        })
+    }
+}
+
+/// Sends a shard's pending batch to its worker; on a disconnected channel
+/// (the worker exited early) joins the worker, stows the recovered run and
+/// surfaces the shard failure.
+fn flush_shard<S, O>(
+    shard: &mut ShardHandle<S, O>,
+    index: usize,
+    refill_capacity: usize,
+) -> Result<(), CoreError> {
+    let batch = std::mem::replace(&mut shard.pending, Vec::with_capacity(refill_capacity));
+    let sender = shard.sender.as_ref().expect("checked by caller");
+    let dropped = match sender.send(batch) {
+        Ok(()) => return Ok(()),
+        // The send hands the unsent batch back; those events never reached
+        // the worker, so they must not count as routed.
+        Err(returned) => returned.0.len(),
+    };
+    shard.events_routed -= dropped as u64;
+    // The worker dropped its receiver: it failed and exited. Join it now
+    // so the error (and the recovered sink) is available immediately.
+    shard.sender = None;
+    if let Some(worker) = shard.worker.take() {
+        match worker.join() {
+            Ok(run) => shard.early = Some(run),
+            Err(payload) => shard.panic = Some(panic_summary(payload.as_ref())),
+        }
+    }
+    Err(shard_failed(index, shard))
+}
+
+/// Renders a sticky shard failure from the recovered run.
+fn shard_failed<S, O>(index: usize, shard: &ShardHandle<S, O>) -> CoreError {
+    let message = match &shard.early {
+        Some(run) => match &run.result {
+            Err(error) => error.to_string(),
+            Ok(_) => "worker exited before end of stream".into(),
+        },
+        None => shard
+            .panic
+            .clone()
+            .unwrap_or_else(|| "worker thread panicked".into()),
+    };
+    CoreError::Shard {
+        shard: index,
+        message,
+    }
+}
+
+/// Worker body: drain batches into the session, finish (or abort) it, and
+/// hand back the report with the sink and observer.
+fn run_shard<S: EventSink, O: DecisionObserver>(
+    mut session: ReductionSession<S, O>,
+    batches: Receiver<Vec<TraceEvent>>,
+) -> ShardRun<S, O> {
+    while let Ok(batch) = batches.recv() {
+        for event in batch {
+            if let Err(error) = session.push(event) {
+                // Recover the sink (with every window recorded so far) and
+                // exit; the router sees the dropped receiver on its next
+                // send to this shard.
+                let (sink, observer) = session.abort();
+                return ShardRun {
+                    result: Err(error),
+                    sink,
+                    observer,
+                };
+            }
+        }
+    }
+    // Channel closed: end of stream. An idle shard (hash routing with few
+    // sources, say) has nothing to learn from — report an empty run
+    // instead of a reference error.
+    if session.events_pushed() == 0 {
+        let alpha = session.config().alpha;
+        let (sink, observer) = session.abort();
+        return ShardRun {
+            result: Ok(ReductionReport::empty(alpha)),
+            sink,
+            observer,
+        };
+    }
+    if let Err(error) = session.flush() {
+        let (sink, observer) = session.abort();
+        return ShardRun {
+            result: Err(error),
+            sink,
+            observer,
+        };
+    }
+    let outcome = session
+        .finish()
+        .expect("finish after a successful flush only moves parts");
+    ShardRun {
+        result: Ok(outcome.report),
+        sink: outcome.sink,
+        observer: outcome.observer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use trace_model::{EventTypeId, Timestamp, TraceError};
+
+    fn config() -> MonitorConfig {
+        MonitorConfig::builder()
+            .dimensions(3)
+            .k(10)
+            .reference_duration(Duration::from_secs(2))
+            .build()
+            .unwrap()
+    }
+
+    /// `sources` interleaved 5 kHz streams covering `total` of trace time.
+    fn tagged_stream(
+        sources: u32,
+        total: Duration,
+    ) -> impl Iterator<Item = (StreamId, TraceEvent)> {
+        let tick_nanos = 200_000u64;
+        let end = Timestamp::from(total).as_nanos();
+        (0..end / tick_nanos).flat_map(move |i| {
+            (0..sources).map(move |s| {
+                (
+                    StreamId::new(s),
+                    TraceEvent::new(
+                        Timestamp::from_nanos(i * tick_nanos),
+                        EventTypeId::new((i % 3) as u16),
+                        s,
+                    ),
+                )
+            })
+        })
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ReductionSession>();
+        assert_send::<ReductionSession<trace_model::CountingSink, Vec<crate::WindowDecision>>>();
+        assert_send::<ShardedReducer>();
+        assert_send::<CoreError>();
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(matches!(
+            ShardedReducer::new(config(), 0),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_run_merges_per_shard_reports() {
+        let mut reducer = ShardedReducer::new(config(), 4)
+            .unwrap()
+            .with_channel(256, 4);
+        let routed = reducer
+            .push_tagged(tagged_stream(4, Duration::from_secs(5)))
+            .unwrap();
+        let outcome = reducer.finish().unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report.shard_count(), 4);
+        assert_eq!(outcome.report.events_routed(), routed);
+        let per_shard_monitored: u64 = outcome
+            .report
+            .per_shard
+            .iter()
+            .map(|entry| entry.report.as_ref().unwrap().monitored_windows)
+            .sum();
+        assert!(per_shard_monitored > 0);
+        assert_eq!(
+            outcome.report.aggregate.monitored_windows,
+            per_shard_monitored
+        );
+        let display = outcome.report.to_string();
+        assert!(display.contains("4 shards"));
+        assert!(display.contains("aggregate:"));
+    }
+
+    #[test]
+    fn idle_shards_report_empty_instead_of_failing() {
+        // 2 sources over 8 shards with source routing: 6 shards stay idle.
+        let mut reducer = ShardedReducer::new(config(), 8).unwrap();
+        reducer
+            .push_tagged(tagged_stream(2, Duration::from_secs(4)))
+            .unwrap();
+        let outcome = reducer.finish().unwrap();
+        assert!(outcome.is_complete());
+        let idle = outcome
+            .report
+            .per_shard
+            .iter()
+            .filter(|entry| entry.events_routed == 0)
+            .count();
+        assert_eq!(idle, 6);
+        for entry in &outcome.report.per_shard {
+            if entry.events_routed == 0 {
+                assert_eq!(entry.report.as_ref().unwrap().monitored_windows, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn finish_without_any_push_yields_empty_aggregate() {
+        let reducer = ShardedReducer::new(config(), 2).unwrap();
+        let outcome = reducer.finish().unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report.events_routed(), 0);
+        assert_eq!(outcome.report.aggregate.monitored_windows, 0);
+    }
+
+    #[test]
+    fn round_robin_key_balances_evenly() {
+        let mut key = RoundRobinShardKey::default();
+        let event = TraceEvent::new(Timestamp::ZERO, EventTypeId::new(0), 0);
+        let mut counts = [0u32; 3];
+        for _ in 0..9 {
+            counts[key.shard(StreamId::new(0), &event, 3)] += 1;
+        }
+        assert_eq!(counts, [3, 3, 3]);
+    }
+
+    #[test]
+    fn hash_key_is_stable_per_source() {
+        let mut key = HashShardKey;
+        let event = TraceEvent::new(Timestamp::ZERO, EventTypeId::new(0), 0);
+        let first = key.shard(StreamId::new(17), &event, 5);
+        for _ in 0..10 {
+            assert_eq!(key.shard(StreamId::new(17), &event, 5), first);
+        }
+    }
+
+    #[test]
+    fn closure_keys_are_pluggable_and_wrap_modulo() {
+        let config = config();
+        let mut reducer = ShardedReducer::new(config, 2)
+            .unwrap()
+            // Deliberately out-of-range: the engine wraps modulo N.
+            .with_shard_key(|source: StreamId, _: &TraceEvent, _: usize| source.index() + 7);
+        reducer
+            .push_tagged(tagged_stream(2, Duration::from_secs(4)))
+            .unwrap();
+        let outcome = reducer.finish().unwrap();
+        assert!(outcome.is_complete());
+        assert!(outcome
+            .report
+            .per_shard
+            .iter()
+            .all(|entry| entry.events_routed > 0));
+    }
+
+    /// A sink that fails after `records_left` recorded windows.
+    #[derive(Debug, Default)]
+    struct FlakySink {
+        events: Vec<TraceEvent>,
+        records_left: usize,
+        fail: bool,
+    }
+
+    impl EventSink for FlakySink {
+        fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+            if self.fail && self.records_left == 0 {
+                return Err(TraceError::InvalidWindowConfig(
+                    "sink storage failed".into(),
+                ));
+            }
+            self.records_left = self.records_left.saturating_sub(1);
+            self.events.extend_from_slice(events);
+            Ok(())
+        }
+
+        fn recorded_events(&self) -> usize {
+            self.events.len()
+        }
+    }
+
+    #[test]
+    fn one_failing_shard_leaves_the_others_traces_intact() {
+        // Alpha 1.0 with the gate disabled records essentially every
+        // window, so the flaky shard fails fast.
+        let config = MonitorConfig::builder()
+            .dimensions(3)
+            .k(10)
+            .alpha(1.0)
+            .drift_gate(crate::DriftGateConfig::Disabled)
+            .reference_duration(Duration::from_secs(2))
+            .build()
+            .unwrap();
+        let mut reducer = ShardedReducer::new(config, 3)
+            .unwrap()
+            .with_channel(64, 2)
+            .with_sinks(|shard| FlakySink {
+                events: Vec::new(),
+                records_left: 2,
+                fail: shard == 1,
+            });
+        let mut push_error = None;
+        for tagged in tagged_stream(3, Duration::from_secs(20)) {
+            if let Err(error) = reducer.push(tagged.0, tagged.1) {
+                push_error = Some(error);
+                break;
+            }
+        }
+        let error = push_error.expect("the flaky shard must surface its failure");
+        assert!(
+            matches!(error, CoreError::Shard { shard: 1, .. }),
+            "{error}"
+        );
+
+        let outcome = reducer.finish().unwrap();
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.report.failed_shards(), vec![1]);
+        assert!(matches!(outcome.first_error(), Some(CoreError::Trace(_))));
+        // The healthy shards finished with full reports; the failed shard
+        // still hands back the windows it recorded before the fault.
+        for shard in &outcome.shards {
+            if shard.shard == 1 {
+                assert!(shard.report.is_none());
+                // Two windows of 200 events (5 kHz × 40 ms) were recorded
+                // before the sink fault.
+                assert_eq!(shard.sink.recorded_events(), 2 * 200);
+            } else {
+                assert!(shard.report.is_some());
+                assert!(shard.sink.recorded_events() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pushes_to_a_failed_shard_stay_failed_while_others_continue() {
+        let config = MonitorConfig::builder()
+            .dimensions(3)
+            .k(10)
+            .alpha(1.0)
+            .drift_gate(crate::DriftGateConfig::Disabled)
+            .reference_duration(Duration::from_secs(2))
+            .build()
+            .unwrap();
+        let mut reducer = ShardedReducer::new(config, 2)
+            .unwrap()
+            .with_channel(32, 1)
+            .with_sinks(|shard| FlakySink {
+                events: Vec::new(),
+                records_left: 1,
+                fail: shard == 0,
+            });
+        let mut first_failure = None;
+        for (i, tagged) in tagged_stream(2, Duration::from_secs(20)).enumerate() {
+            match reducer.push(tagged.0, tagged.1) {
+                Ok(()) => {}
+                Err(_) if first_failure.is_none() => first_failure = Some(i),
+                Err(error) => {
+                    // Sticky: the same shard keeps erroring...
+                    assert!(matches!(error, CoreError::Shard { shard: 0, .. }));
+                }
+            }
+        }
+        assert!(first_failure.is_some());
+        let outcome = reducer.finish().unwrap();
+        // ...while the healthy shard completed the whole stream.
+        let healthy = &outcome.shards[1];
+        assert!(healthy.report.is_some());
+        assert!(healthy.events_routed > outcome.shards[0].events_routed);
+    }
+
+    /// A sink that panics after a set number of recorded windows — a bug
+    /// in user code, not an I/O failure.
+    #[derive(Debug, Default)]
+    struct PanickingSink {
+        events: Vec<TraceEvent>,
+        records_left: usize,
+        armed: bool,
+    }
+
+    impl EventSink for PanickingSink {
+        fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+            if self.armed && self.records_left == 0 {
+                panic!("sink bug");
+            }
+            self.records_left = self.records_left.saturating_sub(1);
+            self.events.extend_from_slice(events);
+            Ok(())
+        }
+
+        fn recorded_events(&self) -> usize {
+            self.events.len()
+        }
+    }
+
+    #[test]
+    fn a_panicking_worker_does_not_lose_the_other_shards_sinks() {
+        let config = MonitorConfig::builder()
+            .dimensions(3)
+            .k(10)
+            .alpha(1.0)
+            .drift_gate(crate::DriftGateConfig::Disabled)
+            .reference_duration(Duration::from_secs(2))
+            .build()
+            .unwrap();
+        let mut reducer = ShardedReducer::new(config, 3)
+            .unwrap()
+            .with_channel(64, 2)
+            .with_sinks(|shard| PanickingSink {
+                events: Vec::new(),
+                records_left: 1,
+                armed: shard == 1,
+            });
+        // push_tagged routes around the panicked shard, so the healthy
+        // shards still receive their full streams.
+        reducer
+            .push_tagged(tagged_stream(3, Duration::from_secs(15)))
+            .unwrap();
+        let outcome = reducer.finish().unwrap();
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.report.shard_count(), 3);
+        assert_eq!(outcome.report.failed_shards(), vec![1]);
+        // The panic payload is preserved for diagnosis.
+        let error = outcome.report.per_shard[1].error.as_deref().unwrap();
+        assert!(error.contains("panicked"), "{error}");
+        assert!(error.contains("sink bug"), "{error}");
+        // The panicked worker's sink is gone, but both healthy shards are
+        // handed back complete.
+        let recovered: Vec<usize> = outcome.shards.iter().map(|shard| shard.shard).collect();
+        assert_eq!(recovered, vec![0, 2]);
+        for shard in &outcome.shards {
+            assert!(shard.report.is_some());
+            assert!(shard.sink.recorded_events() > 0);
+        }
+        assert!(outcome.report.aggregate.monitored_windows > 0);
+    }
+
+    #[test]
+    fn from_model_shards_skip_learning() {
+        let mut learn = ReductionSession::new(config()).unwrap();
+        for (_, event) in tagged_stream(1, Duration::from_secs(4)) {
+            learn.push(event).unwrap();
+        }
+        learn.flush().unwrap();
+        let model = learn.model().unwrap().clone();
+
+        let mut reducer = ShardedReducer::from_model(model, 2).unwrap();
+        reducer
+            .push_tagged(tagged_stream(2, Duration::from_secs(3)))
+            .unwrap();
+        let outcome = reducer.finish().unwrap();
+        assert!(outcome.is_complete());
+        // No learning phase: every shard echoes the curated model's
+        // reference count and monitors from its very first window.
+        let model_references = outcome.report.per_shard[0]
+            .report
+            .as_ref()
+            .unwrap()
+            .reference_windows;
+        assert!(model_references > 0);
+        assert_eq!(
+            outcome.report.aggregate.reference_windows,
+            2 * model_references
+        );
+        assert!(outcome.report.aggregate.monitored_windows > 0);
+    }
+
+    #[test]
+    fn outcome_into_parts_regroups_sinks_as_lanes() {
+        let mut reducer = ShardedReducer::new(config(), 2).unwrap();
+        reducer
+            .push_tagged(tagged_stream(2, Duration::from_secs(4)))
+            .unwrap();
+        let outcome = reducer.finish().unwrap();
+        let (report, sinks, observers) = outcome.into_parts();
+        assert_eq!(report.shard_count(), 2);
+        assert_eq!(sinks.lane_count(), 2);
+        assert_eq!(observers.len(), 2);
+        assert_eq!(
+            sinks.recorded_events() as u64,
+            report.aggregate.recorder.events_recorded
+        );
+    }
+
+    #[test]
+    fn sharded_report_serde_round_trips() {
+        let mut reducer = ShardedReducer::new(config(), 2).unwrap();
+        reducer
+            .push_tagged(tagged_stream(2, Duration::from_secs(4)))
+            .unwrap();
+        let report = reducer.finish().unwrap().report;
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ShardedReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event is pushed")]
+    fn with_sinks_after_push_panics() {
+        let mut reducer = ShardedReducer::new(config(), 2).unwrap();
+        reducer
+            .push(
+                StreamId::new(0),
+                TraceEvent::new(Timestamp::ZERO, EventTypeId::new(0), 0),
+            )
+            .unwrap();
+        let _ = reducer.with_sinks(|_| MemorySink::new());
+    }
+}

@@ -267,7 +267,7 @@ impl Predictor {
     fn predict(&self, index: usize, window: &Window) -> bool {
         match self {
             Predictor::RecordAll => true,
-            Predictor::UniformSampling { stride } => index.is_multiple_of(*stride),
+            Predictor::UniformSampling { stride } => index % *stride == 0,
             Predictor::Rate(detector) => detector.is_anomalous(window.len() as f64),
             Predictor::ZScore {
                 detector,

@@ -4,11 +4,39 @@
 use std::time::Duration;
 
 use endurance_core::{MonitorConfig, ReductionReport, ReductionSession, WindowDecision};
-use mm_sim::{Scenario, Simulation};
+use mm_sim::{PerturbationSchedule, Scenario, Simulation};
 
 use crate::{
     label_decisions, ConfusionMatrix, DelayCalibration, EvalError, GroundTruth, LabeledDecision,
 };
+
+/// Decisions evaluated against a perturbation schedule: the one labelling
+/// pipeline shared by the single- and multi-stream experiment runners.
+#[derive(Debug)]
+pub(crate) struct EvaluatedDecisions {
+    pub delays: Option<DelayCalibration>,
+    pub truth: GroundTruth,
+    pub labeled: Vec<LabeledDecision>,
+    pub confusion: ConfusionMatrix,
+}
+
+/// Calibrates delays, derives the ground truth and labels the decisions.
+pub(crate) fn evaluate_decisions(
+    perturbations: &PerturbationSchedule,
+    decisions: &[WindowDecision],
+) -> EvaluatedDecisions {
+    let delays = DelayCalibration::from_decisions(perturbations, decisions);
+    let truth =
+        GroundTruth::from_schedule(perturbations, delays.unwrap_or_else(DelayCalibration::zero));
+    let labeled = label_decisions(decisions, &truth);
+    let confusion = ConfusionMatrix::from_labels(&labeled);
+    EvaluatedDecisions {
+        delays,
+        truth,
+        labeled,
+        confusion,
+    }
+}
 
 /// A complete experiment: a simulated workload plus a monitor configuration.
 #[derive(Debug, Clone)]
@@ -125,21 +153,15 @@ impl Experiment {
         let outcome = session.finish()?;
         let (report, decisions) = (outcome.report, outcome.observer);
 
-        let delays = DelayCalibration::from_decisions(&self.scenario.perturbations, &decisions);
-        let truth = GroundTruth::from_schedule(
-            &self.scenario.perturbations,
-            delays.unwrap_or_else(DelayCalibration::zero),
-        );
-        let labeled = label_decisions(&decisions, &truth);
-        let confusion = ConfusionMatrix::from_labels(&labeled);
+        let evaluated = evaluate_decisions(&self.scenario.perturbations, &decisions);
 
         Ok(ExperimentResult {
             report,
-            confusion,
-            delays,
-            truth,
+            confusion: evaluated.confusion,
+            delays: evaluated.delays,
+            truth: evaluated.truth,
             decisions,
-            labeled,
+            labeled: evaluated.labeled,
         })
     }
 }

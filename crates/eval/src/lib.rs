@@ -38,6 +38,7 @@ mod experiment;
 mod ground_truth;
 mod labeling;
 mod metrics;
+mod multistream;
 mod report;
 mod size;
 mod sweep;
@@ -48,6 +49,7 @@ pub use experiment::{Experiment, ExperimentResult};
 pub use ground_truth::{DelayCalibration, GroundTruth};
 pub use labeling::{label_decisions, LabeledDecision, WindowLabel};
 pub use metrics::ConfusionMatrix;
+pub use multistream::{MultiStreamExperiment, MultiStreamResult, StreamResult};
 pub use report::{baseline_table, headline_table, sweep_table};
 pub use size::format_bytes;
 pub use sweep::{alpha_sweep_from_decisions, default_alpha_grid, SweepPoint};

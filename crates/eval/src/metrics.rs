@@ -44,6 +44,15 @@ impl ConfusionMatrix {
         self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
     }
 
+    /// Folds another matrix's counts into this one (used to combine
+    /// per-stream matrices of a multi-stream run).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.true_negatives += other.true_negatives;
+    }
+
     /// `TP / (TP + FP)` — the fraction of flagged windows that were truly
     /// anomalous. Returns 0 when nothing was flagged.
     pub fn precision(&self) -> f64 {

@@ -1,0 +1,195 @@
+//! Multi-stream experiment mode: several simulated devices reduced by one
+//! sharded engine.
+//!
+//! Real endurance rigs monitor a fleet — one trace stream per device under
+//! test. This module simulates `N` independent workloads (same shape,
+//! different seeds), funnels them through a single
+//! [`ShardedReducer`] with one shard per stream, and evaluates every
+//! stream against its own ground truth, alongside the consolidated
+//! [`ShardedReport`].
+
+use std::time::Duration;
+
+use endurance_core::{ShardedReducer, ShardedReport, WindowDecision};
+use mm_sim::Simulation;
+use trace_model::{InterleavedStreams, StreamId};
+
+use crate::experiment::evaluate_decisions;
+use crate::{ConfusionMatrix, EvalError, Experiment};
+
+/// A fleet of per-stream experiments reduced by one sharded engine.
+///
+/// Every stream keeps its own [`Experiment`] (scenario + ground truth);
+/// the monitor configuration must be identical across streams because all
+/// shards of one engine share it.
+#[derive(Debug, Clone)]
+pub struct MultiStreamExperiment {
+    streams: Vec<Experiment>,
+}
+
+/// One stream's share of a multi-stream run.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// Which stream (and shard) this is.
+    pub stream: StreamId,
+    /// The stream's own reduction report.
+    pub report: endurance_core::ReductionReport,
+    /// Detection quality against the stream's own ground truth.
+    pub confusion: ConfusionMatrix,
+    /// The stream's monitor decisions, in stream order.
+    pub decisions: Vec<WindowDecision>,
+}
+
+/// Everything measured by a multi-stream run.
+#[derive(Debug)]
+pub struct MultiStreamResult {
+    /// Consolidated per-shard and aggregate reporting.
+    pub report: ShardedReport,
+    /// Per-stream reports and detection quality.
+    pub streams: Vec<StreamResult>,
+    /// Per-stream confusion matrices merged into one fleet-level matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+impl MultiStreamExperiment {
+    /// Builds a fleet from per-stream experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidExperiment`] when no stream is given or
+    /// the streams' monitor configurations differ.
+    pub fn new(streams: Vec<Experiment>) -> Result<Self, EvalError> {
+        let Some(first) = streams.first() else {
+            return Err(EvalError::InvalidExperiment(
+                "a multi-stream experiment needs at least one stream".into(),
+            ));
+        };
+        if let Some(index) = streams.iter().position(|s| s.monitor != first.monitor) {
+            return Err(EvalError::InvalidExperiment(format!(
+                "stream {index} uses a different monitor configuration than stream 0; \
+                 all shards of one engine share a configuration"
+            )));
+        }
+        Ok(MultiStreamExperiment { streams })
+    }
+
+    /// The paper's experiment scaled to `duration`, replicated over
+    /// `streams` devices with seeds `base_seed..base_seed + streams`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario construction errors.
+    pub fn scaled(duration: Duration, base_seed: u64, streams: usize) -> Result<Self, EvalError> {
+        let experiments = (0..streams as u64)
+            .map(|offset| Experiment::scaled(duration, base_seed + offset))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(experiments)
+    }
+
+    /// Number of streams (= shards).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The per-stream experiments.
+    pub fn streams(&self) -> &[Experiment] {
+        &self.streams
+    }
+
+    /// Runs the fleet: simulate every stream, interleave by timestamp,
+    /// reduce through one sharded engine (one shard per stream, source-id
+    /// routing), then label every stream against its own ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and reduction errors.
+    pub fn run(&self) -> Result<MultiStreamResult, EvalError> {
+        let monitor = self.streams[0].monitor.clone();
+        let simulations = self
+            .streams
+            .iter()
+            .map(|stream| {
+                let registry = stream.scenario.registry()?;
+                Simulation::new(&stream.scenario, &registry)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // One shard per stream with source-id routing: each shard sees
+        // exactly the stream a standalone session would.
+        let mut reducer = ShardedReducer::new(monitor, self.streams.len())?
+            .with_observers(|_| Vec::<WindowDecision>::new());
+        reducer.push_tagged(InterleavedStreams::new(simulations))?;
+        let outcome = reducer.finish()?;
+        if let Some(entry) = outcome.report.per_shard.iter().find(|e| e.error.is_some()) {
+            return Err(EvalError::InvalidExperiment(format!(
+                "shard {} failed: {}",
+                entry.shard,
+                entry.error.as_deref().unwrap_or("unknown")
+            )));
+        }
+
+        let mut streams = Vec::with_capacity(self.streams.len());
+        let mut confusion = ConfusionMatrix::default();
+        for (experiment, shard) in self.streams.iter().zip(outcome.shards) {
+            let decisions = shard.observer;
+            let stream_confusion =
+                evaluate_decisions(&experiment.scenario.perturbations, &decisions).confusion;
+            confusion.merge(&stream_confusion);
+            streams.push(StreamResult {
+                stream: StreamId::new(shard.shard as u32),
+                report: shard.report.expect("shard completeness checked above"),
+                confusion: stream_confusion,
+                decisions,
+            });
+        }
+
+        Ok(MultiStreamResult {
+            report: outcome.report,
+            streams,
+            confusion,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use endurance_core::MonitorConfig;
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(matches!(
+            MultiStreamExperiment::new(Vec::new()),
+            Err(EvalError::InvalidExperiment(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_monitors_are_rejected() {
+        let a = Experiment::scaled(Duration::from_secs(520), 1).unwrap();
+        let mut b = Experiment::scaled(Duration::from_secs(520), 2).unwrap();
+        let registry = b.scenario.registry().unwrap();
+        b.monitor = MonitorConfig::builder()
+            .dimensions(registry.len())
+            .k(5)
+            .reference_duration(b.scenario.reference_duration)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            MultiStreamExperiment::new(vec![a, b]),
+            Err(EvalError::InvalidExperiment(_))
+        ));
+    }
+
+    #[test]
+    fn scaled_fleet_builds_distinct_seeds() {
+        let fleet = MultiStreamExperiment::scaled(Duration::from_secs(520), 7, 3).unwrap();
+        assert_eq!(fleet.stream_count(), 3);
+        let seeds: Vec<u64> = fleet.streams().iter().map(|s| s.scenario.seed).collect();
+        assert_eq!(seeds, vec![7, 8, 9]);
+    }
+
+    // A full multi-stream run is exercised by the integration tests in
+    // `tests/sharded_pipeline.rs`, which compare it per stream against
+    // standalone sessions.
+}

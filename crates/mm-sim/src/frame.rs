@@ -99,7 +99,7 @@ impl GopStructure {
         let pos = (number as usize) % self.gop_length;
         if pos == 0 {
             FrameKind::I
-        } else if self.b_per_anchor == 0 || pos.is_multiple_of(self.b_per_anchor + 1) {
+        } else if self.b_per_anchor == 0 || pos % (self.b_per_anchor + 1) == 0 {
             // Every anchor position (and every frame of a B-less stream) is
             // a P frame.
             FrameKind::P

@@ -57,6 +57,9 @@ pub use error::TraceError;
 pub use event::{EventTypeId, Severity, TraceEvent};
 pub use registry::{EventTypeInfo, EventTypeRegistry};
 pub use stats::TraceStats;
-pub use stream::{CountingSink, EventSink, EventSource, MemorySink, MemorySource};
+pub use stream::{
+    CountingSink, EventSink, EventSource, InterleavedStreams, MemorySink, MemorySource,
+    ShardedSink, StreamId,
+};
 pub use timestamp::Timestamp;
 pub use window::{Window, WindowAssembler, WindowId};

@@ -4,8 +4,242 @@
 //! [`EventSink`] traits so it can consume events from a simulator, a file,
 //! or (in a real deployment) a hardware trace buffer, and record selected
 //! windows to any storage backend.
+//!
+//! Multi-stream rigs (one event stream per device, pipeline or tenant) are
+//! supported by tagging events with a [`StreamId`], merging per-stream
+//! sources with [`InterleavedStreams`], and demultiplexing recorded output
+//! into per-lane storage with [`ShardedSink`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
 
 use crate::{Timestamp, TraceError, TraceEvent};
+
+/// Identifier of an event *stream* — one tracing source among many, such
+/// as a device under test, a pipeline instance, or a tenant.
+///
+/// Stream ids are caller-assigned small integers; the sharded reduction
+/// engine in `endurance-core` routes events to workers by (a function of)
+/// this id.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct StreamId(u32);
+
+impl StreamId {
+    /// Creates a stream id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        StreamId(raw)
+    }
+
+    /// The raw index of this stream.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value of this id.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+impl From<u32> for StreamId {
+    fn from(raw: u32) -> Self {
+        StreamId(raw)
+    }
+}
+
+/// Merges several per-stream event sources into one globally
+/// timestamp-ordered stream of `(StreamId, TraceEvent)` pairs.
+///
+/// This models what a multi-stream endurance rig delivers to the host: the
+/// tracing fabric funnels every device's events into one feed, each tagged
+/// with its origin. Stream `i` of the input vector is tagged
+/// [`StreamId::new(i)`]. Ties are broken by stream index, so the merge is
+/// deterministic and per-stream order is always preserved.
+///
+/// ```rust
+/// use trace_model::stream::InterleavedStreams;
+/// use trace_model::{EventTypeId, MemorySource, Timestamp, TraceEvent};
+///
+/// let a = MemorySource::new(vec![
+///     TraceEvent::new(Timestamp::from_millis(0), EventTypeId::new(0), 0),
+///     TraceEvent::new(Timestamp::from_millis(20), EventTypeId::new(0), 0),
+/// ])
+/// .unwrap();
+/// let b = MemorySource::new(vec![TraceEvent::new(
+///     Timestamp::from_millis(10),
+///     EventTypeId::new(1),
+///     0,
+/// )])
+/// .unwrap();
+/// let merged: Vec<_> = InterleavedStreams::new(vec![a, b]).collect();
+/// assert_eq!(merged.len(), 3);
+/// assert_eq!(merged[1].0.index(), 1); // the 10 ms event came from stream 1
+/// ```
+#[derive(Debug)]
+pub struct InterleavedStreams<Src> {
+    sources: Vec<Src>,
+    /// The next (not yet yielded) event of each source, if any.
+    heads: Vec<Option<TraceEvent>>,
+    /// Min-heap over `(head timestamp, stream index)` — `O(log k)` per
+    /// merged event instead of a linear scan, which matters at fleet
+    /// scale. The index in the key makes ties deterministic (lowest
+    /// stream first).
+    order: std::collections::BinaryHeap<std::cmp::Reverse<(Timestamp, usize)>>,
+}
+
+impl<Src: EventSource> InterleavedStreams<Src> {
+    /// Creates a merge over the given sources; source `i` becomes stream
+    /// `i`.
+    pub fn new(sources: Vec<Src>) -> Self {
+        let mut sources = sources;
+        let heads: Vec<Option<TraceEvent>> =
+            sources.iter_mut().map(EventSource::next_event).collect();
+        let order = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, head)| {
+                head.as_ref()
+                    .map(|event| std::cmp::Reverse((event.timestamp, idx)))
+            })
+            .collect();
+        InterleavedStreams {
+            sources,
+            heads,
+            order,
+        }
+    }
+
+    /// Number of input streams.
+    pub fn stream_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Returns the next tagged event in global timestamp order.
+    pub fn next_tagged(&mut self) -> Option<(StreamId, TraceEvent)> {
+        let std::cmp::Reverse((_, idx)) = self.order.pop()?;
+        let event = self.heads[idx].take().expect("heap tracks live heads");
+        self.heads[idx] = self.sources[idx].next_event();
+        if let Some(next) = &self.heads[idx] {
+            self.order.push(std::cmp::Reverse((next.timestamp, idx)));
+        }
+        Some((StreamId::new(idx as u32), event))
+    }
+}
+
+impl<Src: EventSource> Iterator for InterleavedStreams<Src> {
+    type Item = (StreamId, TraceEvent);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_tagged()
+    }
+}
+
+/// A bank of per-lane sinks behind one [`EventSink`] front.
+///
+/// The owner selects the active lane with [`ShardedSink::select`]; records
+/// then land in that lane's sink. Aggregate accounting
+/// ([`EventSink::recorded_events`] / [`EventSink::recorded_bytes`]) sums
+/// over every lane. The sharded reduction engine uses this shape to hand
+/// back per-shard recorded traces under a single sink-compatible
+/// interface.
+#[derive(Debug, Clone)]
+pub struct ShardedSink<S> {
+    lanes: Vec<S>,
+    active: usize,
+}
+
+impl<S: EventSink> ShardedSink<S> {
+    /// Creates a sink bank with `lanes` lanes built by `factory` (called
+    /// with each lane index); lane 0 starts active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new_with(lanes: usize, mut factory: impl FnMut(usize) -> S) -> Self {
+        assert!(lanes > 0, "a sharded sink needs at least one lane");
+        ShardedSink {
+            lanes: (0..lanes).map(&mut factory).collect(),
+            active: 0,
+        }
+    }
+
+    /// Wraps existing sinks as lanes; lane 0 starts active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty.
+    pub fn from_lanes(lanes: Vec<S>) -> Self {
+        assert!(!lanes.is_empty(), "a sharded sink needs at least one lane");
+        ShardedSink { lanes, active: 0 }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Index of the currently active lane.
+    pub fn active_lane(&self) -> usize {
+        self.active
+    }
+
+    /// Makes `lane` the target of subsequent records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn select(&mut self, lane: usize) {
+        assert!(
+            lane < self.lanes.len(),
+            "lane {lane} out of range (have {})",
+            self.lanes.len()
+        );
+        self.active = lane;
+    }
+
+    /// Read access to one lane's sink.
+    pub fn lane(&self, lane: usize) -> &S {
+        &self.lanes[lane]
+    }
+
+    /// All lanes, in order.
+    pub fn lanes(&self) -> &[S] {
+        &self.lanes
+    }
+
+    /// Consumes the bank and returns the lanes.
+    pub fn into_lanes(self) -> Vec<S> {
+        self.lanes
+    }
+}
+
+impl<S: EventSink> EventSink for ShardedSink<S> {
+    fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+        self.lanes[self.active].record(events)
+    }
+
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        self.lanes[self.active].record_encoded(events, encoded)
+    }
+
+    fn recorded_events(&self) -> usize {
+        self.lanes.iter().map(S::recorded_events).sum()
+    }
+
+    fn recorded_bytes(&self) -> usize {
+        self.lanes.iter().map(S::recorded_bytes).sum()
+    }
+}
 
 /// A producer of trace events in non-decreasing timestamp order.
 ///
@@ -252,5 +486,73 @@ mod tests {
         sink.record(&[ev(1), ev(2), ev(3)]).unwrap();
         assert_eq!(sink.recorded_events(), 3);
         assert_eq!(sink.recorded_bytes(), 3 * TraceEvent::RAW_ENCODED_SIZE);
+    }
+
+    #[test]
+    fn stream_id_round_trips_raw_value() {
+        let id = StreamId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(StreamId::from(7u32), id);
+        assert_eq!(id.to_string(), "stream#7");
+    }
+
+    #[test]
+    fn interleave_merges_by_timestamp_with_stable_ties() {
+        let a = MemorySource::new(vec![ev(0), ev(10), ev(30)]).unwrap();
+        let b = MemorySource::new(vec![ev(5), ev(10), ev(20)]).unwrap();
+        let mut merged = InterleavedStreams::new(vec![a, b]);
+        assert_eq!(merged.stream_count(), 2);
+        let tagged: Vec<(u32, u64)> = merged
+            .by_ref()
+            .map(|(stream, event)| (stream.as_u32(), event.timestamp.as_nanos() / 1_000_000))
+            .collect();
+        // Global timestamp order; the 10 ms tie goes to stream 0 first.
+        assert_eq!(
+            tagged,
+            vec![(0, 0), (1, 5), (0, 10), (1, 10), (1, 20), (0, 30)]
+        );
+        assert_eq!(merged.next_tagged(), None);
+    }
+
+    #[test]
+    fn interleave_preserves_per_stream_order() {
+        let streams: Vec<Vec<TraceEvent>> = (0..3)
+            .map(|s| (0..20).map(|i| ev(i * 7 + s)).collect())
+            .collect();
+        let sources: Vec<MemorySource> = streams
+            .iter()
+            .map(|evs| MemorySource::new(evs.clone()).unwrap())
+            .collect();
+        let mut unmerged: Vec<Vec<TraceEvent>> = vec![Vec::new(); 3];
+        for (stream, event) in InterleavedStreams::new(sources) {
+            unmerged[stream.index()].push(event);
+        }
+        assert_eq!(unmerged, streams);
+    }
+
+    #[test]
+    fn sharded_sink_routes_to_the_active_lane_and_sums_accounting() {
+        let mut sink = ShardedSink::new_with(3, |_| MemorySink::new());
+        assert_eq!(sink.lane_count(), 3);
+        assert_eq!(sink.active_lane(), 0);
+        sink.record(&[ev(1)]).unwrap();
+        sink.select(2);
+        sink.record(&[ev(2), ev(3)]).unwrap();
+        assert_eq!(sink.lane(0).recorded_events(), 1);
+        assert_eq!(sink.lane(1).recorded_events(), 0);
+        assert_eq!(sink.lane(2).recorded_events(), 2);
+        assert_eq!(sink.recorded_events(), 3);
+        assert_eq!(sink.recorded_bytes(), 3 * TraceEvent::RAW_ENCODED_SIZE);
+        let lanes = sink.into_lanes();
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes[2].events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sharded_sink_select_rejects_out_of_range_lane() {
+        let mut sink = ShardedSink::from_lanes(vec![CountingSink::new()]);
+        sink.select(1);
     }
 }
