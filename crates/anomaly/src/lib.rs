@@ -48,6 +48,6 @@ pub use distance::{
 pub use error::AnomalyError;
 pub use knn::{BruteForceIndex, KdTreeIndex, Neighbor, NeighborIndex};
 pub use lof::{LofConfig, LofModel, LofScore};
-pub use normalize::{l1_normalize, smooth_pmf};
+pub use normalize::{l1_normalize, smooth_pmf, smooth_pmf_into};
 pub use rate::RateThresholdDetector;
 pub use zscore::ZScoreDetector;

@@ -24,12 +24,34 @@ pub fn l1_normalize(counts: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `alpha` is negative or not finite.
 pub fn smooth_pmf(counts: &[f64], alpha: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    smooth_pmf_into(counts, alpha, &mut out);
+    out
+}
+
+/// Like [`smooth_pmf`], but writing into the caller's buffer (`out` is
+/// cleared first) so per-window hot loops can reuse one allocation.
+///
+/// # Panics
+///
+/// Panics if `alpha` is negative or not finite.
+pub fn smooth_pmf_into(counts: &[f64], alpha: f64, out: &mut Vec<f64>) {
     assert!(
         alpha.is_finite() && alpha >= 0.0,
         "smoothing pseudo-count must be finite and non-negative, got {alpha}"
     );
-    let smoothed: Vec<f64> = counts.iter().map(|c| c.max(0.0) + alpha).collect();
-    l1_normalize(&smoothed)
+    out.clear();
+    out.extend(counts.iter().map(|c| c.max(0.0) + alpha));
+    let total: f64 = out.iter().sum();
+    if total <= 0.0 {
+        if out.is_empty() {
+            return;
+        }
+        let uniform = 1.0 / out.len() as f64;
+        out.iter_mut().for_each(|p| *p = uniform);
+        return;
+    }
+    out.iter_mut().for_each(|p| *p /= total);
 }
 
 #[cfg(test)]
@@ -53,6 +75,21 @@ mod tests {
     fn empty_vector_stays_empty() {
         assert!(l1_normalize(&[]).is_empty());
         assert!(smooth_pmf(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn smooth_pmf_into_matches_allocating_variant() {
+        let mut out = vec![0.5; 9];
+        for (counts, alpha) in [
+            (vec![3.0, 1.0, 0.0], 0.5),
+            (vec![0.0, 0.0], 0.0),
+            (vec![-2.0, 4.0], 1.0),
+        ] {
+            smooth_pmf_into(&counts, alpha, &mut out);
+            assert_eq!(out, smooth_pmf(&counts, alpha));
+        }
+        smooth_pmf_into(&[], 1.0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

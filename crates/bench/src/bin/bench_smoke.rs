@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
+use endurance_store::{LaneWriter, SpooledSink, StoreConfig, StoreReader};
 use mm_sim::{Scenario, Simulation};
 use trace_model::{CountingSink, InterleavedStreams, MemorySource, StreamId, TraceEvent};
 
@@ -48,6 +49,9 @@ const SHARD_CONFIGS: [usize; 3] = [1, 2, 4];
 const REGRESSION_TOLERANCE: f64 = 0.30;
 const REQUIRED_SPEEDUP: f64 = 2.0;
 const MIN_PARALLELISM_FOR_SPEEDUP_GATE: usize = 4;
+/// The spooled sink may cost at most this fraction of the in-memory
+/// session rate (the async-sinks acceptance bar).
+const SPOOL_TOLERANCE: f64 = 0.10;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Measurement {
@@ -197,6 +201,27 @@ fn main() -> ExitCode {
         events_per_sec: session_rate,
     });
 
+    // The same single session, recording through the spooled writer-thread
+    // adapter instead of directly into the in-memory sink. The gap between
+    // this and session_push is the full cost of the async-sink layer.
+    let spooled_rate = measure(reps, events, || {
+        let mut session = ReductionSession::new(config.clone())
+            .expect("session")
+            .with_sink(SpooledSink::new(CountingSink::new()));
+        for (_, event) in &tagged {
+            session.push(*event).expect("push");
+        }
+        let outcome = session.finish().expect("finish");
+        std::hint::black_box(outcome.report);
+        outcome.sink.finish().expect("spool");
+    });
+    eprintln!("  session_spooled:   {:>12.0} events/s", spooled_rate);
+    configs.push(Measurement {
+        name: "session_spooled".to_string(),
+        events,
+        events_per_sec: spooled_rate,
+    });
+
     // The single-threaded counterpart of the sharded engine: one session
     // per device, routed inline on this thread. Identical output semantics
     // (per-device windows and traces), no parallelism.
@@ -244,6 +269,45 @@ fn main() -> ExitCode {
         });
     }
 
+    // Durable configuration: 4 shards recording through spooled store
+    // lanes on disk, then a cold reopen replaying every recorded event.
+    // Throughput is normalised to the *pushed* events, so this number is
+    // directly comparable with the in-memory sharded_4 line.
+    let store_dir = std::env::temp_dir().join(format!("bench-smoke-store-{}", std::process::id()));
+    let store_rate = measure(reps, events, || {
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let dir = store_dir.clone();
+        let mut reducer = ShardedReducer::new(config.clone(), 4)
+            .expect("reducer")
+            .with_sinks(|shard| {
+                SpooledSink::new(
+                    LaneWriter::create(&dir, shard as u32, StoreConfig::default()).expect("lane"),
+                )
+            });
+        reducer.push_batch(&tagged).expect("push");
+        let outcome = reducer.finish().expect("finish");
+        std::hint::black_box(&outcome.report);
+        for shard in outcome.shards {
+            shard.sink.finish().expect("spool").close().expect("close");
+        }
+        let reader = StoreReader::open(&store_dir).expect("open");
+        let mut replayed = 0u64;
+        for lane in reader.lane_ids() {
+            replayed += reader.lane_events(lane).expect("replay").len() as u64;
+        }
+        assert_eq!(
+            replayed, outcome.report.aggregate.recorder.events_recorded,
+            "replay must return every recorded event"
+        );
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+    eprintln!("  store_write_replay:{:>12.0} events/s", store_rate);
+    configs.push(Measurement {
+        name: "store_write_replay".to_string(),
+        events,
+        events_per_sec: store_rate,
+    });
+
     let speedup = sharded_4_rate / serial_rate.max(1e-9);
     let artifact = Artifact {
         schema: 1,
@@ -284,6 +348,10 @@ fn main() -> ExitCode {
                 continue;
             };
             let floor = entry.reference_events_per_sec * (1.0 - REGRESSION_TOLERANCE);
+            // The delta against the reference makes improvements (e.g.
+            // pooled per-window buffers) visible in the CI log, not just
+            // regressions.
+            let delta = (measured.events_per_sec / entry.reference_events_per_sec - 1.0) * 100.0;
             if measured.events_per_sec < floor {
                 eprintln!(
                     "bench_smoke: FAIL {}: {:.0} events/s is below the regression floor \
@@ -297,13 +365,33 @@ fn main() -> ExitCode {
                 failed = true;
             } else {
                 eprintln!(
-                    "bench_smoke: ok   {}: {:.0} events/s (floor {:.0})",
+                    "bench_smoke: ok   {}: {:.0} events/s (floor {:.0}, {delta:+.0}% vs reference)",
                     entry.name, measured.events_per_sec, floor
                 );
             }
         }
     } else {
         eprintln!("bench_smoke: no --baseline given, regression gate skipped");
+    }
+
+    // Gate 3 (checked before the speedup gate so both always print): the
+    // spooled writer-thread sink must stay within SPOOL_TOLERANCE of the
+    // in-memory session rate — recording must overlap monitoring, not tax
+    // it.
+    let spool_floor = session_rate * (1.0 - SPOOL_TOLERANCE);
+    if spooled_rate < spool_floor {
+        eprintln!(
+            "bench_smoke: FAIL session_spooled: {spooled_rate:.0} events/s is more than \
+             {:.0}% below session_push ({session_rate:.0})",
+            SPOOL_TOLERANCE * 100.0
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   session_spooled: {spooled_rate:.0} events/s vs session_push \
+             {session_rate:.0} (within {:.0}%)",
+            SPOOL_TOLERANCE * 100.0
+        );
     }
 
     // Gate 2: the sharded engine must actually scale where cores exist.

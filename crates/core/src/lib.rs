@@ -123,7 +123,7 @@ pub use drift::{DriftDecision, DriftGate};
 pub use error::CoreError;
 pub use monitor::{OnlineMonitor, WindowDecision, WindowVerdict};
 pub use periodicity::{estimate_period, PeriodicSuppressor};
-pub use pmf::WindowPmf;
+pub use pmf::{PmfScratch, WindowPmf};
 pub use recorder::{RecorderStats, TraceRecorder};
 pub use reducer::{ReductionOutcome, TraceReducer};
 pub use reference::ReferenceModel;

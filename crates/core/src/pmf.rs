@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lof_anomaly::{smooth_pmf, symmetric_kl};
+use lof_anomaly::{smooth_pmf, smooth_pmf_into, symmetric_kl};
 use trace_model::Window;
 
 /// The pmf abstraction of one trace window: for each event type, the
@@ -147,6 +147,63 @@ impl WindowPmf {
     }
 }
 
+/// Reusable buffers for per-window pmf construction.
+///
+/// Per-source windowing multiplies the window count by the number of
+/// streams, and a fresh [`WindowPmf`] allocates three vectors per window
+/// (type counts, float counts, probabilities). A `PmfScratch` owned by the
+/// monitoring loop rebuilds one pmf in place instead, so the steady state
+/// allocates nothing per window. [`crate::ReductionSession`] keeps one and
+/// the produced values are bit-for-bit identical to
+/// [`WindowPmf::from_window`].
+#[derive(Debug, Clone)]
+pub struct PmfScratch {
+    counts: Vec<u64>,
+    counts_f64: Vec<f64>,
+    pmf: WindowPmf,
+}
+
+impl Default for PmfScratch {
+    fn default() -> Self {
+        PmfScratch::new()
+    }
+}
+
+impl PmfScratch {
+    /// Creates an empty scratch; buffers grow to the pmf dimensionality on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        PmfScratch {
+            counts: Vec::new(),
+            counts_f64: Vec::new(),
+            pmf: WindowPmf {
+                probabilities: Vec::new(),
+                total_events: 0,
+                merged_windows: 1,
+            },
+        }
+    }
+
+    /// Builds the pmf of `window` into the scratch's buffers and returns
+    /// it; the result is identical to
+    /// `WindowPmf::from_window(window, dimensions, smoothing)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimensions` is zero (the monitor configuration validates
+    /// this before building pmfs).
+    pub fn window_pmf(&mut self, window: &Window, dimensions: usize, smoothing: f64) -> &WindowPmf {
+        window.type_counts_into(dimensions, &mut self.counts);
+        self.counts_f64.clear();
+        self.counts_f64
+            .extend(self.counts.iter().map(|c| *c as f64));
+        smooth_pmf_into(&self.counts_f64, smoothing, &mut self.pmf.probabilities);
+        self.pmf.total_events = self.counts.iter().sum();
+        self.pmf.merged_windows = 1;
+        &self.pmf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +325,25 @@ mod tests {
         let pmf = WindowPmf::from_window(&window, 2, 0.0);
         assert!((pmf.probabilities()[0] - 0.2).abs() < 1e-9);
         assert!((pmf.probabilities()[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_pmf_is_identical_to_from_window_across_reuse() {
+        let mut scratch = PmfScratch::new();
+        for counts in [&[6usize, 3, 1][..], &[0, 0, 0], &[1, 0, 9]] {
+            let window = window_with_counts(counts);
+            for smoothing in [0.0, 0.5] {
+                let pooled = scratch.window_pmf(&window, 3, smoothing).clone();
+                let fresh = WindowPmf::from_window(&window, 3, smoothing);
+                assert_eq!(pooled, fresh);
+            }
+        }
+        // Dimensionality changes mid-stream resize the buffers correctly.
+        let window = window_with_counts(&[2, 2, 6]);
+        assert_eq!(
+            scratch.window_pmf(&window, 2, 0.0),
+            &WindowPmf::from_window(&window, 2, 0.0)
+        );
     }
 
     #[test]

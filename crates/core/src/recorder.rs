@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use trace_model::codec::{BinaryEncoder, TraceEncoder};
 #[cfg(test)]
 use trace_model::TraceEvent;
-use trace_model::{EventSink, Window};
+use trace_model::{EventSink, RecordMeta, Window};
 
 use crate::CoreError;
 
@@ -102,11 +102,18 @@ impl<S: EventSink> TraceRecorder<S> {
             self.stats.recorded_raw_bytes += window.raw_size_bytes() as u64;
             // Encode exactly once: the same bytes serve the volume
             // accounting and the sink, so storage-backed sinks never have
-            // to re-encode the window.
+            // to re-encode the window. The window's identity rides along
+            // so indexing sinks can file the batch for seekable replay.
             self.scratch.clear();
             self.encoder.encode(&window.events, &mut self.scratch)?;
             self.stats.recorded_encoded_bytes += self.scratch.len() as u64;
-            self.sink.record_encoded(&window.events, &self.scratch)?;
+            let meta = RecordMeta {
+                window_id: window.id,
+                start: window.start,
+                end: window.end,
+            };
+            self.sink
+                .record_window(&meta, &window.events, &self.scratch)?;
         }
         Ok(())
     }

@@ -30,8 +30,8 @@ use trace_model::{
 };
 
 use crate::{
-    CoreError, MonitorConfig, OnlineMonitor, ReductionReport, ReferenceModel, TraceRecorder,
-    WindowDecision, WindowStrategy,
+    CoreError, MonitorConfig, OnlineMonitor, PmfScratch, ReductionReport, ReferenceModel,
+    TraceRecorder, WindowDecision, WindowStrategy,
 };
 
 /// Observer of per-window monitoring decisions, notified in stream order.
@@ -169,6 +169,9 @@ pub struct ReductionSession<S: EventSink = MemorySink, O: DecisionObserver = Nul
     /// High-water mark of the assembler's open-window buffer, proving the
     /// bounded-memory claim in tests.
     peak_buffered_events: usize,
+    /// Pooled pmf buffers: one window pmf is rebuilt in place per
+    /// monitored window instead of allocating three vectors each time.
+    scratch: PmfScratch,
 }
 
 impl ReductionSession<MemorySink, NullObserver> {
@@ -197,6 +200,7 @@ impl ReductionSession<MemorySink, NullObserver> {
             reference_end,
             events_pushed: 0,
             peak_buffered_events: 0,
+            scratch: PmfScratch::new(),
             config,
         })
     }
@@ -242,6 +246,7 @@ impl ReductionSession<MemorySink, NullObserver> {
             reference_end: Timestamp::ZERO,
             events_pushed: 0,
             peak_buffered_events: 0,
+            scratch: PmfScratch::new(),
             config,
         })
     }
@@ -279,6 +284,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             reference_end: self.reference_end,
             events_pushed: 0,
             peak_buffered_events: 0,
+            scratch: self.scratch,
         }
     }
 
@@ -302,6 +308,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             reference_end: self.reference_end,
             events_pushed: 0,
             peak_buffered_events: 0,
+            scratch: self.scratch,
         }
     }
 
@@ -388,10 +395,19 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             recorder,
             observer,
             reference_end,
+            scratch,
             ..
         } = self;
         assembler.push(event, &mut |window| {
-            Self::handle_window(config, state, recorder, observer, *reference_end, window)
+            Self::handle_window(
+                config,
+                state,
+                recorder,
+                observer,
+                scratch,
+                *reference_end,
+                window,
+            )
         })?;
         self.peak_buffered_events = self
             .peak_buffered_events
@@ -450,9 +466,18 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 recorder,
                 observer,
                 reference_end,
+                scratch,
                 ..
             } = self;
-            Self::handle_window(config, state, recorder, observer, *reference_end, window)?;
+            Self::handle_window(
+                config,
+                state,
+                recorder,
+                observer,
+                scratch,
+                *reference_end,
+                window,
+            )?;
         }
         // A stream that never left the reference horizon still learns, for
         // parity with the batch reducer (and to surface reference errors).
@@ -528,6 +553,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         state: &mut PhaseState,
         recorder: &mut TraceRecorder<S>,
         observer: &mut O,
+        scratch: &mut PmfScratch,
         reference_end: Timestamp,
         window: Window,
     ) -> Result<(), CoreError> {
@@ -543,7 +569,10 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         let PhaseState::Monitoring { monitor, .. } = state else {
             unreachable!("handled above");
         };
-        let decision = monitor.observe(&window)?;
+        // Pooled pmf construction: the scratch rebuilds one pmf in place,
+        // so the steady monitoring state allocates nothing per window.
+        let pmf = scratch.window_pmf(&window, config.dimensions, config.smoothing);
+        let decision = monitor.observe_pmf(&window, pmf)?;
         recorder.offer(&window, decision.recorded())?;
         observer.on_decision(&decision);
         Ok(())

@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 mod baselines;
+mod durable;
 mod error;
 mod experiment;
 mod ground_truth;
@@ -44,6 +45,7 @@ mod size;
 mod sweep;
 
 pub use baselines::{run_baselines, BaselineKind, BaselineResult};
+pub use durable::DurableRunResult;
 pub use error::EvalError;
 pub use experiment::{Experiment, ExperimentResult};
 pub use ground_truth::{DelayCalibration, GroundTruth};

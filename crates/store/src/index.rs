@@ -1,0 +1,167 @@
+//! The sidecar window index and the recovery report.
+//!
+//! Each lane persists a JSON sidecar (`laneNNNN.idx.json`) next to its
+//! segment files mapping every recorded window — id, timestamp range,
+//! event count — to its exact frame location `(segment, byte offset,
+//! length)`. Replay seeks straight to a window instead of scanning the
+//! run.
+//!
+//! The segment files are the source of truth; the sidecar is a cache
+//! written on [`crate::LaneWriter::sync`]/`close`. On open the reader
+//! trusts a sidecar only when every segment file's length equals the
+//! sidecar's committed byte count — any mismatch (a crash after frames
+//! were appended, a torn tail, a missing sidecar) falls back to the
+//! CRC-validating segment scanner and the sidecar is rebuilt.
+
+use serde::{Deserialize, Serialize};
+
+/// Sidecar schema version.
+pub(crate) const SIDECAR_SCHEMA: u32 = 1;
+
+/// Where one recorded window lives on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowEntry {
+    /// The recorded window's id within its run.
+    pub window_id: u64,
+    /// Window start timestamp, in nanoseconds of trace time.
+    pub start_ns: u64,
+    /// Window end timestamp (exclusive), in nanoseconds of trace time.
+    pub end_ns: u64,
+    /// Number of events in the window.
+    pub events: u32,
+    /// Sequence number of the segment file holding the frame.
+    pub segment: u32,
+    /// Byte offset of the frame (its header) within the segment file.
+    pub offset: u64,
+    /// Frame body length in bytes (fixed meta block + encoded payload).
+    pub len: u32,
+}
+
+impl WindowEntry {
+    /// Length in bytes of the window's encoded payload (the exact bytes
+    /// the recorder handed to the sink).
+    pub fn payload_len(&self) -> u32 {
+        self.len - crate::segment::FRAME_META_LEN as u32
+    }
+}
+
+/// Summary of one segment file in a lane's sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// Sequence number of the segment within its lane.
+    pub seq: u32,
+    /// Bytes of intact header + frames; equals the file length after a
+    /// clean close.
+    pub committed_bytes: u64,
+}
+
+/// The per-lane index: every segment and every recorded window of one
+/// lane, in recording order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneIndex {
+    /// Sidecar schema version.
+    pub schema: u32,
+    /// The lane this index describes.
+    pub lane: u32,
+    /// Segment files of the lane, in sequence order.
+    pub segments: Vec<SegmentMeta>,
+    /// Recorded windows, in recording order.
+    pub windows: Vec<WindowEntry>,
+}
+
+impl LaneIndex {
+    /// Creates an empty index for `lane`.
+    pub(crate) fn new(lane: u32) -> Self {
+        LaneIndex {
+            schema: SIDECAR_SCHEMA,
+            lane,
+            segments: Vec::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    /// Total events across every indexed window.
+    pub fn total_events(&self) -> u64 {
+        self.windows.iter().map(|w| u64::from(w.events)).sum()
+    }
+
+    /// Total encoded payload bytes across every indexed window.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| u64::from(w.payload_len()))
+            .sum()
+    }
+}
+
+/// One torn tail found (and, on the writer path, truncated) during
+/// recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TornTail {
+    /// Lane of the damaged segment.
+    pub lane: u32,
+    /// Sequence number of the damaged segment.
+    pub segment: u32,
+    /// Byte offset at which the intact prefix ends.
+    pub offset: u64,
+    /// Bytes past the intact prefix (the torn write).
+    pub dropped_bytes: u64,
+}
+
+/// What opening a store (or resuming a lane writer) found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Lanes present in the directory.
+    pub lanes: usize,
+    /// Whether every lane's sidecar was trusted as-is (clean close). When
+    /// false, at least one lane was rebuilt by the CRC scanner.
+    pub clean: bool,
+    /// Complete windows recovered across all lanes.
+    pub windows: u64,
+    /// Events contained in those windows.
+    pub events: u64,
+    /// Torn tails found, one per damaged segment.
+    pub torn_tails: Vec<TornTail>,
+}
+
+impl RecoveryReport {
+    /// Folds one lane's recovery into the store-wide report.
+    pub(crate) fn absorb_lane(&mut self, index: &LaneIndex, torn: &[TornTail], used_sidecar: bool) {
+        self.lanes += 1;
+        self.clean &= used_sidecar;
+        self.windows += index.windows.len() as u64;
+        self.events += index.total_events();
+        self.torn_tails.extend_from_slice(torn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_index_totals() {
+        let mut index = LaneIndex::new(2);
+        index.windows.push(WindowEntry {
+            window_id: 0,
+            start_ns: 0,
+            end_ns: 10,
+            events: 4,
+            segment: 0,
+            offset: 13,
+            len: crate::segment::FRAME_META_LEN as u32 + 9,
+        });
+        index.windows.push(WindowEntry {
+            window_id: 1,
+            start_ns: 10,
+            end_ns: 20,
+            events: 6,
+            segment: 0,
+            offset: 60,
+            len: crate::segment::FRAME_META_LEN as u32 + 11,
+        });
+        assert_eq!(index.total_events(), 10);
+        assert_eq!(index.total_payload_bytes(), 20);
+        assert_eq!(index.windows[0].payload_len(), 9);
+    }
+}

@@ -1,0 +1,423 @@
+//! The per-lane append-only segment writer.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::{EventSink, RecordMeta, TraceError, TraceEvent};
+
+use crate::index::{LaneIndex, RecoveryReport, SegmentMeta, WindowEntry, SIDECAR_SCHEMA};
+use crate::segment::{
+    build_frame, parse_segment_file_name, scan_segment, segment_file_name, segment_header,
+    sidecar_file_name, FRAME_HEADER_LEN, SEGMENT_HEADER_LEN,
+};
+
+/// Rotation policy and durability knobs of a store lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// A segment is rotated before a frame would push it past this size
+    /// (a single frame larger than the limit still gets its own segment).
+    pub segment_max_bytes: u64,
+    /// A segment is rotated after holding this many recorded windows.
+    pub segment_max_windows: u64,
+}
+
+impl Default for StoreConfig {
+    /// 8 MiB segments with no window-count limit — sized so an endurance
+    /// run rotates regularly without producing thousands of files.
+    fn default() -> Self {
+        StoreConfig {
+            segment_max_bytes: 8 * 1024 * 1024,
+            segment_max_windows: u64::MAX,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Returns the config with a different segment byte limit.
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes.max(1);
+        self
+    }
+
+    /// Returns the config with a different per-segment window limit.
+    pub fn with_segment_max_windows(mut self, windows: u64) -> Self {
+        self.segment_max_windows = windows.max(1);
+        self
+    }
+}
+
+/// An append-only writer for one store lane (one shard/stream of a run).
+///
+/// Implements [`EventSink`], so it plugs directly into a
+/// `ReductionSession` or (one per shard) a `ShardedReducer`. Every
+/// recorded window becomes one CRC-framed record in the lane's current
+/// segment file; segments rotate by size and/or window count; a sidecar
+/// index maps window ids and timestamp ranges to exact byte offsets for
+/// seekable replay.
+///
+/// Frames are written straight through to the file (one `write` per
+/// recorded window), so a process that dies without calling
+/// [`LaneWriter::close`] loses at most the frame being written at that
+/// instant — reopen detects and truncates such torn tails via the CRC.
+/// `close` (or [`LaneWriter::sync`]) additionally persists the sidecar
+/// index; after a crash the index is rebuilt from the segment files.
+///
+/// Creating a writer on a directory that already holds the lane's
+/// segments **resumes** it: existing segments are recovered (torn tails
+/// truncated), numbering continues after the highest existing segment,
+/// and the sidecar picks up the recovered windows. See
+/// [`LaneWriter::recovery`].
+#[derive(Debug)]
+pub struct LaneWriter {
+    dir: PathBuf,
+    lane: u32,
+    config: StoreConfig,
+    file: Option<File>,
+    /// Sequence of the currently open segment.
+    seq: u32,
+    segment_bytes: u64,
+    segment_windows: u64,
+    index: LaneIndex,
+    recovery: RecoveryReport,
+    /// Synthetic window ids for batches recorded without [`RecordMeta`]
+    /// (the plain `record`/`record_encoded` paths).
+    synthetic_next: u64,
+    encoder: BinaryEncoder,
+    scratch_frame: Vec<u8>,
+    scratch_payload: Vec<u8>,
+    events_recorded: usize,
+    bytes_on_disk: u64,
+    /// Rendering of the first write failure. A failed `write_all` may
+    /// have advanced the file past the writer's committed offsets, so the
+    /// error is sticky: further appends would file index entries at wrong
+    /// offsets and are refused instead. Reopening recovers cleanly — the
+    /// scanner treats the partial frame as a torn tail.
+    poisoned: Option<String>,
+}
+
+impl LaneWriter {
+    /// Creates (or resumes) the writer for `lane` inside `dir`, creating
+    /// the directory if needed.
+    ///
+    /// Existing segments of this lane are recovered first: every frame is
+    /// CRC-validated, torn tails are truncated, and writing resumes in a
+    /// fresh segment numbered after the highest recovered one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failures and
+    /// [`TraceError::Decode`] when an existing segment is corrupt beyond
+    /// a torn tail (wrong magic or mismatched lane header).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        lane: u32,
+        config: StoreConfig,
+    ) -> Result<Self, TraceError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut index = LaneIndex::new(lane);
+        let mut recovery = RecoveryReport {
+            clean: true,
+            ..RecoveryReport::default()
+        };
+        let mut next_seq = 0u32;
+        let mut bytes_on_disk = 0u64;
+        let mut existing: Vec<u32> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let name = entry.file_name();
+                let (file_lane, seq) = parse_segment_file_name(name.to_str()?)?;
+                (file_lane == lane).then_some(seq)
+            })
+            .collect();
+        existing.sort_unstable();
+        if !existing.is_empty() {
+            for seq in existing {
+                let path = dir.join(segment_file_name(lane, seq));
+                let scanned = scan_segment(&path, lane, seq)?;
+                if let Some(tail) = scanned.torn {
+                    // Truncate the torn write so the segment ends on a
+                    // frame boundary (or disappears entirely when even the
+                    // header was torn).
+                    if scanned.committed_bytes == 0 {
+                        std::fs::remove_file(&path)?;
+                    } else {
+                        OpenOptions::new()
+                            .write(true)
+                            .open(&path)?
+                            .set_len(scanned.committed_bytes)?;
+                    }
+                    recovery.torn_tails.push(tail);
+                    recovery.clean = false;
+                }
+                if scanned.committed_bytes > 0 {
+                    index.segments.push(scanned.meta);
+                    index.windows.extend(scanned.entries);
+                    bytes_on_disk += scanned.committed_bytes;
+                }
+                next_seq = seq + 1;
+            }
+            recovery.lanes = 1;
+            recovery.windows = index.windows.len() as u64;
+            recovery.events = index.total_events();
+            // A resume is a recovery even without torn tails: the sidecar
+            // may predate the crash, so it is rebuilt from the scan.
+            recovery.clean = false;
+        }
+        // Synthetic ids continue past every recovered id, so meta-less
+        // records appended after a resume never collide with (and shadow)
+        // pre-crash entries in the index. Sessions supplying real window
+        // ids restart numbering per run — give each run its own lane when
+        // id lookup across runs matters.
+        let synthetic_next = index
+            .windows
+            .iter()
+            .map(|entry| entry.window_id + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(LaneWriter {
+            dir,
+            lane,
+            config,
+            file: None,
+            seq: next_seq,
+            segment_bytes: 0,
+            segment_windows: 0,
+            index,
+            recovery,
+            synthetic_next,
+            encoder: BinaryEncoder::new(),
+            scratch_frame: Vec::new(),
+            scratch_payload: Vec::new(),
+            events_recorded: 0,
+            bytes_on_disk,
+            poisoned: None,
+        })
+    }
+
+    /// The lane this writer appends to.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// The directory holding the lane's files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What [`LaneWriter::create`] found on disk: windows/events recovered
+    /// from existing segments and any torn tails it truncated. Empty (zero
+    /// lanes) when the lane was brand new.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Windows written (including any recovered on resume).
+    pub fn windows_written(&self) -> u64 {
+        self.index.windows.len() as u64
+    }
+
+    /// Total committed segment bytes on disk (headers + frames).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.bytes_on_disk
+    }
+
+    fn current_segment_path(&self) -> PathBuf {
+        self.dir.join(segment_file_name(self.lane, self.seq))
+    }
+
+    /// Opens the next segment file and writes its header.
+    fn open_segment(&mut self) -> Result<&mut File, TraceError> {
+        if self.file.is_none() {
+            let path = self.current_segment_path();
+            let mut file = OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(&path)?;
+            file.write_all(&segment_header(self.lane, self.seq))?;
+            self.segment_bytes = SEGMENT_HEADER_LEN;
+            self.segment_windows = 0;
+            self.bytes_on_disk += SEGMENT_HEADER_LEN;
+            self.index.segments.push(SegmentMeta {
+                seq: self.seq,
+                committed_bytes: SEGMENT_HEADER_LEN,
+            });
+            self.file = Some(file);
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+
+    /// Closes the current segment (flushing it durably) and advances the
+    /// sequence number.
+    fn rotate(&mut self) -> Result<(), TraceError> {
+        if let Some(file) = self.file.take() {
+            file.sync_all()?;
+            self.seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether writing `frame_len` more bytes calls for a rotation first.
+    fn needs_rotation(&self, frame_len: u64) -> bool {
+        self.file.is_some()
+            && self.segment_windows > 0
+            && (self.segment_windows >= self.config.segment_max_windows
+                || self.segment_bytes + frame_len > self.config.segment_max_bytes)
+    }
+
+    /// Appends one framed window record.
+    fn append(
+        &mut self,
+        window_id: u64,
+        start_ns: u64,
+        end_ns: u64,
+        events: &[TraceEvent],
+        payload: &[u8],
+    ) -> Result<(), TraceError> {
+        if let Some(message) = &self.poisoned {
+            return Err(TraceError::Io(std::io::Error::other(message.clone())));
+        }
+        let frame_len =
+            FRAME_HEADER_LEN + crate::segment::FRAME_META_LEN as u64 + payload.len() as u64;
+        if self.needs_rotation(frame_len) {
+            self.rotate()?;
+        }
+        let offset = if self.file.is_some() {
+            self.segment_bytes
+        } else {
+            SEGMENT_HEADER_LEN
+        };
+        let mut frame = std::mem::take(&mut self.scratch_frame);
+        let body_len = build_frame(
+            &mut frame,
+            window_id,
+            start_ns,
+            end_ns,
+            events.len() as u32,
+            payload,
+        );
+        let seq = self.seq;
+        let result = self.open_segment().and_then(|file| {
+            file.write_all(&frame)?;
+            Ok(())
+        });
+        self.scratch_frame = frame;
+        if let Err(error) = result {
+            // A partial write may have advanced the file past our
+            // committed offsets; refuse further appends so the index can
+            // never point into the garbage (reopen recovers via the CRC
+            // scanner).
+            self.poisoned = Some(error.to_string());
+            return Err(error);
+        }
+        self.segment_bytes += frame_len;
+        self.segment_windows += 1;
+        self.bytes_on_disk += frame_len;
+        self.events_recorded += events.len();
+        self.index
+            .segments
+            .last_mut()
+            .expect("open_segment pushed a segment meta")
+            .committed_bytes = self.segment_bytes;
+        self.index.windows.push(WindowEntry {
+            window_id,
+            start_ns,
+            end_ns,
+            events: events.len() as u32,
+            segment: seq,
+            offset,
+            len: body_len,
+        });
+        Ok(())
+    }
+
+    /// Synthesises record metadata for the meta-less sink paths from the
+    /// batch's timestamps and a per-lane counter.
+    fn synthetic_meta(&mut self, events: &[TraceEvent]) -> (u64, u64, u64) {
+        let id = self.synthetic_next;
+        self.synthetic_next += 1;
+        let start = events.first().map_or(0, |ev| ev.timestamp.as_nanos());
+        let end = events
+            .last()
+            .map_or(start, |ev| ev.timestamp.as_nanos() + 1);
+        (id, start, end)
+    }
+
+    /// Persists the sidecar index; the segment files themselves are
+    /// already durable up to the last completed frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failures.
+    pub fn sync(&mut self) -> Result<(), TraceError> {
+        if let Some(file) = self.file.as_mut() {
+            file.sync_all()?;
+        }
+        debug_assert_eq!(self.index.schema, SIDECAR_SCHEMA);
+        let json = serde_json::to_string(&self.index)
+            .map_err(|error| std::io::Error::other(error.to_string()))?;
+        let path = self.dir.join(sidecar_file_name(self.lane));
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp", sidecar_file_name(self.lane)));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Flushes everything and writes the sidecar index; after a clean
+    /// close, reopening the store trusts the sidecar without rescanning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failures.
+    pub fn close(mut self) -> Result<(), TraceError> {
+        self.sync()?;
+        self.file = None;
+        Ok(())
+    }
+}
+
+impl EventSink for LaneWriter {
+    fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+        let mut payload = std::mem::take(&mut self.scratch_payload);
+        payload.clear();
+        let result = self.encoder.encode(events, &mut payload).and_then(|()| {
+            let (id, start, end) = self.synthetic_meta(events);
+            self.append(id, start, end, events, &payload)
+        });
+        self.scratch_payload = payload;
+        result
+    }
+
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        let (id, start, end) = self.synthetic_meta(events);
+        self.append(id, start, end, events, encoded)
+    }
+
+    fn record_window(
+        &mut self,
+        meta: &RecordMeta,
+        events: &[TraceEvent],
+        encoded: &[u8],
+    ) -> Result<(), TraceError> {
+        self.append(
+            meta.window_id.index(),
+            meta.start.as_nanos(),
+            meta.end.as_nanos(),
+            events,
+            encoded,
+        )
+    }
+
+    fn recorded_events(&self) -> usize {
+        self.events_recorded
+    }
+
+    fn recorded_bytes(&self) -> usize {
+        // What actually lands on the storage device: headers + frames.
+        self.bytes_on_disk as usize
+    }
+}

@@ -1,0 +1,442 @@
+//! # endurance-store
+//!
+//! Durable segment storage for recorded endurance traces.
+//!
+//! The reduction engine in `endurance-core` turns a multi-day trace into
+//! a small set of anomalous windows — but until those windows land on
+//! disk, a process restart loses the run. This crate is the persistence
+//! subsystem:
+//!
+//! * [`LaneWriter`] — an append-only, CRC-framed segment writer for one
+//!   lane (one shard/stream). It implements
+//!   [`trace_model::EventSink`], so a `ReductionSession` (or one lane per
+//!   shard of a `ShardedReducer`) records straight to disk. Segments
+//!   rotate by size and/or window count ([`StoreConfig`]); a sidecar
+//!   index maps window ids and timestamp ranges to exact byte offsets.
+//! * [`StoreReader`] — reopens a store directory, recovering after a
+//!   crash: every frame is length- and CRC-validated, torn tail writes
+//!   are detected (and truncated by a resuming writer), and the
+//!   [`RecoveryReport`] says exactly what survived. Replay is lazy
+//!   ([`LaneReplay`] implements [`trace_model::EventSource`]) or
+//!   seekable per window via the index.
+//! * [`SpooledSink`] — a double-buffered writer thread behind the
+//!   synchronous `EventSink` trait, so shard workers overlap monitoring
+//!   with disk I/O without the trait (or in-memory sinks) changing.
+//!
+//! ## Record, crash, reopen, replay
+//!
+//! ```rust
+//! use endurance_store::{LaneWriter, StoreConfig, StoreReader};
+//! use trace_model::{EventSink, EventTypeId, Timestamp, TraceEvent};
+//!
+//! # fn main() -> Result<(), trace_model::TraceError> {
+//! let dir = std::env::temp_dir().join(format!("estore-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default())?;
+//! let events = vec![TraceEvent::new(Timestamp::from_micros(10), EventTypeId::new(1), 7)];
+//! writer.record(&events)?;
+//! drop(writer); // "crash": no close, no sidecar
+//!
+//! let reader = StoreReader::open(&dir)?;
+//! assert!(!reader.recovery().clean); // recovered by the CRC scanner
+//! assert_eq!(reader.lane_events(0)?, events);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod crc32;
+mod index;
+mod lane;
+mod reader;
+mod segment;
+mod spool;
+
+pub use crc32::crc32;
+pub use index::{LaneIndex, RecoveryReport, SegmentMeta, TornTail, WindowEntry};
+pub use lane::{LaneWriter, StoreConfig};
+pub use reader::{LaneReplay, StoreReader};
+pub use spool::{SpooledSink, DEFAULT_SPOOL_DEPTH};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{
+        EventSink, EventSource, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId,
+    };
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("endurance-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ev(us: u64, ty: u16) -> TraceEvent {
+        TraceEvent::new(Timestamp::from_micros(us), EventTypeId::new(ty), 0)
+    }
+
+    fn window_batch(id: u64, base_us: u64, count: usize) -> (RecordMeta, Vec<TraceEvent>, Vec<u8>) {
+        use trace_model::codec::{BinaryEncoder, TraceEncoder};
+        let events: Vec<TraceEvent> = (0..count)
+            .map(|i| ev(base_us + i as u64 * 10, (i % 3) as u16))
+            .collect();
+        let mut encoded = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: Timestamp::from_micros(base_us),
+            end: Timestamp::from_micros(base_us + 1_000),
+        };
+        (meta, events, encoded)
+    }
+
+    #[test]
+    fn clean_close_round_trips_and_trusts_the_sidecar() {
+        let dir = temp_dir("clean");
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        let mut all_events = Vec::new();
+        let mut all_bytes = Vec::new();
+        for id in 0..5u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 20);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+            all_events.extend(events);
+            all_bytes.extend(encoded);
+        }
+        assert_eq!(writer.recorded_events(), 100);
+        assert_eq!(writer.windows_written(), 5);
+        writer.close().unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        assert!(reader.recovery().clean, "sidecar must be trusted as-is");
+        assert!(reader.recovery().torn_tails.is_empty());
+        assert_eq!(reader.lane_ids(), vec![0]);
+        assert_eq!(reader.total_events(), 100);
+        assert_eq!(reader.lane_events(0).unwrap(), all_events);
+        assert_eq!(reader.lane_payload_bytes(0).unwrap(), all_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_without_close_is_recovered_by_the_scanner() {
+        let dir = temp_dir("crash");
+        let mut writer = LaneWriter::create(&dir, 3, StoreConfig::default()).unwrap();
+        let (meta, events, encoded) = window_batch(7, 0, 12);
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        drop(writer); // simulated crash: sidecar never written
+
+        let reader = StoreReader::open(&dir).unwrap();
+        assert!(!reader.recovery().clean);
+        assert_eq!(reader.recovery().windows, 1);
+        assert_eq!(reader.recovery().events, 12);
+        assert!(reader.recovery().torn_tails.is_empty());
+        assert_eq!(reader.lane_events(3).unwrap(), events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_replay_seeks_by_id_and_range() {
+        let dir = temp_dir("seek");
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        let mut batches = Vec::new();
+        for id in 0..6u64 {
+            // Window id 2*id so ids are non-contiguous, spanning 2 ms each.
+            let (meta, events, encoded) = window_batch(2 * id, id * 2_000, 5 + id as usize);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+            batches.push((meta, events));
+        }
+        writer.close().unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        // Seek one window by id.
+        let got = reader.window_events(0, WindowId::new(6)).unwrap().unwrap();
+        assert_eq!(got, batches[3].1);
+        assert!(reader.window_events(0, WindowId::new(5)).unwrap().is_none());
+        // Range replay returns exactly the overlapping windows, in order.
+        let ranged = reader
+            .windows_in_range(
+                0,
+                Timestamp::from_micros(2_500),
+                Timestamp::from_micros(7_000),
+            )
+            .unwrap();
+        let ids: Vec<u64> = ranged.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![2, 4, 6]);
+        for (id, events) in &ranged {
+            let expected = &batches[(id.index() / 2) as usize].1;
+            assert_eq!(events, expected);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_rotate_and_resume_numbering_after_reopen() {
+        let dir = temp_dir("rotate");
+        let config = StoreConfig::default().with_segment_max_windows(2);
+        let mut writer = LaneWriter::create(&dir, 1, config).unwrap();
+        for id in 0..5u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 8);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+        }
+        writer.close().unwrap();
+        // 5 windows at 2 per segment -> 3 segments.
+        let mut seg_files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                name.ends_with(".seg").then_some(name)
+            })
+            .collect();
+        seg_files.sort();
+        assert_eq!(
+            seg_files,
+            vec![
+                "lane0001-000000.seg",
+                "lane0001-000001.seg",
+                "lane0001-000002.seg"
+            ]
+        );
+
+        // Resume: numbering continues at 3, prior windows are recovered.
+        let mut writer = LaneWriter::create(&dir, 1, config).unwrap();
+        assert_eq!(writer.recovery().windows, 5);
+        let (meta, events, encoded) = window_batch(5, 10_000, 8);
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        writer.close().unwrap();
+        assert!(dir.join("lane0001-000003.seg").exists());
+
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.windows(1).unwrap().len(), 6);
+        assert_eq!(reader.total_events(), 6 * 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_by_bytes_keeps_every_frame() {
+        let dir = temp_dir("bytes");
+        let config = StoreConfig::default().with_segment_max_bytes(256);
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut total = 0usize;
+        for id in 0..20u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 10);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+            total += events.len();
+        }
+        writer.close().unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.total_events(), total as u64);
+        assert!(
+            reader.windows(0).unwrap().iter().map(|w| w.segment).max() > Some(0),
+            "a 256-byte limit must have forced rotations"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plain_record_paths_synthesise_metadata() {
+        let dir = temp_dir("plain");
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        writer.record(&[ev(100, 0), ev(200, 1)]).unwrap();
+        let (_, events, encoded) = window_batch(0, 5_000, 3);
+        writer.record_encoded(&events, &encoded).unwrap();
+        writer.close().unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        let windows = reader.windows(0).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].window_id, 0);
+        assert_eq!(windows[1].window_id, 1);
+        assert_eq!(windows[0].start_ns, 100_000);
+        assert_eq!(reader.total_events(), 5);
+
+        // Resume: synthetic ids continue past the recovered ones instead
+        // of colliding with (and shadowing) them in the index.
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        writer.record(&[ev(9_000, 0)]).unwrap();
+        writer.close().unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        let ids: Vec<u64> = reader
+            .windows(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.window_id)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lane_replay_is_a_lazy_event_source() {
+        let dir = temp_dir("replay");
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        let mut all = Vec::new();
+        for id in 0..4u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 6);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+            all.extend(events);
+        }
+        writer.close().unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        let mut replay = reader.replay_lane(0).unwrap();
+        let mut got = Vec::new();
+        while let Some(event) = replay.next_event() {
+            got.push(event);
+        }
+        assert!(replay.error().is_none());
+        assert_eq!(got, all);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_lanes_in_one_directory_stay_separate() {
+        let dir = temp_dir("lanes");
+        let mut writers: Vec<LaneWriter> = (0..3)
+            .map(|lane| LaneWriter::create(&dir, lane, StoreConfig::default()).unwrap())
+            .collect();
+        for (lane, writer) in writers.iter_mut().enumerate() {
+            let (meta, events, encoded) = window_batch(0, lane as u64 * 1_000, lane + 1);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+        }
+        for writer in writers {
+            writer.close().unwrap();
+        }
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.lane_ids(), vec![0, 1, 2]);
+        for lane in 0..3u32 {
+            assert_eq!(
+                reader.lane_events(lane).unwrap().len(),
+                lane as usize + 1,
+                "lane {lane}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spooled_sink_applies_in_order_and_hands_the_inner_sink_back() {
+        let mut spooled = SpooledSink::new(trace_model::MemorySink::new());
+        let mut all = Vec::new();
+        for id in 0..50u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 4);
+            spooled.record_window(&meta, &events, &encoded).unwrap();
+            all.extend(events);
+        }
+        assert_eq!(spooled.recorded_events(), all.len());
+        let enqueued_bytes = spooled.encoded_len();
+        let inner = spooled.finish().unwrap();
+        assert_eq!(inner.events(), all.as_slice());
+        assert!(inner.encoded_len() > 0);
+        assert_eq!(inner.encoded_len(), enqueued_bytes);
+    }
+
+    #[test]
+    fn spooled_store_lane_round_trips() {
+        let dir = temp_dir("spooled");
+        let writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        let mut spooled = SpooledSink::new(writer);
+        let mut all = Vec::new();
+        for id in 0..10u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 7);
+            spooled.record_window(&meta, &events, &encoded).unwrap();
+            all.extend(events);
+        }
+        spooled.finish().unwrap().close().unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        assert!(reader.recovery().clean);
+        assert_eq!(reader.lane_events(0).unwrap(), all);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sink that fails after N records, for spool error propagation.
+    #[derive(Debug, Default)]
+    struct FlakySink {
+        records_left: usize,
+        events: usize,
+    }
+
+    impl EventSink for FlakySink {
+        fn record(&mut self, events: &[TraceEvent]) -> Result<(), trace_model::TraceError> {
+            if self.records_left == 0 {
+                return Err(trace_model::TraceError::Io(std::io::Error::other(
+                    "disk full",
+                )));
+            }
+            self.records_left -= 1;
+            self.events += events.len();
+            Ok(())
+        }
+
+        fn recorded_events(&self) -> usize {
+            self.events
+        }
+    }
+
+    #[test]
+    fn spool_surfaces_the_writers_error_and_recovers_the_sink() {
+        let mut spooled = SpooledSink::with_depth(
+            FlakySink {
+                records_left: 2,
+                events: 0,
+            },
+            2,
+        );
+        let mut first_error = None;
+        for id in 0..100u64 {
+            let (_, events, _) = window_batch(id, id * 2_000, 3);
+            if let Err(error) = spooled.record(&events) {
+                first_error = Some(error);
+                break;
+            }
+        }
+        let error = first_error.expect("the flaky sink must surface through the spool");
+        assert!(error.to_string().contains("disk full"), "{error}");
+        let (sink, error) = spooled.finish_parts();
+        assert!(error.is_some());
+        assert_eq!(sink.events, 6, "two records of three events landed");
+    }
+
+    #[test]
+    fn corrupt_bytes_inside_a_segment_are_reported_as_a_torn_tail() {
+        let dir = temp_dir("corrupt");
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        for id in 0..3u64 {
+            let (meta, events, encoded) = window_batch(id, id * 2_000, 10);
+            writer.record_window(&meta, &events, &encoded).unwrap();
+        }
+        drop(writer);
+        // Flip a byte in the middle of the last frame's payload.
+        let path = dir.join("lane0000-000000.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 10] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.recovery().windows, 2, "the corrupt frame is dropped");
+        assert_eq!(reader.recovery().torn_tails.len(), 1);
+        assert!(reader.recovery().torn_tails[0].dropped_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_sidecar_is_distrusted_after_further_appends() {
+        let dir = temp_dir("stale");
+        let config = StoreConfig::default();
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let (meta, events, encoded) = window_batch(0, 0, 5);
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        writer.sync().unwrap(); // sidecar now matches one window
+        let (meta, events, encoded) = window_batch(1, 2_000, 5);
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        drop(writer); // crash: sidecar is stale (misses window 1)
+
+        let reader = StoreReader::open(&dir).unwrap();
+        assert!(!reader.recovery().clean, "stale sidecar must be rebuilt");
+        assert_eq!(reader.recovery().windows, 2, "both windows recovered");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

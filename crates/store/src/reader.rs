@@ -1,0 +1,360 @@
+//! Opening a store directory and replaying what it holds.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use trace_model::codec::{BinaryDecoder, TraceDecoder};
+use trace_model::{EventSource, Timestamp, TraceError, TraceEvent, WindowId};
+
+use crate::crc32::crc32;
+use crate::index::{LaneIndex, RecoveryReport, WindowEntry, SIDECAR_SCHEMA};
+use crate::segment::{
+    parse_segment_file_name, scan_segment, segment_file_name, sidecar_file_name, FRAME_HEADER_LEN,
+    FRAME_META_LEN,
+};
+
+/// A reopened trace store: every lane's window index, ready for replay.
+///
+/// Opening first tries each lane's sidecar index and trusts it only when
+/// every segment file's length matches the sidecar's committed byte
+/// count (the clean-close case). Any mismatch — crash before the sidecar
+/// was written, torn tail, missing sidecar — falls back to the
+/// CRC-validating segment scanner, which recovers every complete frame
+/// and reports the torn tails. Either way [`StoreReader::recovery`] says
+/// what happened.
+#[derive(Debug)]
+pub struct StoreReader {
+    dir: PathBuf,
+    lanes: BTreeMap<u32, LaneIndex>,
+    recovery: RecoveryReport,
+}
+
+impl StoreReader {
+    /// Opens the store directory read-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failures and
+    /// [`TraceError::Decode`] on cross-file corruption (a segment whose
+    /// header names a different lane, for example). Torn tails are *not*
+    /// errors; they are reported in [`StoreReader::recovery`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut segments: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            if let Some((lane, seq)) = name.to_str().and_then(parse_segment_file_name) {
+                segments.entry(lane).or_default().push(seq);
+            }
+        }
+        let mut lanes = BTreeMap::new();
+        let mut recovery = RecoveryReport {
+            clean: true,
+            ..RecoveryReport::default()
+        };
+        for (lane, mut seqs) in segments {
+            seqs.sort_unstable();
+            let (index, torn, used_sidecar) = load_lane(&dir, lane, &seqs)?;
+            recovery.absorb_lane(&index, &torn, used_sidecar);
+            lanes.insert(lane, index);
+        }
+        Ok(StoreReader {
+            dir,
+            lanes,
+            recovery,
+        })
+    }
+
+    /// What opening found: recovered windows/events per the sidecar or
+    /// the scanner, and any torn tails.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Lanes present in the store, ascending.
+    pub fn lane_ids(&self) -> Vec<u32> {
+        self.lanes.keys().copied().collect()
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The window index of one lane, in recording order.
+    pub fn windows(&self, lane: u32) -> Option<&[WindowEntry]> {
+        self.lanes.get(&lane).map(|index| index.windows.as_slice())
+    }
+
+    /// Total events across every lane.
+    pub fn total_events(&self) -> u64 {
+        self.lanes.values().map(LaneIndex::total_events).sum()
+    }
+
+    /// Total encoded payload bytes across every lane — the exact bytes
+    /// the recorder handed to the sinks.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.lanes
+            .values()
+            .map(LaneIndex::total_payload_bytes)
+            .sum()
+    }
+
+    fn lane_index(&self, lane: u32) -> Result<&LaneIndex, TraceError> {
+        self.lanes.get(&lane).ok_or_else(|| TraceError::Decode {
+            offset: 0,
+            reason: format!("store has no lane {lane}"),
+        })
+    }
+
+    /// Reads one frame's body and hands back `(entry, payload)`.
+    fn read_entry(&self, lane: u32, entry: &WindowEntry) -> Result<Vec<u8>, TraceError> {
+        let path = self.dir.join(segment_file_name(lane, entry.segment));
+        let mut file = File::open(&path)?;
+        file.seek(SeekFrom::Start(entry.offset))?;
+        let mut header = [0u8; FRAME_HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        let body_len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if body_len != entry.len {
+            return Err(TraceError::Decode {
+                offset: entry.offset as usize,
+                reason: format!(
+                    "index says frame body is {} bytes, file says {body_len}",
+                    entry.len
+                ),
+            });
+        }
+        let mut body = vec![0u8; body_len as usize];
+        file.read_exact(&mut body)?;
+        if crc32(&body) != stored_crc {
+            return Err(TraceError::Decode {
+                offset: entry.offset as usize,
+                reason: format!(
+                    "crc mismatch reading lane {lane} segment {} offset {}",
+                    entry.segment, entry.offset
+                ),
+            });
+        }
+        body.drain(..FRAME_META_LEN);
+        Ok(body)
+    }
+
+    /// The encoded payload of one indexed window (the bytes the recorder
+    /// wrote), fetched by a single seek — no scan of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] for an unknown lane or on
+    /// index/file disagreement (corruption after recovery).
+    pub fn window_payload(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+    ) -> Result<Option<Vec<u8>>, TraceError> {
+        let index = self.lane_index(lane)?;
+        let Some(entry) = index
+            .windows
+            .iter()
+            .find(|entry| entry.window_id == window_id.index())
+        else {
+            return Ok(None);
+        };
+        self.read_entry(lane, entry).map(Some)
+    }
+
+    /// The decoded events of one indexed window, fetched by a single
+    /// seek.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_payload`], plus payload
+    /// decode errors.
+    pub fn window_events(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+    ) -> Result<Option<Vec<TraceEvent>>, TraceError> {
+        match self.window_payload(lane, window_id)? {
+            Some(payload) => BinaryDecoder::new().decode(&payload).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Replays exactly the recorded windows whose `[start, end)` range
+    /// intersects `[from, to)`, in recording order, seeking to each via
+    /// the index.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_events`].
+    pub fn windows_in_range(
+        &self,
+        lane: u32,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<(WindowId, Vec<TraceEvent>)>, TraceError> {
+        let index = self.lane_index(lane)?;
+        let mut out = Vec::new();
+        for entry in &index.windows {
+            if entry.start_ns < to.as_nanos() && entry.end_ns > from.as_nanos() {
+                let payload = self.read_entry(lane, entry)?;
+                let events = BinaryDecoder::new().decode(&payload)?;
+                out.push((WindowId::new(entry.window_id), events));
+            }
+        }
+        Ok(out)
+    }
+
+    /// All events of one lane, decoded in recording order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_events`].
+    pub fn lane_events(&self, lane: u32) -> Result<Vec<TraceEvent>, TraceError> {
+        let index = self.lane_index(lane)?;
+        let mut events = Vec::with_capacity(index.total_events() as usize);
+        for entry in &index.windows {
+            let payload = self.read_entry(lane, entry)?;
+            events.extend(BinaryDecoder::new().decode(&payload)?);
+        }
+        Ok(events)
+    }
+
+    /// The concatenated encoded payloads of one lane, in recording order
+    /// — byte-for-byte what a memory sink accumulating
+    /// `record_encoded` bytes would hold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_payload`].
+    pub fn lane_payload_bytes(&self, lane: u32) -> Result<Vec<u8>, TraceError> {
+        let index = self.lane_index(lane)?;
+        let mut bytes = Vec::with_capacity(index.total_payload_bytes() as usize);
+        for entry in &index.windows {
+            bytes.extend(self.read_entry(lane, entry)?);
+        }
+        Ok(bytes)
+    }
+
+    /// A lazy [`EventSource`] over one lane's recorded events, window by
+    /// window in recording order — the replay side of the sink the run
+    /// was recorded through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] for an unknown lane. I/O or decode
+    /// failures *during* replay end the stream early; check
+    /// [`LaneReplay::error`] after draining.
+    pub fn replay_lane(&self, lane: u32) -> Result<LaneReplay<'_>, TraceError> {
+        let index = self.lane_index(lane)?;
+        Ok(LaneReplay {
+            reader: self,
+            lane,
+            entries: index.windows.iter(),
+            buffered: std::collections::VecDeque::new(),
+            error: None,
+        })
+    }
+}
+
+/// Lazily replays one lane's recorded events in recording order.
+///
+/// Produced by [`StoreReader::replay_lane`]; implements
+/// [`trace_model::EventSource`], so it plugs anywhere a recorded trace is
+/// consumed — including a fresh `ReductionSession`.
+#[derive(Debug)]
+pub struct LaneReplay<'a> {
+    reader: &'a StoreReader,
+    lane: u32,
+    entries: std::slice::Iter<'a, WindowEntry>,
+    buffered: std::collections::VecDeque<TraceEvent>,
+    error: Option<TraceError>,
+}
+
+impl LaneReplay<'_> {
+    /// The error that ended replay early, if any.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+}
+
+impl EventSource for LaneReplay<'_> {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        loop {
+            if let Some(event) = self.buffered.pop_front() {
+                return Some(event);
+            }
+            if self.error.is_some() {
+                return None;
+            }
+            let entry = self.entries.next()?;
+            let decoded = self
+                .reader
+                .read_entry(self.lane, entry)
+                .and_then(|payload| BinaryDecoder::new().decode(&payload));
+            match decoded {
+                Ok(events) => self.buffered.extend(events),
+                Err(error) => {
+                    self.error = Some(error);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Loads one lane's index, preferring the sidecar, falling back to the
+/// scanner. Returns `(index, torn tails, sidecar trusted)`.
+fn load_lane(
+    dir: &Path,
+    lane: u32,
+    seqs: &[u32],
+) -> Result<(LaneIndex, Vec<crate::index::TornTail>, bool), TraceError> {
+    if let Some(index) = try_sidecar(dir, lane, seqs) {
+        return Ok((index, Vec::new(), true));
+    }
+    let mut index = LaneIndex::new(lane);
+    let mut torn = Vec::new();
+    for &seq in seqs {
+        let path = dir.join(segment_file_name(lane, seq));
+        let scanned = scan_segment(&path, lane, seq)?;
+        if let Some(tail) = scanned.torn {
+            torn.push(tail);
+        }
+        if scanned.committed_bytes > 0 {
+            index.segments.push(scanned.meta);
+            index.windows.extend(scanned.entries);
+        }
+    }
+    Ok((index, torn, false))
+}
+
+/// Loads and validates a lane sidecar: readable, right schema/lane, and
+/// naming exactly the on-disk segments with exactly their file lengths.
+fn try_sidecar(dir: &Path, lane: u32, seqs: &[u32]) -> Option<LaneIndex> {
+    let text = std::fs::read_to_string(dir.join(sidecar_file_name(lane))).ok()?;
+    let index: LaneIndex = serde_json::from_str(&text).ok()?;
+    if index.schema != SIDECAR_SCHEMA || index.lane != lane {
+        return None;
+    }
+    let sidecar_seqs: Vec<u32> = index.segments.iter().map(|s| s.seq).collect();
+    if sidecar_seqs != seqs {
+        return None;
+    }
+    for meta in &index.segments {
+        let path = dir.join(segment_file_name(lane, meta.seq));
+        let len = std::fs::metadata(&path).ok()?.len();
+        if len != meta.committed_bytes {
+            return None;
+        }
+    }
+    Some(index)
+}

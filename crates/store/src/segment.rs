@@ -1,0 +1,274 @@
+//! The on-disk segment format and the recovery scanner.
+//!
+//! A segment file is:
+//!
+//! ```text
+//! magic    "ESEG"        4 bytes
+//! version                1 byte  (currently 1)
+//! lane                   4 bytes u32 LE
+//! segment sequence       4 bytes u32 LE
+//! frames...
+//! ```
+//!
+//! and every frame is:
+//!
+//! ```text
+//! body length            4 bytes u32 LE   (meta + payload)
+//! crc32 of the body      4 bytes u32 LE   (IEEE, see `crc32`)
+//! body:
+//!   window id            8 bytes u64 LE
+//!   window start (ns)    8 bytes u64 LE
+//!   window end (ns)      8 bytes u64 LE
+//!   event count          4 bytes u32 LE
+//!   payload              the window's compact binary (`ETRC`) encoding
+//! ```
+//!
+//! The payload is exactly the bytes the recorder handed to the sink, so a
+//! replayed trace is byte-for-byte what an in-memory sink would have kept.
+//! A process killed mid-write leaves a torn final frame; the scanner
+//! validates length and CRC frame by frame and reports where the intact
+//! prefix ends so reopen can truncate the tail.
+
+use trace_model::TraceError;
+
+use crate::crc32::crc32;
+use crate::index::{SegmentMeta, TornTail, WindowEntry};
+
+/// Magic bytes opening every segment file.
+pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"ESEG";
+/// Current segment format version.
+pub(crate) const SEGMENT_VERSION: u8 = 1;
+/// Size of the segment header in bytes.
+pub(crate) const SEGMENT_HEADER_LEN: u64 = 13;
+/// Size of a frame header (body length + crc) in bytes.
+pub(crate) const FRAME_HEADER_LEN: u64 = 8;
+/// Size of the fixed frame meta block inside the body.
+pub(crate) const FRAME_META_LEN: usize = 28;
+/// Upper bound on a frame body, guarding recovery against absurd lengths
+/// read from corrupt headers.
+pub(crate) const MAX_FRAME_BODY: u32 = 1 << 30;
+
+/// File name of segment `seq` of `lane`: zero-padded so lexicographic
+/// order is numeric order.
+pub(crate) fn segment_file_name(lane: u32, seq: u32) -> String {
+    format!("lane{lane:04}-{seq:06}.seg")
+}
+
+/// File name of the sidecar index of `lane`.
+pub(crate) fn sidecar_file_name(lane: u32) -> String {
+    format!("lane{lane:04}.idx.json")
+}
+
+/// Parses a segment file name back into `(lane, seq)`.
+pub(crate) fn parse_segment_file_name(name: &str) -> Option<(u32, u32)> {
+    let rest = name.strip_prefix("lane")?.strip_suffix(".seg")?;
+    let (lane, seq) = rest.split_once('-')?;
+    Some((lane.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Serialises the 13-byte segment header.
+pub(crate) fn segment_header(lane: u32, seq: u32) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    header[..4].copy_from_slice(SEGMENT_MAGIC);
+    header[4] = SEGMENT_VERSION;
+    header[5..9].copy_from_slice(&lane.to_le_bytes());
+    header[9..13].copy_from_slice(&seq.to_le_bytes());
+    header
+}
+
+/// Builds one frame (header + body) into `out` (cleared first) and returns
+/// the body length.
+pub(crate) fn build_frame(
+    out: &mut Vec<u8>,
+    window_id: u64,
+    start_ns: u64,
+    end_ns: u64,
+    event_count: u32,
+    payload: &[u8],
+) -> u32 {
+    let body_len = (FRAME_META_LEN + payload.len()) as u32;
+    out.clear();
+    out.reserve(FRAME_HEADER_LEN as usize + body_len as usize);
+    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    out.extend_from_slice(&window_id.to_le_bytes());
+    out.extend_from_slice(&start_ns.to_le_bytes());
+    out.extend_from_slice(&end_ns.to_le_bytes());
+    out.extend_from_slice(&event_count.to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[FRAME_HEADER_LEN as usize..]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    body_len
+}
+
+fn read_u32(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+/// Parses a validated frame body into a [`WindowEntry`] anchored at
+/// `(seq, offset)`.
+fn entry_from_body(seq: u32, offset: u64, body: &[u8]) -> WindowEntry {
+    WindowEntry {
+        window_id: read_u64(body, 0),
+        start_ns: read_u64(body, 8),
+        end_ns: read_u64(body, 16),
+        events: read_u32(body, 24),
+        segment: seq,
+        offset,
+        len: body.len() as u32,
+    }
+}
+
+/// What the recovery scanner found in one segment file.
+#[derive(Debug)]
+pub(crate) struct ScannedSegment {
+    /// Complete, CRC-valid frames, in file order.
+    pub entries: Vec<WindowEntry>,
+    /// Byte length of the intact prefix (header + complete frames).
+    pub committed_bytes: u64,
+    /// The torn tail, when the file does not end on a frame boundary.
+    pub torn: Option<TornTail>,
+    /// Summary of the intact prefix, for the rebuilt sidecar.
+    pub meta: SegmentMeta,
+}
+
+/// Scans one segment file, validating the header and every frame.
+///
+/// Returns the intact prefix (every complete, CRC-valid frame) and, when
+/// the file ends mid-frame or with a corrupt frame, the torn tail to
+/// truncate. A file too short to hold the segment header is treated as a
+/// torn tail at offset zero (the process died between `create` and the
+/// header write).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the file cannot be read and
+/// [`TraceError::Decode`] when the header is present but wrong (bad magic,
+/// version, or lane/sequence mismatch) — that is cross-file corruption,
+/// not a torn write, and recovery must not silently discard it.
+pub(crate) fn scan_segment(
+    path: &std::path::Path,
+    lane: u32,
+    seq: u32,
+) -> Result<ScannedSegment, TraceError> {
+    let bytes = std::fs::read(path)?;
+    let file_len = bytes.len() as u64;
+    let torn_at = |offset: u64| TornTail {
+        lane,
+        segment: seq,
+        offset,
+        dropped_bytes: file_len - offset,
+    };
+    if file_len < SEGMENT_HEADER_LEN {
+        return Ok(ScannedSegment {
+            entries: Vec::new(),
+            committed_bytes: 0,
+            torn: Some(torn_at(0)),
+            meta: SegmentMeta {
+                seq,
+                committed_bytes: 0,
+            },
+        });
+    }
+    if &bytes[..4] != SEGMENT_MAGIC {
+        return Err(TraceError::Decode {
+            offset: 0,
+            reason: format!("{}: bad magic, not an ESEG segment", path.display()),
+        });
+    }
+    if bytes[4] != SEGMENT_VERSION {
+        return Err(TraceError::Decode {
+            offset: 4,
+            reason: format!(
+                "{}: unsupported segment version {}",
+                path.display(),
+                bytes[4]
+            ),
+        });
+    }
+    let (file_lane, file_seq) = (read_u32(&bytes, 5), read_u32(&bytes, 9));
+    if (file_lane, file_seq) != (lane, seq) {
+        return Err(TraceError::Decode {
+            offset: 5,
+            reason: format!(
+                "{}: header says lane {file_lane} segment {file_seq}, file name says \
+                 lane {lane} segment {seq}",
+                path.display()
+            ),
+        });
+    }
+
+    let mut entries = Vec::new();
+    let mut offset = SEGMENT_HEADER_LEN;
+    let mut torn = None;
+    while offset < file_len {
+        if offset + FRAME_HEADER_LEN > file_len {
+            torn = Some(torn_at(offset));
+            break;
+        }
+        let body_len = read_u32(&bytes, offset as usize);
+        let stored_crc = read_u32(&bytes, offset as usize + 4);
+        let body_start = offset + FRAME_HEADER_LEN;
+        let body_end = body_start + u64::from(body_len);
+        if body_len > MAX_FRAME_BODY || (body_len as usize) < FRAME_META_LEN || body_end > file_len
+        {
+            torn = Some(torn_at(offset));
+            break;
+        }
+        let body = &bytes[body_start as usize..body_end as usize];
+        if crc32(body) != stored_crc {
+            torn = Some(torn_at(offset));
+            break;
+        }
+        entries.push(entry_from_body(seq, offset, body));
+        offset = body_end;
+    }
+    let committed_bytes = torn.as_ref().map_or(file_len, |tail| tail.offset);
+    Ok(ScannedSegment {
+        entries,
+        committed_bytes,
+        torn,
+        meta: SegmentMeta {
+            seq,
+            committed_bytes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(segment_file_name(3, 17), "lane0003-000017.seg");
+        assert_eq!(
+            parse_segment_file_name("lane0003-000017.seg"),
+            Some((3, 17))
+        );
+        assert_eq!(parse_segment_file_name("lane0003.idx.json"), None);
+        assert_eq!(parse_segment_file_name("other.seg"), None);
+        assert_eq!(sidecar_file_name(3), "lane0003.idx.json");
+    }
+
+    #[test]
+    fn frame_build_is_self_consistent() {
+        let mut frame = Vec::new();
+        let body_len = build_frame(&mut frame, 7, 100, 200, 3, b"payload");
+        assert_eq!(body_len as usize, FRAME_META_LEN + 7);
+        assert_eq!(frame.len(), FRAME_HEADER_LEN as usize + body_len as usize);
+        let crc = read_u32(&frame, 4);
+        assert_eq!(crc, crc32(&frame[8..]));
+        let entry = entry_from_body(2, 13, &frame[8..]);
+        assert_eq!(entry.window_id, 7);
+        assert_eq!(entry.start_ns, 100);
+        assert_eq!(entry.end_ns, 200);
+        assert_eq!(entry.events, 3);
+        assert_eq!(entry.segment, 2);
+        assert_eq!(entry.offset, 13);
+    }
+}

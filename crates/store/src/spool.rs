@@ -1,0 +1,299 @@
+//! The spooled (writer-thread) sink adapter.
+//!
+//! [`trace_model::EventSink`] is synchronous by design — in-memory sinks
+//! want no ceremony — but a shard worker recording through a storage
+//! backend would otherwise stall on every disk write even though its
+//! channel gives the router slack. [`SpooledSink`] closes that gap
+//! without touching the trait: the front half implements `EventSink` and
+//! only copies each batch into a buffer, while a dedicated writer thread
+//! drains the buffers into the wrapped sink. Monitoring and I/O overlap;
+//! the bounded queue keeps memory `O(queue depth × window)`.
+//!
+//! Buffers recycle through a return channel (double buffering,
+//! generalised to the queue depth), so the steady state allocates
+//! nothing per recorded window.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use trace_model::{EventSink, RecordMeta, TraceError, TraceEvent};
+
+/// Default number of spooled batches the queue buffers before the front
+/// blocks (backpressure).
+pub const DEFAULT_SPOOL_DEPTH: usize = 4;
+
+/// One batch travelling front → writer.
+struct Job {
+    meta: Option<RecordMeta>,
+    has_encoded: bool,
+    events: Vec<TraceEvent>,
+    encoded: Vec<u8>,
+}
+
+/// What the writer thread hands back when it exits.
+struct SpoolRun<S> {
+    sink: S,
+    error: Option<TraceError>,
+}
+
+/// A double-buffered writer thread behind the synchronous [`EventSink`]
+/// trait.
+///
+/// `record*` calls enqueue the batch and return immediately (blocking
+/// only when the bounded queue is full); the writer thread applies them
+/// to the wrapped sink in order. Call [`SpooledSink::finish`] to drain
+/// the queue, join the thread and take the inner sink back — this is
+/// also where a deferred write error surfaces if nothing had been
+/// recorded since it happened.
+///
+/// A write error on the writer thread is sticky: the thread stops, the
+/// front's next `record*` (or `finish`) reports it, and the inner sink —
+/// with everything applied before the fault — is still recovered by
+/// `finish`.
+pub struct SpooledSink<S: EventSink + Send + 'static> {
+    sender: Option<SyncSender<Job>>,
+    recycle: Option<Receiver<(Vec<TraceEvent>, Vec<u8>)>>,
+    worker: Option<JoinHandle<SpoolRun<S>>>,
+    /// The worker's outcome, recovered early when a send found the
+    /// channel disconnected.
+    dead: Option<SpoolRun<S>>,
+    /// Rendering of the first failure, re-surfaced by later calls.
+    failure: Option<String>,
+    events_sent: usize,
+    encoded_bytes_sent: usize,
+}
+
+impl<S: EventSink + Send + 'static> std::fmt::Debug for SpooledSink<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpooledSink")
+            .field("running", &self.sender.is_some())
+            .field("events_sent", &self.events_sent)
+            .field("failure", &self.failure)
+            .finish()
+    }
+}
+
+impl<S: EventSink + Send + 'static> SpooledSink<S> {
+    /// Spools `inner` behind a writer thread with the default queue
+    /// depth.
+    pub fn new(inner: S) -> Self {
+        Self::with_depth(inner, DEFAULT_SPOOL_DEPTH)
+    }
+
+    /// Spools `inner` behind a writer thread buffering up to `depth`
+    /// batches (clamped to at least 1) before the front blocks.
+    pub fn with_depth(inner: S, depth: usize) -> Self {
+        let depth = depth.max(1);
+        let (sender, jobs) = sync_channel::<Job>(depth);
+        let (recycle_tx, recycle_rx) = sync_channel::<(Vec<TraceEvent>, Vec<u8>)>(depth + 1);
+        let worker = std::thread::spawn(move || run_writer(inner, jobs, recycle_tx));
+        SpooledSink {
+            sender: Some(sender),
+            recycle: Some(recycle_rx),
+            worker: Some(worker),
+            dead: None,
+            failure: None,
+            events_sent: 0,
+            encoded_bytes_sent: 0,
+        }
+    }
+
+    /// Total compact-encoded bytes enqueued so far (mirrors
+    /// `MemorySink::encoded_len` / `CountingSink::encoded_len`); after
+    /// [`SpooledSink::finish`] this is exactly what the inner sink was
+    /// handed.
+    pub fn encoded_len(&self) -> usize {
+        self.encoded_bytes_sent
+    }
+
+    /// Grabs a recycled buffer pair, or allocates on a cold start.
+    fn buffers(&mut self) -> (Vec<TraceEvent>, Vec<u8>) {
+        self.recycle
+            .as_ref()
+            .and_then(|recycle| recycle.try_recv().ok())
+            .unwrap_or_default()
+    }
+
+    /// Joins the worker after a disconnect, stashing its outcome and
+    /// rendering the failure message.
+    fn reap(&mut self) -> TraceError {
+        self.sender = None;
+        if let Some(worker) = self.worker.take() {
+            match worker.join() {
+                Ok(run) => {
+                    self.failure = Some(match &run.error {
+                        Some(error) => error.to_string(),
+                        None => "spool writer exited early".to_string(),
+                    });
+                    self.dead = Some(run);
+                }
+                Err(_) => {
+                    self.failure = Some("spool writer thread panicked".to_string());
+                }
+            }
+        }
+        self.error()
+    }
+
+    fn error(&self) -> TraceError {
+        TraceError::Io(std::io::Error::other(
+            self.failure
+                .clone()
+                .unwrap_or_else(|| "spool writer failed".to_string()),
+        ))
+    }
+
+    fn enqueue(&mut self, job: Job) -> Result<(), TraceError> {
+        if self.failure.is_some() {
+            return Err(self.error());
+        }
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(self.error());
+        };
+        let events = job.events.len();
+        let encoded = job.encoded.len();
+        match sender.send(job) {
+            Ok(()) => {
+                self.events_sent += events;
+                self.encoded_bytes_sent += encoded;
+                Ok(())
+            }
+            Err(_) => Err(self.reap()),
+        }
+    }
+
+    /// Drains the queue, joins the writer thread and returns the inner
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the writer's first error, if it failed. The inner sink is
+    /// dropped in that case; use [`SpooledSink::finish_parts`] when the
+    /// partially written sink must survive the failure.
+    pub fn finish(self) -> Result<S, TraceError> {
+        let (sink, error) = self.finish_parts();
+        match error {
+            Some(error) => Err(error),
+            None => Ok(sink),
+        }
+    }
+
+    /// Like [`SpooledSink::finish`], but always hands the inner sink back
+    /// alongside the writer's error, if any — the recovery path for
+    /// storage sinks whose already-written data matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer thread itself panicked (it owns the inner
+    /// sink, so there is nothing to recover).
+    pub fn finish_parts(mut self) -> (S, Option<TraceError>) {
+        self.sender = None; // close the queue; the writer drains and exits
+        self.recycle = None;
+        let run = match (self.dead.take(), self.worker.take()) {
+            (Some(run), _) => run,
+            (None, Some(worker)) => worker
+                .join()
+                .unwrap_or_else(|_| panic!("spool writer thread panicked")),
+            // A panicking writer was already reaped (dead stays empty):
+            // the inner sink died with the thread.
+            (None, None) => panic!("spool writer thread panicked"),
+        };
+        (run.sink, run.error)
+    }
+}
+
+impl<S: EventSink + Send + 'static> Drop for SpooledSink<S> {
+    fn drop(&mut self) {
+        // Close the queue and let the writer drain, so dropping the front
+        // (e.g. in tests or on an abort path) still flushes the inner
+        // sink; errors have nowhere to go here.
+        self.sender = None;
+        self.recycle = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<S: EventSink + Send + 'static> EventSink for SpooledSink<S> {
+    fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+        let (mut ev, mut enc) = self.buffers();
+        ev.clear();
+        enc.clear();
+        ev.extend_from_slice(events);
+        self.enqueue(Job {
+            meta: None,
+            has_encoded: false,
+            events: ev,
+            encoded: enc,
+        })
+    }
+
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        let (mut ev, mut enc) = self.buffers();
+        ev.clear();
+        enc.clear();
+        ev.extend_from_slice(events);
+        enc.extend_from_slice(encoded);
+        self.enqueue(Job {
+            meta: None,
+            has_encoded: true,
+            events: ev,
+            encoded: enc,
+        })
+    }
+
+    fn record_window(
+        &mut self,
+        meta: &RecordMeta,
+        events: &[TraceEvent],
+        encoded: &[u8],
+    ) -> Result<(), TraceError> {
+        let (mut ev, mut enc) = self.buffers();
+        ev.clear();
+        enc.clear();
+        ev.extend_from_slice(events);
+        enc.extend_from_slice(encoded);
+        self.enqueue(Job {
+            meta: Some(*meta),
+            has_encoded: true,
+            events: ev,
+            encoded: enc,
+        })
+    }
+
+    fn recorded_events(&self) -> usize {
+        // Front-side accounting: batches enqueued so far. The writer
+        // applies them in order, so after `finish` this equals the inner
+        // sink's count (minus anything after a write fault).
+        self.events_sent
+    }
+}
+
+/// Writer-thread body: apply jobs in order, recycle their buffers, stop
+/// on the first error.
+fn run_writer<S: EventSink>(
+    mut sink: S,
+    jobs: Receiver<Job>,
+    recycle: SyncSender<(Vec<TraceEvent>, Vec<u8>)>,
+) -> SpoolRun<S> {
+    while let Ok(mut job) = jobs.recv() {
+        let result = match (&job.meta, job.has_encoded) {
+            (Some(meta), _) => sink.record_window(meta, &job.events, &job.encoded),
+            (None, true) => sink.record_encoded(&job.events, &job.encoded),
+            (None, false) => sink.record(&job.events),
+        };
+        if let Err(error) = result {
+            return SpoolRun {
+                sink,
+                error: Some(error),
+            };
+        }
+        job.events.clear();
+        job.encoded.clear();
+        match recycle.try_send((job.events, job.encoded)) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+    SpoolRun { sink, error: None }
+}

@@ -58,7 +58,7 @@ pub use event::{EventTypeId, Severity, TraceEvent};
 pub use registry::{EventTypeInfo, EventTypeRegistry};
 pub use stats::TraceStats;
 pub use stream::{
-    CountingSink, EventSink, EventSource, InterleavedStreams, MemorySink, MemorySource,
+    CountingSink, EventSink, EventSource, InterleavedStreams, MemorySink, MemorySource, RecordMeta,
     ShardedSink, StreamId,
 };
 pub use timestamp::Timestamp;

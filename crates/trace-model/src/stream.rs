@@ -14,7 +14,24 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Timestamp, TraceError, TraceEvent};
+use crate::{Timestamp, TraceError, TraceEvent, WindowId};
+
+/// Metadata describing the window a recorded batch of events came from.
+///
+/// The recorder in `endurance-core` knows which window it is persisting;
+/// storage backends that index their contents (the segment store in
+/// `endurance-store`) receive this alongside the encoded bytes through
+/// [`EventSink::record_window`] so replay can later seek straight to a
+/// window by id or timestamp range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordMeta {
+    /// Sequential id of the recorded window within its run.
+    pub window_id: WindowId,
+    /// Timestamp at which the window starts (inclusive).
+    pub start: Timestamp,
+    /// Timestamp at which the window ends (exclusive).
+    pub end: Timestamp,
+}
 
 /// Identifier of an event *stream* — one tracing source among many, such
 /// as a device under test, a pipeline instance, or a tenant.
@@ -232,6 +249,15 @@ impl<S: EventSink> EventSink for ShardedSink<S> {
         self.lanes[self.active].record_encoded(events, encoded)
     }
 
+    fn record_window(
+        &mut self,
+        meta: &RecordMeta,
+        events: &[TraceEvent],
+        encoded: &[u8],
+    ) -> Result<(), TraceError> {
+        self.lanes[self.active].record_window(meta, events, encoded)
+    }
+
     fn recorded_events(&self) -> usize {
         self.lanes.iter().map(S::recorded_events).sum()
     }
@@ -305,6 +331,27 @@ pub trait EventSink {
         self.record(events)
     }
 
+    /// Records one whole window: the events, their pre-encoded bytes, and
+    /// the window's identity ([`RecordMeta`]).
+    ///
+    /// Sinks that index what they store (segment stores, databases)
+    /// override this to file the batch under its window id and timestamp
+    /// range. The default ignores the metadata and forwards to
+    /// [`EventSink::record_encoded`], so plain sinks are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EventSink::record`].
+    fn record_window(
+        &mut self,
+        meta: &RecordMeta,
+        events: &[TraceEvent],
+        encoded: &[u8],
+    ) -> Result<(), TraceError> {
+        let _ = meta;
+        self.record_encoded(events, encoded)
+    }
+
     /// Number of events recorded so far.
     fn recorded_events(&self) -> usize;
 
@@ -366,6 +413,7 @@ impl Iterator for MemorySource {
 #[derive(Debug, Clone, Default)]
 pub struct MemorySink {
     events: Vec<TraceEvent>,
+    encoded_bytes: usize,
 }
 
 impl MemorySink {
@@ -377,6 +425,24 @@ impl MemorySink {
     /// The recorded events, in recording order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Number of recorded events (same as [`EventSink::recorded_events`],
+    /// available without importing the trait).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total compact-encoded bytes handed to this sink via
+    /// [`EventSink::record_encoded`] (zero when only the un-encoded
+    /// [`EventSink::record`] path was used).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded_bytes
     }
 
     /// Consumes the sink and returns the recorded events.
@@ -391,6 +457,11 @@ impl EventSink for MemorySink {
         Ok(())
     }
 
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        self.encoded_bytes += encoded.len();
+        self.record(events)
+    }
+
     fn recorded_events(&self) -> usize {
         self.events.len()
     }
@@ -401,6 +472,7 @@ impl EventSink for MemorySink {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CountingSink {
     count: usize,
+    encoded_bytes: usize,
 }
 
 impl CountingSink {
@@ -408,12 +480,34 @@ impl CountingSink {
     pub fn new() -> Self {
         CountingSink::default()
     }
+
+    /// Number of events counted (same as [`EventSink::recorded_events`],
+    /// available without importing the trait).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether nothing has been counted yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total compact-encoded bytes offered via
+    /// [`EventSink::record_encoded`] (the bytes themselves are discarded).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded_bytes
+    }
 }
 
 impl EventSink for CountingSink {
     fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
         self.count += events.len();
         Ok(())
+    }
+
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        self.encoded_bytes += encoded.len();
+        self.record(events)
     }
 
     fn recorded_events(&self) -> usize {
@@ -472,20 +566,58 @@ mod tests {
     #[test]
     fn memory_sink_accumulates_and_accounts_bytes() {
         let mut sink = MemorySink::new();
+        assert!(sink.is_empty());
         sink.record(&[ev(1), ev(2)]).unwrap();
         sink.record(&[ev(3)]).unwrap();
         assert_eq!(sink.recorded_events(), 3);
         assert_eq!(sink.recorded_bytes(), 3 * TraceEvent::RAW_ENCODED_SIZE);
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.encoded_len(), 0, "no encoded bytes were offered");
         assert_eq!(sink.events().len(), 3);
         assert_eq!(sink.into_events().len(), 3);
     }
 
     #[test]
+    fn memory_sink_tracks_encoded_bytes() {
+        let mut sink = MemorySink::new();
+        sink.record_encoded(&[ev(1), ev(2)], &[0xAA; 7]).unwrap();
+        sink.record_encoded(&[ev(3)], &[0xBB; 5]).unwrap();
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.encoded_len(), 12);
+    }
+
+    #[test]
     fn counting_sink_counts_without_storing() {
         let mut sink = CountingSink::new();
+        assert!(sink.is_empty());
         sink.record(&[ev(1), ev(2), ev(3)]).unwrap();
-        assert_eq!(sink.recorded_events(), 3);
-        assert_eq!(sink.recorded_bytes(), 3 * TraceEvent::RAW_ENCODED_SIZE);
+        sink.record_encoded(&[ev(4)], &[0xCC; 9]).unwrap();
+        assert_eq!(sink.recorded_events(), 4);
+        assert_eq!(sink.len(), 4);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.encoded_len(), 9);
+        assert_eq!(sink.recorded_bytes(), 4 * TraceEvent::RAW_ENCODED_SIZE);
+    }
+
+    #[test]
+    fn record_window_defaults_to_record_encoded() {
+        let meta = RecordMeta {
+            window_id: WindowId::new(3),
+            start: Timestamp::from_millis(120),
+            end: Timestamp::from_millis(160),
+        };
+        let mut sink = MemorySink::new();
+        sink.record_window(&meta, &[ev(125)], &[1, 2, 3]).unwrap();
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.encoded_len(), 3);
+
+        let mut bank = ShardedSink::new_with(2, |_| MemorySink::new());
+        bank.select(1);
+        bank.record_window(&meta, &[ev(125)], &[1, 2, 3]).unwrap();
+        assert_eq!(bank.lane(0).len(), 0);
+        assert_eq!(bank.lane(1).len(), 1);
+        assert_eq!(bank.lane(1).encoded_len(), 3);
     }
 
     #[test]

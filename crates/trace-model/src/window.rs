@@ -105,13 +105,27 @@ impl Window {
     ///
     /// Panics if `dimensions` is zero.
     pub fn type_counts(&self, dimensions: usize) -> Vec<u64> {
+        let mut counts = Vec::new();
+        self.type_counts_into(dimensions, &mut counts);
+        counts
+    }
+
+    /// Like [`Window::type_counts`], but reusing the caller's buffer —
+    /// `counts` is cleared and resized to `dimensions`. Hot monitoring
+    /// loops call this once per window, so avoiding the allocation matters
+    /// at fleet scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimensions` is zero.
+    pub fn type_counts_into(&self, dimensions: usize, counts: &mut Vec<u64>) {
         assert!(dimensions > 0, "dimensions must be non-zero");
-        let mut counts = vec![0u64; dimensions];
+        counts.clear();
+        counts.resize(dimensions, 0);
         for ev in &self.events {
             let idx = ev.event_type.index().min(dimensions - 1);
             counts[idx] += 1;
         }
-        counts
     }
 
     /// Number of events of exactly the given type.
@@ -598,6 +612,23 @@ mod tests {
         // Overflowing types are folded into the last bucket.
         assert_eq!(window.type_counts(2), vec![1, 3]);
         assert_eq!(window.count_of(EventTypeId::new(1)), 2);
+    }
+
+    #[test]
+    fn type_counts_into_reuses_and_resets_the_buffer() {
+        let events = vec![ev_at(0, 0), ev_at(1, 1), ev_at(2, 1)];
+        let window = Window::new(
+            WindowId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_millis(3),
+            events,
+        );
+        let mut counts = vec![99u64; 7];
+        window.type_counts_into(2, &mut counts);
+        assert_eq!(counts, vec![1, 2]);
+        window.type_counts_into(4, &mut counts);
+        assert_eq!(counts, vec![1, 2, 0, 0]);
+        assert_eq!(counts, window.type_counts(4));
     }
 
     #[test]

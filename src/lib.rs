@@ -10,13 +10,16 @@
 //! * [`endurance_core`] — the online monitor and the push-based
 //!   [`endurance_core::ReductionSession`];
 //! * [`mm_sim`] — the multimedia-pipeline workload simulator;
-//! * [`endurance_eval`] — ground truth, metrics, sweeps and baselines.
+//! * [`endurance_eval`] — ground truth, metrics, sweeps and baselines;
+//! * [`endurance_store`] — durable segment storage for recorded traces,
+//!   with crash recovery, windowed replay and the spooled sink adapter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use endurance_core;
 pub use endurance_eval;
+pub use endurance_store;
 pub use lof_anomaly;
 pub use mm_sim;
 pub use trace_model;
