@@ -15,7 +15,7 @@
 //!   (`crates/bench/baselines/bench_session_baseline.json` in CI); when
 //!   omitted, no regression gate is applied (measurement-only mode).
 //!
-//! Two gates:
+//! The gates:
 //!
 //! 1. **Regression**: every measured configuration must reach at least
 //!    70 % of its baseline `reference_events_per_sec`.
@@ -27,6 +27,14 @@
 //!    with the same per-device windows and recorded traces). On smaller
 //!    hosts the check is reported but skipped — a bounded channel cannot
 //!    conjure cores.
+//! 3. **Buffered replay**: full-lane replay through the buffered
+//!    `SegmentMap` path (`store_replay_buffered`) must sustain ≥ 2× the
+//!    legacy seek-per-frame path (`store_replay_seek`) on the same
+//!    store — the zero-copy read refactor must actually pay.
+//!
+//! The artifact also records `store_compact` (a maintenance pass merging
+//! a many-segment lane) and, when a baseline is given, the per-config
+//! deltas vs the reference.
 //!
 //! The artifact also records `session_push` — one session over the merged
 //! untagged feed. That configuration does per-*fleet* windows (4× fewer
@@ -40,9 +48,15 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
-use endurance_store::{LaneWriter, SpooledSink, StoreConfig, StoreReader};
+use endurance_store::{
+    Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
+};
 use mm_sim::{Scenario, Simulation};
-use trace_model::{CountingSink, InterleavedStreams, MemorySource, StreamId, TraceEvent};
+use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::{
+    CountingSink, EventSink, EventTypeId, InterleavedStreams, MemorySource, RecordMeta, StreamId,
+    Timestamp, TraceEvent, WindowId,
+};
 
 const DEVICES: u32 = 4;
 const SHARD_CONFIGS: [usize; 3] = [1, 2, 4];
@@ -52,6 +66,9 @@ const MIN_PARALLELISM_FOR_SPEEDUP_GATE: usize = 4;
 /// The spooled sink may cost at most this fraction of the in-memory
 /// session rate (the async-sinks acceptance bar).
 const SPOOL_TOLERANCE: f64 = 0.10;
+/// Buffered full-lane replay must beat the seek-per-frame path by at
+/// least this factor on the same store.
+const REQUIRED_REPLAY_SPEEDUP: f64 = 2.0;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Measurement {
@@ -61,12 +78,21 @@ struct Measurement {
 }
 
 #[derive(Debug, Serialize, Deserialize)]
+struct Delta {
+    name: String,
+    pct_vs_reference: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
 struct Artifact {
     schema: u32,
     quick: bool,
     parallelism: usize,
     configs: Vec<Measurement>,
     speedup_4_shards: f64,
+    replay_speedup_buffered: f64,
+    /// Per-config deltas vs the baseline reference, when one was given.
+    deltas: Vec<Delta>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -160,6 +186,42 @@ fn measure(reps: usize, events: u64, mut run: impl FnMut()) -> f64 {
         best = best.max(events as f64 / elapsed);
     }
     best
+}
+
+/// Writes a dense single-lane store — `windows` small windows (the shape
+/// anomaly recording leaves: many short frames), rotating every
+/// `per_segment` — and returns the total event count. This is the shared
+/// data set for the replay and compaction configs.
+fn write_replay_store(dir: &std::path::Path, windows: u64, per_segment: u64) -> u64 {
+    let _ = std::fs::remove_dir_all(dir);
+    let config = StoreConfig::default().with_segment_max_windows(per_segment);
+    let mut writer = LaneWriter::create(dir, 0, config).expect("lane");
+    let mut encoder = BinaryEncoder::new();
+    let mut events_total = 0u64;
+    for id in 0..windows {
+        let events: Vec<TraceEvent> = (0..8u64)
+            .map(|i| {
+                TraceEvent::new(
+                    Timestamp::from_micros(id * 40_000 + i * 1_000),
+                    EventTypeId::new(((id + i) % 6) as u16),
+                    i as u32,
+                )
+            })
+            .collect();
+        let mut encoded = Vec::new();
+        encoder.encode(&events, &mut encoded).expect("encode");
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: Timestamp::from_micros(id * 40_000),
+            end: Timestamp::from_micros((id + 1) * 40_000),
+        };
+        writer
+            .record_window(&meta, &events, &encoded)
+            .expect("record");
+        events_total += events.len() as u64;
+    }
+    writer.close().expect("close");
+    events_total
 }
 
 fn main() -> ExitCode {
@@ -308,13 +370,107 @@ fn main() -> ExitCode {
         events_per_sec: store_rate,
     });
 
+    // Replay configs: the same dense many-segment lane read through the
+    // legacy seek-per-frame path and the buffered SegmentMap path. Both
+    // reopen the store per rep, so index parsing is costed equally.
+    let replay_dir =
+        std::env::temp_dir().join(format!("bench-smoke-replay-{}", std::process::id()));
+    let replay_windows = if options.quick { 4_000 } else { 12_000 };
+    let replay_events = write_replay_store(&replay_dir, replay_windows, 128);
+    let seek_rate = measure(reps, replay_events, || {
+        let reader = StoreReader::open(&replay_dir).expect("open");
+        std::hint::black_box(reader.lane_events_seek_per_frame(0).expect("seek replay"));
+    });
+    eprintln!("  store_replay_seek: {:>12.0} events/s", seek_rate);
+    configs.push(Measurement {
+        name: "store_replay_seek".to_string(),
+        events: replay_events,
+        events_per_sec: seek_rate,
+    });
+    let buffered_rate = measure(reps, replay_events, || {
+        let reader = StoreReader::open(&replay_dir).expect("open");
+        std::hint::black_box(reader.lane_events(0).expect("buffered replay"));
+    });
+    eprintln!("  store_replay_buffered:{:>9.0} events/s", buffered_rate);
+    configs.push(Measurement {
+        name: "store_replay_buffered".to_string(),
+        events: replay_events,
+        events_per_sec: buffered_rate,
+    });
+    let _ = std::fs::remove_dir_all(&replay_dir);
+
+    // Compaction config: merge a heavily fragmented lane (one window per
+    // segment) into consolidated segments. The store is rebuilt outside
+    // the timed region each rep.
+    let compact_dir =
+        std::env::temp_dir().join(format!("bench-smoke-compact-{}", std::process::id()));
+    let compact_windows = if options.quick { 400 } else { 1_200 };
+    let mut compact_rate = f64::MIN;
+    for _ in 0..reps {
+        let compact_events = write_replay_store(&compact_dir, compact_windows, 1);
+        let compactor = Compactor::new(&compact_dir, MaintenancePolicy::merge_below(u64::MAX));
+        let start = Instant::now();
+        let report = compactor.compact().expect("compact");
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(
+            report.merged_runs() > 0,
+            "the fragmented lane must be merged"
+        );
+        compact_rate = compact_rate.max(compact_events as f64 / elapsed);
+    }
+    let _ = std::fs::remove_dir_all(&compact_dir);
+    eprintln!("  store_compact:     {:>12.0} events/s", compact_rate);
+    configs.push(Measurement {
+        name: "store_compact".to_string(),
+        events: compact_windows * 8,
+        events_per_sec: compact_rate,
+    });
+
+    // Load the baseline (when given) before writing the artifact so the
+    // per-config deltas ride along in it.
+    let baseline: Option<Baseline> = match &options.baseline {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(baseline) => Some(baseline),
+            Err(error) => {
+                eprintln!("bench_smoke: cannot read baseline {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let deltas: Vec<Delta> = baseline
+        .as_ref()
+        .map(|baseline| {
+            baseline
+                .configs
+                .iter()
+                .filter_map(|entry| {
+                    let measured = configs.iter().find(|m| m.name == entry.name)?;
+                    Some(Delta {
+                        name: entry.name.clone(),
+                        pct_vs_reference: (measured.events_per_sec
+                            / entry.reference_events_per_sec
+                            - 1.0)
+                            * 100.0,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
     let speedup = sharded_4_rate / serial_rate.max(1e-9);
+    let replay_speedup = buffered_rate / seek_rate.max(1e-9);
     let artifact = Artifact {
-        schema: 1,
+        schema: 2,
         quick: options.quick,
         parallelism,
         configs,
         speedup_4_shards: speedup,
+        replay_speedup_buffered: replay_speedup,
+        deltas,
     };
     let json = serde_json::to_string(&artifact).expect("serialise artifact");
     if let Err(error) = std::fs::write(&options.out, &json) {
@@ -322,7 +478,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "bench_smoke: wrote {} ({} configs, 4-shard speedup {speedup:.2}x)",
+        "bench_smoke: wrote {} ({} configs, 4-shard speedup {speedup:.2}x, buffered replay \
+         {replay_speedup:.2}x)",
         options.out,
         artifact.configs.len()
     );
@@ -330,17 +487,7 @@ fn main() -> ExitCode {
     let mut failed = false;
 
     // Gate 1: regression against the checked-in baseline.
-    if let Some(path) = &options.baseline {
-        let baseline: Baseline = match std::fs::read_to_string(path)
-            .map_err(|e| e.to_string())
-            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
-        {
-            Ok(baseline) => baseline,
-            Err(error) => {
-                eprintln!("bench_smoke: cannot read baseline {path}: {error}");
-                return ExitCode::FAILURE;
-            }
-        };
+    if let Some(baseline) = &baseline {
         for entry in &baseline.configs {
             let Some(measured) = artifact.configs.iter().find(|m| m.name == entry.name) else {
                 eprintln!("bench_smoke: FAIL {}: missing from this run", entry.name);
@@ -391,6 +538,22 @@ fn main() -> ExitCode {
             "bench_smoke: ok   session_spooled: {spooled_rate:.0} events/s vs session_push \
              {session_rate:.0} (within {:.0}%)",
             SPOOL_TOLERANCE * 100.0
+        );
+    }
+
+    // Gate 4: buffered full-lane replay must beat the seek-per-frame
+    // path on the same data — the SegmentMap refactor has to pay for
+    // itself in syscalls saved.
+    if replay_speedup < REQUIRED_REPLAY_SPEEDUP {
+        eprintln!(
+            "bench_smoke: FAIL buffered replay: {replay_speedup:.2}x over the seek-per-frame \
+             path, need >= {REQUIRED_REPLAY_SPEEDUP:.1}x"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   buffered replay: {replay_speedup:.2}x over the seek-per-frame \
+             path (>= {REQUIRED_REPLAY_SPEEDUP:.1}x)"
         );
     }
 

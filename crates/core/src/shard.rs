@@ -475,6 +475,50 @@ impl<S: EventSink, O: DecisionObserver, K: ShardKey> ShardedReducer<S, O, K> {
         }
     }
 
+    /// Replaces every shard's sink with one built by a fallible factory
+    /// — the plumbing for storage-backed sinks whose construction can
+    /// fail (opening a store lane, say). The first factory error is
+    /// returned as-is; keeps every other setting.
+    ///
+    /// ```rust
+    /// # use endurance_core::{MonitorConfig, ShardedReducer};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let config = MonitorConfig::builder()
+    /// #     .dimensions(1)
+    /// #     .reference_duration(std::time::Duration::from_secs(2))
+    /// #     .build()?;
+    /// // e.g. one durable store lane per shard; opening a lane can fail.
+    /// let reducer = ShardedReducer::new(config, 4)?
+    ///     .try_with_sinks(|shard| -> std::io::Result<_> {
+    ///         let _ = shard; // open lane `shard` here
+    ///         Ok(trace_model::MemorySink::new())
+    ///     })?;
+    /// # let _ = reducer;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn try_with_sinks<S2: EventSink, E>(
+        self,
+        mut factory: impl FnMut(usize) -> Result<S2, E>,
+    ) -> Result<ShardedReducer<S2, O, K>, E> {
+        let (config, key, batch_size, queue_depth, sessions) = self.idle_sessions();
+        let mut replaced = Vec::with_capacity(sessions.len());
+        for (index, session) in sessions.into_iter().enumerate() {
+            replaced.push(session.with_sink(factory(index)?));
+        }
+        Ok(ShardedReducer {
+            config,
+            key,
+            batch_size,
+            queue_depth,
+            state: EngineState::Idle { sessions: replaced },
+        })
+    }
+
     /// Replaces every shard's decision observer, calling `factory` with
     /// each shard index; keeps every other setting.
     ///
@@ -1234,6 +1278,29 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: ShardedReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn try_with_sinks_installs_per_shard_or_surfaces_the_first_error() {
+        let mut reducer = ShardedReducer::new(config(), 2)
+            .unwrap()
+            .try_with_sinks(|_| Ok::<_, std::io::Error>(MemorySink::new()))
+            .unwrap();
+        reducer
+            .push_tagged(tagged_stream(2, Duration::from_secs(4)))
+            .unwrap();
+        assert!(reducer.finish().unwrap().is_complete());
+
+        let failed = ShardedReducer::new(config(), 3)
+            .unwrap()
+            .try_with_sinks(|shard| {
+                if shard == 1 {
+                    Err(std::io::Error::other("lane unavailable"))
+                } else {
+                    Ok(MemorySink::new())
+                }
+            });
+        assert!(failed.is_err_and(|e| e.to_string().contains("lane unavailable")));
     }
 
     #[test]

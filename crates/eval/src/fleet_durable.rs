@@ -1,0 +1,380 @@
+//! Fleet-scale durable eval: the multi-stream experiment recorded to a
+//! per-lane durable store, reopened cold, and re-verified from disk.
+//!
+//! This is the end-to-end exercise the ROADMAP asked for: every device of
+//! the fleet records through its own `endurance-store` lane behind a
+//! spooled writer thread under the sharded engine, the store is closed
+//! (optionally compacted), reopened from scratch, and the per-stream
+//! confusion matrices are **recomputed from what is actually on disk** —
+//! a decision counts as a recorded positive only if its window survives
+//! in the reopened store. Any gap between what the monitors reported and
+//! what a post-mortem reader can replay surfaces as an error, not as
+//! silently optimistic metrics.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use endurance_core::{ShardedReducer, WindowDecision, WindowVerdict};
+use endurance_store::{
+    CompactionReport, Compactor, LaneWriter, MaintenancePolicy, RecoveryReport, SpooledSink,
+    StoreConfig, StoreReader,
+};
+use mm_sim::Simulation;
+use trace_model::{InterleavedStreams, StreamId};
+
+use crate::experiment::evaluate_decisions;
+use crate::{ConfusionMatrix, EvalError, MultiStreamExperiment, MultiStreamResult, StreamResult};
+
+/// A [`MultiStreamResult`] plus everything a cold reopen of the fleet
+/// store found.
+#[derive(Debug)]
+pub struct FleetDurableResult {
+    /// The live run's result (sharded report, per-stream confusion).
+    pub result: MultiStreamResult,
+    /// What reopening the store found (clean sidecars vs rescans, torn
+    /// tails).
+    pub recovery: RecoveryReport,
+    /// What the post-close compaction pass changed, when one ran.
+    pub compaction: Option<CompactionReport>,
+    /// Windows counted on disk across every lane by the reopened reader.
+    pub replayed_windows: u64,
+    /// Events counted on disk across every lane.
+    pub replayed_events: u64,
+    /// Encoded payload bytes counted on disk across every lane.
+    pub replayed_payload_bytes: u64,
+    /// Per-stream confusion recomputed from the reopened store: a window
+    /// is a recorded positive iff it is replayable from its lane.
+    pub replay_confusion: Vec<ConfusionMatrix>,
+    /// The recomputed per-stream matrices merged into one fleet matrix.
+    pub fleet_replay_confusion: ConfusionMatrix,
+}
+
+impl MultiStreamExperiment {
+    /// Runs the fleet with every stream recording through its own store
+    /// lane (behind a spooled writer thread) under the sharded engine,
+    /// closes the store, reopens it cold and recomputes the per-stream
+    /// metrics from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, reduction and storage errors, and returns
+    /// [`EvalError::InvalidExperiment`] when `dir` already holds a
+    /// recorded run or when the reopened store disagrees with the live
+    /// recorder accounting (windows, events, payload bytes, or the
+    /// recomputed confusion matrices).
+    pub fn run_durable(&self, dir: impl AsRef<Path>) -> Result<FleetDurableResult, EvalError> {
+        self.run_durable_with(dir, StoreConfig::default(), None)
+    }
+
+    /// Like [`MultiStreamExperiment::run_durable`], with an explicit
+    /// store configuration and an optional post-close compaction pass.
+    ///
+    /// A merge-only `maintenance` policy keeps the byte-for-byte
+    /// agreement checks strict; a policy with a retention horizon drops
+    /// old windows by design, so the on-disk set is verified as a subset
+    /// of the recorded set instead and the replayed confusion is reported
+    /// rather than compared.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiStreamExperiment::run_durable`].
+    pub fn run_durable_with(
+        &self,
+        dir: impl AsRef<Path>,
+        store: StoreConfig,
+        maintenance: Option<MaintenancePolicy>,
+    ) -> Result<FleetDurableResult, EvalError> {
+        let dir = dir.as_ref();
+        let monitor = self.streams()[0].monitor.clone();
+        let simulations = self
+            .streams()
+            .iter()
+            .map(|stream| {
+                let registry = stream.scenario.registry()?;
+                Simulation::new(&stream.scenario, &registry)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // One shard per stream, each recording through a spooled store
+        // lane: monitoring overlaps disk I/O per device, exactly the
+        // production topology.
+        let mut reducer = ShardedReducer::new(monitor, self.stream_count())?
+            .with_observers(|_| Vec::<WindowDecision>::new())
+            .try_with_sinks(|shard| -> Result<_, EvalError> {
+                let writer = LaneWriter::create(dir, shard as u32, store)?;
+                if writer.recovery().windows > 0 {
+                    return Err(EvalError::InvalidExperiment(format!(
+                        "{} already holds a recorded run (lane {shard} has {} windows); \
+                         durable runs need a fresh directory so the recomputed metrics \
+                         describe this run alone",
+                        dir.display(),
+                        writer.recovery().windows,
+                    )));
+                }
+                Ok(SpooledSink::new(writer))
+            })?;
+        reducer.push_tagged(InterleavedStreams::new(simulations))?;
+        let outcome = reducer.finish()?;
+        if let Some(entry) = outcome.report.per_shard.iter().find(|e| e.error.is_some()) {
+            return Err(EvalError::InvalidExperiment(format!(
+                "shard {} failed: {}",
+                entry.shard,
+                entry.error.as_deref().unwrap_or("unknown")
+            )));
+        }
+
+        // Wind the storage layer down cleanly: drain each spool, close
+        // each lane (writing its sidecar).
+        let report = outcome.report;
+        let mut shards: Vec<(
+            usize,
+            Option<endurance_core::ReductionReport>,
+            Vec<WindowDecision>,
+        )> = Vec::with_capacity(outcome.shards.len());
+        for shard in outcome.shards {
+            let writer = shard.sink.finish()?;
+            writer.close()?;
+            shards.push((shard.shard, shard.report, shard.observer));
+        }
+
+        let compaction = match &maintenance {
+            Some(policy) => Some(Compactor::new(dir, *policy).compact()?),
+            None => None,
+        };
+        // Retention legitimately drops windows, whether it ran post-close
+        // (the `maintenance` pass) or inside the writer after rotations
+        // (`store.maintenance`); only a retention-free run can demand
+        // exact disk/recorder agreement.
+        let strict = maintenance.map_or(true, |policy| policy.retention_ns.is_none())
+            && store.maintenance.retention_ns.is_none();
+
+        // Cold reopen: everything below this line trusts only the disk.
+        let reader = StoreReader::open(dir)?;
+        let recovery = reader.recovery().clone();
+        let mut streams = Vec::with_capacity(shards.len());
+        let mut confusion = ConfusionMatrix::default();
+        let mut replay_confusion = Vec::with_capacity(shards.len());
+        let mut fleet_replay_confusion = ConfusionMatrix::default();
+        let mut replayed_windows = 0u64;
+        let mut replayed_events = 0u64;
+        let mut replayed_payload_bytes = 0u64;
+
+        // Pair each shard with its stream by the shard *index* it
+        // reports, not by position: `ShardedOutcome::shards` documents
+        // that positions can shift when a worker is absent.
+        shards.sort_by_key(|(shard, _, _)| *shard);
+        for (position, (shard, shard_report, decisions)) in shards.into_iter().enumerate() {
+            if shard != position {
+                return Err(EvalError::InvalidExperiment(format!(
+                    "shard {shard} is missing its result; its worker did not hand one back"
+                )));
+            }
+            let experiment = &self.streams()[shard];
+            let lane = shard as u32;
+            let shard_report = shard_report.expect("shard completeness checked above");
+            // A lane whose index fails to load must surface as a storage
+            // error, not as "zero windows on disk".
+            let entries = if shard_report.recorder.windows_recorded == 0 {
+                reader.windows(lane).unwrap_or_default()
+            } else {
+                reader.lane_windows(lane)?
+            };
+            let lane_windows = entries.len() as u64;
+            let lane_events: u64 = entries.iter().map(|w| u64::from(w.events)).sum();
+            let lane_payload: u64 = entries.iter().map(|w| u64::from(w.payload_len())).sum();
+            let disk_ids: HashSet<u64> = entries.iter().map(|w| w.window_id).collect();
+            replayed_windows += lane_windows;
+            replayed_events += lane_events;
+            replayed_payload_bytes += lane_payload;
+
+            let recorded_ids: HashSet<u64> = decisions
+                .iter()
+                .filter(|d| d.recorded())
+                .map(|d| d.window_id.index())
+                .collect();
+            if strict {
+                if lane_windows != shard_report.recorder.windows_recorded
+                    || lane_events != shard_report.recorder.events_recorded
+                    || lane_payload != shard_report.recorder.recorded_encoded_bytes
+                    || disk_ids != recorded_ids
+                {
+                    return Err(EvalError::InvalidExperiment(format!(
+                        "reopened lane {lane} disagrees with its live recorder: \
+                         {lane_windows}/{lane_events} windows/events and {lane_payload} \
+                         encoded bytes on disk vs {}/{} and {} reported",
+                        shard_report.recorder.windows_recorded,
+                        shard_report.recorder.events_recorded,
+                        shard_report.recorder.recorded_encoded_bytes,
+                    )));
+                }
+            } else if !disk_ids.is_subset(&recorded_ids) {
+                return Err(EvalError::InvalidExperiment(format!(
+                    "reopened lane {lane} holds windows the live run never recorded"
+                )));
+            }
+
+            // Recompute the stream's confusion from disk: a decision is a
+            // recorded positive iff its window is replayable.
+            let disk_decisions: Vec<WindowDecision> = decisions
+                .iter()
+                .map(|decision| {
+                    let mut decision = *decision;
+                    decision.verdict = if disk_ids.contains(&decision.window_id.index()) {
+                        WindowVerdict::Anomalous
+                    } else if decision.verdict == WindowVerdict::Anomalous {
+                        WindowVerdict::CheckedNormal
+                    } else {
+                        decision.verdict
+                    };
+                    decision
+                })
+                .collect();
+            let stream_replay_confusion =
+                evaluate_decisions(&experiment.scenario.perturbations, &disk_decisions).confusion;
+
+            let evaluated = evaluate_decisions(&experiment.scenario.perturbations, &decisions);
+            if strict && stream_replay_confusion != evaluated.confusion {
+                return Err(EvalError::InvalidExperiment(format!(
+                    "lane {lane}: confusion recomputed from the reopened store differs \
+                     from the live run's"
+                )));
+            }
+            confusion.merge(&evaluated.confusion);
+            fleet_replay_confusion.merge(&stream_replay_confusion);
+            replay_confusion.push(stream_replay_confusion);
+            streams.push(StreamResult {
+                stream: StreamId::new(lane),
+                report: shard_report,
+                confusion: evaluated.confusion,
+                decisions,
+            });
+        }
+
+        Ok(FleetDurableResult {
+            result: MultiStreamResult {
+                report,
+                streams,
+                confusion,
+            },
+            recovery,
+            compaction,
+            replayed_windows,
+            replayed_events,
+            replayed_payload_bytes,
+            replay_confusion,
+            fleet_replay_confusion,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Experiment;
+    use mm_sim::{PerturbationSchedule, Scenario};
+    use std::time::Duration;
+    use trace_model::Timestamp;
+
+    /// A compact perturbed fleet (60 s per device) so the durable
+    /// round-trip stays fast; the scaled paper fleet is covered by the
+    /// integration tests.
+    fn small_fleet(devices: usize) -> MultiStreamExperiment {
+        let streams = (0..devices as u64)
+            .map(|device| {
+                let perturbations = PerturbationSchedule::periodic(
+                    Timestamp::from(Duration::from_secs(25)),
+                    Duration::from_secs(20),
+                    Duration::from_secs(5),
+                    0.9,
+                    Timestamp::from(Duration::from_secs(60)),
+                )
+                .unwrap();
+                let scenario = Scenario::builder(&format!("fleet-durable-{device}"))
+                    .duration(Duration::from_secs(60))
+                    .reference_duration(Duration::from_secs(20))
+                    .perturbations(perturbations)
+                    .seed(11 + device)
+                    .build()
+                    .unwrap();
+                Experiment::with_paper_monitor(scenario).unwrap()
+            })
+            .collect();
+        MultiStreamExperiment::new(streams).unwrap()
+    }
+
+    #[test]
+    fn fleet_durable_run_matches_the_in_memory_fleet_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "endurance-eval-fleet-durable-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let fleet = small_fleet(3);
+        let live = fleet.run().unwrap();
+        let durable = fleet.run_durable(&dir).unwrap();
+
+        // Same deterministic simulations: identical per-stream results.
+        assert_eq!(durable.result.streams.len(), live.streams.len());
+        for (durable_stream, live_stream) in durable.result.streams.iter().zip(&live.streams) {
+            assert_eq!(durable_stream.report, live_stream.report);
+            assert_eq!(durable_stream.decisions, live_stream.decisions);
+            assert_eq!(durable_stream.confusion, live_stream.confusion);
+        }
+        assert_eq!(durable.result.confusion, live.confusion);
+
+        // The reopened store reproduces the fleet confusion exactly.
+        assert!(durable.recovery.clean);
+        assert_eq!(durable.replay_confusion.len(), 3);
+        for (replayed, live_stream) in durable.replay_confusion.iter().zip(&live.streams) {
+            assert_eq!(replayed, &live_stream.confusion);
+        }
+        assert_eq!(durable.fleet_replay_confusion, live.confusion);
+        assert!(
+            durable.replayed_windows > 0,
+            "the perturbed fleet records anomalous windows"
+        );
+
+        // Reusing the directory is refused.
+        let reused = fleet.run_durable(&dir);
+        assert!(
+            matches!(reused, Err(EvalError::InvalidExperiment(ref msg))
+                if msg.contains("already holds a recorded run")),
+            "{reused:?}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_durable_with_compaction_still_agrees_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!(
+            "endurance-eval-fleet-compact-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let fleet = small_fleet(2);
+        // Tiny segments force rotation; the merge-only pass consolidates
+        // them and must not change a single replayed byte.
+        let store = StoreConfig::default().with_segment_max_windows(2);
+        let durable = fleet
+            .run_durable_with(&dir, store, Some(MaintenancePolicy::merge_below(u64::MAX)))
+            .unwrap();
+        let compaction = durable.compaction.as_ref().unwrap();
+        assert!(compaction.merged_runs() > 0, "{compaction}");
+        assert_eq!(compaction.windows_dropped(), 0);
+
+        let live = fleet.run().unwrap();
+        assert_eq!(durable.fleet_replay_confusion, live.confusion);
+        assert_eq!(
+            durable.replayed_payload_bytes,
+            live.streams
+                .iter()
+                .map(|s| s.report.recorder.recorded_encoded_bytes)
+                .sum::<u64>()
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

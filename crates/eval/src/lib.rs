@@ -36,6 +36,7 @@ mod baselines;
 mod durable;
 mod error;
 mod experiment;
+mod fleet_durable;
 mod ground_truth;
 mod labeling;
 mod metrics;
@@ -48,6 +49,7 @@ pub use baselines::{run_baselines, BaselineKind, BaselineResult};
 pub use durable::DurableRunResult;
 pub use error::EvalError;
 pub use experiment::{Experiment, ExperimentResult};
+pub use fleet_durable::FleetDurableResult;
 pub use ground_truth::{DelayCalibration, GroundTruth};
 pub use labeling::{label_decisions, LabeledDecision, WindowLabel};
 pub use metrics::ConfusionMatrix;

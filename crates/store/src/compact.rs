@@ -1,0 +1,1003 @@
+//! Background segment compaction and retention.
+//!
+//! A long endurance run accumulates many small segments (bursty anomaly
+//! recording rotates often and leaves runts), and reopen/replay costs
+//! grow with the file count rather than the data volume. The
+//! [`Compactor`] is the maintenance pass that keeps those costs flat:
+//!
+//! * **Merging** — runs of adjacent small segments (below
+//!   [`MaintenancePolicy::small_segment_bytes`]) are rewritten into one
+//!   consolidated segment. Frames are copied verbatim (header, meta and
+//!   payload bytes unchanged, CRC re-verified during the copy), so replay
+//!   of a compacted store is byte-for-byte identical to replay of the
+//!   uncompacted store.
+//! * **Retention** — windows whose end falls a configurable horizon
+//!   behind the lane's newest window are dropped, the discipline that
+//!   keeps week-long log volumes flat.
+//! * **Atomicity** — each consolidated segment is written to a temp file,
+//!   fsynced and renamed into place; the sidecar index is rewritten the
+//!   same way. A reader that opened before the pass keeps reading its
+//!   loaded buffers; a reader opening mid-pass sees either the old or the
+//!   new layout of each file, never a torn one, and falls back to the
+//!   CRC scanner when the sidecar disagrees.
+//! * **Torn tails** — committed-but-torn bytes left by a crash are
+//!   truncated, so a compacted store reopens clean.
+//!
+//! The pass runs wherever the caller wants it: standalone via
+//! [`Compactor`] on a closed store, or inline in [`crate::LaneWriter`]
+//! after each rotation when the writer's [`crate::StoreConfig`] carries
+//! an enabled policy — and since storage lanes usually live behind a
+//! [`crate::SpooledSink`] writer thread, that makes compaction a
+//! background pass that never blocks monitoring.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crc32::crc32;
+use crate::index::{LaneIndex, SegmentMeta, WindowEntry};
+use crate::reader::load_lane;
+use crate::segment::{
+    parse_segment_file_name, segment_file_name, segment_header, write_sidecar, FRAME_HEADER_LEN,
+};
+use trace_model::TraceError;
+
+/// When (and how aggressively) a store lane is compacted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenancePolicy {
+    /// Closed segments smaller than this are merge candidates; a run of
+    /// at least [`MaintenancePolicy::min_merge_run`] adjacent candidates
+    /// is consolidated into one segment. Zero disables merging.
+    pub small_segment_bytes: u64,
+    /// Minimum run length of adjacent small segments before a merge is
+    /// worth the rewrite (clamped to at least 2 by the pass).
+    pub min_merge_run: usize,
+    /// Retention horizon in nanoseconds of trace time: windows whose end
+    /// is at least this far behind the lane's newest window end are
+    /// dropped. `None` keeps every window.
+    pub retention_ns: Option<u64>,
+    /// Upper bound on a consolidated segment: a run of small segments is
+    /// merged in chunks whose summed committed bytes stay at or under
+    /// this, which also bounds the pass's memory (the chunk is buffered
+    /// while its journal entry is prepared). Segments at or above
+    /// `min(small_segment_bytes, max_merged_bytes)` are never merge
+    /// candidates, so repeated passes converge instead of rewriting the
+    /// whole lane each time.
+    pub max_merged_bytes: u64,
+}
+
+impl Default for MaintenancePolicy {
+    /// Maintenance is **off** by default; a plain store behaves exactly
+    /// as an append-only log.
+    fn default() -> Self {
+        MaintenancePolicy::disabled()
+    }
+}
+
+impl MaintenancePolicy {
+    /// Default size cap for consolidated segments (matches the default
+    /// rotation size).
+    pub const DEFAULT_MAX_MERGED_BYTES: u64 = 8 * 1024 * 1024;
+
+    /// No merging, no retention: the pass is a no-op.
+    pub fn disabled() -> Self {
+        MaintenancePolicy {
+            small_segment_bytes: 0,
+            min_merge_run: 2,
+            retention_ns: None,
+            max_merged_bytes: Self::DEFAULT_MAX_MERGED_BYTES,
+        }
+    }
+
+    /// Merge runs of adjacent segments smaller than `bytes` (a quarter of
+    /// the rotation size is a reasonable threshold).
+    pub fn merge_below(bytes: u64) -> Self {
+        MaintenancePolicy {
+            small_segment_bytes: bytes,
+            min_merge_run: 2,
+            retention_ns: None,
+            max_merged_bytes: Self::DEFAULT_MAX_MERGED_BYTES,
+        }
+    }
+
+    /// Returns the policy with a different consolidated-segment size cap
+    /// (clamped to at least one frame's worth of room, 4 KiB).
+    pub fn with_max_merged_bytes(mut self, bytes: u64) -> Self {
+        self.max_merged_bytes = bytes.max(4 * 1024);
+        self
+    }
+
+    /// Returns the policy with a retention horizon: windows ending at
+    /// least `nanos` of trace time behind the lane's newest window are
+    /// dropped by the next pass.
+    pub fn with_retention_ns(mut self, nanos: u64) -> Self {
+        self.retention_ns = Some(nanos);
+        self
+    }
+
+    /// Returns the policy with a different minimum merge-run length.
+    pub fn with_min_merge_run(mut self, run: usize) -> Self {
+        self.min_merge_run = run;
+        self
+    }
+
+    /// Whether the pass can do anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.small_segment_bytes > 0 || self.retention_ns.is_some()
+    }
+}
+
+/// What compacting one lane changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneCompaction {
+    /// The lane the pass ran over.
+    pub lane: u32,
+    /// Segment files before the pass.
+    pub segments_before: usize,
+    /// Segment files after the pass.
+    pub segments_after: usize,
+    /// Runs of adjacent segments consolidated into one.
+    pub merged_runs: usize,
+    /// Windows dropped by the retention horizon.
+    pub windows_dropped: u64,
+    /// Events contained in the dropped windows.
+    pub events_dropped: u64,
+    /// Torn tail bytes truncated (crash leftovers).
+    pub torn_bytes_truncated: u64,
+    /// Committed bytes on disk before the pass.
+    pub bytes_before: u64,
+    /// Committed bytes on disk after the pass.
+    pub bytes_after: u64,
+}
+
+impl LaneCompaction {
+    /// Bytes the pass gave back to the filesystem (segment headers of
+    /// merged runts, dropped windows, truncated tails).
+    pub fn reclaimed_bytes(&self) -> u64 {
+        (self.bytes_before + self.torn_bytes_truncated).saturating_sub(self.bytes_after)
+    }
+
+    /// Whether the pass changed anything.
+    pub fn is_noop(&self) -> bool {
+        self.merged_runs == 0 && self.windows_dropped == 0 && self.torn_bytes_truncated == 0
+    }
+}
+
+/// What one compaction pass over a store directory changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactionReport {
+    /// Per-lane outcomes, ascending by lane.
+    pub lanes: Vec<LaneCompaction>,
+}
+
+impl CompactionReport {
+    /// Total bytes reclaimed across every lane.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.lanes.iter().map(LaneCompaction::reclaimed_bytes).sum()
+    }
+
+    /// Total windows dropped by retention across every lane.
+    pub fn windows_dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.windows_dropped).sum()
+    }
+
+    /// Total runs of adjacent segments merged across every lane.
+    pub fn merged_runs(&self) -> usize {
+        self.lanes.iter().map(|l| l.merged_runs).sum()
+    }
+
+    /// Whether the pass changed nothing anywhere.
+    pub fn is_noop(&self) -> bool {
+        self.lanes.iter().all(LaneCompaction::is_noop)
+    }
+}
+
+impl std::fmt::Display for CompactionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "compaction report: {} lane(s), {} run(s) merged, {} window(s) dropped, \
+             {} byte(s) reclaimed",
+            self.lanes.len(),
+            self.merged_runs(),
+            self.windows_dropped(),
+            self.reclaimed_bytes()
+        )?;
+        for lane in &self.lanes {
+            writeln!(
+                f,
+                "  lane {}: {} -> {} segment(s), {} -> {} byte(s), {} window(s) dropped",
+                lane.lane,
+                lane.segments_before,
+                lane.segments_after,
+                lane.bytes_before,
+                lane.bytes_after,
+                lane.windows_dropped
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The standalone compaction pass over a (closed) store directory.
+///
+/// ```rust,no_run
+/// use endurance_store::{Compactor, MaintenancePolicy};
+/// # fn main() -> Result<(), trace_model::TraceError> {
+/// let policy = MaintenancePolicy::merge_below(2 * 1024 * 1024)
+///     .with_retention_ns(24 * 3_600 * 1_000_000_000); // keep the last day
+/// let report = Compactor::new("/var/run/endurance-store", policy).compact()?;
+/// println!("{report}");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Run it against a lane that a live [`crate::LaneWriter`] is appending
+/// to and the two will race on the same files; use the writer's built-in
+/// maintenance (see [`crate::StoreConfig::with_maintenance`]) for live
+/// lanes and the standalone pass for closed stores.
+#[derive(Debug)]
+pub struct Compactor {
+    dir: std::path::PathBuf,
+    policy: MaintenancePolicy,
+}
+
+impl Compactor {
+    /// A compactor over the store directory `dir` with `policy`.
+    pub fn new(dir: impl AsRef<Path>, policy: MaintenancePolicy) -> Self {
+        Compactor {
+            dir: dir.as_ref().to_path_buf(),
+            policy,
+        }
+    }
+
+    /// The policy the pass applies.
+    pub fn policy(&self) -> &MaintenancePolicy {
+        &self.policy
+    }
+
+    /// Compacts every lane in the directory and rewrites each lane's
+    /// sidecar, so the store reopens clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failures and
+    /// [`TraceError::Decode`] when a segment is corrupt beyond a torn
+    /// tail (frames are CRC-verified as they are copied).
+    pub fn compact(&self) -> Result<CompactionReport, TraceError> {
+        let mut lanes: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some((lane, seq)) = name.to_str().and_then(parse_segment_file_name) {
+                lanes.entry(lane).or_default().push(seq);
+            }
+        }
+        let mut report = CompactionReport::default();
+        for (lane, mut seqs) in lanes {
+            recover_interrupted_merge(&self.dir, lane)?;
+            seqs.retain(|seq| self.dir.join(segment_file_name(lane, *seq)).exists());
+            seqs.sort_unstable();
+            report.lanes.push(self.compact_lane_seqs(lane, &seqs)?);
+        }
+        Ok(report)
+    }
+
+    /// Compacts one lane and rewrites its sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compactor::compact`]; an unknown lane is an
+    /// empty no-op.
+    pub fn compact_lane(&self, lane: u32) -> Result<LaneCompaction, TraceError> {
+        recover_interrupted_merge(&self.dir, lane)?;
+        let mut seqs: Vec<u32> = std::fs::read_dir(&self.dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name();
+                let (file_lane, seq) = parse_segment_file_name(name.to_str()?)?;
+                (file_lane == lane).then_some(seq)
+            })
+            .collect();
+        seqs.sort_unstable();
+        self.compact_lane_seqs(lane, &seqs)
+    }
+
+    fn compact_lane_seqs(&self, lane: u32, seqs: &[u32]) -> Result<LaneCompaction, TraceError> {
+        if !self.policy.is_enabled() {
+            // A disabled policy is a true no-op: report the lane's state
+            // without truncating tails or rewriting the sidecar, so the
+            // store can be inspected exactly as the crash left it.
+            let loaded = load_lane(&self.dir, lane, seqs)?;
+            let bytes: u64 = loaded
+                .index
+                .segments
+                .iter()
+                .map(|segment| segment.committed_bytes)
+                .sum();
+            return Ok(LaneCompaction {
+                lane,
+                segments_before: loaded.index.segments.len(),
+                segments_after: loaded.index.segments.len(),
+                bytes_before: bytes,
+                bytes_after: bytes,
+                ..LaneCompaction::default()
+            });
+        }
+        let (index, torn_truncated) = load_for_compaction(&self.dir, lane, seqs)?;
+        let (index, lane_report) =
+            compact_lane_index(&self.dir, index, &self.policy, torn_truncated)?;
+        write_sidecar(&self.dir, &index)?;
+        Ok(lane_report)
+    }
+}
+
+/// Crash journal of one multi-file segment merge.
+///
+/// Replacing N files with one cannot be a single atomic rename, so every
+/// multi-file merge writes this manifest (atomically, temp + rename)
+/// *before* the consolidated segment is renamed into place, and deletes
+/// it after the replaced files are gone. The `target_bytes`/`target_crc`
+/// pair says whether the rename happened: a reopen that finds a manifest
+/// checks the target file against them and either treats the replaced
+/// segments as gone (merge committed) or ignores the manifest entirely
+/// (merge never landed — the old layout is intact). Writers and the
+/// compactor additionally finish the interrupted step; readers just
+/// interpret, staying read-only.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CompactionManifest {
+    schema: u32,
+    lane: u32,
+    target_seq: u32,
+    /// Exact byte length of the committed consolidated segment.
+    target_bytes: u64,
+    /// CRC32 of the committed consolidated segment's full contents.
+    target_crc: u32,
+    /// Segments the merge replaces (never contains `target_seq`).
+    replaced_seqs: Vec<u32>,
+}
+
+/// Manifest schema version.
+const MANIFEST_SCHEMA: u32 = 1;
+
+/// File name of the lane's merge journal.
+fn manifest_file_name(lane: u32) -> String {
+    format!("lane{lane:04}.compact.json")
+}
+
+fn read_manifest(dir: &Path, lane: u32) -> Option<CompactionManifest> {
+    let text = std::fs::read_to_string(dir.join(manifest_file_name(lane))).ok()?;
+    let manifest: CompactionManifest = serde_json::from_str(&text).ok()?;
+    (manifest.schema == MANIFEST_SCHEMA && manifest.lane == lane).then_some(manifest)
+}
+
+/// Whether the manifest's consolidated segment was renamed into place.
+fn manifest_committed(dir: &Path, manifest: &CompactionManifest) -> bool {
+    let path = dir.join(segment_file_name(manifest.lane, manifest.target_seq));
+    match std::fs::read(&path) {
+        Ok(bytes) => {
+            bytes.len() as u64 == manifest.target_bytes && crc32(&bytes) == manifest.target_crc
+        }
+        Err(_) => false,
+    }
+}
+
+/// Reader-side, non-mutating recovery: the segments a reopen must ignore
+/// because a committed-but-unfinished merge already replaced them.
+pub(crate) fn segments_replaced_by_pending_merge(dir: &Path, lane: u32) -> Vec<u32> {
+    match read_manifest(dir, lane) {
+        Some(manifest) if manifest_committed(dir, &manifest) => manifest.replaced_seqs,
+        _ => Vec::new(),
+    }
+}
+
+/// Writer/compactor-side recovery: finishes (or rolls back) a merge that
+/// a crash interrupted, and sweeps stray temp files of the lane.
+pub(crate) fn recover_interrupted_merge(dir: &Path, lane: u32) -> Result<(), TraceError> {
+    if let Some(manifest) = read_manifest(dir, lane) {
+        if manifest_committed(dir, &manifest) {
+            // The consolidated segment landed: finish the deletions.
+            for &seq in &manifest.replaced_seqs {
+                let path = dir.join(segment_file_name(lane, seq));
+                if path.exists() {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+        // Committed or not, the journal entry is now obsolete (a merge
+        // that never landed simply never happened).
+        std::fs::remove_file(dir.join(manifest_file_name(lane)))?;
+    }
+    // Boundary-delimited prefixes ("-" for segment temps, "." for the
+    // manifest temp) so lane 1234's sweep never matches lane 12345's
+    // in-flight files.
+    let segment_prefix = format!("lane{lane:04}-");
+    let manifest_prefix = format!("lane{lane:04}.");
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if (name.starts_with(&segment_prefix) || name.starts_with(&manifest_prefix))
+            && name.ends_with(".compact.tmp")
+        {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a lane index for compaction (sidecar or scanner) and truncates
+/// torn tails so every file ends on a frame boundary before any merge.
+fn load_for_compaction(
+    dir: &Path,
+    lane: u32,
+    seqs: &[u32],
+) -> Result<(LaneIndex, u64), TraceError> {
+    let loaded = load_lane(dir, lane, seqs)?;
+    let mut truncated = 0u64;
+    for tail in &loaded.torn {
+        let path = dir.join(segment_file_name(lane, tail.segment));
+        if tail.offset == 0 {
+            std::fs::remove_file(&path)?;
+        } else {
+            OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(tail.offset)?;
+        }
+        truncated += tail.dropped_bytes;
+    }
+    Ok((loaded.index, truncated))
+}
+
+/// The work plan for one segment within a compaction pass.
+struct SegmentPlan {
+    meta: SegmentMeta,
+    /// Indexes into the lane's window list, in file order.
+    windows: Vec<usize>,
+    /// Windows removed by the retention horizon.
+    dropped: usize,
+    /// Whether the segment must be rewritten (it lost windows) or is a
+    /// merge candidate (small).
+    rewrite: bool,
+    candidate: bool,
+}
+
+/// Core of the pass, shared by the standalone [`Compactor`] and the
+/// writer-integrated maintenance: applies `policy` to `index`'s segments
+/// on disk and returns the rewritten index plus the report entry.
+///
+/// `torn_bytes_truncated` is whatever the caller already reclaimed from
+/// torn tails, folded into the report.
+pub(crate) fn compact_lane_index(
+    dir: &Path,
+    index: LaneIndex,
+    policy: &MaintenancePolicy,
+    torn_bytes_truncated: u64,
+) -> Result<(LaneIndex, LaneCompaction), TraceError> {
+    let lane = index.lane;
+    let bytes_before: u64 = index.segments.iter().map(|s| s.committed_bytes).sum();
+    let mut report = LaneCompaction {
+        lane,
+        segments_before: index.segments.len(),
+        segments_after: index.segments.len(),
+        torn_bytes_truncated,
+        bytes_before,
+        bytes_after: bytes_before,
+        ..LaneCompaction::default()
+    };
+    if !policy.is_enabled() || index.segments.is_empty() {
+        return Ok((index, report));
+    }
+
+    // Retention horizon: relative to the newest recorded window, in trace
+    // time, so the policy is independent of wall-clock replay time.
+    let cutoff = policy.retention_ns.and_then(|retention| {
+        let newest = index.windows.iter().map(|w| w.end_ns).max()?;
+        Some(newest.saturating_sub(retention))
+    });
+    let survives = |entry: &WindowEntry| cutoff.map_or(true, |cutoff| entry.end_ns > cutoff);
+
+    // Per-segment plan: surviving windows, drops, and candidacy.
+    let mut plans: Vec<SegmentPlan> = index
+        .segments
+        .iter()
+        .map(|meta| SegmentPlan {
+            meta: *meta,
+            windows: Vec::new(),
+            dropped: 0,
+            rewrite: false,
+            candidate: false,
+        })
+        .collect();
+    let plan_by_seq: std::collections::HashMap<u32, usize> = plans
+        .iter()
+        .enumerate()
+        .map(|(position, plan)| (plan.meta.seq, position))
+        .collect();
+    for (position, entry) in index.windows.iter().enumerate() {
+        let plan = plan_by_seq
+            .get(&entry.segment)
+            .map(|&at| &mut plans[at])
+            .ok_or_else(|| TraceError::Decode {
+                offset: 0,
+                reason: format!(
+                    "lane {lane} index names segment {} that the sidecar does not list",
+                    entry.segment
+                ),
+            })?;
+        if survives(entry) {
+            plan.windows.push(position);
+        } else {
+            plan.dropped += 1;
+            report.windows_dropped += 1;
+            report.events_dropped += u64::from(entry.events);
+        }
+    }
+    // A segment already at (or above) the consolidated-size cap is never
+    // a merge candidate, so repeated passes converge to a stable layout
+    // instead of rewriting the whole lane each time.
+    let small_threshold = policy.small_segment_bytes.min(policy.max_merged_bytes);
+    for plan in &mut plans {
+        plan.rewrite = plan.dropped > 0;
+        plan.candidate = plan.rewrite
+            || (policy.small_segment_bytes > 0 && plan.meta.committed_bytes < small_threshold);
+    }
+
+    // Maximal runs of adjacent candidates, each split into chunks whose
+    // summed committed bytes stay within `max_merged_bytes` (bounding
+    // both the consolidated file and the pass's memory); a chunk is
+    // rewritten when it must be (drops) or when merging at least
+    // `min_merge_run` files.
+    let min_run = policy.min_merge_run.max(2);
+    let mut new_segments: Vec<SegmentMeta> = Vec::new();
+    let mut new_windows: Vec<WindowEntry> = Vec::new();
+    let mut start = 0usize;
+    while start < plans.len() {
+        if !plans[start].candidate {
+            // Untouched segment: entries carry over verbatim.
+            new_segments.push(plans[start].meta);
+            new_windows.extend(plans[start].windows.iter().map(|&w| index.windows[w]));
+            start += 1;
+            continue;
+        }
+        // The chunk: adjacent candidates whose summed size fits the cap
+        // (a single oversized candidate still gets its own chunk so
+        // retention rewrites always happen).
+        let mut end = start + 1;
+        let mut chunk_bytes = plans[start].meta.committed_bytes;
+        while end < plans.len()
+            && plans[end].candidate
+            && chunk_bytes + plans[end].meta.committed_bytes <= policy.max_merged_bytes
+        {
+            chunk_bytes += plans[end].meta.committed_bytes;
+            end += 1;
+        }
+        let run = &plans[start..end];
+        let must_rewrite = run.iter().any(|plan| plan.rewrite) || run.len() >= min_run;
+        if !must_rewrite {
+            for plan in run {
+                new_segments.push(plan.meta);
+                new_windows.extend(plan.windows.iter().map(|&w| index.windows[w]));
+            }
+            start = end;
+            continue;
+        }
+        let consolidated = rewrite_run(dir, lane, run, &index.windows)?;
+        report.merged_runs += usize::from(run.len() > 1);
+        if let Some((meta, entries)) = consolidated {
+            new_segments.push(meta);
+            new_windows.extend(entries);
+        }
+        start = end;
+    }
+
+    let mut rebuilt = LaneIndex::new(lane);
+    rebuilt.segments = new_segments;
+    rebuilt.windows = new_windows;
+    report.segments_after = rebuilt.segments.len();
+    report.bytes_after = rebuilt.segments.iter().map(|s| s.committed_bytes).sum();
+    Ok((rebuilt, report))
+}
+
+/// Rewrites one run of adjacent segments into a single consolidated
+/// segment (named after the run's first sequence number), copying every
+/// surviving frame verbatim after re-verifying its CRC. Returns `None`
+/// when no window survived (the run's files are simply deleted).
+///
+/// Multi-file merges are journalled through a [`CompactionManifest`]
+/// written before the consolidated file is renamed into place, so a
+/// crash at any step leaves a store that reopens without duplicated (or
+/// lost) windows: recovery either finishes the deletions or discards the
+/// never-landed merge.
+fn rewrite_run(
+    dir: &Path,
+    lane: u32,
+    run: &[SegmentPlan],
+    windows: &[WindowEntry],
+) -> Result<Option<(SegmentMeta, Vec<WindowEntry>)>, TraceError> {
+    let target_seq = run[0].meta.seq;
+    let survivors: usize = run.iter().map(|plan| plan.windows.len()).sum();
+    if survivors == 0 {
+        // Pure retention drop: deleting files is idempotent, so a crash
+        // mid-loop just leaves work for the next pass.
+        for plan in run {
+            std::fs::remove_file(dir.join(segment_file_name(lane, plan.meta.seq)))?;
+        }
+        return Ok(None);
+    }
+
+    // Build the consolidated segment in memory (runs are made of small
+    // segments, bounded by their summed committed size) so the journal
+    // can record its exact length and CRC before anything moves.
+    let total: u64 = run.iter().map(|plan| plan.meta.committed_bytes).sum();
+    let mut merged = Vec::with_capacity(total as usize);
+    merged.extend_from_slice(&segment_header(lane, target_seq));
+    let mut entries = Vec::with_capacity(survivors);
+    for plan in run {
+        if plan.windows.is_empty() {
+            continue;
+        }
+        let source = std::fs::read(dir.join(segment_file_name(lane, plan.meta.seq)))?;
+        for &position in &plan.windows {
+            let entry = windows[position];
+            let frame_start = entry.offset as usize;
+            let frame_end = frame_start + FRAME_HEADER_LEN as usize + entry.len as usize;
+            if frame_end > source.len() {
+                return Err(TraceError::Decode {
+                    offset: frame_start,
+                    reason: format!(
+                        "lane {lane} segment {} ends before indexed frame at {frame_start}",
+                        entry.segment
+                    ),
+                });
+            }
+            let frame = &source[frame_start..frame_end];
+            let stored_crc = crate::segment::read_u32(frame, 4);
+            if crc32(&frame[FRAME_HEADER_LEN as usize..]) != stored_crc {
+                return Err(TraceError::Decode {
+                    offset: frame_start,
+                    reason: format!(
+                        "crc mismatch copying lane {lane} segment {} offset {frame_start}",
+                        entry.segment
+                    ),
+                });
+            }
+            entries.push(WindowEntry {
+                segment: target_seq,
+                offset: merged.len() as u64,
+                ..entry
+            });
+            merged.extend_from_slice(frame);
+        }
+    }
+
+    // Journal multi-file merges; a single-file rewrite is already atomic
+    // via the rename below.
+    let replaced_seqs: Vec<u32> = run[1..].iter().map(|plan| plan.meta.seq).collect();
+    if !replaced_seqs.is_empty() {
+        let manifest = CompactionManifest {
+            schema: MANIFEST_SCHEMA,
+            lane,
+            target_seq,
+            target_bytes: merged.len() as u64,
+            target_crc: crc32(&merged),
+            replaced_seqs: replaced_seqs.clone(),
+        };
+        let json = serde_json::to_string(&manifest)
+            .map_err(|error| std::io::Error::other(error.to_string()))?;
+        let manifest_tmp = dir.join(format!("{}.compact.tmp", manifest_file_name(lane)));
+        std::fs::write(&manifest_tmp, json)?;
+        std::fs::rename(&manifest_tmp, dir.join(manifest_file_name(lane)))?;
+    }
+
+    let target = dir.join(segment_file_name(lane, target_seq));
+    let tmp = dir.join(format!(
+        "{}.compact.tmp",
+        segment_file_name(lane, target_seq)
+    ));
+    let mut out = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)?;
+    out.write_all(&merged)?;
+    out.sync_all()?;
+    drop(out);
+    // Cutover: the consolidated file replaces the run's first segment,
+    // then the now-duplicated later files disappear, then the journal
+    // entry. A reader or recovery pass at any intermediate step sees
+    // either the old or the new layout of the run, never both.
+    std::fs::rename(&tmp, &target)?;
+    for &seq in &replaced_seqs {
+        std::fs::remove_file(dir.join(segment_file_name(lane, seq)))?;
+    }
+    if !replaced_seqs.is_empty() {
+        std::fs::remove_file(dir.join(manifest_file_name(lane)))?;
+    }
+    Ok(Some((
+        SegmentMeta {
+            seq: target_seq,
+            committed_bytes: merged.len() as u64,
+        },
+        entries,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneWriter, StoreConfig, StoreReader};
+    use trace_model::codec::{BinaryEncoder, TraceEncoder};
+    use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "endurance-compact-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write_run(dir: &std::path::Path, windows: u64, per_segment: u64, close: bool) {
+        let config = StoreConfig::default().with_segment_max_windows(per_segment);
+        let mut writer = LaneWriter::create(dir, 0, config).unwrap();
+        for id in 0..windows {
+            let events: Vec<TraceEvent> = (0..8)
+                .map(|i| {
+                    TraceEvent::new(
+                        Timestamp::from_millis(id * 40 + i),
+                        EventTypeId::new((i % 3) as u16),
+                        id as u32,
+                    )
+                })
+                .collect();
+            let mut encoded = Vec::new();
+            BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: Timestamp::from_millis(id * 40),
+                end: Timestamp::from_millis((id + 1) * 40),
+            };
+            writer.record_window(&meta, &events, &encoded).unwrap();
+        }
+        if close {
+            writer.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn merging_preserves_replay_byte_for_byte_and_reopens_clean() {
+        let dir = temp_dir("merge");
+        write_run(&dir, 9, 2, true); // 5 small segments
+
+        let before = StoreReader::open(&dir).unwrap();
+        let events_before = before.lane_events(0).unwrap();
+        let bytes_before = before.lane_payload_bytes(0).unwrap();
+        let ids_before: Vec<u64> = before
+            .windows(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.window_id)
+            .collect();
+        drop(before);
+
+        let report = Compactor::new(&dir, MaintenancePolicy::merge_below(u64::MAX))
+            .compact()
+            .unwrap();
+        assert_eq!(report.lanes.len(), 1);
+        assert_eq!(report.lanes[0].segments_before, 5);
+        assert_eq!(report.lanes[0].segments_after, 1);
+        assert_eq!(report.merged_runs(), 1);
+        assert_eq!(report.windows_dropped(), 0);
+        assert!(report.reclaimed_bytes() > 0, "merged headers are reclaimed");
+
+        let after = StoreReader::open(&dir).unwrap();
+        assert!(after.recovery().clean, "compaction rewrites the sidecar");
+        assert_eq!(after.lane_events(0).unwrap(), events_before);
+        assert_eq!(after.lane_payload_bytes(0).unwrap(), bytes_before);
+        let ids_after: Vec<u64> = after
+            .windows(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.window_id)
+            .collect();
+        assert_eq!(ids_after, ids_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_drops_old_windows_and_keeps_the_rest_intact() {
+        let dir = temp_dir("retention");
+        write_run(&dir, 10, 3, true); // windows end at 40..400 ms
+
+        let before = StoreReader::open(&dir).unwrap();
+        let all = before.windows(0).unwrap().to_vec();
+        drop(before);
+
+        // Keep the trailing 160 ms: newest end is 400 ms, cutoff 240 ms,
+        // windows ending at <= 240 ms (ids 0..=5) are dropped.
+        let policy = MaintenancePolicy::merge_below(u64::MAX).with_retention_ns(160 * 1_000_000);
+        let report = Compactor::new(&dir, policy).compact().unwrap();
+        assert_eq!(report.windows_dropped(), 6);
+
+        let after = StoreReader::open(&dir).unwrap();
+        assert!(after.recovery().clean);
+        let kept: Vec<u64> = after
+            .windows(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.window_id)
+            .collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        for entry in after.windows(0).unwrap() {
+            let original = all.iter().find(|w| w.window_id == entry.window_id).unwrap();
+            assert_eq!(entry.events, original.events);
+            assert_eq!(entry.start_ns, original.start_ns);
+            assert_eq!(entry.end_ns, original.end_ns);
+        }
+        // A second pass is a no-op.
+        let again = Compactor::new(&dir, policy).compact().unwrap();
+        assert!(again.is_noop(), "{again}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tails_are_truncated_and_the_store_reopens_clean() {
+        let dir = temp_dir("torn");
+        write_run(&dir, 4, 2, false); // crash: no close, 2 segments
+                                      // Append a torn half-frame to the last segment.
+        let last = dir.join("lane0000-000001.seg");
+        let mut bytes = std::fs::read(&last).unwrap();
+        bytes.extend_from_slice(&[0xAB; 9]);
+        std::fs::write(&last, bytes).unwrap();
+
+        let report = Compactor::new(&dir, MaintenancePolicy::merge_below(u64::MAX))
+            .compact()
+            .unwrap();
+        assert_eq!(report.lanes[0].torn_bytes_truncated, 9);
+
+        let after = StoreReader::open(&dir).unwrap();
+        assert!(after.recovery().clean, "compaction leaves a clean store");
+        assert_eq!(after.windows(0).unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Replicates the on-disk state of a merge crash: dir holds the old
+    /// segments, `merged` already renamed over the first one, the journal
+    /// still present, the replaced files not yet deleted.
+    fn stage_interrupted_merge(dir: &std::path::Path, merged_from: &std::path::Path) {
+        let merged = std::fs::read(merged_from.join("lane0000-000000.seg")).unwrap();
+        let manifest = CompactionManifest {
+            schema: MANIFEST_SCHEMA,
+            lane: 0,
+            target_seq: 0,
+            target_bytes: merged.len() as u64,
+            target_crc: crc32(&merged),
+            replaced_seqs: vec![1, 2],
+        };
+        std::fs::write(dir.join("lane0000-000000.seg"), merged).unwrap();
+        std::fs::write(
+            dir.join(manifest_file_name(0)),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn a_committed_but_unfinished_merge_never_duplicates_windows() {
+        // Two identical stores; one is compacted fully to obtain the
+        // consolidated segment the crashed pass would have committed.
+        let dir = temp_dir("crash-committed");
+        let donor = temp_dir("crash-committed-donor");
+        write_run(&dir, 6, 2, true); // 3 segments
+        write_run(&donor, 6, 2, true);
+        let clean = StoreReader::open(&donor).unwrap();
+        let expected_events = clean.lane_events(0).unwrap();
+        drop(clean);
+        Compactor::new(&donor, MaintenancePolicy::merge_below(u64::MAX))
+            .compact()
+            .unwrap();
+        stage_interrupted_merge(&dir, &donor);
+
+        // A read-only reopen interprets the journal: the replaced
+        // segments are ignored, nothing is replayed twice.
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.lane_events(0).unwrap(), expected_events);
+        assert_eq!(reader.windows(0).unwrap().len(), 6);
+        assert!(
+            dir.join("lane0000-000001.seg").exists(),
+            "the reader must not mutate the store"
+        );
+        drop(reader);
+
+        // A resuming writer finishes the interrupted deletions.
+        let writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        assert_eq!(writer.recovery().windows, 6);
+        drop(writer);
+        assert!(!dir.join("lane0000-000001.seg").exists());
+        assert!(!dir.join("lane0000-000002.seg").exists());
+        assert!(!dir.join(manifest_file_name(0)).exists());
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.lane_events(0).unwrap(), expected_events);
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&donor).ok();
+    }
+
+    #[test]
+    fn a_never_landed_merge_is_rolled_back_to_the_old_layout() {
+        let dir = temp_dir("crash-rollback");
+        write_run(&dir, 6, 2, true);
+        let before = StoreReader::open(&dir).unwrap();
+        let expected_events = before.lane_events(0).unwrap();
+        drop(before);
+        // The journal exists but the consolidated segment never replaced
+        // the target (its length/CRC do not match the manifest).
+        let manifest = CompactionManifest {
+            schema: MANIFEST_SCHEMA,
+            lane: 0,
+            target_seq: 0,
+            target_bytes: 999_999,
+            target_crc: 0xDEAD_BEEF,
+            replaced_seqs: vec![1, 2],
+        };
+        std::fs::write(
+            dir.join(manifest_file_name(0)),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+
+        // Readers ignore the journal; the old layout is intact.
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.lane_events(0).unwrap(), expected_events);
+        drop(reader);
+
+        // The compactor rolls the journal back, then compacts normally.
+        let report = Compactor::new(&dir, MaintenancePolicy::merge_below(u64::MAX))
+            .compact()
+            .unwrap();
+        assert_eq!(report.merged_runs(), 1);
+        assert!(!dir.join(manifest_file_name(0)).exists());
+        let reader = StoreReader::open(&dir).unwrap();
+        assert!(reader.recovery().clean);
+        assert_eq!(reader.lane_events(0).unwrap(), expected_events);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_policy_is_a_noop() {
+        let dir = temp_dir("noop");
+        write_run(&dir, 4, 1, true);
+        let report = Compactor::new(&dir, MaintenancePolicy::disabled())
+            .compact()
+            .unwrap();
+        assert!(report.is_noop());
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.windows(0).unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_policy_does_not_mutate_a_crashed_store() {
+        let dir = temp_dir("noop-crashed");
+        write_run(&dir, 4, 2, false); // crash: no sidecar
+        let last = dir.join("lane0000-000001.seg");
+        let mut bytes = std::fs::read(&last).unwrap();
+        bytes.extend_from_slice(&[0xAB; 9]); // torn tail
+        std::fs::write(&last, &bytes).unwrap();
+
+        let report = Compactor::new(&dir, MaintenancePolicy::disabled())
+            .compact()
+            .unwrap();
+        assert!(report.is_noop());
+        // The crash evidence is preserved: the torn tail bytes are still
+        // there and no sidecar was written.
+        assert_eq!(std::fs::read(&last).unwrap(), bytes);
+        assert!(!dir.join("lane0000.idx.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

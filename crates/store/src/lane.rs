@@ -7,13 +7,14 @@ use std::path::{Path, PathBuf};
 use trace_model::codec::{BinaryEncoder, TraceEncoder};
 use trace_model::{EventSink, RecordMeta, TraceError, TraceEvent};
 
+use crate::compact::{compact_lane_index, LaneCompaction, MaintenancePolicy};
 use crate::index::{LaneIndex, RecoveryReport, SegmentMeta, WindowEntry, SIDECAR_SCHEMA};
 use crate::segment::{
     build_frame, parse_segment_file_name, scan_segment, segment_file_name, segment_header,
-    sidecar_file_name, FRAME_HEADER_LEN, SEGMENT_HEADER_LEN,
+    write_sidecar, FRAME_HEADER_LEN, SEGMENT_HEADER_LEN,
 };
 
-/// Rotation policy and durability knobs of a store lane.
+/// Rotation policy, maintenance and durability knobs of a store lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
     /// A segment is rotated before a frame would push it past this size
@@ -21,15 +22,21 @@ pub struct StoreConfig {
     pub segment_max_bytes: u64,
     /// A segment is rotated after holding this many recorded windows.
     pub segment_max_windows: u64,
+    /// Background maintenance applied by the writer after each rotation:
+    /// merging runs of small closed segments and dropping windows past
+    /// the retention horizon. Disabled by default.
+    pub maintenance: MaintenancePolicy,
 }
 
 impl Default for StoreConfig {
     /// 8 MiB segments with no window-count limit — sized so an endurance
-    /// run rotates regularly without producing thousands of files.
+    /// run rotates regularly without producing thousands of files — and
+    /// maintenance off.
     fn default() -> Self {
         StoreConfig {
             segment_max_bytes: 8 * 1024 * 1024,
             segment_max_windows: u64::MAX,
+            maintenance: MaintenancePolicy::disabled(),
         }
     }
 }
@@ -44,6 +51,16 @@ impl StoreConfig {
     /// Returns the config with a different per-segment window limit.
     pub fn with_segment_max_windows(mut self, windows: u64) -> Self {
         self.segment_max_windows = windows.max(1);
+        self
+    }
+
+    /// Returns the config with a maintenance policy: after each segment
+    /// rotation the writer compacts its closed segments per the policy.
+    /// When the lane sits behind a [`crate::SpooledSink`], the pass runs
+    /// on the writer thread — background maintenance that never blocks
+    /// monitoring.
+    pub fn with_maintenance(mut self, policy: MaintenancePolicy) -> Self {
+        self.maintenance = policy;
         self
     }
 }
@@ -95,6 +112,10 @@ pub struct LaneWriter {
     /// offsets and are refused instead. Reopening recovers cleanly — the
     /// scanner treats the partial frame as a torn tail.
     poisoned: Option<String>,
+    /// What the most recent post-rotation maintenance pass changed.
+    last_compaction: Option<LaneCompaction>,
+    /// Maintenance passes that actually changed the lane.
+    compaction_passes: u64,
 }
 
 impl LaneWriter {
@@ -117,6 +138,9 @@ impl LaneWriter {
     ) -> Result<Self, TraceError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // Finish (or roll back) a merge a crashed maintenance pass left
+        // half-done, so the scan below sees one consistent layout.
+        crate::compact::recover_interrupted_merge(&dir, lane)?;
         let mut index = LaneIndex::new(lane);
         let mut recovery = RecoveryReport {
             clean: true,
@@ -194,6 +218,8 @@ impl LaneWriter {
             events_recorded: 0,
             bytes_on_disk,
             poisoned: None,
+            last_compaction: None,
+            compaction_passes: 0,
         })
     }
 
@@ -214,7 +240,8 @@ impl LaneWriter {
         &self.recovery
     }
 
-    /// Windows written (including any recovered on resume).
+    /// Windows currently indexed on disk (including any recovered on
+    /// resume, minus any dropped by a retention pass).
     pub fn windows_written(&self) -> u64 {
         self.index.windows.len() as u64
     }
@@ -222,6 +249,17 @@ impl LaneWriter {
     /// Total committed segment bytes on disk (headers + frames).
     pub fn bytes_on_disk(&self) -> u64 {
         self.bytes_on_disk
+    }
+
+    /// What the most recent maintenance pass changed, if any pass has
+    /// changed anything yet (see [`StoreConfig::with_maintenance`]).
+    pub fn last_compaction(&self) -> Option<&LaneCompaction> {
+        self.last_compaction.as_ref()
+    }
+
+    /// Maintenance passes that changed the lane since this writer opened.
+    pub fn compaction_passes(&self) -> u64 {
+        self.compaction_passes
     }
 
     fn current_segment_path(&self) -> PathBuf {
@@ -283,6 +321,7 @@ impl LaneWriter {
             FRAME_HEADER_LEN + crate::segment::FRAME_META_LEN as u64 + payload.len() as u64;
         if self.needs_rotation(frame_len) {
             self.rotate()?;
+            self.maybe_compact()?;
         }
         let offset = if self.file.is_some() {
             self.segment_bytes
@@ -333,6 +372,44 @@ impl LaneWriter {
         Ok(())
     }
 
+    /// Runs the configured maintenance pass over the (all closed)
+    /// segments. Called right after a rotation, so no segment file is
+    /// open: the pass merges runs of small segments and applies the
+    /// retention horizon, then the writer's in-memory index adopts the
+    /// rewritten layout (the sidecar follows on the next `sync`/`close`).
+    fn maybe_compact(&mut self) -> Result<(), TraceError> {
+        if !self.config.maintenance.is_enabled() || self.file.is_some() {
+            return Ok(());
+        }
+        let backup = self.index.clone();
+        let index = std::mem::replace(&mut self.index, LaneIndex::new(self.lane));
+        match compact_lane_index(&self.dir, index, &self.config.maintenance, 0) {
+            Ok((index, report)) => {
+                self.index = index;
+                self.bytes_on_disk = self
+                    .index
+                    .segments
+                    .iter()
+                    .map(|segment| segment.committed_bytes)
+                    .sum();
+                if !report.is_noop() {
+                    self.compaction_passes += 1;
+                    self.last_compaction = Some(report);
+                }
+                Ok(())
+            }
+            Err(error) => {
+                // The on-disk layout may no longer match the in-memory
+                // index; restore the pre-pass view for the accessors and
+                // refuse further appends *and* sidecar writes (reopen
+                // rescans cleanly and finishes any journalled merge).
+                self.index = backup;
+                self.poisoned = Some(format!("maintenance pass failed: {error}"));
+                Err(error)
+            }
+        }
+    }
+
     /// Synthesises record metadata for the meta-less sink paths from the
     /// batch's timestamps and a per-lane counter.
     fn synthetic_meta(&mut self, events: &[TraceEvent]) -> (u64, u64, u64) {
@@ -350,21 +427,20 @@ impl LaneWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Io`] on filesystem failures.
+    /// Returns [`TraceError::Io`] on filesystem failures, or the original
+    /// failure when the writer is poisoned (a failed append or
+    /// maintenance pass): the in-memory index may no longer describe the
+    /// disk, and overwriting the last good sidecar with it would only
+    /// destroy information — reopen recovers by rescanning instead.
     pub fn sync(&mut self) -> Result<(), TraceError> {
+        if let Some(message) = &self.poisoned {
+            return Err(TraceError::Io(std::io::Error::other(message.clone())));
+        }
         if let Some(file) = self.file.as_mut() {
             file.sync_all()?;
         }
         debug_assert_eq!(self.index.schema, SIDECAR_SCHEMA);
-        let json = serde_json::to_string(&self.index)
-            .map_err(|error| std::io::Error::other(error.to_string()))?;
-        let path = self.dir.join(sidecar_file_name(self.lane));
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp", sidecar_file_name(self.lane)));
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, &path)?;
-        Ok(())
+        write_sidecar(&self.dir, &self.index)
     }
 
     /// Flushes everything and writes the sidecar index; after a clean

@@ -16,9 +16,19 @@
 //! * [`StoreReader`] — reopens a store directory, recovering after a
 //!   crash: every frame is length- and CRC-validated, torn tail writes
 //!   are detected (and truncated by a resuming writer), and the
-//!   [`RecoveryReport`] says exactly what survived. Replay is lazy
-//!   ([`LaneReplay`] implements [`trace_model::EventSource`]) or
-//!   seekable per window via the index.
+//!   [`RecoveryReport`] says exactly what survived. Lane sidecars load
+//!   lazily — replaying one lane of a fleet store parses one index, not
+//!   all of them. Replay is lazy ([`LaneReplay`] implements
+//!   [`trace_model::EventSource`]) or seekable per window via the index,
+//!   and every read path goes through a [`SegmentMap`]: segments loaded
+//!   once into contiguous buffers, frames handed out as zero-copy slices
+//!   CRC-validated on first touch.
+//! * [`Compactor`] / [`MaintenancePolicy`] — the store's maintenance
+//!   pass: runs of small adjacent segments are merged into consolidated
+//!   ones (frames copied verbatim, sidecar rewritten atomically) and
+//!   windows past a retention horizon are dropped, keeping reopen and
+//!   replay costs flat on week-long runs. Runs standalone on a closed
+//!   store or inline in the writer after each rotation.
 //! * [`SpooledSink`] — a double-buffered writer thread behind the
 //!   synchronous `EventSink` trait, so shard workers overlap monitoring
 //!   with disk I/O without the trait (or in-memory sinks) changing.
@@ -49,16 +59,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compact;
 mod crc32;
 mod index;
 mod lane;
+mod map;
 mod reader;
 mod segment;
 mod spool;
 
+pub use compact::{CompactionReport, Compactor, LaneCompaction, MaintenancePolicy};
 pub use crc32::crc32;
 pub use index::{LaneIndex, RecoveryReport, SegmentMeta, TornTail, WindowEntry};
 pub use lane::{LaneWriter, StoreConfig};
+pub use map::{SegmentMap, DEFAULT_RESIDENT_SEGMENTS};
 pub use reader::{LaneReplay, StoreReader};
 pub use spool::{SpooledSink, DEFAULT_SPOOL_DEPTH};
 

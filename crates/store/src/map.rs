@@ -1,0 +1,318 @@
+//! Buffered, zero-copy access to segment frames.
+//!
+//! The original read path paid one `open` + `seek` + two `read`s per
+//! frame — exactly the per-record syscall pattern that dominates
+//! large-scale trace reconstruction. [`SegmentMap`] replaces it: each
+//! segment file is loaded **once** into a contiguous buffer with a single
+//! read, and every frame is handed out as a `&[u8]` slice straight into
+//! that buffer — no per-frame allocation, no per-frame syscall. Frame
+//! CRCs are validated lazily, on the first touch of each frame, so a
+//! windowed seek pays for the windows it reads and a full-lane pass pays
+//! each frame exactly once.
+//!
+//! A resident limit keeps full-lane replay bounded: a sequential pass
+//! over an N-segment lane holds at most `limit` segment buffers at a
+//! time, evicting the oldest as it advances — one buffered sequential
+//! sweep over the store, not an unbounded mirror of it.
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use trace_model::TraceError;
+
+use crate::crc32::crc32;
+use crate::index::WindowEntry;
+use crate::segment::{
+    read_u32, segment_file_name, segment_header, segment_header_mismatch, FRAME_HEADER_LEN,
+    FRAME_META_LEN, SEGMENT_HEADER_LEN,
+};
+
+/// Default number of segment buffers a [`SegmentMap`] keeps resident.
+///
+/// Sized so a sequential replay streams through the store while windowed
+/// seeks that revisit a couple of segments stay in memory. With the
+/// default 8 MiB segments this bounds the map at ~32 MiB.
+pub const DEFAULT_RESIDENT_SEGMENTS: usize = 4;
+
+/// One loaded segment: its full file contents plus which frame offsets
+/// have already been CRC-validated.
+#[derive(Debug)]
+struct LoadedSegment {
+    bytes: Vec<u8>,
+    validated: HashSet<u64>,
+}
+
+/// Buffered zero-copy reader over one lane's segment files.
+///
+/// Created standalone with [`SegmentMap::new`] or borrowed implicitly by
+/// every [`crate::StoreReader`] read path. Frames are addressed by the
+/// [`WindowEntry`] rows of the lane index (see
+/// [`crate::StoreReader::windows`]); [`SegmentMap::payload`] returns the
+/// window's encoded payload as a slice into the loaded segment buffer.
+///
+/// The map validates lazily but *completely*: a frame's length and CRC
+/// are checked the first time it is touched, and a mismatch surfaces as
+/// [`TraceError::Decode`] exactly as the old per-frame read path did.
+#[derive(Debug)]
+pub struct SegmentMap {
+    dir: PathBuf,
+    lane: u32,
+    /// Maximum segments kept resident (0 = unlimited).
+    limit: usize,
+    segments: BTreeMap<u32, LoadedSegment>,
+}
+
+impl SegmentMap {
+    /// Creates an empty map over `lane`'s segments inside `dir` with the
+    /// default resident limit. Nothing is read until a frame is touched.
+    pub fn new(dir: impl AsRef<Path>, lane: u32) -> Self {
+        SegmentMap {
+            dir: dir.as_ref().to_path_buf(),
+            lane,
+            limit: DEFAULT_RESIDENT_SEGMENTS,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the map with a different resident-segment limit
+    /// (0 = unlimited; everything stays loaded).
+    pub fn with_resident_limit(mut self, segments: usize) -> Self {
+        self.limit = segments;
+        self
+    }
+
+    /// The lane this map reads.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Segments currently held in memory.
+    pub fn resident_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes currently held across resident segment buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.segments.values().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Drops every resident buffer (subsequent touches reload).
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
+    /// Loads `seq` if absent, evicting per the resident limit, and
+    /// validates the segment header.
+    fn load(&mut self, seq: u32) -> Result<(), TraceError> {
+        if self.segments.contains_key(&seq) {
+            return Ok(());
+        }
+        if self.limit > 0 {
+            while self.segments.len() >= self.limit {
+                // Evict the lowest-numbered resident segment: a replay
+                // walks seqs forward, so the lowest is the one it has
+                // moved past.
+                let Some((&oldest, _)) = self.segments.iter().next() else {
+                    break;
+                };
+                self.segments.remove(&oldest);
+            }
+        }
+        let path = self.dir.join(segment_file_name(self.lane, seq));
+        let bytes = std::fs::read(&path)?;
+        let expected = segment_header(self.lane, seq);
+        if bytes.len() < SEGMENT_HEADER_LEN as usize
+            || bytes[..SEGMENT_HEADER_LEN as usize] != expected
+        {
+            return Err(segment_header_mismatch(&path, self.lane, seq));
+        }
+        self.segments.insert(
+            seq,
+            LoadedSegment {
+                bytes,
+                validated: HashSet::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// The frame body (fixed meta block + payload) of one indexed window,
+    /// as a slice into the loaded segment buffer. Length and CRC are
+    /// validated on the first touch of the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the segment file cannot be read
+    /// and [`TraceError::Decode`] on index/file disagreement (truncated
+    /// file, length mismatch, CRC mismatch).
+    pub fn body(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
+        self.load(entry.segment)?;
+        let segment = self
+            .segments
+            .get_mut(&entry.segment)
+            .expect("loaded just above");
+        // Checked arithmetic: offsets/lengths come from the (possibly
+        // corrupt) index, so an overflow is corruption, not a panic.
+        let (lane, bytes_len) = (self.lane, segment.bytes.len());
+        let out_of_bounds = move || TraceError::Decode {
+            offset: entry.offset as usize,
+            reason: format!(
+                "index points past the end of lane {lane} segment {} ({bytes_len} bytes)",
+                entry.segment,
+            ),
+        };
+        let body_start = entry
+            .offset
+            .checked_add(FRAME_HEADER_LEN)
+            .ok_or_else(out_of_bounds)?;
+        let body_end = body_start
+            .checked_add(u64::from(entry.len))
+            .ok_or_else(out_of_bounds)?;
+        if body_end > segment.bytes.len() as u64 {
+            return Err(out_of_bounds());
+        }
+        if !segment.validated.contains(&entry.offset) {
+            let stored_len = read_u32(&segment.bytes, entry.offset as usize);
+            let stored_crc = read_u32(&segment.bytes, entry.offset as usize + 4);
+            let body = &segment.bytes[body_start as usize..body_end as usize];
+            if stored_len != entry.len {
+                return Err(TraceError::Decode {
+                    offset: entry.offset as usize,
+                    reason: format!(
+                        "index says frame body is {} bytes, file says {stored_len}",
+                        entry.len
+                    ),
+                });
+            }
+            if crc32(body) != stored_crc {
+                return Err(TraceError::Decode {
+                    offset: entry.offset as usize,
+                    reason: format!(
+                        "crc mismatch reading lane {} segment {} offset {}",
+                        self.lane, entry.segment, entry.offset
+                    ),
+                });
+            }
+            segment.validated.insert(entry.offset);
+        }
+        Ok(&segment.bytes[body_start as usize..body_end as usize])
+    }
+
+    /// The encoded payload of one indexed window (the exact bytes the
+    /// recorder handed to the sink), zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SegmentMap::body`].
+    pub fn payload(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
+        self.body(entry).map(|body| &body[FRAME_META_LEN..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneWriter, StoreConfig, StoreReader};
+    use trace_model::codec::{BinaryEncoder, TraceEncoder};
+    use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("endurance-map-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write_windows(dir: &std::path::Path, windows: u64, per_segment: u64) -> Vec<Vec<u8>> {
+        let config = StoreConfig::default().with_segment_max_windows(per_segment);
+        let mut writer = LaneWriter::create(dir, 0, config).unwrap();
+        let mut payloads = Vec::new();
+        for id in 0..windows {
+            let events: Vec<TraceEvent> = (0..6)
+                .map(|i| {
+                    TraceEvent::new(
+                        Timestamp::from_micros(id * 1_000 + i * 10),
+                        EventTypeId::new((i % 3) as u16),
+                        id as u32,
+                    )
+                })
+                .collect();
+            let mut encoded = Vec::new();
+            BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: Timestamp::from_micros(id * 1_000),
+                end: Timestamp::from_micros((id + 1) * 1_000),
+            };
+            writer.record_window(&meta, &events, &encoded).unwrap();
+            payloads.push(encoded);
+        }
+        writer.close().unwrap();
+        payloads
+    }
+
+    #[test]
+    fn payloads_match_and_segments_stay_resident_within_the_limit() {
+        let dir = temp_dir("resident");
+        let payloads = write_windows(&dir, 12, 2); // 6 segments
+        let reader = StoreReader::open(&dir).unwrap();
+        let entries: Vec<WindowEntry> = reader.windows(0).unwrap().to_vec();
+        let mut map = SegmentMap::new(&dir, 0).with_resident_limit(2);
+        for (entry, expected) in entries.iter().zip(&payloads) {
+            assert_eq!(map.payload(entry).unwrap(), expected.as_slice());
+            assert!(map.resident_segments() <= 2);
+        }
+        // Revisiting a resident frame is pure memory and stays validated.
+        assert_eq!(
+            map.payload(entries.last().unwrap()).unwrap(),
+            payloads.last().unwrap().as_slice()
+        );
+        map.clear();
+        assert_eq!(map.resident_segments(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_frames_fail_on_first_touch() {
+        let dir = temp_dir("corrupt");
+        write_windows(&dir, 2, 10);
+        let reader = StoreReader::open(&dir).unwrap();
+        let entries: Vec<WindowEntry> = reader.windows(0).unwrap().to_vec();
+        // Flip a payload byte of the second frame.
+        let path = dir.join("lane0000-000000.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let hit = entries[1].offset as usize + FRAME_HEADER_LEN as usize + FRAME_META_LEN + 1;
+        bytes[hit] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+
+        let mut map = SegmentMap::new(&dir, 0);
+        // The intact frame is fine; the corrupt one errors with a CRC
+        // mismatch on first touch.
+        assert!(map.payload(&entries[0]).is_ok());
+        let error = map.payload(&entries[1]).unwrap_err();
+        assert!(error.to_string().contains("crc mismatch"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_rejected_at_load() {
+        let dir = temp_dir("header");
+        write_windows(&dir, 1, 10);
+        let path = dir.join("lane0000-000000.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X'; // break the magic
+        std::fs::write(&path, bytes).unwrap();
+        let entry = WindowEntry {
+            window_id: 0,
+            start_ns: 0,
+            end_ns: 1,
+            events: 1,
+            segment: 0,
+            offset: SEGMENT_HEADER_LEN,
+            len: FRAME_META_LEN as u32 + 1,
+        };
+        let mut map = SegmentMap::new(&dir, 0);
+        assert!(map.payload(&entry).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -4,12 +4,14 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 use trace_model::codec::{BinaryDecoder, TraceDecoder};
 use trace_model::{EventSource, Timestamp, TraceError, TraceEvent, WindowId};
 
 use crate::crc32::crc32;
-use crate::index::{LaneIndex, RecoveryReport, WindowEntry, SIDECAR_SCHEMA};
+use crate::index::{LaneIndex, RecoveryReport, TornTail, WindowEntry, SIDECAR_SCHEMA};
+use crate::map::SegmentMap;
 use crate::segment::{
     parse_segment_file_name, scan_segment, segment_file_name, sidecar_file_name, FRAME_HEADER_LEN,
     FRAME_META_LEN,
@@ -17,18 +19,49 @@ use crate::segment::{
 
 /// A reopened trace store: every lane's window index, ready for replay.
 ///
-/// Opening first tries each lane's sidecar index and trusts it only when
-/// every segment file's length matches the sidecar's committed byte
-/// count (the clean-close case). Any mismatch — crash before the sidecar
-/// was written, torn tail, missing sidecar — falls back to the
-/// CRC-validating segment scanner, which recovers every complete frame
-/// and reports the torn tails. Either way [`StoreReader::recovery`] says
-/// what happened.
+/// Opening only enumerates the directory; **everything else is lazy,
+/// per lane** — the first touch of a lane parses its sidecar (or falls
+/// back to the CRC-validating segment scanner when the sidecar cannot be
+/// trusted: crash before it was written, torn tail, missing file) and
+/// segment headers are validated when their segments are first read.
+/// Replaying one lane of a 64-lane fleet store therefore parses one
+/// sidecar, not 64, and one damaged lane never blocks the others.
+///
+/// A sidecar is trusted only when every segment file's length matches its
+/// committed byte count (the clean-close case); any mismatch falls back
+/// to the scanner, which recovers every complete frame and reports the
+/// torn tails. [`StoreReader::recovery`] says what happened — calling it
+/// forces every lane.
+///
+/// All read paths go through a per-lane [`SegmentMap`]: each segment is
+/// loaded once into a contiguous buffer and frames are handed out as
+/// zero-copy slices, CRC-validated on first touch — one buffered
+/// sequential pass for full-lane replay instead of a seek and two reads
+/// per frame.
 #[derive(Debug)]
 pub struct StoreReader {
     dir: PathBuf,
-    lanes: BTreeMap<u32, LaneIndex>,
-    recovery: RecoveryReport,
+    lanes: BTreeMap<u32, LaneSlot>,
+    recovery: OnceLock<RecoveryReport>,
+    /// Shared segment buffers for the windowed read paths, per lane.
+    maps: Mutex<BTreeMap<u32, SegmentMap>>,
+}
+
+/// One lane's deferred state: its segment files, and the index once
+/// loaded (errors are kept as rendered strings so later touches resurface
+/// them).
+#[derive(Debug)]
+struct LaneSlot {
+    seqs: Vec<u32>,
+    state: OnceLock<Result<LoadedLane, String>>,
+}
+
+/// A lane index plus what loading it found.
+#[derive(Debug)]
+pub(crate) struct LoadedLane {
+    pub index: LaneIndex,
+    pub torn: Vec<TornTail>,
+    pub used_sidecar: bool,
 }
 
 impl StoreReader {
@@ -36,10 +69,12 @@ impl StoreReader {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Io`] on filesystem failures and
-    /// [`TraceError::Decode`] on cross-file corruption (a segment whose
-    /// header names a different lane, for example). Torn tails are *not*
-    /// errors; they are reported in [`StoreReader::recovery`].
+    /// Returns [`TraceError::Io`] when the directory cannot be listed.
+    /// Per-lane problems — cross-file corruption (a segment whose header
+    /// names a different lane, say), unreadable files — surface lazily
+    /// when that lane is first touched, so one damaged lane never blocks
+    /// replaying the others. Torn tails are *not* errors; they are
+    /// reported in [`StoreReader::recovery`].
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, TraceError> {
         let dir = dir.as_ref().to_path_buf();
         let mut segments: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
@@ -49,28 +84,56 @@ impl StoreReader {
                 segments.entry(lane).or_default().push(seq);
             }
         }
-        let mut lanes = BTreeMap::new();
-        let mut recovery = RecoveryReport {
-            clean: true,
-            ..RecoveryReport::default()
-        };
-        for (lane, mut seqs) in segments {
-            seqs.sort_unstable();
-            let (index, torn, used_sidecar) = load_lane(&dir, lane, &seqs)?;
-            recovery.absorb_lane(&index, &torn, used_sidecar);
-            lanes.insert(lane, index);
-        }
+        let lanes = segments
+            .into_iter()
+            .map(|(lane, mut seqs)| {
+                // A crashed maintenance pass may have committed a merge
+                // without finishing its deletions; reading is read-only,
+                // so interpret the journal instead of completing it.
+                let replaced = crate::compact::segments_replaced_by_pending_merge(&dir, lane);
+                seqs.retain(|seq| !replaced.contains(seq));
+                seqs.sort_unstable();
+                (
+                    lane,
+                    LaneSlot {
+                        seqs,
+                        state: OnceLock::new(),
+                    },
+                )
+            })
+            .collect();
         Ok(StoreReader {
             dir,
             lanes,
-            recovery,
+            recovery: OnceLock::new(),
+            maps: Mutex::new(BTreeMap::new()),
         })
     }
 
     /// What opening found: recovered windows/events per the sidecar or
-    /// the scanner, and any torn tails.
+    /// the scanner, and any torn tails. Forces every lazily-loaded lane.
     pub fn recovery(&self) -> &RecoveryReport {
-        &self.recovery
+        self.recovery.get_or_init(|| {
+            let mut report = RecoveryReport {
+                clean: true,
+                ..RecoveryReport::default()
+            };
+            for &lane in self.lanes.keys() {
+                match self.loaded(lane) {
+                    Ok(loaded) => {
+                        report.absorb_lane(&loaded.index, &loaded.torn, loaded.used_sidecar);
+                    }
+                    Err(_) => {
+                        // The load error resurfaces when the lane's data
+                        // is touched; the report just records the lane as
+                        // unclean.
+                        report.lanes += 1;
+                        report.clean = false;
+                    }
+                }
+            }
+            report
+        })
     }
 
     /// The store directory.
@@ -88,34 +151,262 @@ impl StoreReader {
         self.lanes.len()
     }
 
-    /// The window index of one lane, in recording order.
+    /// The window index of one lane, in recording order (loading it on
+    /// first touch). `None` for an unknown lane or one whose index failed
+    /// to load; use [`StoreReader::lane_windows`] when the load error
+    /// matters.
     pub fn windows(&self, lane: u32) -> Option<&[WindowEntry]> {
-        self.lanes.get(&lane).map(|index| index.windows.as_slice())
+        self.lanes.get(&lane)?;
+        self.loaded(lane).ok().map(|l| l.index.windows.as_slice())
     }
 
-    /// Total events across every lane.
+    /// The window index of one lane, surfacing index-load failures
+    /// (unknown lane, unreadable or corrupt segments) as errors instead
+    /// of an empty answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`]/[`TraceError::Decode`] when the lane is
+    /// unknown or its index cannot be loaded.
+    pub fn lane_windows(&self, lane: u32) -> Result<&[WindowEntry], TraceError> {
+        self.lane_index(lane).map(|index| index.windows.as_slice())
+    }
+
+    /// Total events across every lane (forces every lane). A lane whose
+    /// index fails to load contributes nothing here — when exactness
+    /// matters, walk [`StoreReader::lane_windows`] per lane (it surfaces
+    /// the load error) or check [`StoreReader::recovery`] first.
     pub fn total_events(&self) -> u64 {
-        self.lanes.values().map(LaneIndex::total_events).sum()
-    }
-
-    /// Total encoded payload bytes across every lane — the exact bytes
-    /// the recorder handed to the sinks.
-    pub fn total_payload_bytes(&self) -> u64 {
         self.lanes
-            .values()
-            .map(LaneIndex::total_payload_bytes)
+            .keys()
+            .filter_map(|&lane| self.loaded(lane).ok())
+            .map(|l| l.index.total_events())
             .sum()
     }
 
-    fn lane_index(&self, lane: u32) -> Result<&LaneIndex, TraceError> {
-        self.lanes.get(&lane).ok_or_else(|| TraceError::Decode {
+    /// Total encoded payload bytes across every lane — the exact bytes
+    /// the recorder handed to the sinks (forces every lane; failed lanes
+    /// contribute nothing, see [`StoreReader::total_events`]).
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.lanes
+            .keys()
+            .filter_map(|&lane| self.loaded(lane).ok())
+            .map(|l| l.index.total_payload_bytes())
+            .sum()
+    }
+
+    /// Loads (or returns the cached) lane state.
+    fn loaded(&self, lane: u32) -> Result<&LoadedLane, TraceError> {
+        let slot = self.lanes.get(&lane).ok_or_else(|| TraceError::Decode {
             offset: 0,
             reason: format!("store has no lane {lane}"),
+        })?;
+        let state = slot
+            .state
+            .get_or_init(|| load_lane(&self.dir, lane, &slot.seqs).map_err(|e| e.to_string()));
+        match state {
+            Ok(loaded) => Ok(loaded),
+            Err(message) => Err(TraceError::Decode {
+                offset: 0,
+                reason: message.clone(),
+            }),
+        }
+    }
+
+    fn lane_index(&self, lane: u32) -> Result<&LaneIndex, TraceError> {
+        self.loaded(lane).map(|loaded| &loaded.index)
+    }
+
+    /// A standalone [`SegmentMap`] over one lane — the zero-copy frame
+    /// reader every replay path uses, handed out for callers that want to
+    /// manage buffer residency themselves (address frames with the
+    /// entries from [`StoreReader::windows`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] for an unknown lane.
+    pub fn segment_map(&self, lane: u32) -> Result<SegmentMap, TraceError> {
+        self.lane_index(lane)?;
+        Ok(SegmentMap::new(&self.dir, lane))
+    }
+
+    /// Drops every cached segment buffer (each lane's shared
+    /// [`SegmentMap`] holds up to [`crate::DEFAULT_RESIDENT_SEGMENTS`]
+    /// loaded segments after a read). Long-lived readers over many-lane
+    /// stores can call this between phases to release the memory;
+    /// subsequent reads reload on demand.
+    pub fn evict_buffers(&self) {
+        self.maps
+            .lock()
+            .expect("segment map cache poisoned")
+            .clear();
+    }
+
+    /// Runs `read` against the shared per-lane segment map (creating it
+    /// on first use) with the lane index alongside. The cache is one
+    /// mutex-guarded map: point reads buffer whole segments (that is the
+    /// refactor's bargain — one read per segment instead of a seek and
+    /// two reads per frame), and concurrent readers of one `StoreReader`
+    /// serialize here; give each thread its own [`SegmentMap`] via
+    /// [`StoreReader::segment_map`] when that matters.
+    fn with_lane_map<T>(
+        &self,
+        lane: u32,
+        read: impl FnOnce(&LaneIndex, &mut SegmentMap) -> Result<T, TraceError>,
+    ) -> Result<T, TraceError> {
+        /// Lanes whose segment buffers stay cached at once, bounding the
+        /// reader at roughly `MAX_CACHED_LANES × DEFAULT_RESIDENT_SEGMENTS`
+        /// segment buffers however many lanes a sweep touches.
+        const MAX_CACHED_LANES: usize = 8;
+        let index = self.lane_index(lane)?;
+        let mut maps = self.maps.lock().expect("segment map cache poisoned");
+        if !maps.contains_key(&lane) {
+            while maps.len() >= MAX_CACHED_LANES {
+                let Some(&evict) = maps.keys().find(|&&cached| cached != lane) else {
+                    break;
+                };
+                maps.remove(&evict);
+            }
+        }
+        let map = maps
+            .entry(lane)
+            .or_insert_with(|| SegmentMap::new(&self.dir, lane));
+        read(index, map)
+    }
+
+    /// The encoded payload of one indexed window (the bytes the recorder
+    /// wrote), served from the lane's buffered segment map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] for an unknown lane or on
+    /// index/file disagreement (corruption after recovery).
+    pub fn window_payload(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+    ) -> Result<Option<Vec<u8>>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let Some(entry) = index
+                .windows
+                .iter()
+                .find(|entry| entry.window_id == window_id.index())
+            else {
+                return Ok(None);
+            };
+            map.payload(entry).map(|payload| Some(payload.to_vec()))
         })
     }
 
-    /// Reads one frame's body and hands back `(entry, payload)`.
-    fn read_entry(&self, lane: u32, entry: &WindowEntry) -> Result<Vec<u8>, TraceError> {
+    /// The decoded events of one indexed window, served from the lane's
+    /// buffered segment map.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_payload`], plus payload
+    /// decode errors.
+    pub fn window_events(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+    ) -> Result<Option<Vec<TraceEvent>>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let Some(entry) = index
+                .windows
+                .iter()
+                .find(|entry| entry.window_id == window_id.index())
+            else {
+                return Ok(None);
+            };
+            let payload = map.payload(entry)?;
+            BinaryDecoder::new().decode(payload).map(Some)
+        })
+    }
+
+    /// Replays exactly the recorded windows whose `[start, end)` range
+    /// intersects `[from, to)`, in recording order, decoding each frame
+    /// zero-copy from the buffered segment map.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_events`].
+    pub fn windows_in_range(
+        &self,
+        lane: u32,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<(WindowId, Vec<TraceEvent>)>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let mut out = Vec::new();
+            for entry in &index.windows {
+                if entry.start_ns < to.as_nanos() && entry.end_ns > from.as_nanos() {
+                    let payload = map.payload(entry)?;
+                    let events = BinaryDecoder::new().decode(payload)?;
+                    out.push((WindowId::new(entry.window_id), events));
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// All events of one lane, decoded in recording order in one buffered
+    /// sequential pass (each segment is read with a single syscall).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_events`].
+    pub fn lane_events(&self, lane: u32) -> Result<Vec<TraceEvent>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let mut events = Vec::with_capacity(index.total_events() as usize);
+            let mut decoder = BinaryDecoder::new();
+            for entry in &index.windows {
+                decoder.decode_into(map.payload(entry)?, &mut events)?;
+            }
+            Ok(events)
+        })
+    }
+
+    /// The concatenated encoded payloads of one lane, in recording order
+    /// — byte-for-byte what a memory sink accumulating
+    /// `record_encoded` bytes would hold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_payload`].
+    pub fn lane_payload_bytes(&self, lane: u32) -> Result<Vec<u8>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let mut bytes = Vec::with_capacity(index.total_payload_bytes() as usize);
+            for entry in &index.windows {
+                bytes.extend_from_slice(map.payload(entry)?);
+            }
+            Ok(bytes)
+        })
+    }
+
+    /// All events of one lane via the legacy per-frame read path: one
+    /// `open` + `seek` + two `read`s per frame, no buffering.
+    ///
+    /// Hidden from the documented API: it exists solely as the
+    /// comparison baseline for the buffered replay path (the
+    /// `store_replay_buffered` gate in `bench_smoke` holds the buffered
+    /// pass to ≥ 2× this one). Use [`StoreReader::lane_events`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_events`].
+    #[doc(hidden)]
+    pub fn lane_events_seek_per_frame(&self, lane: u32) -> Result<Vec<TraceEvent>, TraceError> {
+        let index = self.lane_index(lane)?;
+        let mut events = Vec::with_capacity(index.total_events() as usize);
+        for entry in &index.windows {
+            let payload = self.read_entry_seek(lane, entry)?;
+            events.extend(BinaryDecoder::new().decode(&payload)?);
+        }
+        Ok(events)
+    }
+
+    /// Reads one frame's payload with the per-frame seek path.
+    fn read_entry_seek(&self, lane: u32, entry: &WindowEntry) -> Result<Vec<u8>, TraceError> {
         let path = self.dir.join(segment_file_name(lane, entry.segment));
         let mut file = File::open(&path)?;
         file.seek(SeekFrom::Start(entry.offset))?;
@@ -147,106 +438,11 @@ impl StoreReader {
         Ok(body)
     }
 
-    /// The encoded payload of one indexed window (the bytes the recorder
-    /// wrote), fetched by a single seek — no scan of the run.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TraceError::Decode`] for an unknown lane or on
-    /// index/file disagreement (corruption after recovery).
-    pub fn window_payload(
-        &self,
-        lane: u32,
-        window_id: WindowId,
-    ) -> Result<Option<Vec<u8>>, TraceError> {
-        let index = self.lane_index(lane)?;
-        let Some(entry) = index
-            .windows
-            .iter()
-            .find(|entry| entry.window_id == window_id.index())
-        else {
-            return Ok(None);
-        };
-        self.read_entry(lane, entry).map(Some)
-    }
-
-    /// The decoded events of one indexed window, fetched by a single
-    /// seek.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`StoreReader::window_payload`], plus payload
-    /// decode errors.
-    pub fn window_events(
-        &self,
-        lane: u32,
-        window_id: WindowId,
-    ) -> Result<Option<Vec<TraceEvent>>, TraceError> {
-        match self.window_payload(lane, window_id)? {
-            Some(payload) => BinaryDecoder::new().decode(&payload).map(Some),
-            None => Ok(None),
-        }
-    }
-
-    /// Replays exactly the recorded windows whose `[start, end)` range
-    /// intersects `[from, to)`, in recording order, seeking to each via
-    /// the index.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`StoreReader::window_events`].
-    pub fn windows_in_range(
-        &self,
-        lane: u32,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Result<Vec<(WindowId, Vec<TraceEvent>)>, TraceError> {
-        let index = self.lane_index(lane)?;
-        let mut out = Vec::new();
-        for entry in &index.windows {
-            if entry.start_ns < to.as_nanos() && entry.end_ns > from.as_nanos() {
-                let payload = self.read_entry(lane, entry)?;
-                let events = BinaryDecoder::new().decode(&payload)?;
-                out.push((WindowId::new(entry.window_id), events));
-            }
-        }
-        Ok(out)
-    }
-
-    /// All events of one lane, decoded in recording order.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`StoreReader::window_events`].
-    pub fn lane_events(&self, lane: u32) -> Result<Vec<TraceEvent>, TraceError> {
-        let index = self.lane_index(lane)?;
-        let mut events = Vec::with_capacity(index.total_events() as usize);
-        for entry in &index.windows {
-            let payload = self.read_entry(lane, entry)?;
-            events.extend(BinaryDecoder::new().decode(&payload)?);
-        }
-        Ok(events)
-    }
-
-    /// The concatenated encoded payloads of one lane, in recording order
-    /// — byte-for-byte what a memory sink accumulating
-    /// `record_encoded` bytes would hold.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`StoreReader::window_payload`].
-    pub fn lane_payload_bytes(&self, lane: u32) -> Result<Vec<u8>, TraceError> {
-        let index = self.lane_index(lane)?;
-        let mut bytes = Vec::with_capacity(index.total_payload_bytes() as usize);
-        for entry in &index.windows {
-            bytes.extend(self.read_entry(lane, entry)?);
-        }
-        Ok(bytes)
-    }
-
     /// A lazy [`EventSource`] over one lane's recorded events, window by
     /// window in recording order — the replay side of the sink the run
-    /// was recorded through.
+    /// was recorded through. The replay owns its own [`SegmentMap`]
+    /// (bounded to two resident segments), so a full-lane pass is one
+    /// buffered sequential sweep.
     ///
     /// # Errors
     ///
@@ -256,8 +452,7 @@ impl StoreReader {
     pub fn replay_lane(&self, lane: u32) -> Result<LaneReplay<'_>, TraceError> {
         let index = self.lane_index(lane)?;
         Ok(LaneReplay {
-            reader: self,
-            lane,
+            map: SegmentMap::new(&self.dir, lane).with_resident_limit(2),
             entries: index.windows.iter(),
             buffered: std::collections::VecDeque::new(),
             error: None,
@@ -272,8 +467,7 @@ impl StoreReader {
 /// consumed — including a fresh `ReductionSession`.
 #[derive(Debug)]
 pub struct LaneReplay<'a> {
-    reader: &'a StoreReader,
-    lane: u32,
+    map: SegmentMap,
     entries: std::slice::Iter<'a, WindowEntry>,
     buffered: std::collections::VecDeque<TraceEvent>,
     error: Option<TraceError>,
@@ -297,9 +491,9 @@ impl EventSource for LaneReplay<'_> {
             }
             let entry = self.entries.next()?;
             let decoded = self
-                .reader
-                .read_entry(self.lane, entry)
-                .and_then(|payload| BinaryDecoder::new().decode(&payload));
+                .map
+                .payload(entry)
+                .and_then(|payload| BinaryDecoder::new().decode(payload));
             match decoded {
                 Ok(events) => self.buffered.extend(events),
                 Err(error) => {
@@ -312,14 +506,14 @@ impl EventSource for LaneReplay<'_> {
 }
 
 /// Loads one lane's index, preferring the sidecar, falling back to the
-/// scanner. Returns `(index, torn tails, sidecar trusted)`.
-fn load_lane(
-    dir: &Path,
-    lane: u32,
-    seqs: &[u32],
-) -> Result<(LaneIndex, Vec<crate::index::TornTail>, bool), TraceError> {
+/// scanner.
+pub(crate) fn load_lane(dir: &Path, lane: u32, seqs: &[u32]) -> Result<LoadedLane, TraceError> {
     if let Some(index) = try_sidecar(dir, lane, seqs) {
-        return Ok((index, Vec::new(), true));
+        return Ok(LoadedLane {
+            index,
+            torn: Vec::new(),
+            used_sidecar: true,
+        });
     }
     let mut index = LaneIndex::new(lane);
     let mut torn = Vec::new();
@@ -334,7 +528,11 @@ fn load_lane(
             index.windows.extend(scanned.entries);
         }
     }
-    Ok((index, torn, false))
+    Ok(LoadedLane {
+        index,
+        torn,
+        used_sidecar: false,
+    })
 }
 
 /// Loads and validates a lane sidecar: readable, right schema/lane, and

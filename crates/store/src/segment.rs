@@ -66,6 +66,19 @@ pub(crate) fn parse_segment_file_name(name: &str) -> Option<(u32, u32)> {
     Some((lane.parse().ok()?, seq.parse().ok()?))
 }
 
+/// The cross-file corruption error for a segment whose on-disk header
+/// does not match the lane/sequence its file name claims — one message,
+/// shared by open-time and read-time validation.
+pub(crate) fn segment_header_mismatch(path: &std::path::Path, lane: u32, seq: u32) -> TraceError {
+    TraceError::Decode {
+        offset: 0,
+        reason: format!(
+            "{}: segment header does not name lane {lane} segment {seq}",
+            path.display()
+        ),
+    }
+}
+
 /// Serialises the 13-byte segment header.
 pub(crate) fn segment_header(lane: u32, seq: u32) -> [u8; SEGMENT_HEADER_LEN as usize] {
     let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
@@ -101,12 +114,27 @@ pub(crate) fn build_frame(
     body_len
 }
 
-fn read_u32(bytes: &[u8], offset: usize) -> u32 {
+pub(crate) fn read_u32(bytes: &[u8], offset: usize) -> u32 {
     u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
 }
 
 fn read_u64(bytes: &[u8], offset: usize) -> u64 {
     u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+/// Atomically persists a lane sidecar (temp file + rename), shared by the
+/// writer's `sync`/`close` and the compactor.
+pub(crate) fn write_sidecar(
+    dir: &std::path::Path,
+    index: &crate::index::LaneIndex,
+) -> Result<(), TraceError> {
+    let json =
+        serde_json::to_string(index).map_err(|error| std::io::Error::other(error.to_string()))?;
+    let path = dir.join(sidecar_file_name(index.lane));
+    let tmp = dir.join(format!("{}.tmp", sidecar_file_name(index.lane)));
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
 }
 
 /// Parses a validated frame body into a [`WindowEntry`] anchored at

@@ -1,0 +1,257 @@
+//! Compaction invariants, property-tested: a maintenance pass at *any*
+//! point — any segment geometry, any merge threshold, any retention
+//! horizon, clean close or crash — must preserve the exact payload bytes
+//! of every surviving window, answer `windows_in_range` identically for
+//! the retained set, and leave a store that reopens clean and compacts to
+//! a fixed point.
+
+use proptest::prelude::*;
+
+use endurance_store::{Compactor, LaneWriter, MaintenancePolicy, StoreConfig, StoreReader};
+use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+fn temp_dir(tag: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "endurance-compaction-proptest-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes `windows` windows (varying sizes) into lane 0, rotating every
+/// `per_segment` windows. Returns each window's `(id, end_ns, payload)`.
+fn write_run(
+    dir: &std::path::Path,
+    windows: u64,
+    per_segment: u64,
+    close: bool,
+) -> Vec<(u64, u64, Vec<u8>)> {
+    let config = StoreConfig::default().with_segment_max_windows(per_segment);
+    let mut writer = LaneWriter::create(dir, 0, config).unwrap();
+    let mut recorded = Vec::new();
+    for id in 0..windows {
+        // Window sizes vary so segment byte sizes differ.
+        let count = 3 + (id % 5) as usize * 4;
+        let events: Vec<TraceEvent> = (0..count as u64)
+            .map(|i| {
+                TraceEvent::new(
+                    Timestamp::from_micros(id * 40_000 + i * 100),
+                    EventTypeId::new(((id + i) % 5) as u16),
+                    i as u32,
+                )
+            })
+            .collect();
+        let mut encoded = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: Timestamp::from_micros(id * 40_000),
+            end: Timestamp::from_micros((id + 1) * 40_000),
+        };
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        recorded.push((id, (id + 1) * 40_000 * 1_000, encoded));
+    }
+    if close {
+        writer.close().unwrap();
+    }
+    recorded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compaction_preserves_surviving_windows_exactly(
+        windows in 1u64..24,
+        per_segment in 1u64..6,
+        close in any::<bool>(),
+        merge_everything in any::<bool>(),
+        retention_fraction in 0.0f64..1.3,
+    ) {
+        let tag = windows * 1_000_000
+            + per_segment * 10_000
+            + u64::from(close) * 1_000
+            + u64::from(merge_everything) * 100
+            + (retention_fraction * 73.0) as u64;
+        let dir = temp_dir(tag);
+        let recorded = write_run(&dir, windows, per_segment, close);
+
+        // Retention horizon as a fraction of the run's span; > 1.0 keeps
+        // everything, small fractions drop most of the run.
+        let span_ns = windows * 40_000_000;
+        let retention_ns = (span_ns as f64 * retention_fraction) as u64;
+        let mut policy = if merge_everything {
+            MaintenancePolicy::merge_below(u64::MAX)
+        } else {
+            // Merge only genuinely small segments (below one mid-size
+            // frame run) so some segments stay untouched.
+            MaintenancePolicy::merge_below(600)
+        };
+        policy = policy.with_retention_ns(retention_ns.max(1));
+
+        // Expected survivors, straight from the write log.
+        let newest_end = recorded.iter().map(|(_, end, _)| *end).max().unwrap();
+        let cutoff = newest_end.saturating_sub(retention_ns.max(1));
+        let survivors: Vec<&(u64, u64, Vec<u8>)> =
+            recorded.iter().filter(|(_, end, _)| *end > cutoff).collect();
+
+        // Range answers before compaction, restricted to the retained set.
+        let before = StoreReader::open(&dir).unwrap();
+        let probe_ranges = [
+            (Timestamp::from_nanos(0), Timestamp::from_nanos(newest_end)),
+            (
+                Timestamp::from_nanos(cutoff),
+                Timestamp::from_nanos(newest_end),
+            ),
+            (
+                Timestamp::from_nanos(cutoff + span_ns / 7),
+                Timestamp::from_nanos(cutoff + span_ns / 3),
+            ),
+        ];
+        let surviving_ids: std::collections::HashSet<u64> =
+            survivors.iter().map(|(id, _, _)| *id).collect();
+        let answers_before: Vec<Vec<(u64, Vec<TraceEvent>)>> = probe_ranges
+            .iter()
+            .map(|(from, to)| {
+                before
+                    .windows_in_range(0, *from, *to)
+                    .unwrap()
+                    .into_iter()
+                    .filter(|(id, _)| surviving_ids.contains(&id.index()))
+                    .map(|(id, events)| (id.index(), events))
+                    .collect()
+            })
+            .collect();
+        drop(before);
+
+        let report = Compactor::new(&dir, policy).compact().unwrap();
+        prop_assert_eq!(report.lanes.len(), 1);
+        prop_assert_eq!(
+            report.windows_dropped(),
+            (recorded.len() - survivors.len()) as u64
+        );
+
+        // The compacted store reopens clean and holds exactly the
+        // surviving windows, ids and payload bytes intact.
+        let after = StoreReader::open(&dir).unwrap();
+        prop_assert!(after.recovery().clean, "compaction rewrites the sidecar");
+        if survivors.is_empty() {
+            prop_assert!(after.windows(0).map_or(true, |w| w.is_empty()));
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+        let entries = after.windows(0).unwrap().to_vec();
+        let kept_ids: Vec<u64> = entries.iter().map(|w| w.window_id).collect();
+        let expected_ids: Vec<u64> = survivors.iter().map(|(id, _, _)| *id).collect();
+        prop_assert_eq!(&kept_ids, &expected_ids);
+        for (entry, (_, _, payload)) in entries.iter().zip(&survivors) {
+            let got = after
+                .window_payload(0, WindowId::new(entry.window_id))
+                .unwrap()
+                .unwrap();
+            prop_assert_eq!(&got, payload, "window {} payload", entry.window_id);
+        }
+        // Concatenated payloads match the survivors' concatenation.
+        let all_bytes: Vec<u8> = survivors
+            .iter()
+            .flat_map(|(_, _, payload)| payload.iter().copied())
+            .collect();
+        prop_assert_eq!(after.lane_payload_bytes(0).unwrap(), all_bytes);
+
+        // windows_in_range answers identically (over the retained set).
+        for ((from, to), expected) in probe_ranges.iter().zip(&answers_before) {
+            let got: Vec<(u64, Vec<TraceEvent>)> = after
+                .windows_in_range(0, *from, *to)
+                .unwrap()
+                .into_iter()
+                .map(|(id, events)| (id.index(), events))
+                .collect();
+            prop_assert_eq!(&got, expected);
+        }
+
+        // Compaction is idempotent: a second pass changes nothing.
+        let again = Compactor::new(&dir, policy).compact().unwrap();
+        prop_assert!(again.is_noop(), "{}", again);
+        let fixed = StoreReader::open(&dir).unwrap();
+        let fixed_ids: Vec<u64> = fixed
+            .windows(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.window_id)
+            .collect();
+        prop_assert_eq!(&fixed_ids, &expected_ids);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_integrated_maintenance_keeps_the_lane_replayable(
+        windows in 4u64..32,
+        per_segment in 1u64..4,
+        retain_all in any::<bool>(),
+    ) {
+        let tag = 77_000_000 + windows * 10_000 + per_segment * 100 + u64::from(retain_all);
+        let dir = temp_dir(tag);
+        let policy = if retain_all {
+            MaintenancePolicy::merge_below(u64::MAX)
+        } else {
+            // Keep roughly the trailing third of the run.
+            MaintenancePolicy::merge_below(u64::MAX)
+                .with_retention_ns(windows * 40_000_000 / 3)
+        };
+        let config = StoreConfig::default()
+            .with_segment_max_windows(per_segment)
+            .with_maintenance(policy);
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut payloads = Vec::new();
+        for id in 0..windows {
+            let events: Vec<TraceEvent> = (0..6)
+                .map(|i| {
+                    TraceEvent::new(
+                        Timestamp::from_micros(id * 40_000 + i * 100),
+                        EventTypeId::new((i % 3) as u16),
+                        id as u32,
+                    )
+                })
+                .collect();
+            let mut encoded = Vec::new();
+            BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: Timestamp::from_micros(id * 40_000),
+                end: Timestamp::from_micros((id + 1) * 40_000),
+            };
+            writer.record_window(&meta, &events, &encoded).unwrap();
+            payloads.push((id, encoded));
+        }
+        writer.close().unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        prop_assert!(reader.recovery().clean);
+        let kept: Vec<u64> = reader
+            .windows(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.window_id)
+            .collect();
+        if retain_all {
+            let all: Vec<u64> = (0..windows).collect();
+            prop_assert_eq!(&kept, &all, "no retention: every window survives");
+        } else {
+            // Retention ran mid-write: the kept set is a suffix-closed
+            // subset ending at the newest window.
+            prop_assert!(!kept.is_empty());
+            prop_assert!(kept.windows(2).all(|pair| pair[0] < pair[1]));
+            prop_assert_eq!(*kept.last().unwrap(), windows - 1);
+        }
+        // Whatever survived replays byte-for-byte.
+        for id in &kept {
+            let expected = &payloads[*id as usize].1;
+            let got = reader.window_payload(0, WindowId::new(*id)).unwrap().unwrap();
+            prop_assert_eq!(&got, expected, "window {}", id);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

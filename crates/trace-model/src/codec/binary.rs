@@ -89,6 +89,16 @@ impl BinaryDecoder {
 
 impl TraceDecoder for BinaryDecoder {
     fn decode(&mut self, bytes: &[u8]) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut events = Vec::new();
+        self.decode_into(bytes, &mut events)?;
+        Ok(events)
+    }
+
+    fn decode_into(
+        &mut self,
+        bytes: &[u8],
+        out: &mut Vec<TraceEvent>,
+    ) -> Result<usize, TraceError> {
         if bytes.len() < MAGIC.len() + 1 {
             return Err(TraceError::Decode {
                 offset: 0,
@@ -115,7 +125,7 @@ impl TraceDecoder for BinaryDecoder {
             reason: "event count does not fit in usize".into(),
         })?;
 
-        let mut events = Vec::with_capacity(count.min(1 << 20));
+        out.reserve(count.min(1 << 20));
         let mut previous = 0u64;
         for _ in 0..count {
             let (delta, next) = decode_u64(bytes, offset)?;
@@ -149,7 +159,7 @@ impl TraceDecoder for BinaryDecoder {
                 offset: offset - 1,
                 reason: format!("invalid severity byte {severity_byte}"),
             })?;
-            events.push(
+            out.push(
                 TraceEvent::new(
                     Timestamp::from_nanos(ts),
                     EventTypeId::new(event_type),
@@ -164,7 +174,7 @@ impl TraceDecoder for BinaryDecoder {
                 reason: format!("{} trailing bytes after last event", bytes.len() - offset),
             });
         }
-        Ok(events)
+        Ok(count)
     }
 }
 

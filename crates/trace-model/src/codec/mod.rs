@@ -41,6 +41,26 @@ pub trait TraceDecoder {
     /// Returns [`TraceError::Decode`] (or [`TraceError::ParseLine`] for the
     /// text codec) if the input is malformed or truncated.
     fn decode(&mut self, bytes: &[u8]) -> Result<Vec<TraceEvent>, TraceError>;
+
+    /// Decodes every event contained in `bytes`, appending to `out`, and
+    /// returns how many were appended — the allocation-free path for hot
+    /// replay loops that drain many blocks into one buffer. On error,
+    /// events already appended from a partially valid prefix may remain
+    /// in `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceDecoder::decode`].
+    fn decode_into(
+        &mut self,
+        bytes: &[u8],
+        out: &mut Vec<TraceEvent>,
+    ) -> Result<usize, TraceError> {
+        let events = self.decode(bytes)?;
+        let appended = events.len();
+        out.extend(events);
+        Ok(appended)
+    }
 }
 
 #[cfg(test)]
