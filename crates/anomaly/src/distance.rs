@@ -46,7 +46,7 @@ pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
 /// Kullback–Leibler divergence `KL(p ‖ q)` between two probability mass
 /// functions.
 ///
-/// Zero bins are smoothed with [`PMF_EPSILON`] so the result is always
+/// Zero bins are smoothed with a small epsilon so the result is always
 /// finite; inputs need not be perfectly normalised (they are re-normalised
 /// after smoothing). The result is non-negative and zero iff `p == q`
 /// (up to smoothing).

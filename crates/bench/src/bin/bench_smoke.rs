@@ -31,9 +31,16 @@
 //!    `SegmentMap` path (`store_replay_buffered`) must sustain ≥ 2× the
 //!    legacy seek-per-frame path (`store_replay_seek`) on the same
 //!    store — the zero-copy read refactor must actually pay.
+//! 4. **Compression ratio**: writing the mm-sim endurance workload
+//!    through the `DeltaVarint` frame codec must put at least 1.5x fewer
+//!    bytes on disk than the identity codec, both on the write path
+//!    (`store_codec_delta` vs `store_codec_identity`) and when a
+//!    maintenance pass re-encodes a v1 store in place
+//!    (`store_compact_recompress`).
 //!
 //! The artifact also records `store_compact` (a maintenance pass merging
-//! a many-segment lane) and, when a baseline is given, the per-config
+//! a many-segment lane), per-store-config on-disk bytes and compression
+//! ratios (schema 3), and, when a baseline is given, the per-config
 //! deltas vs the reference.
 //!
 //! The artifact also records `session_push` — one session over the merged
@@ -49,7 +56,7 @@ use serde::{Deserialize, Serialize};
 
 use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
 use endurance_store::{
-    Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
+    CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
 };
 use mm_sim::{Scenario, Simulation};
 use trace_model::codec::{BinaryEncoder, TraceEncoder};
@@ -69,12 +76,32 @@ const SPOOL_TOLERANCE: f64 = 0.10;
 /// Buffered full-lane replay must beat the seek-per-frame path by at
 /// least this factor on the same store.
 const REQUIRED_REPLAY_SPEEDUP: f64 = 2.0;
+/// The `DeltaVarint` frame codec must shrink the mm-sim endurance
+/// workload's on-disk bytes by at least this factor vs identity storage
+/// (the paper's actual metric: bytes on the device).
+const REQUIRED_DELTA_RATIO: f64 = 1.5;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Measurement {
     name: String,
     events: u64,
     events_per_sec: f64,
+    /// Committed segment bytes on disk, for store-backed configs.
+    bytes_on_disk: Option<u64>,
+    /// Raw payload bytes over stored bytes, for store-backed configs.
+    compression_ratio: Option<f64>,
+}
+
+impl Measurement {
+    fn rate(name: &str, events: u64, events_per_sec: f64) -> Self {
+        Measurement {
+            name: name.to_string(),
+            events,
+            events_per_sec,
+            bytes_on_disk: None,
+            compression_ratio: None,
+        }
+    }
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -91,6 +118,11 @@ struct Artifact {
     configs: Vec<Measurement>,
     speedup_4_shards: f64,
     replay_speedup_buffered: f64,
+    /// On-disk bytes of the identity store over the DeltaVarint store on
+    /// the codec workload (gated at >= 1.5).
+    delta_codec_ratio: f64,
+    /// Payload-over-stored ratio after re-encoding a v1 store in place.
+    recompress_ratio: f64,
     /// Per-config deltas vs the baseline reference, when one was given.
     deltas: Vec<Delta>,
 }
@@ -176,6 +208,58 @@ fn fleet_workload(quick: bool) -> (Vec<(StreamId, TraceEvent)>, MonitorConfig) {
     (tagged, config.expect("at least one device"))
 }
 
+/// Builds the codec-comparison workload: one device's mm-sim endurance
+/// trace cut into one-second recorded windows, each pre-encoded with the
+/// recorder's binary codec (exactly the payload a session sink is
+/// handed).
+fn codec_workload(quick: bool) -> Vec<(RecordMeta, Vec<TraceEvent>, Vec<u8>)> {
+    let (duration, reference) = if quick {
+        (Duration::from_secs(40), Duration::from_secs(15))
+    } else {
+        (Duration::from_secs(120), Duration::from_secs(40))
+    };
+    let scenario = Scenario::builder("bench-smoke-codec")
+        .duration(duration)
+        .reference_duration(reference)
+        .frame_period(Duration::from_millis(5))
+        .audio_period(Duration::from_millis(2))
+        .seed(11)
+        .build()
+        .expect("valid scenario");
+    let registry = scenario.registry().expect("registry");
+    let events: Vec<TraceEvent> = Simulation::new(&scenario, &registry)
+        .expect("simulation")
+        .collect();
+    let mut encoder = BinaryEncoder::new();
+    let mut windows = Vec::new();
+    let mut window: Vec<TraceEvent> = Vec::new();
+    let mut window_start = 0u64;
+    const WINDOW_NS: u64 = 1_000_000_000;
+    let mut flush = |window: &mut Vec<TraceEvent>, start: u64, windows: &mut Vec<_>| {
+        if window.is_empty() {
+            return;
+        }
+        let mut encoded = Vec::new();
+        encoder.encode(window, &mut encoded).expect("encode");
+        let meta = RecordMeta {
+            window_id: WindowId::new(windows.len() as u64),
+            start: Timestamp::from_nanos(start),
+            end: Timestamp::from_nanos(start + WINDOW_NS),
+        };
+        windows.push((meta, std::mem::take(window), encoded));
+    };
+    for event in events {
+        let slot = event.timestamp.as_nanos() / WINDOW_NS * WINDOW_NS;
+        if slot != window_start {
+            flush(&mut window, window_start, &mut windows);
+            window_start = slot;
+        }
+        window.push(event);
+    }
+    flush(&mut window, window_start, &mut windows);
+    windows
+}
+
 /// Best-of-`reps` events/second for one measured closure.
 fn measure(reps: usize, events: u64, mut run: impl FnMut()) -> f64 {
     let mut best = f64::MIN;
@@ -257,11 +341,7 @@ fn main() -> ExitCode {
         std::hint::black_box(session.finish().expect("finish").report);
     });
     eprintln!("  session_push:      {:>12.0} events/s", session_rate);
-    configs.push(Measurement {
-        name: "session_push".to_string(),
-        events,
-        events_per_sec: session_rate,
-    });
+    configs.push(Measurement::rate("session_push", events, session_rate));
 
     // The same single session, recording through the spooled writer-thread
     // adapter instead of directly into the in-memory sink. The gap between
@@ -278,11 +358,7 @@ fn main() -> ExitCode {
         outcome.sink.finish().expect("spool");
     });
     eprintln!("  session_spooled:   {:>12.0} events/s", spooled_rate);
-    configs.push(Measurement {
-        name: "session_spooled".to_string(),
-        events,
-        events_per_sec: spooled_rate,
-    });
+    configs.push(Measurement::rate("session_spooled", events, spooled_rate));
 
     // The single-threaded counterpart of the sharded engine: one session
     // per device, routed inline on this thread. Identical output semantics
@@ -305,11 +381,7 @@ fn main() -> ExitCode {
         }
     });
     eprintln!("  serial_4_sessions: {:>12.0} events/s", serial_rate);
-    configs.push(Measurement {
-        name: "serial_4_sessions".to_string(),
-        events,
-        events_per_sec: serial_rate,
-    });
+    configs.push(Measurement::rate("serial_4_sessions", events, serial_rate));
 
     let mut sharded_4_rate = session_rate;
     for shards in SHARD_CONFIGS {
@@ -324,11 +396,11 @@ fn main() -> ExitCode {
         if shards == 4 {
             sharded_4_rate = rate;
         }
-        configs.push(Measurement {
-            name: format!("sharded_{shards}"),
+        configs.push(Measurement::rate(
+            &format!("sharded_{shards}"),
             events,
-            events_per_sec: rate,
-        });
+            rate,
+        ));
     }
 
     // Durable configuration: 4 shards recording through spooled store
@@ -364,11 +436,7 @@ fn main() -> ExitCode {
     });
     let _ = std::fs::remove_dir_all(&store_dir);
     eprintln!("  store_write_replay:{:>12.0} events/s", store_rate);
-    configs.push(Measurement {
-        name: "store_write_replay".to_string(),
-        events,
-        events_per_sec: store_rate,
-    });
+    configs.push(Measurement::rate("store_write_replay", events, store_rate));
 
     // Replay configs: the same dense many-segment lane read through the
     // legacy seek-per-frame path and the buffered SegmentMap path. Both
@@ -382,21 +450,21 @@ fn main() -> ExitCode {
         std::hint::black_box(reader.lane_events_seek_per_frame(0).expect("seek replay"));
     });
     eprintln!("  store_replay_seek: {:>12.0} events/s", seek_rate);
-    configs.push(Measurement {
-        name: "store_replay_seek".to_string(),
-        events: replay_events,
-        events_per_sec: seek_rate,
-    });
+    configs.push(Measurement::rate(
+        "store_replay_seek",
+        replay_events,
+        seek_rate,
+    ));
     let buffered_rate = measure(reps, replay_events, || {
         let reader = StoreReader::open(&replay_dir).expect("open");
         std::hint::black_box(reader.lane_events(0).expect("buffered replay"));
     });
     eprintln!("  store_replay_buffered:{:>9.0} events/s", buffered_rate);
-    configs.push(Measurement {
-        name: "store_replay_buffered".to_string(),
-        events: replay_events,
-        events_per_sec: buffered_rate,
-    });
+    configs.push(Measurement::rate(
+        "store_replay_buffered",
+        replay_events,
+        buffered_rate,
+    ));
     let _ = std::fs::remove_dir_all(&replay_dir);
 
     // Compaction config: merge a heavily fragmented lane (one window per
@@ -420,10 +488,93 @@ fn main() -> ExitCode {
     }
     let _ = std::fs::remove_dir_all(&compact_dir);
     eprintln!("  store_compact:     {:>12.0} events/s", compact_rate);
+    configs.push(Measurement::rate(
+        "store_compact",
+        compact_windows * 8,
+        compact_rate,
+    ));
+
+    // Per-codec store configs: the same mm-sim endurance trace, cut into
+    // one-second recorded windows (the monitor's recording granularity),
+    // written through each frame codec and replayed from a cold reopen.
+    // Bytes on disk are the paper's actual metric; the DeltaVarint
+    // configuration is gated at >= 1.5x below.
+    let codec_windows = codec_workload(options.quick);
+    let codec_events: u64 = codec_windows.iter().map(|(_, e, _)| e.len() as u64).sum();
+    let codec_dir = std::env::temp_dir().join(format!("bench-smoke-codec-{}", std::process::id()));
+    let mut codec_bytes = std::collections::BTreeMap::new();
+    for codec in CodecId::ALL {
+        let mut bytes_on_disk = 0u64;
+        let mut ratio = 1.0f64;
+        let rate = measure(reps, codec_events, || {
+            let _ = std::fs::remove_dir_all(&codec_dir);
+            let config = StoreConfig::default().with_codec(codec);
+            let mut writer = LaneWriter::create(&codec_dir, 0, config).expect("lane");
+            for (meta, events, encoded) in &codec_windows {
+                writer.record_window(meta, events, encoded).expect("record");
+            }
+            bytes_on_disk = writer.bytes_on_disk();
+            writer.close().expect("close");
+            let reader = StoreReader::open(&codec_dir).expect("open");
+            let replayed = reader.lane_events(0).expect("replay");
+            assert_eq!(replayed.len() as u64, codec_events);
+            ratio = reader.total_payload_bytes() as f64 / reader.total_stored_bytes().max(1) as f64;
+        });
+        let name = format!("store_codec_{}", codec.name().replace('-', "_"));
+        eprintln!(
+            "  {name:<19}{rate:>12.0} events/s  ({bytes_on_disk} B on disk, {ratio:.2}x payload)",
+        );
+        codec_bytes.insert(codec, bytes_on_disk);
+        configs.push(Measurement {
+            name,
+            events: codec_events,
+            events_per_sec: rate,
+            bytes_on_disk: Some(bytes_on_disk),
+            compression_ratio: Some(ratio),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&codec_dir);
+
+    // Recompression config: the same windows written as a v1 (identity)
+    // store, then re-encoded in place by a maintenance pass targeting
+    // DeltaVarint — the upgrade path for stores recorded before frame
+    // compression existed.
+    let recompress_dir =
+        std::env::temp_dir().join(format!("bench-smoke-recompress-{}", std::process::id()));
+    let mut recompress_rate = f64::MIN;
+    let mut recompress_report = None;
+    for _ in 0..reps {
+        let _ = std::fs::remove_dir_all(&recompress_dir);
+        let config = StoreConfig::default().with_segment_max_windows(16);
+        let mut writer = LaneWriter::create(&recompress_dir, 0, config).expect("lane");
+        for (meta, events, encoded) in &codec_windows {
+            writer.record_window(meta, events, encoded).expect("record");
+        }
+        writer.close().expect("close");
+        let policy = MaintenancePolicy::disabled().with_recompress(CodecId::DeltaVarint);
+        let compactor = Compactor::new(&recompress_dir, policy);
+        let start = Instant::now();
+        let report = compactor.compact().expect("recompress");
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(
+            report.recompressed_windows() > 0,
+            "v1 frames must be re-encoded"
+        );
+        recompress_rate = recompress_rate.max(codec_events as f64 / elapsed);
+        recompress_report = Some(report);
+    }
+    let _ = std::fs::remove_dir_all(&recompress_dir);
+    let recompress_report = recompress_report.expect("at least one rep ran");
+    let recompress_ratio = recompress_report.compression_ratio().unwrap_or(1.0);
+    eprintln!(
+        "  store_compact_recompress: {recompress_rate:>7.0} events/s  ({recompress_ratio:.2}x payload)",
+    );
     configs.push(Measurement {
-        name: "store_compact".to_string(),
-        events: compact_windows * 8,
-        events_per_sec: compact_rate,
+        name: "store_compact_recompress".to_string(),
+        events: codec_events,
+        events_per_sec: recompress_rate,
+        bytes_on_disk: Some(recompress_report.lanes.iter().map(|l| l.bytes_after).sum()),
+        compression_ratio: Some(recompress_ratio),
     });
 
     // Load the baseline (when given) before writing the artifact so the
@@ -463,13 +614,17 @@ fn main() -> ExitCode {
 
     let speedup = sharded_4_rate / serial_rate.max(1e-9);
     let replay_speedup = buffered_rate / seek_rate.max(1e-9);
+    let identity_bytes = codec_bytes[&CodecId::Identity].max(1);
+    let delta_ratio = identity_bytes as f64 / codec_bytes[&CodecId::DeltaVarint].max(1) as f64;
     let artifact = Artifact {
-        schema: 2,
+        schema: 3,
         quick: options.quick,
         parallelism,
         configs,
         speedup_4_shards: speedup,
         replay_speedup_buffered: replay_speedup,
+        delta_codec_ratio: delta_ratio,
+        recompress_ratio,
         deltas,
     };
     let json = serde_json::to_string(&artifact).expect("serialise artifact");
@@ -554,6 +709,35 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_smoke: ok   buffered replay: {replay_speedup:.2}x over the seek-per-frame \
              path (>= {REQUIRED_REPLAY_SPEEDUP:.1}x)"
+        );
+    }
+
+    // Gate 5: the DeltaVarint frame codec must actually shrink the
+    // mm-sim endurance workload on disk — this is the paper's metric,
+    // and a codec that stops paying for itself must fail the PR. The
+    // same floor applies to the in-place recompression pass.
+    if delta_ratio < REQUIRED_DELTA_RATIO {
+        eprintln!(
+            "bench_smoke: FAIL delta codec ratio: {delta_ratio:.2}x on-disk reduction vs \
+             identity, need >= {REQUIRED_DELTA_RATIO:.1}x"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   delta codec ratio: {delta_ratio:.2}x on-disk reduction vs \
+             identity (>= {REQUIRED_DELTA_RATIO:.1}x)"
+        );
+    }
+    if recompress_ratio < REQUIRED_DELTA_RATIO {
+        eprintln!(
+            "bench_smoke: FAIL recompression ratio: {recompress_ratio:.2}x payload reduction \
+             re-encoding a v1 store, need >= {REQUIRED_DELTA_RATIO:.1}x"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   recompression ratio: {recompress_ratio:.2}x payload reduction \
+             re-encoding a v1 store (>= {REQUIRED_DELTA_RATIO:.1}x)"
         );
     }
 

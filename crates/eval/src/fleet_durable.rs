@@ -40,8 +40,12 @@ pub struct FleetDurableResult {
     pub replayed_windows: u64,
     /// Events counted on disk across every lane.
     pub replayed_events: u64,
-    /// Encoded payload bytes counted on disk across every lane.
+    /// Encoded payload bytes counted on disk across every lane — the
+    /// *uncompressed* bytes the recorders handed to their sinks.
     pub replayed_payload_bytes: u64,
+    /// Stored payload bytes counted on disk across every lane — what the
+    /// payloads occupy under each lane's frame codec.
+    pub replayed_stored_bytes: u64,
     /// Per-stream confusion recomputed from the reopened store: a window
     /// is a recorded positive iff it is replayable from its lane.
     pub replay_confusion: Vec<ConfusionMatrix>,
@@ -84,6 +88,23 @@ impl MultiStreamExperiment {
         store: StoreConfig,
         maintenance: Option<MaintenancePolicy>,
     ) -> Result<FleetDurableResult, EvalError> {
+        self.run_durable_with_stores(dir, |_| store, maintenance)
+    }
+
+    /// Like [`MultiStreamExperiment::run_durable_with`], with a per-lane
+    /// store configuration: `store_for(shard)` configures the lane that
+    /// records stream `shard`, so a fleet can mix frame codecs (or
+    /// rotation policies) across devices in one store directory.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiStreamExperiment::run_durable`].
+    pub fn run_durable_with_stores(
+        &self,
+        dir: impl AsRef<Path>,
+        store_for: impl Fn(usize) -> StoreConfig,
+        maintenance: Option<MaintenancePolicy>,
+    ) -> Result<FleetDurableResult, EvalError> {
         let dir = dir.as_ref();
         let monitor = self.streams()[0].monitor.clone();
         let simulations = self
@@ -101,7 +122,7 @@ impl MultiStreamExperiment {
         let mut reducer = ShardedReducer::new(monitor, self.stream_count())?
             .with_observers(|_| Vec::<WindowDecision>::new())
             .try_with_sinks(|shard| -> Result<_, EvalError> {
-                let writer = LaneWriter::create(dir, shard as u32, store)?;
+                let writer = LaneWriter::create(dir, shard as u32, store_for(shard))?;
                 if writer.recovery().windows > 0 {
                     return Err(EvalError::InvalidExperiment(format!(
                         "{} already holds a recorded run (lane {shard} has {} windows); \
@@ -143,10 +164,11 @@ impl MultiStreamExperiment {
         };
         // Retention legitimately drops windows, whether it ran post-close
         // (the `maintenance` pass) or inside the writer after rotations
-        // (`store.maintenance`); only a retention-free run can demand
-        // exact disk/recorder agreement.
+        // (per-lane `maintenance` in the store config); only a
+        // retention-free run can demand exact disk/recorder agreement.
         let strict = maintenance.map_or(true, |policy| policy.retention_ns.is_none())
-            && store.maintenance.retention_ns.is_none();
+            && (0..self.stream_count())
+                .all(|shard| store_for(shard).maintenance.retention_ns.is_none());
 
         // Cold reopen: everything below this line trusts only the disk.
         let reader = StoreReader::open(dir)?;
@@ -250,6 +272,7 @@ impl MultiStreamExperiment {
             });
         }
 
+        let replayed_stored_bytes = reader.total_stored_bytes();
         Ok(FleetDurableResult {
             result: MultiStreamResult {
                 report,
@@ -261,6 +284,7 @@ impl MultiStreamExperiment {
             replayed_windows,
             replayed_events,
             replayed_payload_bytes,
+            replayed_stored_bytes,
             replay_confusion,
             fleet_replay_confusion,
         })
@@ -343,6 +367,49 @@ mod tests {
             "{reused:?}"
         );
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_codec_fleet_agrees_per_lane_and_compresses_where_configured() {
+        use endurance_store::CodecId;
+        let dir = std::env::temp_dir().join(format!(
+            "endurance-eval-fleet-mixed-codec-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // One lane per codec: identity, delta-varint, lz-block.
+        let fleet = small_fleet(3);
+        let durable = fleet
+            .run_durable_with_stores(
+                &dir,
+                |shard| {
+                    StoreConfig::default()
+                        .with_codec(CodecId::from_u8(shard as u8).expect("three codecs"))
+                },
+                None,
+            )
+            .unwrap();
+
+        // Strict agreement held for every lane (the call succeeded), the
+        // replayed confusion matches the in-memory fleet, and the two
+        // compressed lanes actually shrank the store.
+        let live = fleet.run().unwrap();
+        assert_eq!(durable.fleet_replay_confusion, live.confusion);
+        assert_eq!(
+            durable.replayed_payload_bytes,
+            live.streams
+                .iter()
+                .map(|s| s.report.recorder.recorded_encoded_bytes)
+                .sum::<u64>()
+        );
+        assert!(
+            durable.replayed_stored_bytes < durable.replayed_payload_bytes,
+            "{} stored vs {} payload",
+            durable.replayed_stored_bytes,
+            durable.replayed_payload_bytes
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

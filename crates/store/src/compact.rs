@@ -40,8 +40,10 @@ use crate::crc32::crc32;
 use crate::index::{LaneIndex, SegmentMeta, WindowEntry};
 use crate::reader::load_lane;
 use crate::segment::{
-    parse_segment_file_name, segment_file_name, segment_header, write_sidecar, FRAME_HEADER_LEN,
+    build_frame_v2, frame_meta_len, parse_segment_file_name, segment_file_name, segment_header,
+    write_sidecar, FRAME_HEADER_LEN, SEGMENT_VERSION_V1, SEGMENT_VERSION_V2,
 };
+use trace_model::codec::CodecId;
 use trace_model::TraceError;
 
 /// When (and how aggressively) a store lane is compacted.
@@ -66,6 +68,15 @@ pub struct MaintenancePolicy {
     /// candidates, so repeated passes converge instead of rewriting the
     /// whole lane each time.
     pub max_merged_bytes: u64,
+    /// Re-encode format-v1 segments into this frame codec while
+    /// compacting. `None` copies frames verbatim (the default). A pass
+    /// with a target codec rewrites every v1 segment it visits into a
+    /// format-v2 segment under that codec (frames the codec refuses stay
+    /// identity-stored), so a store written before compression existed
+    /// shrinks in place; already-v2 segments are left alone, which keeps
+    /// repeated passes convergent.
+    #[serde(default)]
+    pub recompress: Option<CodecId>,
 }
 
 impl Default for MaintenancePolicy {
@@ -81,13 +92,14 @@ impl MaintenancePolicy {
     /// rotation size).
     pub const DEFAULT_MAX_MERGED_BYTES: u64 = 8 * 1024 * 1024;
 
-    /// No merging, no retention: the pass is a no-op.
+    /// No merging, no retention, no recompression: the pass is a no-op.
     pub fn disabled() -> Self {
         MaintenancePolicy {
             small_segment_bytes: 0,
             min_merge_run: 2,
             retention_ns: None,
             max_merged_bytes: Self::DEFAULT_MAX_MERGED_BYTES,
+            recompress: None,
         }
     }
 
@@ -99,6 +111,7 @@ impl MaintenancePolicy {
             min_merge_run: 2,
             retention_ns: None,
             max_merged_bytes: Self::DEFAULT_MAX_MERGED_BYTES,
+            recompress: None,
         }
     }
 
@@ -123,9 +136,17 @@ impl MaintenancePolicy {
         self
     }
 
+    /// Returns the policy with a recompression target: the next pass
+    /// re-encodes every format-v1 segment into `codec` (see
+    /// [`MaintenancePolicy::recompress`]).
+    pub fn with_recompress(mut self, codec: CodecId) -> Self {
+        self.recompress = Some(codec);
+        self
+    }
+
     /// Whether the pass can do anything at all.
     pub fn is_enabled(&self) -> bool {
-        self.small_segment_bytes > 0 || self.retention_ns.is_some()
+        self.small_segment_bytes > 0 || self.retention_ns.is_some() || self.recompress.is_some()
     }
 }
 
@@ -150,18 +171,40 @@ pub struct LaneCompaction {
     pub bytes_before: u64,
     /// Committed bytes on disk after the pass.
     pub bytes_after: u64,
+    /// Windows re-encoded into the policy's target codec.
+    #[serde(default)]
+    pub recompressed_windows: u64,
+    /// Raw (uncompressed) payload bytes of every window surviving the
+    /// pass.
+    #[serde(default)]
+    pub payload_bytes: u64,
+    /// Stored payload bytes of every window surviving the pass — what
+    /// those payloads occupy on disk under their frame codecs.
+    #[serde(default)]
+    pub stored_bytes: u64,
 }
 
 impl LaneCompaction {
     /// Bytes the pass gave back to the filesystem (segment headers of
-    /// merged runts, dropped windows, truncated tails).
+    /// merged runts, dropped windows, truncated tails, recompressed
+    /// payloads).
     pub fn reclaimed_bytes(&self) -> u64 {
         (self.bytes_before + self.torn_bytes_truncated).saturating_sub(self.bytes_after)
     }
 
+    /// Raw payload bytes over stored payload bytes after the pass: 1.0
+    /// for an uncompressed lane, above it once frames are re-encoded.
+    /// `None` for an empty lane.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        (self.stored_bytes > 0).then(|| self.payload_bytes as f64 / self.stored_bytes as f64)
+    }
+
     /// Whether the pass changed anything.
     pub fn is_noop(&self) -> bool {
-        self.merged_runs == 0 && self.windows_dropped == 0 && self.torn_bytes_truncated == 0
+        self.merged_runs == 0
+            && self.windows_dropped == 0
+            && self.torn_bytes_truncated == 0
+            && self.recompressed_windows == 0
     }
 }
 
@@ -188,6 +231,19 @@ impl CompactionReport {
         self.lanes.iter().map(|l| l.merged_runs).sum()
     }
 
+    /// Total windows re-encoded into the policy's target codec.
+    pub fn recompressed_windows(&self) -> u64 {
+        self.lanes.iter().map(|l| l.recompressed_windows).sum()
+    }
+
+    /// Store-wide raw payload bytes over stored payload bytes after the
+    /// pass (`None` for an empty store).
+    pub fn compression_ratio(&self) -> Option<f64> {
+        let stored: u64 = self.lanes.iter().map(|l| l.stored_bytes).sum();
+        let payload: u64 = self.lanes.iter().map(|l| l.payload_bytes).sum();
+        (stored > 0).then(|| payload as f64 / stored as f64)
+    }
+
     /// Whether the pass changed nothing anywhere.
     pub fn is_noop(&self) -> bool {
         self.lanes.iter().all(LaneCompaction::is_noop)
@@ -199,11 +255,13 @@ impl std::fmt::Display for CompactionReport {
         writeln!(
             f,
             "compaction report: {} lane(s), {} run(s) merged, {} window(s) dropped, \
-             {} byte(s) reclaimed",
+             {} window(s) recompressed, {} byte(s) reclaimed, compression {:.2}x",
             self.lanes.len(),
             self.merged_runs(),
             self.windows_dropped(),
-            self.reclaimed_bytes()
+            self.recompressed_windows(),
+            self.reclaimed_bytes(),
+            self.compression_ratio().unwrap_or(1.0)
         )?;
         for lane in &self.lanes {
             writeln!(
@@ -461,6 +519,9 @@ struct SegmentPlan {
     /// Whether the segment must be rewritten (it lost windows) or is a
     /// merge candidate (small).
     rewrite: bool,
+    /// Whether the policy's recompression target applies to it (it is a
+    /// format-v1 segment and a target codec is set).
+    recompress: bool,
     candidate: bool,
 }
 
@@ -487,6 +548,8 @@ pub(crate) fn compact_lane_index(
         bytes_after: bytes_before,
         ..LaneCompaction::default()
     };
+    report.payload_bytes = index.total_payload_bytes();
+    report.stored_bytes = index.total_stored_bytes();
     if !policy.is_enabled() || index.segments.is_empty() {
         return Ok((index, report));
     }
@@ -508,6 +571,7 @@ pub(crate) fn compact_lane_index(
             windows: Vec::new(),
             dropped: 0,
             rewrite: false,
+            recompress: false,
             candidate: false,
         })
         .collect();
@@ -541,7 +605,14 @@ pub(crate) fn compact_lane_index(
     let small_threshold = policy.small_segment_bytes.min(policy.max_merged_bytes);
     for plan in &mut plans {
         plan.rewrite = plan.dropped > 0;
+        // Only v1 segments are recompression candidates: a v2 segment was
+        // already written under some codec configuration (frames its
+        // codec refused are identity by *choice*), so skipping it keeps
+        // repeated passes convergent instead of rewriting the lane
+        // forever.
+        plan.recompress = policy.recompress.is_some() && plan.meta.version == SEGMENT_VERSION_V1;
         plan.candidate = plan.rewrite
+            || plan.recompress
             || (policy.small_segment_bytes > 0 && plan.meta.committed_bytes < small_threshold);
     }
 
@@ -575,7 +646,8 @@ pub(crate) fn compact_lane_index(
             end += 1;
         }
         let run = &plans[start..end];
-        let must_rewrite = run.iter().any(|plan| plan.rewrite) || run.len() >= min_run;
+        let must_rewrite =
+            run.iter().any(|plan| plan.rewrite || plan.recompress) || run.len() >= min_run;
         if !must_rewrite {
             for plan in run {
                 new_segments.push(plan.meta);
@@ -584,7 +656,14 @@ pub(crate) fn compact_lane_index(
             start = end;
             continue;
         }
-        let consolidated = rewrite_run(dir, lane, run, &index.windows)?;
+        let consolidated = rewrite_run(
+            dir,
+            lane,
+            run,
+            &index.windows,
+            policy.recompress,
+            &mut report.recompressed_windows,
+        )?;
         report.merged_runs += usize::from(run.len() > 1);
         if let Some((meta, entries)) = consolidated {
             new_segments.push(meta);
@@ -598,13 +677,23 @@ pub(crate) fn compact_lane_index(
     rebuilt.windows = new_windows;
     report.segments_after = rebuilt.segments.len();
     report.bytes_after = rebuilt.segments.iter().map(|s| s.committed_bytes).sum();
+    report.payload_bytes = rebuilt.total_payload_bytes();
+    report.stored_bytes = rebuilt.total_stored_bytes();
     Ok((rebuilt, report))
 }
 
 /// Rewrites one run of adjacent segments into a single consolidated
-/// segment (named after the run's first sequence number), copying every
-/// surviving frame verbatim after re-verifying its CRC. Returns `None`
-/// when no window survived (the run's files are simply deleted).
+/// segment (named after the run's first sequence number), re-verifying
+/// every surviving frame's CRC during the copy. Returns `None` when no
+/// window survived (the run's files are simply deleted).
+///
+/// Frames are copied verbatim whenever the consolidated segment keeps
+/// their format version. A run that mixes versions is written as format
+/// v2, with v1 frames converted to v2 identity frames (same payload
+/// bytes, 5 extra meta bytes); when `recompress` names a target codec,
+/// v1 frames are additionally re-encoded through it (falling back to
+/// identity per frame when the codec refuses the payload). Replay is
+/// byte-for-byte identical in every case.
 ///
 /// Multi-file merges are journalled through a [`CompactionManifest`]
 /// written before the consolidated file is renamed into place, so a
@@ -616,6 +705,8 @@ fn rewrite_run(
     lane: u32,
     run: &[SegmentPlan],
     windows: &[WindowEntry],
+    recompress: Option<CodecId>,
+    recompressed_windows: &mut u64,
 ) -> Result<Option<(SegmentMeta, Vec<WindowEntry>)>, TraceError> {
     let target_seq = run[0].meta.seq;
     let survivors: usize = run.iter().map(|plan| plan.windows.len()).sum();
@@ -628,13 +719,29 @@ fn rewrite_run(
         return Ok(None);
     }
 
+    // The consolidated segment's format: v1 only when every source is v1
+    // and nothing is being re-encoded — that path copies frames verbatim
+    // and stays bit-compatible with the previous release's output.
+    let converting = recompress.is_some() && run.iter().any(|plan| plan.recompress);
+    let mixed = run
+        .iter()
+        .any(|plan| plan.meta.version != run[0].meta.version);
+    let out_version = if converting || mixed || run[0].meta.version >= SEGMENT_VERSION_V2 {
+        SEGMENT_VERSION_V2
+    } else {
+        SEGMENT_VERSION_V1
+    };
+    let mut codec = recompress.map(CodecId::new_codec);
+
     // Build the consolidated segment in memory (runs are made of small
     // segments, bounded by their summed committed size) so the journal
     // can record its exact length and CRC before anything moves.
     let total: u64 = run.iter().map(|plan| plan.meta.committed_bytes).sum();
     let mut merged = Vec::with_capacity(total as usize);
-    merged.extend_from_slice(&segment_header(lane, target_seq));
+    merged.extend_from_slice(&segment_header(lane, target_seq, out_version));
     let mut entries = Vec::with_capacity(survivors);
+    let mut scratch_frame = Vec::new();
+    let mut scratch_block = Vec::new();
     for plan in run {
         if plan.windows.is_empty() {
             continue;
@@ -664,12 +771,53 @@ fn rewrite_run(
                     ),
                 });
             }
+            if plan.meta.version == out_version {
+                // Same format: the frame bytes carry over verbatim.
+                entries.push(WindowEntry {
+                    segment: target_seq,
+                    offset: merged.len() as u64,
+                    ..entry
+                });
+                merged.extend_from_slice(frame);
+                continue;
+            }
+            // v1 frame into a v2 segment: re-frame (and, for a
+            // recompression pass, re-encode) the raw payload.
+            debug_assert_eq!(plan.meta.version, SEGMENT_VERSION_V1);
+            let payload = &frame[FRAME_HEADER_LEN as usize + frame_meta_len(SEGMENT_VERSION_V1)..];
+            scratch_block.clear();
+            let mut codec_used = CodecId::Identity;
+            if plan.recompress {
+                if let Some(codec) = codec.as_mut() {
+                    if codec.compress(payload, &mut scratch_block)? {
+                        codec_used = codec.id();
+                        *recompressed_windows += 1;
+                    }
+                }
+            }
+            if codec_used == CodecId::Identity {
+                scratch_block.clear();
+                scratch_block.extend_from_slice(payload);
+            }
+            let body_len = build_frame_v2(
+                &mut scratch_frame,
+                entry.window_id,
+                entry.start_ns,
+                entry.end_ns,
+                entry.events,
+                codec_used,
+                payload.len() as u32,
+                &scratch_block,
+            );
             entries.push(WindowEntry {
                 segment: target_seq,
                 offset: merged.len() as u64,
+                len: body_len,
+                codec: codec_used.as_u8(),
+                raw_len: payload.len() as u32,
                 ..entry
             });
-            merged.extend_from_slice(frame);
+            merged.extend_from_slice(&scratch_frame);
         }
     }
 
@@ -720,6 +868,7 @@ fn rewrite_run(
         SegmentMeta {
             seq: target_seq,
             committed_bytes: merged.len() as u64,
+            version: out_version,
         },
         entries,
     )))

@@ -2,9 +2,9 @@
 //!
 //! Each lane persists a JSON sidecar (`laneNNNN.idx.json`) next to its
 //! segment files mapping every recorded window — id, timestamp range,
-//! event count — to its exact frame location `(segment, byte offset,
-//! length)`. Replay seeks straight to a window instead of scanning the
-//! run.
+//! event count, codec — to its exact frame location `(segment, byte
+//! offset, length)`. Replay seeks straight to a window instead of
+//! scanning the run.
 //!
 //! The segment files are the source of truth; the sidecar is a cache
 //! written on [`crate::LaneWriter::sync`]/`close`. On open the reader
@@ -12,11 +12,25 @@
 //! sidecar's committed byte count — any mismatch (a crash after frames
 //! were appended, a torn tail, a missing sidecar) falls back to the
 //! CRC-validating segment scanner and the sidecar is rebuilt.
+//!
+//! Sidecar schema 2 (this build) adds the per-segment format version and
+//! the per-window codec id and raw (uncompressed) payload length; schema
+//! 1 sidecars, written before frame compression existed, are still
+//! accepted — their entries are normalised on load (identity codec, raw
+//! length derived from the frame length).
 
 use serde::{Deserialize, Serialize};
 
-/// Sidecar schema version.
-pub(crate) const SIDECAR_SCHEMA: u32 = 1;
+use crate::segment::{frame_meta_len, FRAME_META_LEN, SEGMENT_VERSION_V1};
+
+/// Sidecar schema version written by this build.
+pub(crate) const SIDECAR_SCHEMA: u32 = 2;
+/// The pre-compression sidecar schema, still accepted on read.
+pub(crate) const SIDECAR_SCHEMA_V1: u32 = 1;
+
+fn default_segment_version() -> u8 {
+    SEGMENT_VERSION_V1
+}
 
 /// Where one recorded window lives on disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,15 +47,39 @@ pub struct WindowEntry {
     pub segment: u32,
     /// Byte offset of the frame (its header) within the segment file.
     pub offset: u64,
-    /// Frame body length in bytes (fixed meta block + encoded payload).
+    /// Frame body length in bytes (fixed meta block + stored block).
     pub len: u32,
+    /// Wire value of the frame's codec
+    /// ([`trace_model::codec::CodecId`]); 0 (identity) for every v1
+    /// frame. Schema-1 sidecars omit it and default to 0.
+    #[serde(default)]
+    pub codec: u8,
+    /// Uncompressed payload length in bytes (the exact byte count the
+    /// recorder handed to the sink). Schema-1 sidecars omit it; it is
+    /// reconstructed as `len - 28` (the v1 meta length) on load.
+    #[serde(default)]
+    pub raw_len: u32,
 }
 
 impl WindowEntry {
-    /// Length in bytes of the window's encoded payload (the exact bytes
-    /// the recorder handed to the sink).
+    /// Length in bytes of the window's *payload* — the uncompressed bytes
+    /// the recorder handed to the sink, regardless of how the frame is
+    /// stored on disk.
     pub fn payload_len(&self) -> u32 {
-        self.len - crate::segment::FRAME_META_LEN as u32
+        self.raw_len
+    }
+
+    /// Length in bytes of the window's *stored block* on disk, given the
+    /// format version of the segment holding it.
+    pub fn stored_len(&self, segment_version: u8) -> u32 {
+        self.len - frame_meta_len(segment_version) as u32
+    }
+
+    /// Fills the schema-2 fields of an entry parsed from a schema-1
+    /// sidecar (identity codec, raw length = v1 body minus meta).
+    pub(crate) fn normalise_from_schema_v1(&mut self) {
+        self.codec = 0;
+        self.raw_len = self.len.saturating_sub(FRAME_META_LEN as u32);
     }
 }
 
@@ -53,6 +91,10 @@ pub struct SegmentMeta {
     /// Bytes of intact header + frames; equals the file length after a
     /// clean close.
     pub committed_bytes: u64,
+    /// Segment format version (1 or 2); schema-1 sidecars omit it and
+    /// default to 1.
+    #[serde(default = "default_segment_version")]
+    pub version: u8,
 }
 
 /// The per-lane index: every segment and every recorded window of one
@@ -85,12 +127,34 @@ impl LaneIndex {
         self.windows.iter().map(|w| u64::from(w.events)).sum()
     }
 
-    /// Total encoded payload bytes across every indexed window.
+    /// Total *payload* bytes across every indexed window: the
+    /// uncompressed bytes the recorder handed to the sink.
     pub fn total_payload_bytes(&self) -> u64 {
         self.windows
             .iter()
             .map(|w| u64::from(w.payload_len()))
             .sum()
+    }
+
+    /// Total *stored block* bytes across every indexed window: what the
+    /// payloads actually occupy on disk under their frame codecs
+    /// (excluding segment and frame headers).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| u64::from(w.stored_len(self.segment_version(w.segment))))
+            .sum()
+    }
+
+    /// Format version of segment `seq` (1 when the segment is unknown,
+    /// which only happens on indexes under construction). Segments are
+    /// kept in ascending sequence order everywhere an index is built, so
+    /// this is a binary search — `total_stored_bytes` calls it once per
+    /// window.
+    pub(crate) fn segment_version(&self, seq: u32) -> u8 {
+        self.segments
+            .binary_search_by_key(&seq, |meta| meta.seq)
+            .map_or(SEGMENT_VERSION_V1, |at| self.segments[at].version)
     }
 }
 
@@ -138,10 +202,21 @@ impl RecoveryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::{FRAME_META_LEN_V2, SEGMENT_VERSION_V2};
 
     #[test]
     fn lane_index_totals() {
         let mut index = LaneIndex::new(2);
+        index.segments.push(SegmentMeta {
+            seq: 0,
+            committed_bytes: 100,
+            version: SEGMENT_VERSION_V1,
+        });
+        index.segments.push(SegmentMeta {
+            seq: 1,
+            committed_bytes: 100,
+            version: SEGMENT_VERSION_V2,
+        });
         index.windows.push(WindowEntry {
             window_id: 0,
             start_ns: 0,
@@ -149,19 +224,64 @@ mod tests {
             events: 4,
             segment: 0,
             offset: 13,
-            len: crate::segment::FRAME_META_LEN as u32 + 9,
+            len: FRAME_META_LEN as u32 + 9,
+            codec: 0,
+            raw_len: 9,
         });
+        // A v2 frame whose 11-byte payload is stored as a 5-byte block.
         index.windows.push(WindowEntry {
             window_id: 1,
             start_ns: 10,
             end_ns: 20,
             events: 6,
-            segment: 0,
+            segment: 1,
             offset: 60,
-            len: crate::segment::FRAME_META_LEN as u32 + 11,
+            len: FRAME_META_LEN_V2 as u32 + 5,
+            codec: 1,
+            raw_len: 11,
         });
         assert_eq!(index.total_events(), 10);
         assert_eq!(index.total_payload_bytes(), 20);
+        assert_eq!(index.total_stored_bytes(), 14);
         assert_eq!(index.windows[0].payload_len(), 9);
+        assert_eq!(index.windows[1].stored_len(SEGMENT_VERSION_V2), 5);
+    }
+
+    #[test]
+    fn schema_v1_entries_normalise_to_identity() {
+        let mut entry = WindowEntry {
+            window_id: 0,
+            start_ns: 0,
+            end_ns: 1,
+            events: 2,
+            segment: 0,
+            offset: 13,
+            len: FRAME_META_LEN as u32 + 17,
+            codec: 9,
+            raw_len: 0,
+        };
+        entry.normalise_from_schema_v1();
+        assert_eq!(entry.codec, 0);
+        assert_eq!(entry.raw_len, 17);
+    }
+
+    #[test]
+    fn schema_v1_json_parses_with_defaults() {
+        // A sidecar written by the previous release: no codec, raw_len or
+        // segment version fields anywhere.
+        let json = r#"{
+            "schema": 1, "lane": 0,
+            "segments": [{"seq": 0, "committed_bytes": 90}],
+            "windows": [{"window_id": 3, "start_ns": 1, "end_ns": 2,
+                         "events": 4, "segment": 0, "offset": 13, "len": 40}]
+        }"#;
+        let index: LaneIndex = serde_json::from_str(json).unwrap();
+        assert_eq!(index.schema, 1);
+        assert_eq!(index.segments[0].version, SEGMENT_VERSION_V1);
+        assert_eq!(index.windows[0].codec, 0);
+        assert_eq!(
+            index.windows[0].raw_len, 0,
+            "normalised later by the loader"
+        );
     }
 }

@@ -4,17 +4,19 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::codec::{BinaryEncoder, CodecId, FrameCodec, TraceEncoder};
 use trace_model::{EventSink, RecordMeta, TraceError, TraceEvent};
 
 use crate::compact::{compact_lane_index, LaneCompaction, MaintenancePolicy};
 use crate::index::{LaneIndex, RecoveryReport, SegmentMeta, WindowEntry, SIDECAR_SCHEMA};
 use crate::segment::{
-    build_frame, parse_segment_file_name, scan_segment, segment_file_name, segment_header,
-    write_sidecar, FRAME_HEADER_LEN, SEGMENT_HEADER_LEN,
+    build_frame, build_frame_v2, frame_meta_len, parse_segment_file_name, scan_segment,
+    segment_file_name, segment_header, write_sidecar, FRAME_HEADER_LEN, SEGMENT_HEADER_LEN,
+    SEGMENT_VERSION_V1, SEGMENT_VERSION_V2,
 };
 
-/// Rotation policy, maintenance and durability knobs of a store lane.
+/// Rotation policy, frame codec, maintenance and durability knobs of a
+/// store lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
     /// A segment is rotated before a frame would push it past this size
@@ -22,20 +24,32 @@ pub struct StoreConfig {
     pub segment_max_bytes: u64,
     /// A segment is rotated after holding this many recorded windows.
     pub segment_max_windows: u64,
+    /// Frame codec applied to every recorded payload
+    /// (see [`trace_model::codec::FrameCodec`]).
+    ///
+    /// [`CodecId::Identity`] (the default) writes format-v1 segments,
+    /// bit-compatible with stores written before frame compression
+    /// existed. Any other codec writes format-v2 segments; frames the
+    /// codec refuses (non-`ETRC` or incompressible payloads) fall back to
+    /// identity storage per frame, so replay is byte-for-byte lossless
+    /// either way.
+    pub codec: CodecId,
     /// Background maintenance applied by the writer after each rotation:
-    /// merging runs of small closed segments and dropping windows past
-    /// the retention horizon. Disabled by default.
+    /// merging runs of small closed segments, dropping windows past the
+    /// retention horizon, and re-encoding v1 segments into the
+    /// maintenance policy's target codec. Disabled by default.
     pub maintenance: MaintenancePolicy,
 }
 
 impl Default for StoreConfig {
     /// 8 MiB segments with no window-count limit — sized so an endurance
-    /// run rotates regularly without producing thousands of files — and
-    /// maintenance off.
+    /// run rotates regularly without producing thousands of files — the
+    /// identity codec (v1-compatible files), and maintenance off.
     fn default() -> Self {
         StoreConfig {
             segment_max_bytes: 8 * 1024 * 1024,
             segment_max_windows: u64::MAX,
+            codec: CodecId::Identity,
             maintenance: MaintenancePolicy::disabled(),
         }
     }
@@ -51,6 +65,13 @@ impl StoreConfig {
     /// Returns the config with a different per-segment window limit.
     pub fn with_segment_max_windows(mut self, windows: u64) -> Self {
         self.segment_max_windows = windows.max(1);
+        self
+    }
+
+    /// Returns the config with a different frame codec (see
+    /// [`StoreConfig::codec`]).
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -86,6 +107,33 @@ impl StoreConfig {
 /// truncated), numbering continues after the highest existing segment,
 /// and the sidecar picks up the recovered windows. See
 /// [`LaneWriter::recovery`].
+///
+/// ```rust
+/// use endurance_store::{CodecId, LaneWriter, StoreConfig, StoreReader};
+/// use trace_model::{EventSink, EventTypeId, Timestamp, TraceEvent};
+///
+/// # fn main() -> Result<(), trace_model::TraceError> {
+/// let dir = std::env::temp_dir().join(format!("lane-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// // A compressing lane: payloads are stored under the DeltaVarint
+/// // frame codec (replay is still byte-for-byte lossless).
+/// let config = StoreConfig::default().with_codec(CodecId::DeltaVarint);
+/// let mut writer = LaneWriter::create(&dir, 0, config)?;
+/// let events: Vec<TraceEvent> = (0..200)
+///     .map(|i| TraceEvent::new(Timestamp::from_micros(i * 500), EventTypeId::new(0), i as u32))
+///     .collect();
+/// writer.record(&events)?;
+/// assert_eq!(writer.recorded_events(), 200);
+/// writer.close()?; // flush + sidecar: the store reopens clean
+///
+/// let reader = StoreReader::open(&dir)?;
+/// assert!(reader.recovery().clean);
+/// assert_eq!(reader.lane_events(0)?, events);
+/// assert!(reader.total_stored_bytes() < reader.total_payload_bytes());
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct LaneWriter {
     dir: PathBuf,
@@ -102,8 +150,14 @@ pub struct LaneWriter {
     /// (the plain `record`/`record_encoded` paths).
     synthetic_next: u64,
     encoder: BinaryEncoder,
+    /// The configured frame codec; `None` for identity, which writes
+    /// format-v1 segments bit-compatible with the previous release.
+    codec: Option<Box<dyn FrameCodec>>,
+    /// Format version of segments this writer opens.
+    segment_version: u8,
     scratch_frame: Vec<u8>,
     scratch_payload: Vec<u8>,
+    scratch_block: Vec<u8>,
     events_recorded: usize,
     bytes_on_disk: u64,
     /// Rendering of the first write failure. A failed `write_all` may
@@ -201,6 +255,12 @@ impl LaneWriter {
             .map(|entry| entry.window_id + 1)
             .max()
             .unwrap_or(0);
+        let codec = (config.codec != CodecId::Identity).then(|| config.codec.new_codec());
+        let segment_version = if codec.is_some() {
+            SEGMENT_VERSION_V2
+        } else {
+            SEGMENT_VERSION_V1
+        };
         Ok(LaneWriter {
             dir,
             lane,
@@ -213,8 +273,11 @@ impl LaneWriter {
             recovery,
             synthetic_next,
             encoder: BinaryEncoder::new(),
+            codec,
+            segment_version,
             scratch_frame: Vec::new(),
             scratch_payload: Vec::new(),
+            scratch_block: Vec::new(),
             events_recorded: 0,
             bytes_on_disk,
             poisoned: None,
@@ -274,13 +337,14 @@ impl LaneWriter {
                 .create_new(true)
                 .write(true)
                 .open(&path)?;
-            file.write_all(&segment_header(self.lane, self.seq))?;
+            file.write_all(&segment_header(self.lane, self.seq, self.segment_version))?;
             self.segment_bytes = SEGMENT_HEADER_LEN;
             self.segment_windows = 0;
             self.bytes_on_disk += SEGMENT_HEADER_LEN;
             self.index.segments.push(SegmentMeta {
                 seq: self.seq,
                 committed_bytes: SEGMENT_HEADER_LEN,
+                version: self.segment_version,
             });
             self.file = Some(file);
         }
@@ -317,11 +381,39 @@ impl LaneWriter {
         if let Some(message) = &self.poisoned {
             return Err(TraceError::Io(std::io::Error::other(message.clone())));
         }
+        // Run the configured codec first (nothing is on disk yet, so a
+        // refusal cleanly falls back to identity storage for this frame).
+        let mut block = std::mem::take(&mut self.scratch_block);
+        block.clear();
+        let codec_used = match self.codec.as_mut() {
+            Some(codec) => {
+                let compressed = match codec.compress(payload, &mut block) {
+                    Ok(compressed) => compressed,
+                    Err(error) => {
+                        self.scratch_block = block;
+                        return Err(error);
+                    }
+                };
+                if compressed {
+                    codec.id()
+                } else {
+                    CodecId::Identity
+                }
+            }
+            None => CodecId::Identity,
+        };
+        let stored = if codec_used == CodecId::Identity {
+            payload
+        } else {
+            block.as_slice()
+        };
         let frame_len =
-            FRAME_HEADER_LEN + crate::segment::FRAME_META_LEN as u64 + payload.len() as u64;
+            FRAME_HEADER_LEN + frame_meta_len(self.segment_version) as u64 + stored.len() as u64;
         if self.needs_rotation(frame_len) {
-            self.rotate()?;
-            self.maybe_compact()?;
+            if let Err(error) = self.rotate().and_then(|()| self.maybe_compact()) {
+                self.scratch_block = block;
+                return Err(error);
+            }
         }
         let offset = if self.file.is_some() {
             self.segment_bytes
@@ -329,15 +421,30 @@ impl LaneWriter {
             SEGMENT_HEADER_LEN
         };
         let mut frame = std::mem::take(&mut self.scratch_frame);
-        let body_len = build_frame(
-            &mut frame,
-            window_id,
-            start_ns,
-            end_ns,
-            events.len() as u32,
-            payload,
-        );
+        let body_len = if self.segment_version >= SEGMENT_VERSION_V2 {
+            build_frame_v2(
+                &mut frame,
+                window_id,
+                start_ns,
+                end_ns,
+                events.len() as u32,
+                codec_used,
+                payload.len() as u32,
+                stored,
+            )
+        } else {
+            build_frame(
+                &mut frame,
+                window_id,
+                start_ns,
+                end_ns,
+                events.len() as u32,
+                stored,
+            )
+        };
         let seq = self.seq;
+        let raw_len = payload.len() as u32;
+        self.scratch_block = block;
         let result = self.open_segment().and_then(|file| {
             file.write_all(&frame)?;
             Ok(())
@@ -368,6 +475,8 @@ impl LaneWriter {
             segment: seq,
             offset,
             len: body_len,
+            codec: codec_used.as_u8(),
+            raw_len,
         });
         Ok(())
     }

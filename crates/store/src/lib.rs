@@ -13,6 +13,11 @@
 //!   shard of a `ShardedReducer`) records straight to disk. Segments
 //!   rotate by size and/or window count ([`StoreConfig`]); a sidecar
 //!   index maps window ids and timestamp ranges to exact byte offsets.
+//!   Every recorded payload passes through the configured [`FrameCodec`]
+//!   ([`StoreConfig::with_codec`]): the default identity codec writes
+//!   format-v1 files bit-compatible with pre-compression releases, while
+//!   `DeltaVarint`/`LzBlock` shrink what each window costs on disk —
+//!   losslessly, with per-frame fallback to identity.
 //! * [`StoreReader`] — reopens a store directory, recovering after a
 //!   crash: every frame is length- and CRC-validated, torn tail writes
 //!   are detected (and truncated by a resuming writer), and the
@@ -54,9 +59,14 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The on-disk layout — segment and frame formats (v1 and v2), codec
+//! block formats, the sidecar index, the compaction journal and the
+//! crash-recovery state machine — is specified normatively in
+//! `docs/FORMAT.md` at the repository root.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod compact;
@@ -75,6 +85,8 @@ pub use lane::{LaneWriter, StoreConfig};
 pub use map::{SegmentMap, DEFAULT_RESIDENT_SEGMENTS};
 pub use reader::{LaneReplay, StoreReader};
 pub use spool::{SpooledSink, DEFAULT_SPOOL_DEPTH};
+// Re-exported so store configuration does not force a trace-model import.
+pub use trace_model::codec::{CodecId, FrameCodec};
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,15 @@
 //! windowed seek pays for the windows it reads and a full-lane pass pays
 //! each frame exactly once.
 //!
+//! Compressed frames (format-v2 segments with a non-identity codec) add
+//! one step: the stored block is decoded through the frame's
+//! [`FrameCodec`] into a scratch buffer owned by the map, so
+//! [`SegmentMap::payload`] returns either a zero-copy slice into the
+//! segment buffer (v1 and identity frames) or a slice into that scratch
+//! (everything else) — callers cannot tell the difference. The replay
+//! fast path, [`SegmentMap::decode_events_into`], skips the intermediate
+//! payload entirely for codecs that decode events directly.
+//!
 //! A resident limit keeps full-lane replay bounded: a sequential pass
 //! over an N-segment lane holds at most `limit` segment buffers at a
 //! time, evicting the oldest as it advances — one buffered sequential
@@ -18,13 +27,14 @@
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 
-use trace_model::TraceError;
+use trace_model::codec::{BinaryDecoder, CodecId, FrameCodec, TraceDecoder};
+use trace_model::{TraceError, TraceEvent};
 
 use crate::crc32::crc32;
 use crate::index::WindowEntry;
 use crate::segment::{
-    read_u32, segment_file_name, segment_header, segment_header_mismatch, FRAME_HEADER_LEN,
-    FRAME_META_LEN, SEGMENT_HEADER_LEN,
+    frame_meta_len, parse_segment_header, read_u32, segment_file_name, FRAME_HEADER_LEN,
+    SEGMENT_VERSION_V2,
 };
 
 /// Default number of segment buffers a [`SegmentMap`] keeps resident.
@@ -34,11 +44,12 @@ use crate::segment::{
 /// default 8 MiB segments this bounds the map at ~32 MiB.
 pub const DEFAULT_RESIDENT_SEGMENTS: usize = 4;
 
-/// One loaded segment: its full file contents plus which frame offsets
-/// have already been CRC-validated.
+/// One loaded segment: its full file contents, format version, and which
+/// frame offsets have already been CRC-validated.
 #[derive(Debug)]
 struct LoadedSegment {
     bytes: Vec<u8>,
+    version: u8,
     validated: HashSet<u64>,
 }
 
@@ -48,7 +59,8 @@ struct LoadedSegment {
 /// every [`crate::StoreReader`] read path. Frames are addressed by the
 /// [`WindowEntry`] rows of the lane index (see
 /// [`crate::StoreReader::windows`]); [`SegmentMap::payload`] returns the
-/// window's encoded payload as a slice into the loaded segment buffer.
+/// window's original payload bytes — zero-copy for uncompressed frames,
+/// decoded into an internal scratch buffer for compressed ones.
 ///
 /// The map validates lazily but *completely*: a frame's length and CRC
 /// are checked the first time it is touched, and a mismatch surfaces as
@@ -60,6 +72,10 @@ pub struct SegmentMap {
     /// Maximum segments kept resident (0 = unlimited).
     limit: usize,
     segments: BTreeMap<u32, LoadedSegment>,
+    /// Frame codecs, created lazily per id as compressed frames appear.
+    codecs: Vec<Box<dyn FrameCodec>>,
+    /// Decompressed-payload scratch, reused across frames.
+    payload_scratch: Vec<u8>,
 }
 
 impl SegmentMap {
@@ -71,6 +87,8 @@ impl SegmentMap {
             lane,
             limit: DEFAULT_RESIDENT_SEGMENTS,
             segments: BTreeMap::new(),
+            codecs: Vec::new(),
+            payload_scratch: Vec::new(),
         }
     }
 
@@ -120,40 +138,28 @@ impl SegmentMap {
         }
         let path = self.dir.join(segment_file_name(self.lane, seq));
         let bytes = std::fs::read(&path)?;
-        let expected = segment_header(self.lane, seq);
-        if bytes.len() < SEGMENT_HEADER_LEN as usize
-            || bytes[..SEGMENT_HEADER_LEN as usize] != expected
-        {
-            return Err(segment_header_mismatch(&path, self.lane, seq));
-        }
+        let version = parse_segment_header(&bytes, &path, self.lane, seq)?;
         self.segments.insert(
             seq,
             LoadedSegment {
                 bytes,
+                version,
                 validated: HashSet::new(),
             },
         );
         Ok(())
     }
 
-    /// The frame body (fixed meta block + payload) of one indexed window,
-    /// as a slice into the loaded segment buffer. Length and CRC are
-    /// validated on the first touch of the frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TraceError::Io`] when the segment file cannot be read
-    /// and [`TraceError::Decode`] on index/file disagreement (truncated
-    /// file, length mismatch, CRC mismatch).
-    pub fn body(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
-        self.load(entry.segment)?;
-        let segment = self
-            .segments
-            .get_mut(&entry.segment)
-            .expect("loaded just above");
+    /// Validates (once) and returns the body byte range of `entry` within
+    /// its loaded segment.
+    fn body_range(
+        segment: &mut LoadedSegment,
+        lane: u32,
+        entry: &WindowEntry,
+    ) -> Result<std::ops::Range<usize>, TraceError> {
         // Checked arithmetic: offsets/lengths come from the (possibly
         // corrupt) index, so an overflow is corruption, not a panic.
-        let (lane, bytes_len) = (self.lane, segment.bytes.len());
+        let bytes_len = segment.bytes.len();
         let out_of_bounds = move || TraceError::Decode {
             offset: entry.offset as usize,
             reason: format!(
@@ -170,6 +176,15 @@ impl SegmentMap {
             .ok_or_else(out_of_bounds)?;
         if body_end > segment.bytes.len() as u64 {
             return Err(out_of_bounds());
+        }
+        if u64::from(entry.len) < frame_meta_len(segment.version) as u64 {
+            return Err(TraceError::Decode {
+                offset: entry.offset as usize,
+                reason: format!(
+                    "frame body of {} bytes is shorter than the v{} meta block",
+                    entry.len, segment.version
+                ),
+            });
         }
         if !segment.validated.contains(&entry.offset) {
             let stored_len = read_u32(&segment.bytes, entry.offset as usize);
@@ -189,29 +204,151 @@ impl SegmentMap {
                     offset: entry.offset as usize,
                     reason: format!(
                         "crc mismatch reading lane {} segment {} offset {}",
-                        self.lane, entry.segment, entry.offset
+                        lane, entry.segment, entry.offset
                     ),
                 });
             }
             segment.validated.insert(entry.offset);
         }
-        Ok(&segment.bytes[body_start as usize..body_end as usize])
+        Ok(body_start as usize..body_end as usize)
     }
 
-    /// The encoded payload of one indexed window (the exact bytes the
-    /// recorder handed to the sink), zero-copy.
+    /// The frame's codec and raw payload length as recorded *in the
+    /// file* (v1 frames are identity by construction).
+    fn frame_codec_and_raw_len(
+        lane: u32,
+        segment: &LoadedSegment,
+        entry: &WindowEntry,
+        body: &std::ops::Range<usize>,
+    ) -> Result<(CodecId, usize), TraceError> {
+        if segment.version < SEGMENT_VERSION_V2 {
+            return Ok((CodecId::Identity, entry.len as usize - frame_meta_len(1)));
+        }
+        let meta = &segment.bytes[body.start..body.start + frame_meta_len(2)];
+        let codec = CodecId::from_u8(meta[28]).ok_or_else(|| TraceError::Decode {
+            offset: body.start + 28,
+            reason: format!(
+                "lane {lane} segment {} frame at {} uses unknown codec id {}",
+                entry.segment, entry.offset, meta[28]
+            ),
+        })?;
+        Ok((codec, read_u32(meta, 29) as usize))
+    }
+
+    /// The codec instance for `id`, created on first use.
+    fn codec_mut(codecs: &mut Vec<Box<dyn FrameCodec>>, id: CodecId) -> &mut dyn FrameCodec {
+        if let Some(at) = codecs.iter().position(|codec| codec.id() == id) {
+            return codecs[at].as_mut();
+        }
+        codecs.push(id.new_codec());
+        codecs.last_mut().expect("just pushed").as_mut()
+    }
+
+    /// The frame body (fixed meta block + stored block) of one indexed
+    /// window, as a slice into the loaded segment buffer. Length and CRC
+    /// are validated on the first touch of the frame.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`SegmentMap::body`].
+    /// Returns [`TraceError::Io`] when the segment file cannot be read
+    /// and [`TraceError::Decode`] on index/file disagreement (truncated
+    /// file, length mismatch, CRC mismatch).
+    pub fn body(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
+        self.load(entry.segment)?;
+        let lane = self.lane;
+        let segment = self
+            .segments
+            .get_mut(&entry.segment)
+            .expect("loaded just above");
+        let range = Self::body_range(segment, lane, entry)?;
+        Ok(&segment.bytes[range])
+    }
+
+    /// The original payload of one indexed window (the exact bytes the
+    /// recorder handed to the sink): zero-copy for uncompressed frames,
+    /// decoded into the map's scratch buffer for compressed ones.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SegmentMap::body`], plus block decode errors
+    /// for compressed frames.
     pub fn payload(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
-        self.body(entry).map(|body| &body[FRAME_META_LEN..])
+        self.load(entry.segment)?;
+        let SegmentMap {
+            lane,
+            segments,
+            codecs,
+            payload_scratch,
+            ..
+        } = self;
+        let segment = segments.get_mut(&entry.segment).expect("loaded just above");
+        let range = Self::body_range(segment, *lane, entry)?;
+        let (codec_id, raw_len) = Self::frame_codec_and_raw_len(*lane, segment, entry, &range)?;
+        let block = &segment.bytes[range.start + frame_meta_len(segment.version)..range.end];
+        if codec_id == CodecId::Identity {
+            if block.len() != raw_len {
+                return Err(TraceError::Decode {
+                    offset: range.start,
+                    reason: format!(
+                        "identity frame stores {} bytes but claims a raw length of {raw_len}",
+                        block.len()
+                    ),
+                });
+            }
+            return Ok(block);
+        }
+        payload_scratch.clear();
+        Self::codec_mut(codecs, codec_id).decompress(block, raw_len, payload_scratch)?;
+        Ok(payload_scratch)
+    }
+
+    /// Decodes the events of one indexed window straight into `out`,
+    /// returning how many were appended — the replay fast path.
+    /// Uncompressed frames decode zero-copy from the segment buffer;
+    /// structured codecs decode events directly from the stored block
+    /// without materialising the payload.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SegmentMap::payload`], plus payload decode
+    /// errors.
+    pub fn decode_events_into(
+        &mut self,
+        entry: &WindowEntry,
+        out: &mut Vec<TraceEvent>,
+    ) -> Result<usize, TraceError> {
+        self.load(entry.segment)?;
+        let SegmentMap {
+            lane,
+            segments,
+            codecs,
+            payload_scratch,
+            ..
+        } = self;
+        let segment = segments.get_mut(&entry.segment).expect("loaded just above");
+        let range = Self::body_range(segment, *lane, entry)?;
+        let (codec_id, raw_len) = Self::frame_codec_and_raw_len(*lane, segment, entry, &range)?;
+        let block = &segment.bytes[range.start + frame_meta_len(segment.version)..range.end];
+        if codec_id == CodecId::Identity {
+            if block.len() != raw_len {
+                return Err(TraceError::Decode {
+                    offset: range.start,
+                    reason: format!(
+                        "identity frame stores {} bytes but claims a raw length of {raw_len}",
+                        block.len()
+                    ),
+                });
+            }
+            return BinaryDecoder::new().decode_into(block, out);
+        }
+        Self::codec_mut(codecs, codec_id).decode_events(block, raw_len, payload_scratch, out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::{FRAME_META_LEN, SEGMENT_HEADER_LEN};
     use crate::{LaneWriter, StoreConfig, StoreReader};
     use trace_model::codec::{BinaryEncoder, TraceEncoder};
     use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
@@ -223,8 +360,15 @@ mod tests {
         dir
     }
 
-    fn write_windows(dir: &std::path::Path, windows: u64, per_segment: u64) -> Vec<Vec<u8>> {
-        let config = StoreConfig::default().with_segment_max_windows(per_segment);
+    fn write_windows_with(
+        dir: &std::path::Path,
+        windows: u64,
+        per_segment: u64,
+        codec: CodecId,
+    ) -> Vec<Vec<u8>> {
+        let config = StoreConfig::default()
+            .with_segment_max_windows(per_segment)
+            .with_codec(codec);
         let mut writer = LaneWriter::create(dir, 0, config).unwrap();
         let mut payloads = Vec::new();
         for id in 0..windows {
@@ -251,6 +395,10 @@ mod tests {
         payloads
     }
 
+    fn write_windows(dir: &std::path::Path, windows: u64, per_segment: u64) -> Vec<Vec<u8>> {
+        write_windows_with(dir, windows, per_segment, CodecId::Identity)
+    }
+
     #[test]
     fn payloads_match_and_segments_stay_resident_within_the_limit() {
         let dir = temp_dir("resident");
@@ -270,6 +418,24 @@ mod tests {
         map.clear();
         assert_eq!(map.resident_segments(), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_frames_restore_the_same_payload_bytes() {
+        for codec in [CodecId::DeltaVarint, CodecId::LzBlock] {
+            let dir = temp_dir(&format!("codec-{}", codec.as_u8()));
+            let payloads = write_windows_with(&dir, 10, 3, codec);
+            let reader = StoreReader::open(&dir).unwrap();
+            let entries: Vec<WindowEntry> = reader.windows(0).unwrap().to_vec();
+            let mut map = SegmentMap::new(&dir, 0);
+            for (entry, expected) in entries.iter().zip(&payloads) {
+                assert_eq!(map.payload(entry).unwrap(), expected.as_slice(), "{codec}");
+                let mut events = Vec::new();
+                map.decode_events_into(entry, &mut events).unwrap();
+                assert_eq!(events.len(), entry.events as usize);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]
@@ -310,6 +476,8 @@ mod tests {
             segment: 0,
             offset: SEGMENT_HEADER_LEN,
             len: FRAME_META_LEN as u32 + 1,
+            codec: 0,
+            raw_len: 1,
         };
         let mut map = SegmentMap::new(&dir, 0);
         assert!(map.payload(&entry).is_err());

@@ -6,15 +6,17 @@ use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
-use trace_model::codec::{BinaryDecoder, TraceDecoder};
+use trace_model::codec::CodecId;
 use trace_model::{EventSource, Timestamp, TraceError, TraceEvent, WindowId};
 
 use crate::crc32::crc32;
-use crate::index::{LaneIndex, RecoveryReport, TornTail, WindowEntry, SIDECAR_SCHEMA};
+use crate::index::{
+    LaneIndex, RecoveryReport, TornTail, WindowEntry, SIDECAR_SCHEMA, SIDECAR_SCHEMA_V1,
+};
 use crate::map::SegmentMap;
 use crate::segment::{
-    parse_segment_file_name, scan_segment, segment_file_name, sidecar_file_name, FRAME_HEADER_LEN,
-    FRAME_META_LEN,
+    frame_meta_len, parse_segment_file_name, scan_segment, segment_file_name, sidecar_file_name,
+    FRAME_HEADER_LEN,
 };
 
 /// A reopened trace store: every lane's window index, ready for replay.
@@ -35,9 +37,36 @@ use crate::segment::{
 ///
 /// All read paths go through a per-lane [`SegmentMap`]: each segment is
 /// loaded once into a contiguous buffer and frames are handed out as
-/// zero-copy slices, CRC-validated on first touch — one buffered
+/// zero-copy slices (or decoded from their stored blocks, for
+/// compressed frames), CRC-validated on first touch — one buffered
 /// sequential pass for full-lane replay instead of a seek and two reads
 /// per frame.
+///
+/// ```rust
+/// use endurance_store::{LaneWriter, StoreConfig, StoreReader};
+/// use trace_model::{EventSink, EventTypeId, Timestamp, TraceEvent, WindowId};
+///
+/// # fn main() -> Result<(), trace_model::TraceError> {
+/// let dir = std::env::temp_dir().join(format!("reader-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default())?;
+/// let events = vec![TraceEvent::new(Timestamp::from_micros(5), EventTypeId::new(1), 7)];
+/// writer.record(&events)?;
+/// writer.close()?;
+///
+/// let reader = StoreReader::open(&dir)?;
+/// assert_eq!(reader.lane_ids(), vec![0]);
+/// // Full-lane replay, and a seek straight to one window via the index.
+/// assert_eq!(reader.lane_events(0)?, events);
+/// let first = reader.windows(0).expect("lane index")[0];
+/// assert_eq!(
+///     reader.window_events(0, WindowId::new(first.window_id))?,
+///     Some(events)
+/// );
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct StoreReader {
     dir: PathBuf,
@@ -195,6 +224,20 @@ impl StoreReader {
             .sum()
     }
 
+    /// Total *stored* payload bytes across every lane — what the
+    /// payloads occupy on disk under their frame codecs, excluding
+    /// segment and frame headers. The gap between this and
+    /// [`StoreReader::total_payload_bytes`] is what frame compression
+    /// saved (forces every lane; failed lanes contribute nothing, see
+    /// [`StoreReader::total_events`]).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.lanes
+            .keys()
+            .filter_map(|&lane| self.loaded(lane).ok())
+            .map(|l| l.index.total_stored_bytes())
+            .sum()
+    }
+
     /// Loads (or returns the cached) lane state.
     fn loaded(&self, lane: u32) -> Result<&LoadedLane, TraceError> {
         let slot = self.lanes.get(&lane).ok_or_else(|| TraceError::Decode {
@@ -318,8 +361,9 @@ impl StoreReader {
             else {
                 return Ok(None);
             };
-            let payload = map.payload(entry)?;
-            BinaryDecoder::new().decode(payload).map(Some)
+            let mut events = Vec::with_capacity(entry.events as usize);
+            map.decode_events_into(entry, &mut events)?;
+            Ok(Some(events))
         })
     }
 
@@ -340,8 +384,8 @@ impl StoreReader {
             let mut out = Vec::new();
             for entry in &index.windows {
                 if entry.start_ns < to.as_nanos() && entry.end_ns > from.as_nanos() {
-                    let payload = map.payload(entry)?;
-                    let events = BinaryDecoder::new().decode(payload)?;
+                    let mut events = Vec::with_capacity(entry.events as usize);
+                    map.decode_events_into(entry, &mut events)?;
                     out.push((WindowId::new(entry.window_id), events));
                 }
             }
@@ -358,9 +402,8 @@ impl StoreReader {
     pub fn lane_events(&self, lane: u32) -> Result<Vec<TraceEvent>, TraceError> {
         self.with_lane_map(lane, |index, map| {
             let mut events = Vec::with_capacity(index.total_events() as usize);
-            let mut decoder = BinaryDecoder::new();
             for entry in &index.windows {
-                decoder.decode_into(map.payload(entry)?, &mut events)?;
+                map.decode_events_into(entry, &mut events)?;
             }
             Ok(events)
         })
@@ -396,19 +439,29 @@ impl StoreReader {
     /// Same conditions as [`StoreReader::window_events`].
     #[doc(hidden)]
     pub fn lane_events_seek_per_frame(&self, lane: u32) -> Result<Vec<TraceEvent>, TraceError> {
+        use trace_model::codec::{BinaryDecoder, TraceDecoder};
         let index = self.lane_index(lane)?;
         let mut events = Vec::with_capacity(index.total_events() as usize);
+        let mut decoder = BinaryDecoder::new();
         for entry in &index.windows {
             let payload = self.read_entry_seek(lane, entry)?;
-            events.extend(BinaryDecoder::new().decode(&payload)?);
+            decoder.decode_into(&payload, &mut events)?;
         }
         Ok(events)
     }
 
-    /// Reads one frame's payload with the per-frame seek path.
+    /// Reads one frame's payload with the per-frame seek path,
+    /// decompressing v2 frames through a throwaway codec instance. Like
+    /// the buffered path, the codec id and raw length come from the
+    /// CRC-protected bytes in the *file* (segment header, frame meta),
+    /// never from the sidecar.
     fn read_entry_seek(&self, lane: u32, entry: &WindowEntry) -> Result<Vec<u8>, TraceError> {
         let path = self.dir.join(segment_file_name(lane, entry.segment));
         let mut file = File::open(&path)?;
+        let mut segment_header = [0u8; crate::segment::SEGMENT_HEADER_LEN as usize];
+        file.read_exact(&mut segment_header)?;
+        let version =
+            crate::segment::parse_segment_header(&segment_header, &path, lane, entry.segment)?;
         file.seek(SeekFrom::Start(entry.offset))?;
         let mut header = [0u8; FRAME_HEADER_LEN as usize];
         file.read_exact(&mut header)?;
@@ -423,6 +476,15 @@ impl StoreReader {
                 ),
             });
         }
+        let meta_len = frame_meta_len(version);
+        if (body_len as usize) < meta_len {
+            return Err(TraceError::Decode {
+                offset: entry.offset as usize,
+                reason: format!(
+                    "frame body of {body_len} bytes is shorter than the v{version} meta block"
+                ),
+            });
+        }
         let mut body = vec![0u8; body_len as usize];
         file.read_exact(&mut body)?;
         if crc32(&body) != stored_crc {
@@ -434,8 +496,34 @@ impl StoreReader {
                 ),
             });
         }
-        body.drain(..FRAME_META_LEN);
-        Ok(body)
+        let (codec, raw_len) = if version >= crate::segment::SEGMENT_VERSION_V2 {
+            let codec = CodecId::from_u8(body[28]).ok_or_else(|| TraceError::Decode {
+                offset: entry.offset as usize + 28,
+                reason: format!("frame uses unknown codec id {}", body[28]),
+            })?;
+            let raw_len = u32::from_le_bytes(body[29..33].try_into().expect("4 bytes")) as usize;
+            (codec, raw_len)
+        } else {
+            (CodecId::Identity, body_len as usize - meta_len)
+        };
+        if codec == CodecId::Identity {
+            body.drain(..meta_len);
+            if body.len() != raw_len {
+                return Err(TraceError::Decode {
+                    offset: entry.offset as usize,
+                    reason: format!(
+                        "identity frame stores {} bytes but claims a raw length of {raw_len}",
+                        body.len()
+                    ),
+                });
+            }
+            return Ok(body);
+        }
+        let mut payload = Vec::with_capacity(raw_len);
+        codec
+            .new_codec()
+            .decompress(&body[meta_len..], raw_len, &mut payload)?;
+        Ok(payload)
     }
 
     /// A lazy [`EventSource`] over one lane's recorded events, window by
@@ -455,6 +543,7 @@ impl StoreReader {
             map: SegmentMap::new(&self.dir, lane).with_resident_limit(2),
             entries: index.windows.iter(),
             buffered: std::collections::VecDeque::new(),
+            scratch: Vec::new(),
             error: None,
         })
     }
@@ -470,6 +559,7 @@ pub struct LaneReplay<'a> {
     map: SegmentMap,
     entries: std::slice::Iter<'a, WindowEntry>,
     buffered: std::collections::VecDeque<TraceEvent>,
+    scratch: Vec<TraceEvent>,
     error: Option<TraceError>,
 }
 
@@ -490,12 +580,9 @@ impl EventSource for LaneReplay<'_> {
                 return None;
             }
             let entry = self.entries.next()?;
-            let decoded = self
-                .map
-                .payload(entry)
-                .and_then(|payload| BinaryDecoder::new().decode(payload));
-            match decoded {
-                Ok(events) => self.buffered.extend(events),
+            self.scratch.clear();
+            match self.map.decode_events_into(entry, &mut self.scratch) {
+                Ok(_) => self.buffered.extend(self.scratch.drain(..)),
                 Err(error) => {
                     self.error = Some(error);
                     return None;
@@ -537,11 +624,21 @@ pub(crate) fn load_lane(dir: &Path, lane: u32, seqs: &[u32]) -> Result<LoadedLan
 
 /// Loads and validates a lane sidecar: readable, right schema/lane, and
 /// naming exactly the on-disk segments with exactly their file lengths.
+/// Schema-1 sidecars (written before frame compression existed) are
+/// accepted and normalised: every entry is an identity frame whose raw
+/// length is its v1 body minus the fixed meta block.
 fn try_sidecar(dir: &Path, lane: u32, seqs: &[u32]) -> Option<LaneIndex> {
     let text = std::fs::read_to_string(dir.join(sidecar_file_name(lane))).ok()?;
-    let index: LaneIndex = serde_json::from_str(&text).ok()?;
-    if index.schema != SIDECAR_SCHEMA || index.lane != lane {
+    let mut index: LaneIndex = serde_json::from_str(&text).ok()?;
+    if !(index.schema == SIDECAR_SCHEMA || index.schema == SIDECAR_SCHEMA_V1) || index.lane != lane
+    {
         return None;
+    }
+    if index.schema == SIDECAR_SCHEMA_V1 {
+        for entry in &mut index.windows {
+            entry.normalise_from_schema_v1();
+        }
+        index.schema = SIDECAR_SCHEMA;
     }
     let sidecar_seqs: Vec<u32> = index.segments.iter().map(|s| s.seq).collect();
     if sidecar_seqs != seqs {

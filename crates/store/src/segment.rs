@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic    "ESEG"        4 bytes
-//! version                1 byte  (currently 1)
+//! version                1 byte  (1 or 2)
 //! lane                   4 bytes u32 LE
 //! segment sequence       4 bytes u32 LE
 //! frames...
@@ -13,22 +13,36 @@
 //! and every frame is:
 //!
 //! ```text
-//! body length            4 bytes u32 LE   (meta + payload)
+//! body length            4 bytes u32 LE   (meta + stored block)
 //! crc32 of the body      4 bytes u32 LE   (IEEE, see `crc32`)
 //! body:
 //!   window id            8 bytes u64 LE
 //!   window start (ns)    8 bytes u64 LE
 //!   window end (ns)      8 bytes u64 LE
 //!   event count          4 bytes u32 LE
-//!   payload              the window's compact binary (`ETRC`) encoding
+//!   -- format v2 only --
+//!   codec id             1 byte           (see `trace_model::codec::CodecId`)
+//!   raw length           4 bytes u32 LE   (uncompressed payload bytes)
+//!   -- end v2 --
+//!   stored block         the payload under the frame's codec
 //! ```
 //!
-//! The payload is exactly the bytes the recorder handed to the sink, so a
-//! replayed trace is byte-for-byte what an in-memory sink would have kept.
+//! In a version-1 segment the stored block *is* the payload (the exact
+//! bytes the recorder handed to the sink). In a version-2 segment the
+//! block is the payload transformed by the frame's codec; codec id 0
+//! (identity) keeps it verbatim, so a v2 identity frame differs from a
+//! v1 frame only by the 5 extra meta bytes. Either way a replayed trace
+//! is byte-for-byte what an in-memory sink would have kept. A segment
+//! holds frames of its own version only — the version byte in the file
+//! header governs every frame in the file. `docs/FORMAT.md` is the
+//! normative spec.
+//!
 //! A process killed mid-write leaves a torn final frame; the scanner
 //! validates length and CRC frame by frame and reports where the intact
-//! prefix ends so reopen can truncate the tail.
+//! prefix ends so reopen can truncate the tail. The CRC covers the
+//! *stored* bytes, so scanning never needs to run a codec.
 
+use trace_model::codec::CodecId;
 use trace_model::TraceError;
 
 use crate::crc32::crc32;
@@ -36,17 +50,36 @@ use crate::index::{SegmentMeta, TornTail, WindowEntry};
 
 /// Magic bytes opening every segment file.
 pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"ESEG";
-/// Current segment format version.
-pub(crate) const SEGMENT_VERSION: u8 = 1;
+/// Segment format version writing one raw payload per frame.
+pub(crate) const SEGMENT_VERSION_V1: u8 = 1;
+/// Segment format version carrying a codec id + raw length per frame.
+pub(crate) const SEGMENT_VERSION_V2: u8 = 2;
 /// Size of the segment header in bytes.
 pub(crate) const SEGMENT_HEADER_LEN: u64 = 13;
 /// Size of a frame header (body length + crc) in bytes.
 pub(crate) const FRAME_HEADER_LEN: u64 = 8;
-/// Size of the fixed frame meta block inside the body.
+/// Size of the fixed frame meta block inside a v1 body.
 pub(crate) const FRAME_META_LEN: usize = 28;
+/// Size of the fixed frame meta block inside a v2 body (v1 meta plus
+/// codec id byte and 4-byte raw length).
+pub(crate) const FRAME_META_LEN_V2: usize = FRAME_META_LEN + 5;
 /// Upper bound on a frame body, guarding recovery against absurd lengths
 /// read from corrupt headers.
 pub(crate) const MAX_FRAME_BODY: u32 = 1 << 30;
+
+/// Whether `version` is a segment format this build can read.
+pub(crate) fn known_segment_version(version: u8) -> bool {
+    version == SEGMENT_VERSION_V1 || version == SEGMENT_VERSION_V2
+}
+
+/// Fixed frame meta length of a segment format version.
+pub(crate) fn frame_meta_len(version: u8) -> usize {
+    if version >= SEGMENT_VERSION_V2 {
+        FRAME_META_LEN_V2
+    } else {
+        FRAME_META_LEN
+    }
+}
 
 /// File name of segment `seq` of `lane`: zero-padded so lexicographic
 /// order is numeric order.
@@ -80,17 +113,42 @@ pub(crate) fn segment_header_mismatch(path: &std::path::Path, lane: u32, seq: u3
 }
 
 /// Serialises the 13-byte segment header.
-pub(crate) fn segment_header(lane: u32, seq: u32) -> [u8; SEGMENT_HEADER_LEN as usize] {
+pub(crate) fn segment_header(
+    lane: u32,
+    seq: u32,
+    version: u8,
+) -> [u8; SEGMENT_HEADER_LEN as usize] {
     let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
     header[..4].copy_from_slice(SEGMENT_MAGIC);
-    header[4] = SEGMENT_VERSION;
+    header[4] = version;
     header[5..9].copy_from_slice(&lane.to_le_bytes());
     header[9..13].copy_from_slice(&seq.to_le_bytes());
     header
 }
 
-/// Builds one frame (header + body) into `out` (cleared first) and returns
-/// the body length.
+/// Validates the 13 header bytes of a loaded segment, returning its
+/// format version.
+pub(crate) fn parse_segment_header(
+    bytes: &[u8],
+    path: &std::path::Path,
+    lane: u32,
+    seq: u32,
+) -> Result<u8, TraceError> {
+    if bytes.len() < SEGMENT_HEADER_LEN as usize
+        || &bytes[..4] != SEGMENT_MAGIC
+        || !known_segment_version(bytes[4])
+    {
+        return Err(segment_header_mismatch(path, lane, seq));
+    }
+    let (file_lane, file_seq) = (read_u32(bytes, 5), read_u32(bytes, 9));
+    if (file_lane, file_seq) != (lane, seq) {
+        return Err(segment_header_mismatch(path, lane, seq));
+    }
+    Ok(bytes[4])
+}
+
+/// Builds one v1 frame (header + body) into `out` (cleared first) and
+/// returns the body length.
 pub(crate) fn build_frame(
     out: &mut Vec<u8>,
     window_id: u64,
@@ -99,7 +157,49 @@ pub(crate) fn build_frame(
     event_count: u32,
     payload: &[u8],
 ) -> u32 {
-    let body_len = (FRAME_META_LEN + payload.len()) as u32;
+    build_frame_headerless(out, window_id, start_ns, end_ns, event_count, None, payload)
+}
+
+/// Builds one v2 frame (header + body) into `out` (cleared first) and
+/// returns the body length. `raw_len` is the uncompressed payload size;
+/// `block` is the payload under `codec`.
+#[allow(clippy::too_many_arguments)] // mirrors the frame layout, field by field
+pub(crate) fn build_frame_v2(
+    out: &mut Vec<u8>,
+    window_id: u64,
+    start_ns: u64,
+    end_ns: u64,
+    event_count: u32,
+    codec: CodecId,
+    raw_len: u32,
+    block: &[u8],
+) -> u32 {
+    build_frame_headerless(
+        out,
+        window_id,
+        start_ns,
+        end_ns,
+        event_count,
+        Some((codec, raw_len)),
+        block,
+    )
+}
+
+fn build_frame_headerless(
+    out: &mut Vec<u8>,
+    window_id: u64,
+    start_ns: u64,
+    end_ns: u64,
+    event_count: u32,
+    v2: Option<(CodecId, u32)>,
+    block: &[u8],
+) -> u32 {
+    let meta_len = if v2.is_some() {
+        FRAME_META_LEN_V2
+    } else {
+        FRAME_META_LEN
+    };
+    let body_len = (meta_len + block.len()) as u32;
     out.clear();
     out.reserve(FRAME_HEADER_LEN as usize + body_len as usize);
     out.extend_from_slice(&body_len.to_le_bytes());
@@ -108,7 +208,11 @@ pub(crate) fn build_frame(
     out.extend_from_slice(&start_ns.to_le_bytes());
     out.extend_from_slice(&end_ns.to_le_bytes());
     out.extend_from_slice(&event_count.to_le_bytes());
-    out.extend_from_slice(payload);
+    if let Some((codec, raw_len)) = v2 {
+        out.push(codec.as_u8());
+        out.extend_from_slice(&raw_len.to_le_bytes());
+    }
+    out.extend_from_slice(block);
     let crc = crc32(&out[FRAME_HEADER_LEN as usize..]);
     out[4..8].copy_from_slice(&crc.to_le_bytes());
     body_len
@@ -138,8 +242,17 @@ pub(crate) fn write_sidecar(
 }
 
 /// Parses a validated frame body into a [`WindowEntry`] anchored at
-/// `(seq, offset)`.
-fn entry_from_body(seq: u32, offset: u64, body: &[u8]) -> WindowEntry {
+/// `(seq, offset)`. For v2 bodies the codec id must already have been
+/// checked by the caller.
+pub(crate) fn entry_from_body(version: u8, seq: u32, offset: u64, body: &[u8]) -> WindowEntry {
+    let (codec, raw_len) = if version >= SEGMENT_VERSION_V2 {
+        (body[28], read_u32(body, 29))
+    } else {
+        (
+            CodecId::Identity.as_u8(),
+            (body.len() - FRAME_META_LEN) as u32,
+        )
+    };
     WindowEntry {
         window_id: read_u64(body, 0),
         start_ns: read_u64(body, 8),
@@ -148,6 +261,8 @@ fn entry_from_body(seq: u32, offset: u64, body: &[u8]) -> WindowEntry {
         segment: seq,
         offset,
         len: body.len() as u32,
+        codec,
+        raw_len,
     }
 }
 
@@ -175,9 +290,11 @@ pub(crate) struct ScannedSegment {
 /// # Errors
 ///
 /// Returns [`TraceError::Io`] when the file cannot be read and
-/// [`TraceError::Decode`] when the header is present but wrong (bad magic,
-/// version, or lane/sequence mismatch) — that is cross-file corruption,
-/// not a torn write, and recovery must not silently discard it.
+/// [`TraceError::Decode`] when the header is present but wrong (bad
+/// magic, unknown version, or lane/sequence mismatch), or when a
+/// CRC-valid v2 frame names a codec this build does not know — all of
+/// that is cross-file or cross-version corruption, not a torn write, and
+/// recovery must not silently discard it.
 pub(crate) fn scan_segment(
     path: &std::path::Path,
     lane: u32,
@@ -199,6 +316,7 @@ pub(crate) fn scan_segment(
             meta: SegmentMeta {
                 seq,
                 committed_bytes: 0,
+                version: SEGMENT_VERSION_V1,
             },
         });
     }
@@ -208,14 +326,11 @@ pub(crate) fn scan_segment(
             reason: format!("{}: bad magic, not an ESEG segment", path.display()),
         });
     }
-    if bytes[4] != SEGMENT_VERSION {
+    let version = bytes[4];
+    if !known_segment_version(version) {
         return Err(TraceError::Decode {
             offset: 4,
-            reason: format!(
-                "{}: unsupported segment version {}",
-                path.display(),
-                bytes[4]
-            ),
+            reason: format!("{}: unsupported segment version {version}", path.display()),
         });
     }
     let (file_lane, file_seq) = (read_u32(&bytes, 5), read_u32(&bytes, 9));
@@ -230,6 +345,7 @@ pub(crate) fn scan_segment(
         });
     }
 
+    let meta_len = frame_meta_len(version);
     let mut entries = Vec::new();
     let mut offset = SEGMENT_HEADER_LEN;
     let mut torn = None;
@@ -242,8 +358,7 @@ pub(crate) fn scan_segment(
         let stored_crc = read_u32(&bytes, offset as usize + 4);
         let body_start = offset + FRAME_HEADER_LEN;
         let body_end = body_start + u64::from(body_len);
-        if body_len > MAX_FRAME_BODY || (body_len as usize) < FRAME_META_LEN || body_end > file_len
-        {
+        if body_len > MAX_FRAME_BODY || (body_len as usize) < meta_len || body_end > file_len {
             torn = Some(torn_at(offset));
             break;
         }
@@ -252,7 +367,19 @@ pub(crate) fn scan_segment(
             torn = Some(torn_at(offset));
             break;
         }
-        entries.push(entry_from_body(seq, offset, body));
+        if version >= SEGMENT_VERSION_V2 && CodecId::from_u8(body[28]).is_none() {
+            // A CRC-valid frame naming an unknown codec was written by a
+            // future build; replaying around it would silently lose data.
+            return Err(TraceError::Decode {
+                offset: body_start as usize + 28,
+                reason: format!(
+                    "{}: frame at offset {offset} uses unknown codec id {}",
+                    path.display(),
+                    body[28]
+                ),
+            });
+        }
+        entries.push(entry_from_body(version, seq, offset, body));
         offset = body_end;
     }
     let committed_bytes = torn.as_ref().map_or(file_len, |tail| tail.offset);
@@ -263,6 +390,7 @@ pub(crate) fn scan_segment(
         meta: SegmentMeta {
             seq,
             committed_bytes,
+            version,
         },
     })
 }
@@ -284,19 +412,55 @@ mod tests {
     }
 
     #[test]
-    fn frame_build_is_self_consistent() {
+    fn v1_frame_build_is_self_consistent() {
         let mut frame = Vec::new();
         let body_len = build_frame(&mut frame, 7, 100, 200, 3, b"payload");
         assert_eq!(body_len as usize, FRAME_META_LEN + 7);
         assert_eq!(frame.len(), FRAME_HEADER_LEN as usize + body_len as usize);
         let crc = read_u32(&frame, 4);
         assert_eq!(crc, crc32(&frame[8..]));
-        let entry = entry_from_body(2, 13, &frame[8..]);
+        let entry = entry_from_body(SEGMENT_VERSION_V1, 2, 13, &frame[8..]);
         assert_eq!(entry.window_id, 7);
         assert_eq!(entry.start_ns, 100);
         assert_eq!(entry.end_ns, 200);
         assert_eq!(entry.events, 3);
         assert_eq!(entry.segment, 2);
         assert_eq!(entry.offset, 13);
+        assert_eq!(entry.codec, CodecId::Identity.as_u8());
+        assert_eq!(entry.raw_len, 7);
+    }
+
+    #[test]
+    fn v2_frame_build_carries_codec_and_raw_length() {
+        let mut frame = Vec::new();
+        let body_len = build_frame_v2(
+            &mut frame,
+            9,
+            50,
+            60,
+            4,
+            CodecId::DeltaVarint,
+            120,
+            b"block",
+        );
+        assert_eq!(body_len as usize, FRAME_META_LEN_V2 + 5);
+        let entry = entry_from_body(SEGMENT_VERSION_V2, 1, 13, &frame[8..]);
+        assert_eq!(entry.codec, CodecId::DeltaVarint.as_u8());
+        assert_eq!(entry.raw_len, 120);
+        assert_eq!(entry.events, 4);
+        assert_eq!(entry.payload_len(), 120);
+    }
+
+    #[test]
+    fn headers_parse_for_both_versions_and_reject_unknown() {
+        let path = std::path::Path::new("lane0001-000002.seg");
+        for version in [SEGMENT_VERSION_V1, SEGMENT_VERSION_V2] {
+            let header = segment_header(1, 2, version);
+            assert_eq!(parse_segment_header(&header, path, 1, 2).unwrap(), version);
+        }
+        let mut bad = segment_header(1, 2, 3);
+        assert!(parse_segment_header(&bad, path, 1, 2).is_err());
+        bad = segment_header(1, 2, SEGMENT_VERSION_V1);
+        assert!(parse_segment_header(&bad, path, 1, 3).is_err());
     }
 }

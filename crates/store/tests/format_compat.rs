@@ -1,0 +1,376 @@
+//! On-disk format compatibility: a format-v1 store written by the
+//! previous release (reconstructed here byte by byte, independent of the
+//! current writer) must open, replay byte-for-byte, resume under a
+//! v2-configured writer, and compact — including recompression into a
+//! configured codec — without changing a single replayed payload byte.
+
+use proptest::prelude::*;
+
+use endurance_store::{
+    crc32, CodecId, Compactor, LaneWriter, MaintenancePolicy, StoreConfig, StoreReader,
+};
+use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "endurance-format-compat-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn window_events(id: u64, count: usize) -> Vec<TraceEvent> {
+    (0..count as u64)
+        .map(|i| {
+            TraceEvent::new(
+                Timestamp::from_micros(id * 10_000 + i * 250),
+                EventTypeId::new(((id + i) % 4) as u16),
+                (id * 100 + i) as u32,
+            )
+        })
+        .collect()
+}
+
+fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    BinaryEncoder::new().encode(events, &mut payload).unwrap();
+    payload
+}
+
+/// One hand-built v1 frame: `[len | crc | id | start | end | count | payload]`.
+fn v1_frame(id: u64, events: &[TraceEvent], payload: &[u8]) -> Vec<u8> {
+    let start = events.first().map_or(0, |e| e.timestamp.as_nanos());
+    let end = events.last().map_or(1, |e| e.timestamp.as_nanos() + 1);
+    let mut body = Vec::new();
+    body.extend_from_slice(&id.to_le_bytes());
+    body.extend_from_slice(&start.to_le_bytes());
+    body.extend_from_slice(&end.to_le_bytes());
+    body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    body.extend_from_slice(payload);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Writes a v1 store for lane 0 exactly as the previous release would
+/// have: v1 segment files (version byte 1, 28-byte frame meta) holding
+/// `windows_per_segment` windows each, plus a schema-1 sidecar with none
+/// of the schema-2 fields. Returns each window's `(id, events, payload)`.
+fn build_v1_store(
+    dir: &std::path::Path,
+    segments: u64,
+    windows_per_segment: u64,
+) -> Vec<(u64, Vec<TraceEvent>, Vec<u8>)> {
+    let mut recorded = Vec::new();
+    let mut sidecar_segments = String::new();
+    let mut sidecar_windows = String::new();
+    for seq in 0..segments {
+        let mut file = Vec::new();
+        file.extend_from_slice(b"ESEG");
+        file.push(1); // version 1
+        file.extend_from_slice(&0u32.to_le_bytes()); // lane
+        file.extend_from_slice(&(seq as u32).to_le_bytes());
+        for w in 0..windows_per_segment {
+            let id = seq * windows_per_segment + w;
+            let events = window_events(id, 4 + (id % 5) as usize * 3);
+            let payload = encode(&events);
+            let offset = file.len();
+            let frame = v1_frame(id, &events, &payload);
+            let start = events[0].timestamp.as_nanos();
+            let end = events.last().unwrap().timestamp.as_nanos() + 1;
+            sidecar_windows.push_str(&format!(
+                "{}{{\"window_id\":{id},\"start_ns\":{start},\"end_ns\":{end},\
+                 \"events\":{},\"segment\":{seq},\"offset\":{offset},\"len\":{}}}",
+                if sidecar_windows.is_empty() { "" } else { "," },
+                events.len(),
+                frame.len() - 8,
+            ));
+            file.extend_from_slice(&frame);
+            recorded.push((id, events, payload));
+        }
+        sidecar_segments.push_str(&format!(
+            "{}{{\"seq\":{seq},\"committed_bytes\":{}}}",
+            if sidecar_segments.is_empty() { "" } else { "," },
+            file.len(),
+        ));
+        std::fs::write(dir.join(format!("lane0000-{seq:06}.seg")), file).unwrap();
+    }
+    let sidecar = format!(
+        "{{\"schema\":1,\"lane\":0,\"segments\":[{sidecar_segments}],\
+         \"windows\":[{sidecar_windows}]}}"
+    );
+    std::fs::write(dir.join("lane0000.idx.json"), sidecar).unwrap();
+    recorded
+}
+
+fn assert_store_matches(reader: &StoreReader, recorded: &[(u64, Vec<TraceEvent>, Vec<u8>)]) {
+    let all_events: Vec<TraceEvent> = recorded
+        .iter()
+        .flat_map(|(_, events, _)| events.clone())
+        .collect();
+    let all_bytes: Vec<u8> = recorded
+        .iter()
+        .flat_map(|(_, _, payload)| payload.clone())
+        .collect();
+    assert_eq!(reader.lane_events(0).unwrap(), all_events);
+    assert_eq!(reader.lane_payload_bytes(0).unwrap(), all_bytes);
+    for (id, events, payload) in recorded {
+        assert_eq!(
+            reader
+                .window_events(0, WindowId::new(*id))
+                .unwrap()
+                .unwrap(),
+            *events,
+            "window {id}"
+        );
+        assert_eq!(
+            reader
+                .window_payload(0, WindowId::new(*id))
+                .unwrap()
+                .unwrap(),
+            *payload,
+            "window {id}"
+        );
+    }
+    // The legacy seek-per-frame path agrees too.
+    assert_eq!(reader.lane_events_seek_per_frame(0).unwrap(), all_events);
+}
+
+#[test]
+fn v1_fixture_opens_cleanly_and_replays_byte_for_byte() {
+    let dir = temp_dir("v1-open");
+    let recorded = build_v1_store(&dir, 3, 4);
+    let reader = StoreReader::open(&dir).unwrap();
+    assert!(
+        reader.recovery().clean,
+        "the schema-1 sidecar must be trusted"
+    );
+    assert_eq!(
+        reader.total_events() as usize,
+        recorded.iter().map(|(_, e, _)| e.len()).sum::<usize>()
+    );
+    assert_eq!(
+        reader.total_payload_bytes() as usize,
+        recorded.iter().map(|(_, _, p)| p.len()).sum::<usize>()
+    );
+    // v1 frames store payloads verbatim: stored == payload bytes.
+    assert_eq!(reader.total_stored_bytes(), reader.total_payload_bytes());
+    assert_store_matches(&reader, &recorded);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_fixture_without_sidecar_is_rescanned() {
+    let dir = temp_dir("v1-scan");
+    let recorded = build_v1_store(&dir, 2, 5);
+    std::fs::remove_file(dir.join("lane0000.idx.json")).unwrap();
+    let reader = StoreReader::open(&dir).unwrap();
+    assert!(!reader.recovery().clean);
+    assert_store_matches(&reader, &recorded);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_writer_resumes_a_v1_store_into_a_mixed_version_lane() {
+    let dir = temp_dir("v1-resume");
+    let mut recorded = build_v1_store(&dir, 2, 3);
+
+    // Resume under a DeltaVarint-configured writer: old segments stay v1,
+    // new ones are v2.
+    let config = StoreConfig::default()
+        .with_codec(CodecId::DeltaVarint)
+        .with_segment_max_windows(2);
+    let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+    assert_eq!(writer.recovery().windows, 6);
+    for id in 6..11u64 {
+        let events = window_events(id, 40);
+        let payload = encode(&events);
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: events[0].timestamp,
+            end: Timestamp::from_nanos(events.last().unwrap().timestamp.as_nanos() + 1),
+        };
+        writer.record_window(&meta, &events, &payload).unwrap();
+        recorded.push((id, events, payload));
+    }
+    writer.close().unwrap();
+
+    let reader = StoreReader::open(&dir).unwrap();
+    assert!(reader.recovery().clean);
+    assert_store_matches(&reader, &recorded);
+    assert!(
+        reader.total_stored_bytes() < reader.total_payload_bytes(),
+        "the appended v2 windows must actually be compressed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recompression_rewrites_v1_segments_without_changing_replay() {
+    let dir = temp_dir("v1-recompress");
+    let recorded = build_v1_store(&dir, 4, 6);
+    let before = StoreReader::open(&dir).unwrap();
+    let payload_bytes = before.total_payload_bytes();
+    drop(before);
+
+    let policy = MaintenancePolicy::disabled().with_recompress(CodecId::DeltaVarint);
+    let report = Compactor::new(&dir, policy).compact().unwrap();
+    assert!(report.recompressed_windows() > 0, "{report}");
+    assert!(report.compression_ratio().unwrap() > 1.0, "{report}");
+    assert_eq!(report.windows_dropped(), 0);
+
+    let after = StoreReader::open(&dir).unwrap();
+    assert!(after.recovery().clean);
+    assert_eq!(after.total_payload_bytes(), payload_bytes);
+    assert!(after.total_stored_bytes() < payload_bytes);
+    assert_store_matches(&after, &recorded);
+    drop(after);
+
+    // The pass converges: a second run changes nothing.
+    let again = Compactor::new(&dir, policy).compact().unwrap();
+    assert!(again.is_noop(), "{again}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_codec_round_trips_through_a_full_store_lifecycle() {
+    for codec in CodecId::ALL {
+        let dir = temp_dir(&format!("lifecycle-{}", codec.as_u8()));
+        let config = StoreConfig::default()
+            .with_codec(codec)
+            .with_segment_max_windows(3);
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut recorded = Vec::new();
+        for id in 0..10u64 {
+            let events = window_events(id, 30);
+            let payload = encode(&events);
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: events[0].timestamp,
+                end: Timestamp::from_nanos(events.last().unwrap().timestamp.as_nanos() + 1),
+            };
+            writer.record_window(&meta, &events, &payload).unwrap();
+            recorded.push((id, events, payload));
+        }
+        writer.close().unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        assert!(reader.recovery().clean, "{codec}");
+        assert_store_matches(&reader, &recorded);
+        // Range replay across a window boundary.
+        let ranged = reader
+            .windows_in_range(
+                0,
+                Timestamp::from_micros(15_000),
+                Timestamp::from_micros(45_000),
+            )
+            .unwrap();
+        assert!(!ranged.is_empty(), "{codec}");
+        for (id, events) in &ranged {
+            assert_eq!(events, &recorded[id.index() as usize].1, "{codec}");
+        }
+        drop(reader);
+
+        // Merge-compact the small segments; replay must not move a byte.
+        let report = Compactor::new(&dir, MaintenancePolicy::merge_below(u64::MAX))
+            .compact()
+            .unwrap();
+        assert!(report.merged_runs() > 0, "{codec}: {report}");
+        let after = StoreReader::open(&dir).unwrap();
+        assert!(after.recovery().clean, "{codec}");
+        assert_store_matches(&after, &recorded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn crash_recovery_truncates_torn_v2_frames() {
+    let dir = temp_dir("v2-torn");
+    let config = StoreConfig::default().with_codec(CodecId::DeltaVarint);
+    let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+    let mut recorded = Vec::new();
+    for id in 0..3u64 {
+        let events = window_events(id, 25);
+        let payload = encode(&events);
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: events[0].timestamp,
+            end: Timestamp::from_nanos(events.last().unwrap().timestamp.as_nanos() + 1),
+        };
+        writer.record_window(&meta, &events, &payload).unwrap();
+        recorded.push((id, events, payload));
+    }
+    drop(writer); // crash: no sidecar
+                  // Tear the last frame mid-block.
+    let path = dir.join("lane0000-000000.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    let torn_len = bytes.len() - 7;
+    std::fs::write(&path, &bytes[..torn_len]).unwrap();
+
+    let reader = StoreReader::open(&dir).unwrap();
+    assert!(!reader.recovery().clean);
+    assert_eq!(reader.recovery().windows, 2, "the torn frame is dropped");
+    assert_eq!(reader.recovery().torn_tails.len(), 1);
+    assert_store_matches(&reader, &recorded[..2]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any geometry, any codec, recompression on or off: every surviving
+    /// payload byte is exact and the pass is idempotent.
+    #[test]
+    fn recompressing_compaction_preserves_payloads(
+        windows in 1u64..20,
+        per_segment in 1u64..5,
+        write_codec in 0u8..3,
+        recompress_codec in 1u8..3,
+        merge in any::<bool>(),
+    ) {
+        let write_codec = CodecId::from_u8(write_codec).unwrap();
+        let recompress_codec = CodecId::from_u8(recompress_codec).unwrap();
+        let dir = temp_dir(&format!(
+            "prop-{windows}-{per_segment}-{}-{}-{merge}",
+            write_codec.as_u8(),
+            recompress_codec.as_u8()
+        ));
+        let config = StoreConfig::default()
+            .with_codec(write_codec)
+            .with_segment_max_windows(per_segment);
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut expected_bytes = Vec::new();
+        for id in 0..windows {
+            let events = window_events(id, 3 + (id % 7) as usize * 5);
+            let payload = encode(&events);
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: events[0].timestamp,
+                end: Timestamp::from_nanos(events.last().unwrap().timestamp.as_nanos() + 1),
+            };
+            writer.record_window(&meta, &events, &payload).unwrap();
+            expected_bytes.extend(payload);
+        }
+        writer.close().unwrap();
+
+        let mut policy = MaintenancePolicy::disabled().with_recompress(recompress_codec);
+        if merge {
+            policy = policy.with_max_merged_bytes(4 * 1024);
+            policy.small_segment_bytes = u64::MAX;
+        }
+        Compactor::new(&dir, policy).compact().unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        prop_assert!(reader.recovery().clean);
+        prop_assert_eq!(reader.lane_payload_bytes(0).unwrap(), expected_bytes);
+        prop_assert_eq!(reader.windows(0).unwrap().len() as u64, windows);
+        drop(reader);
+        let again = Compactor::new(&dir, policy).compact().unwrap();
+        prop_assert!(again.is_noop(), "{}", again);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,21 +1,31 @@
 //! Trace serialisation codecs.
 //!
-//! Two codecs are provided:
+//! Two *trace* codecs turn event batches into bytes:
 //!
-//! * [`binary`] — a compact delta/varint encoding, the format used by the
-//!   recording sink for the trace-volume figures (this is what the recorded
-//!   trace would actually occupy on the storage device),
+//! * [`binary`] — a compact delta/varint encoding (`ETRC`), the format
+//!   used by the recording sink for the trace-volume figures (this is
+//!   what the recorded trace would actually occupy on the storage
+//!   device),
 //! * [`text`] — a line-oriented CSV-like format for debugging and for
 //!   interoperability with spreadsheet tools.
 //!
-//! Both codecs are lossless for the [`TraceEvent`](crate::TraceEvent)
-//! fields they carry and round-trip exactly.
+//! Both are lossless for the [`TraceEvent`] fields
+//! they carry and round-trip exactly.
+//!
+//! On top of them, the [`frame`] module defines *frame* codecs
+//! ([`FrameCodec`]): pluggable transformations between an encoded
+//! payload and the (smaller) block a durable store actually writes —
+//! identity, a columnar delta+varint re-encoding, and an LZ77 block
+//! compressor. See `docs/FORMAT.md` at the repository root for the
+//! normative block formats.
 
 pub mod binary;
+pub mod frame;
 pub mod text;
 mod varint;
 
 pub use binary::{BinaryDecoder, BinaryEncoder};
+pub use frame::{CodecId, DeltaVarintCodec, FrameCodec, IdentityCodec, LzBlockCodec};
 pub use text::{TextDecoder, TextEncoder};
 pub(crate) use varint::{decode_u64, encode_u64};
 

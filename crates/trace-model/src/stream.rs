@@ -80,7 +80,7 @@ impl From<u32> for StreamId {
 /// This models what a multi-stream endurance rig delivers to the host: the
 /// tracing fabric funnels every device's events into one feed, each tagged
 /// with its origin. Stream `i` of the input vector is tagged
-/// [`StreamId::new(i)`]. Ties are broken by stream index, so the merge is
+/// [`StreamId::new`]`(i)`. Ties are broken by stream index, so the merge is
 /// deterministic and per-stream order is always preserved.
 ///
 /// ```rust

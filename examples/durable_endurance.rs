@@ -7,10 +7,12 @@
 //!
 //! Demonstrates the persistence subsystem end to end:
 //!
-//! 1. **Record** — the paper's experiment runs with the session recording
-//!    through an `endurance-store` lane behind a [`SpooledSink`] writer
-//!    thread, closes cleanly, and the volume metrics are recomputed from
-//!    a cold reopen of the store (`Experiment::run_durable`).
+//! 1. **Record** — the paper's experiment runs once per frame codec,
+//!    with the session recording through an `endurance-store` lane
+//!    behind a [`SpooledSink`] writer thread, closing cleanly, and the
+//!    volume metrics recomputed from a cold reopen of each store
+//!    (`Experiment::run_durable_with`): identical replayed payloads,
+//!    different bytes on the device.
 //! 2. **Crash** — the same run is recorded again, but this time the
 //!    process "dies": the writer is dropped without `close`, and a torn
 //!    half-frame is appended to the tail segment the way an interrupted
@@ -24,7 +26,7 @@ use std::time::Duration;
 
 use endurance_core::{ReductionSession, WindowDecision};
 use endurance_eval::Experiment;
-use endurance_store::{LaneWriter, SpooledSink, StoreConfig, StoreReader};
+use endurance_store::{CodecId, LaneWriter, SpooledSink, StoreConfig, StoreReader};
 use mm_sim::Simulation;
 use trace_model::EventSource;
 
@@ -41,20 +43,32 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let experiment = Experiment::scaled(Duration::from_secs(seconds), 42)?;
 
-    // ── 1. Record with a clean close; recompute metrics from a reopen ──
-    let clean_dir = base.join("clean");
+    // ── 1. Record with a clean close, once per frame codec ──
     println!(
-        "recording {seconds} s of simulated endurance to {}...",
-        clean_dir.display()
+        "recording {seconds} s of simulated endurance once per frame codec under {}...",
+        base.display()
     );
-    let durable = experiment.run_durable(&clean_dir)?;
+    let mut durable = None;
+    for codec in CodecId::ALL {
+        let dir = base.join(format!("clean-{}", codec.name()));
+        let run = experiment.run_durable_with(&dir, StoreConfig::default().with_codec(codec))?;
+        assert!(run.recovery.clean);
+        println!(
+            "  {:>12}: {} windows / {} events; payload {} B stored as {} B ({:.2}x)",
+            codec.name(),
+            run.replayed_windows,
+            run.replayed_events,
+            run.replayed_payload_bytes,
+            run.replayed_stored_bytes,
+            run.compression_ratio().unwrap_or(1.0),
+        );
+        durable.get_or_insert(run);
+    }
+    let durable = durable.expect("at least one codec ran");
     println!("{}", durable.result.report);
     println!(
-        "reopened store: clean={}, {} windows / {} events / {} encoded bytes on disk \
+        "every reopened store replays the same {} encoded payload bytes \
          (matches the live recorder exactly)",
-        durable.recovery.clean,
-        durable.replayed_windows,
-        durable.replayed_events,
         durable.replayed_payload_bytes,
     );
 

@@ -9,19 +9,22 @@
 //! Walks the whole store lifecycle (write → rotate → compact → replay):
 //!
 //! 1. **Record & crash** — a 4-device fleet records through one spooled
-//!    store lane per shard under the `ShardedReducer`; the writers are
-//!    dropped without `close` (no sidecars) and a torn half-frame is
-//!    appended to one lane, the way a killed process leaves one.
+//!    store lane per shard under the `ShardedReducer`, each lane under a
+//!    *different* frame codec (identity, delta-varint, lz-block, ...);
+//!    the writers are dropped without `close` (no sidecars) and a torn
+//!    half-frame is appended to one lane, the way a killed process
+//!    leaves one.
 //! 2. **Compact** — the standalone [`Compactor`] truncates the torn
-//!    tail, merges runs of small segments and rewrites the sidecars
-//!    atomically, reporting the reclaimed bytes.
+//!    tail, merges runs of small segments, re-encodes the identity
+//!    lane's v1 segments into delta-varint frames, and rewrites the
+//!    sidecars atomically, reporting the reclaimed bytes.
 //! 3. **Reopen & replay** — the compacted store reopens *clean*, every
 //!    lane replays exactly the events each shard recorded before the
 //!    crash, and a windowed range query seeks via the rebuilt index.
-//! 4. **Fleet eval** — `MultiStreamExperiment::run_durable_with` runs
-//!    the same fleet cleanly end to end: per-lane recording, post-close
-//!    compaction, cold reopen, and per-stream confusion recomputed from
-//!    what is actually on disk.
+//! 4. **Fleet eval** — `MultiStreamExperiment::run_durable_with_stores`
+//!    runs the same mixed-codec fleet cleanly end to end: per-lane
+//!    recording, post-close compaction, cold reopen, and per-stream
+//!    confusion recomputed from what is actually on disk.
 
 use std::error::Error;
 use std::time::Duration;
@@ -29,12 +32,23 @@ use std::time::Duration;
 use endurance_core::{ShardedReducer, WindowDecision};
 use endurance_eval::MultiStreamExperiment;
 use endurance_store::{
-    Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
+    CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
 };
 use mm_sim::Simulation;
 use trace_model::{EventSource, InterleavedStreams, Timestamp};
 
 const DEVICES: usize = 4;
+
+/// Lane `shard`'s store config: small segments so rotation (and
+/// therefore compaction) has work, and one codec per device so the store
+/// mixes frame formats — lane 0 stays identity (v1 files) to give the
+/// compactor something to recompress.
+fn store_for(shard: usize) -> StoreConfig {
+    let codec = CodecId::from_u8((shard % CodecId::ALL.len()) as u8).expect("codec id in range");
+    StoreConfig::default()
+        .with_segment_max_bytes(64 * 1024)
+        .with_codec(codec)
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut args = std::env::args().skip(1);
@@ -48,13 +62,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let _ = std::fs::remove_dir_all(&base);
 
     let fleet = MultiStreamExperiment::scaled(Duration::from_secs(seconds), 42, DEVICES)?;
-    // Small segments so rotation (and therefore compaction) has work.
-    let store = StoreConfig::default().with_segment_max_bytes(64 * 1024);
 
     // ── 1. Record the fleet, then "die" before any close ──
     let crash_dir = base.join("crash");
     println!(
-        "recording {DEVICES} devices x {seconds} s of simulated endurance to {}...",
+        "recording {DEVICES} devices x {seconds} s of simulated endurance to {} \
+         (one frame codec per lane)...",
         crash_dir.display()
     );
     let simulations = fleet
@@ -69,7 +82,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut reducer = ShardedReducer::new(fleet.streams()[0].monitor.clone(), DEVICES)?
         .with_observers(|_| Vec::<WindowDecision>::new())
         .try_with_sinks(|shard| {
-            LaneWriter::create(&crash_store, shard as u32, store).map(SpooledSink::new)
+            LaneWriter::create(&crash_store, shard as u32, store_for(shard)).map(SpooledSink::new)
         })?;
     reducer.push_tagged(InterleavedStreams::new(simulations))?;
     let outcome = reducer.finish()?;
@@ -94,11 +107,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         torn_path.display()
     );
 
-    // ── 2. Compact the crashed store ──
-    let policy = MaintenancePolicy::merge_below(u64::MAX);
+    // ── 2. Compact the crashed store (merge + recompress v1 lanes) ──
+    let policy = MaintenancePolicy::merge_below(u64::MAX).with_recompress(CodecId::DeltaVarint);
     let report = Compactor::new(&crash_dir, policy).compact()?;
     println!();
     println!("{report}");
+    assert!(
+        report.recompressed_windows() > 0,
+        "lane 0 wrote v1 segments; the pass must re-encode them"
+    );
 
     // ── 3. Reopen and replay ──
     let reader = StoreReader::open(&crash_dir)?;
@@ -141,21 +158,27 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
 
-    // ── 4. The clean fleet eval path ──
+    // ── 4. The clean fleet eval path, mixed codecs per lane ──
     let eval_dir = base.join("eval");
     println!();
-    println!("running the durable fleet eval (record, close, compact, cold reopen)...");
-    let durable = fleet.run_durable_with(&eval_dir, store, Some(policy))?;
+    println!(
+        "running the durable fleet eval (record per-lane codecs, close, compact, cold reopen)..."
+    );
+    let durable = fleet.run_durable_with_stores(&eval_dir, store_for, Some(policy))?;
     let compaction = durable.compaction.as_ref().expect("compaction ran");
     println!(
-        "cold reopen: clean={}, {} windows / {} events / {} encoded bytes on disk; \
-         compaction reclaimed {} bytes over {} merged run(s)",
+        "cold reopen: clean={}, {} windows / {} events; {} payload bytes stored as {} \
+         ({:.2}x); compaction reclaimed {} bytes over {} merged run(s), {} window(s) \
+         re-encoded",
         durable.recovery.clean,
         durable.replayed_windows,
         durable.replayed_events,
         durable.replayed_payload_bytes,
+        durable.replayed_stored_bytes,
+        durable.replayed_payload_bytes as f64 / durable.replayed_stored_bytes.max(1) as f64,
         compaction.reclaimed_bytes(),
         compaction.merged_runs(),
+        compaction.recompressed_windows(),
     );
     for (stream, confusion) in durable.replay_confusion.iter().enumerate() {
         println!(

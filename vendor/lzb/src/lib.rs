@@ -1,0 +1,368 @@
+//! # lzb
+//!
+//! A small, self-contained LZ77-style block compressor, written for build
+//! environments with no access to crates.io. The format is byte-oriented
+//! (no bit packing, no entropy coding) in the spirit of LZ4:
+//!
+//! A compressed block is a sequence of *tokens*. Each token is:
+//!
+//! ```text
+//! token byte:   high nibble = literal run length  (15 = extended)
+//!               low  nibble = match length - 4    (15 = extended)
+//! extension:    while a length nibble was 15, read continuation bytes,
+//!               each adding 0..=255; a byte < 255 ends the extension
+//! literals:     `literal run length` raw bytes
+//! offset:       2 bytes little-endian, 1-based distance of the match
+//!               (present only when the block has not yet reached its
+//!               decompressed size after the literals — the final token
+//!               carries literals only and has no offset)
+//! ```
+//!
+//! Matches are at least [`MIN_MATCH`] bytes and reference at most
+//! [`MAX_OFFSET`] bytes back. Decompression is driven by the expected
+//! output length, so the caller must know (and transmit) the original
+//! size out of band — which a framed store format always does.
+//!
+//! ```rust
+//! let data = b"abcabcabcabcabcabc-the-end".repeat(8);
+//! let mut packed = Vec::new();
+//! lzb::compress(&data, &mut packed);
+//! assert!(packed.len() < data.len());
+//! let mut back = Vec::new();
+//! lzb::decompress(&packed, data.len(), &mut back).unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Minimum match length the compressor emits (shorter repeats are copied
+/// as literals).
+pub const MIN_MATCH: usize = 4;
+
+/// Maximum backward distance a match may reference.
+pub const MAX_OFFSET: usize = u16::MAX as usize;
+
+const HASH_BITS: u32 = 13;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Decompression failure: the block is malformed for the expected length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzbError {
+    /// The compressed input ended in the middle of a token.
+    Truncated {
+        /// Byte offset into the compressed input where data ran out.
+        offset: usize,
+    },
+    /// A match referenced bytes before the start of the output.
+    BadOffset {
+        /// Byte offset into the compressed input of the offending offset.
+        offset: usize,
+    },
+    /// Literals or a match would write past the expected output length.
+    Overrun {
+        /// Byte offset into the compressed input of the offending token.
+        offset: usize,
+    },
+    /// The expected output length was reached with compressed input left.
+    Trailing {
+        /// Count of unread compressed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for LzbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzbError::Truncated { offset } => {
+                write!(f, "compressed block truncated at byte {offset}")
+            }
+            LzbError::BadOffset { offset } => {
+                write!(f, "match offset at byte {offset} points before the output")
+            }
+            LzbError::Overrun { offset } => {
+                write!(f, "token at byte {offset} writes past the expected length")
+            }
+            LzbError::Trailing { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after the final token")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzbError {}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn push_lengths(out: &mut Vec<u8>, literal_len: usize, match_len: usize, has_match: bool) {
+    let lit_nibble = literal_len.min(15);
+    let match_stored = if has_match { match_len - MIN_MATCH } else { 0 };
+    let match_nibble = match_stored.min(15);
+    out.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+    if lit_nibble == 15 {
+        let mut rest = literal_len - 15;
+        while rest >= 255 {
+            out.push(255);
+            rest -= 255;
+        }
+        out.push(rest as u8);
+    }
+    if has_match && match_nibble == 15 {
+        let mut rest = match_stored - 15;
+        while rest >= 255 {
+            out.push(255);
+            rest -= 255;
+        }
+        out.push(rest as u8);
+    }
+}
+
+/// Compresses `src` into `out` (appending; `out` is not cleared).
+///
+/// The output is never much larger than the input: in the worst case
+/// (incompressible data) it is the input plus one token byte per 15·255
+/// literals and the token overhead of the final run.
+pub fn compress(src: &[u8], out: &mut Vec<u8>) {
+    let mut table = [usize::MAX; HASH_SIZE];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    out.reserve(src.len() / 2 + 16);
+
+    while pos + MIN_MATCH <= src.len() {
+        let h = hash4(&src[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        let found = candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && src[candidate..candidate + MIN_MATCH] == src[pos..pos + MIN_MATCH];
+        if !found {
+            pos += 1;
+            continue;
+        }
+        // Extend the match as far as it goes.
+        let mut len = MIN_MATCH;
+        while pos + len < src.len() && src[candidate + len] == src[pos + len] {
+            len += 1;
+        }
+        push_lengths(out, pos - literal_start, len, true);
+        out.extend_from_slice(&src[literal_start..pos]);
+        let offset = (pos - candidate) as u16;
+        out.extend_from_slice(&offset.to_le_bytes());
+        // Seed the table through the match so later data can reference it.
+        let end = pos + len;
+        while pos < end && pos + MIN_MATCH <= src.len() {
+            table[hash4(&src[pos..])] = pos;
+            pos += 1;
+        }
+        pos = end;
+        literal_start = pos;
+    }
+    // Final literal-only token (always present, even when empty, so an
+    // empty input still produces a decodable block).
+    push_lengths(out, src.len() - literal_start, 0, false);
+    out.extend_from_slice(&src[literal_start..]);
+}
+
+fn read_extended(src: &[u8], cursor: &mut usize, nibble: usize) -> Result<usize, LzbError> {
+    let mut len = nibble;
+    if nibble == 15 {
+        loop {
+            let byte = *src
+                .get(*cursor)
+                .ok_or(LzbError::Truncated { offset: *cursor })?;
+            *cursor += 1;
+            len += byte as usize;
+            if byte < 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompresses a block produced by [`compress`] into `out` (appending),
+/// stopping once `expected_len` bytes have been produced.
+///
+/// # Errors
+///
+/// Returns an [`LzbError`] when the block is truncated, references data
+/// before the output start, writes past `expected_len`, or leaves
+/// trailing compressed bytes — any disagreement with the expected length
+/// is an error, never silent truncation or padding.
+pub fn decompress(src: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), LzbError> {
+    let base = out.len();
+    out.reserve(expected_len);
+    let mut cursor = 0usize;
+    loop {
+        let token_at = cursor;
+        let token = *src
+            .get(cursor)
+            .ok_or(LzbError::Truncated { offset: cursor })?;
+        cursor += 1;
+        let literal_len = read_extended(src, &mut cursor, (token >> 4) as usize)?;
+        let match_stored = read_extended(src, &mut cursor, (token & 0x0F) as usize)?;
+
+        if out.len() - base + literal_len > expected_len {
+            return Err(LzbError::Overrun { offset: token_at });
+        }
+        let lit_end = cursor
+            .checked_add(literal_len)
+            .ok_or(LzbError::Truncated { offset: cursor })?;
+        if lit_end > src.len() {
+            return Err(LzbError::Truncated { offset: cursor });
+        }
+        out.extend_from_slice(&src[cursor..lit_end]);
+        cursor = lit_end;
+
+        if out.len() - base == expected_len {
+            // Final token: literals only, no offset follows.
+            if match_stored != 0 {
+                return Err(LzbError::Overrun { offset: token_at });
+            }
+            return if cursor == src.len() {
+                Ok(())
+            } else {
+                Err(LzbError::Trailing {
+                    remaining: src.len() - cursor,
+                })
+            };
+        }
+
+        let offset_at = cursor;
+        let offset_bytes = src
+            .get(cursor..cursor + 2)
+            .ok_or(LzbError::Truncated { offset: cursor })?;
+        cursor += 2;
+        let offset = u16::from_le_bytes([offset_bytes[0], offset_bytes[1]]) as usize;
+        let match_len = match_stored + MIN_MATCH;
+        if offset == 0 || offset > out.len() - base {
+            return Err(LzbError::BadOffset { offset: offset_at });
+        }
+        if out.len() - base + match_len > expected_len {
+            return Err(LzbError::Overrun { offset: token_at });
+        }
+        // Byte-by-byte copy: matches may overlap their own output
+        // (offset < match_len replicates a short period).
+        let from = out.len() - offset;
+        for i in from..from + match_len {
+            let byte = out[i];
+            out.push(byte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let mut packed = Vec::new();
+        compress(data, &mut packed);
+        let mut back = Vec::new();
+        decompress(&packed, data.len(), &mut back).unwrap();
+        assert_eq!(back, data, "round trip of {} bytes", data.len());
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data = b"0123456789".repeat(100);
+        let packed = round_trip(&data);
+        assert!(packed < data.len() / 4, "{packed} vs {}", data.len());
+    }
+
+    #[test]
+    fn overlapping_matches_replicate_periods() {
+        let mut data = vec![7u8; 1000]; // period-1 run -> offset 1 match
+        data.extend((0..=255u8).cycle().take(1000)); // period-256 run
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_input_round_trips_with_bounded_expansion() {
+        // A linear-congruential byte stream has no 4-byte repeats to speak of.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        let packed = round_trip(&data);
+        assert!(packed <= data.len() + data.len() / 255 + 16);
+    }
+
+    #[test]
+    fn long_literal_and_match_extensions_round_trip() {
+        // >15 literals, then a match far longer than 19 bytes.
+        let mut data = Vec::new();
+        data.extend((0..100u8).collect::<Vec<_>>());
+        data.extend(
+            std::iter::repeat(b"windowwindow".as_slice())
+                .take(600)
+                .flatten(),
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn appends_without_clearing() {
+        let mut packed = vec![0xAA];
+        compress(b"hello hello hello hello", &mut packed);
+        assert_eq!(packed[0], 0xAA);
+        let mut out = vec![0xBB];
+        decompress(&packed[1..], 23, &mut out).unwrap();
+        assert_eq!(&out[1..], b"hello hello hello hello");
+    }
+
+    #[test]
+    fn truncated_block_is_an_error() {
+        let data = b"abcdabcdabcdabcd-tail";
+        let mut packed = Vec::new();
+        compress(data, &mut packed);
+        for cut in 0..packed.len() {
+            let mut out = Vec::new();
+            assert!(
+                decompress(&packed[..cut], data.len(), &mut out).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_expected_length_is_an_error() {
+        let data = b"abcdabcdabcdabcdabcd";
+        let mut packed = Vec::new();
+        compress(data, &mut packed);
+        let mut out = Vec::new();
+        assert!(decompress(&packed, data.len() - 1, &mut out).is_err());
+        let mut out = Vec::new();
+        assert!(decompress(&packed, data.len() + 1, &mut out).is_err());
+    }
+
+    #[test]
+    fn bad_offset_is_an_error() {
+        // Hand-built token: 0 literals, match of 4 at offset 9 with only
+        // 0 bytes produced so far.
+        let packed = [0x00u8, 9, 0];
+        let mut out = Vec::new();
+        assert!(matches!(
+            decompress(&packed, 4, &mut out),
+            Err(LzbError::BadOffset { .. }) | Err(LzbError::Truncated { .. })
+        ));
+    }
+}

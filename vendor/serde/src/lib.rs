@@ -110,6 +110,21 @@ pub fn __get_field<T: Deserialize>(value: &Value, key: &str) -> Result<T, DeErro
     }
 }
 
+/// Fetches and deserialises a struct field, falling back to `default`
+/// when the key is absent (the `#[serde(default)]` derive support).
+pub fn __get_field_or<T: Deserialize>(
+    value: &Value,
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match value.get(key) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| DeError::new(format!("field `{key}`: {e}")))
+        }
+        None => Ok(default()),
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

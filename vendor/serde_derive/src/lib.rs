@@ -3,8 +3,9 @@
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
 //! shapes this workspace uses: structs with named fields, tuple structs,
 //! and enums whose variants are units, tuples or named-field records.
-//! Container attribute `#[serde(transparent)]` and field attribute
-//! `#[serde(skip)]` are honoured. Generic containers are not supported.
+//! Container attribute `#[serde(transparent)]` and field attributes
+//! `#[serde(skip)]`, `#[serde(default)]` and `#[serde(default = "path")]`
+//! are honoured. Generic containers are not supported.
 //!
 //! The macro parses the raw token stream directly (no `syn`/`quote`
 //! available offline) and emits code by formatting strings.
@@ -15,12 +16,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Attrs {
     transparent: bool,
     skip: bool,
+    /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
 }
 
 #[derive(Debug)]
 struct Field {
     name: String,
     skip: bool,
+    default: Option<Option<String>>,
 }
 
 #[derive(Debug)]
@@ -112,15 +117,35 @@ impl Cursor {
                     if inner.is_ident("serde") {
                         inner.next();
                         if let Some(TokenTree::Group(args)) = inner.next() {
-                            for token in args.stream() {
-                                if let TokenTree::Ident(word) = token {
-                                    match word.to_string().as_str() {
-                                        "transparent" => attrs.transparent = true,
-                                        "skip" => attrs.skip = true,
-                                        other => panic!(
-                                            "serde derive: unsupported serde attribute `{other}`"
-                                        ),
+                            let mut args = Cursor::new(args.stream());
+                            while !args.at_end() {
+                                match args.expect_ident().as_str() {
+                                    "transparent" => attrs.transparent = true,
+                                    "skip" => attrs.skip = true,
+                                    "default" => {
+                                        if args.is_punct('=') {
+                                            args.next();
+                                            match args.next() {
+                                                Some(TokenTree::Literal(lit)) => {
+                                                    let text = lit.to_string();
+                                                    let path = text.trim_matches('"').to_owned();
+                                                    attrs.default = Some(Some(path));
+                                                }
+                                                other => panic!(
+                                                    "serde derive: `default =` needs a \
+                                                     string literal, found {other:?}"
+                                                ),
+                                            }
+                                        } else {
+                                            attrs.default = Some(None);
+                                        }
                                     }
+                                    other => panic!(
+                                        "serde derive: unsupported serde attribute `{other}`"
+                                    ),
+                                }
+                                if args.is_punct(',') {
+                                    args.next();
                                 }
                             }
                         }
@@ -175,6 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             skip: attrs.skip,
+            default: attrs.default,
         });
     }
     fields
@@ -353,6 +379,15 @@ fn named_struct_constructor(path: &str, fields: &[Field], source: &str) -> Strin
         if field.skip {
             inits.push_str(&format!(
                 "{}: ::core::default::Default::default(),\n",
+                field.name
+            ));
+        } else if let Some(default) = &field.default {
+            let fallback = match default {
+                Some(path) => path.clone(),
+                None => "::core::default::Default::default".to_owned(),
+            };
+            inits.push_str(&format!(
+                "{0}: ::serde::__get_field_or({source}, \"{0}\", {fallback})?,\n",
                 field.name
             ));
         } else {
