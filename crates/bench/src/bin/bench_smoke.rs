@@ -37,11 +37,19 @@
 //!    (`store_codec_delta` vs `store_codec_identity`) and when a
 //!    maintenance pass re-encodes a v1 store in place
 //!    (`store_compact_recompress`).
+//! 5. **Live followers**: the same spooled recording loop through a
+//!    serving handle with four tail subscriptions draining the commit
+//!    stream (`store_live_mixed`) may cost the writer at most 10 % vs
+//!    running solo (`store_live_solo`) — live reads must ride the
+//!    watermarks, not tax the writer. Like the speedup gate, this needs
+//!    spare cores for the followers to run on: on hosts with fewer
+//!    hardware threads than followers-plus-writer the ratio is reported
+//!    but the gate is skipped.
 //!
 //! The artifact also records `store_compact` (a maintenance pass merging
 //! a many-segment lane), per-store-config on-disk bytes and compression
-//! ratios (schema 3), and, when a baseline is given, the per-config
-//! deltas vs the reference.
+//! ratios, the live-follower overhead ratio (schema 4), and, when a
+//! baseline is given, the per-config deltas vs the reference.
 //!
 //! The artifact also records `session_push` — one session over the merged
 //! untagged feed. That configuration does per-*fleet* windows (4× fewer
@@ -55,6 +63,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
+use endurance_serve::{ServeHandle, SubscribeOptions, SubscriptionStep};
 use endurance_store::{
     CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
 };
@@ -80,6 +89,12 @@ const REQUIRED_REPLAY_SPEEDUP: f64 = 2.0;
 /// workload's on-disk bytes by at least this factor vs identity storage
 /// (the paper's actual metric: bytes on the device).
 const REQUIRED_DELTA_RATIO: f64 = 1.5;
+/// Live tail followers may cost the writer at most this fraction of its
+/// solo rate (the serving-layer acceptance bar, mirroring
+/// [`SPOOL_TOLERANCE`]).
+const LIVE_FOLLOW_TOLERANCE: f64 = 0.10;
+/// Followers racing the writer in the `store_live_mixed` configuration.
+const LIVE_FOLLOWERS: usize = 4;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Measurement {
@@ -123,6 +138,10 @@ struct Artifact {
     delta_codec_ratio: f64,
     /// Payload-over-stored ratio after re-encoding a v1 store in place.
     recompress_ratio: f64,
+    /// `store_live_mixed` over `store_live_solo`: the writer's rate with
+    /// four live followers as a fraction of its solo rate (gated at
+    /// >= 1 - `LIVE_FOLLOW_TOLERANCE`).
+    live_follow_ratio: f64,
     /// Per-config deltas vs the baseline reference, when one was given.
     deltas: Vec<Delta>,
 }
@@ -577,6 +596,88 @@ fn main() -> ExitCode {
         compression_ratio: Some(recompress_ratio),
     });
 
+    // Live serving configs: the same pre-encoded windows recorded through
+    // a serving-handle lane behind a spooled writer thread, solo and with
+    // four tail subscriptions draining the commit stream while the writer
+    // appends. Only the writer's work (record + spool drain + close) is
+    // timed; the followers run on their own threads and are joined (and
+    // verified) outside the timed region.
+    let live_dir = std::env::temp_dir().join(format!("bench-smoke-live-{}", std::process::id()));
+    let mut live_rates = [f64::MIN; 2];
+    for (slot, followers) in [0usize, LIVE_FOLLOWERS].into_iter().enumerate() {
+        for _ in 0..reps {
+            let _ = std::fs::remove_dir_all(&live_dir);
+            let serve = ServeHandle::open(&live_dir).expect("serve");
+            let drains: Vec<_> = (0..followers)
+                .map(|_| {
+                    let subscription = serve.subscribe_with(
+                        0,
+                        SubscribeOptions {
+                            buffer: 512,
+                            resume_grace: Duration::ZERO,
+                        },
+                    );
+                    std::thread::spawn(move || {
+                        let mut delivered = 0u64;
+                        loop {
+                            match subscription
+                                .recv(Duration::from_secs(10))
+                                .expect("follower")
+                            {
+                                SubscriptionStep::Window(window) => {
+                                    std::hint::black_box(&window.payload);
+                                    delivered += 1;
+                                }
+                                SubscriptionStep::TimedOut => continue,
+                                SubscriptionStep::Ended => {
+                                    return (delivered, subscription.stats().dropped)
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let mut sink = SpooledSink::new(
+                serve
+                    .create_writer(0, StoreConfig::default())
+                    .expect("lane"),
+            );
+            let start = Instant::now();
+            for (meta, events, encoded) in &codec_windows {
+                sink.record_window(meta, events, encoded).expect("record");
+            }
+            sink.finish().expect("spool").close().expect("close");
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            live_rates[slot] = live_rates[slot].max(codec_events as f64 / elapsed);
+            for drain in drains {
+                let (delivered, dropped) = drain.join().expect("follower thread");
+                assert_eq!(
+                    delivered + dropped,
+                    codec_windows.len() as u64,
+                    "every committed window is delivered exactly once or an \
+                     accounted drop"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&live_dir);
+    let [live_solo_rate, live_mixed_rate] = live_rates;
+    eprintln!("  store_live_solo:   {:>12.0} events/s", live_solo_rate);
+    eprintln!(
+        "  store_live_mixed:  {:>12.0} events/s  ({LIVE_FOLLOWERS} followers)",
+        live_mixed_rate
+    );
+    configs.push(Measurement::rate(
+        "store_live_solo",
+        codec_events,
+        live_solo_rate,
+    ));
+    configs.push(Measurement::rate(
+        "store_live_mixed",
+        codec_events,
+        live_mixed_rate,
+    ));
+
     // Load the baseline (when given) before writing the artifact so the
     // per-config deltas ride along in it.
     let baseline: Option<Baseline> = match &options.baseline {
@@ -616,8 +717,9 @@ fn main() -> ExitCode {
     let replay_speedup = buffered_rate / seek_rate.max(1e-9);
     let identity_bytes = codec_bytes[&CodecId::Identity].max(1);
     let delta_ratio = identity_bytes as f64 / codec_bytes[&CodecId::DeltaVarint].max(1) as f64;
+    let live_follow_ratio = live_mixed_rate / live_solo_rate.max(1e-9);
     let artifact = Artifact {
-        schema: 3,
+        schema: 4,
         quick: options.quick,
         parallelism,
         configs,
@@ -625,6 +727,7 @@ fn main() -> ExitCode {
         replay_speedup_buffered: replay_speedup,
         delta_codec_ratio: delta_ratio,
         recompress_ratio,
+        live_follow_ratio,
         deltas,
     };
     let json = serde_json::to_string(&artifact).expect("serialise artifact");
@@ -738,6 +841,36 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_smoke: ok   recompression ratio: {recompress_ratio:.2}x payload reduction \
              re-encoding a v1 store (>= {REQUIRED_DELTA_RATIO:.1}x)"
+        );
+    }
+
+    // Gate 6: live followers must ride the commit watermarks nearly
+    // free — four subscriptions draining the lane may cost the writer at
+    // most LIVE_FOLLOW_TOLERANCE of its solo rate. On hosts without a
+    // spare core per follower the followers necessarily steal writer
+    // CPU, so (like the speedup gate) the ratio is reported but not
+    // gated there.
+    let live_floor = 1.0 - LIVE_FOLLOW_TOLERANCE;
+    if parallelism <= LIVE_FOLLOWERS {
+        eprintln!(
+            "bench_smoke: skip live-follower gate: only {parallelism} hardware thread(s) \
+             available (needs > {LIVE_FOLLOWERS}); measured {:.0}% of solo",
+            live_follow_ratio * 100.0
+        );
+    } else if live_follow_ratio < live_floor {
+        eprintln!(
+            "bench_smoke: FAIL live followers: store_live_mixed at {live_mixed_rate:.0} \
+             events/s is {:.0}% of store_live_solo ({live_solo_rate:.0}), need >= {:.0}%",
+            live_follow_ratio * 100.0,
+            live_floor * 100.0
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   live followers: store_live_mixed at {:.0}% of \
+             store_live_solo (>= {:.0}%, {LIVE_FOLLOWERS} followers)",
+            live_follow_ratio * 100.0,
+            live_floor * 100.0
         );
     }
 

@@ -108,7 +108,9 @@ impl Experiment {
         outcome.sink.finish()?.close()?;
 
         let reader = StoreReader::open(dir)?;
-        let replayed_windows = reader.windows(0).map_or(0, |windows| windows.len() as u64);
+        let replayed_windows = reader
+            .lane_windows(0)
+            .map_or(0, |windows| windows.len() as u64);
         let replayed_events = reader.total_events();
         let replayed_payload_bytes = reader.total_payload_bytes();
         let replayed_stored_bytes = reader.total_stored_bytes();

@@ -197,7 +197,7 @@ impl MultiStreamExperiment {
             // A lane whose index fails to load must surface as a storage
             // error, not as "zero windows on disk".
             let entries = if shard_report.recorder.windows_recorded == 0 {
-                reader.windows(lane).unwrap_or_default()
+                reader.lane_windows(lane).unwrap_or(&[])
             } else {
                 reader.lane_windows(lane)?
             };

@@ -39,6 +39,7 @@ mod experiment;
 mod fleet_durable;
 mod ground_truth;
 mod labeling;
+mod live;
 mod metrics;
 mod multistream;
 mod report;
@@ -52,6 +53,7 @@ pub use experiment::{Experiment, ExperimentResult};
 pub use fleet_durable::FleetDurableResult;
 pub use ground_truth::{DelayCalibration, GroundTruth};
 pub use labeling::{label_decisions, LabeledDecision, WindowLabel};
+pub use live::FleetLiveResult;
 pub use metrics::ConfusionMatrix;
 pub use multistream::{MultiStreamExperiment, MultiStreamResult, StreamResult};
 pub use report::{baseline_table, headline_table, sweep_table};

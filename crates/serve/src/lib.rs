@@ -1,0 +1,465 @@
+//! # endurance-serve
+//!
+//! Live serving layer over the endurance store: shared snapshots and
+//! tail-follow subscriptions.
+//!
+//! The store crate gives a recording fleet durability (`LaneWriter`) and
+//! cold replay (`StoreReader`). This crate adds the *online* read side —
+//! what a dashboard, a scoring job, or a debugging session needs while
+//! the endurance run is still appending:
+//!
+//! * [`ServeHandle`] — one handle per store directory. It creates (or
+//!   adopts) lane writers, tracks their commit logs, and serves reads.
+//! * **Snapshot queries** — [`ServeHandle::snapshot`] captures an
+//!   immutable, cheaply cloneable [`Snapshot`] of everything committed;
+//!   [`ServeHandle::window_events`] / [`ServeHandle::windows_in_range`]
+//!   answer from it. Snapshots share one segment-buffer pool with every
+//!   other consumer of the handle, so N concurrent readers hold one
+//!   copy of each resident segment.
+//! * **Tail subscriptions** — [`ServeHandle::subscribe`] spawns a
+//!   follower that receives every committed window of a lane exactly
+//!   once, in commit order, from the start of the lane through live
+//!   appends — waking on the writer's commit watermarks, never
+//!   poll-scanning, never observing a torn tail. Buffers are bounded:
+//!   a slow subscriber drops its *oldest* buffered windows (with
+//!   [`SubscriptionStats`] accounting) rather than stalling anything.
+//!
+//! ## Record live, follow live
+//!
+//! ```rust
+//! use endurance_serve::{ServeHandle, SubscriptionStep};
+//! use endurance_store::StoreConfig;
+//! use std::time::Duration;
+//! use trace_model::{EventSink, EventTypeId, Timestamp, TraceEvent};
+//!
+//! # fn main() -> Result<(), trace_model::TraceError> {
+//! let dir = std::env::temp_dir().join(format!("eserve-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let serve = ServeHandle::open(&dir)?;
+//! let mut writer = serve.create_writer(0, StoreConfig::default())?;
+//! let follower = serve.subscribe(0);
+//!
+//! writer.record(&[TraceEvent::new(Timestamp::from_micros(10), EventTypeId::new(1), 7)])?;
+//! let step = follower.recv(Duration::from_secs(5))?;
+//! assert!(matches!(step, SubscriptionStep::Window(_)));
+//!
+//! writer.close()?;
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hub;
+mod subscription;
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use endurance_store::{CommitLog, LaneWriter, SegmentCache, Snapshot, StoreConfig, StoreReader};
+use trace_model::{Timestamp, TraceError, TraceEvent, WindowId};
+
+use hub::Hub;
+
+pub use subscription::{SubscribeOptions, Subscription, SubscriptionStep};
+// Re-exported so subscribers don't need a direct endurance-store
+// dependency to consume delivered windows or read lag stats.
+pub use endurance_store::TailWindow;
+pub use trace_model::SubscriptionStats;
+
+/// The serving facade over one store directory.
+///
+/// Cheap to clone; clones share the snapshot cache, the segment-buffer
+/// pool and the writer registry. See the [crate docs](crate) for the
+/// full picture.
+///
+/// Snapshot queries answer from the handle's **current** snapshot,
+/// captured lazily on first use and replaced only by
+/// [`ServeHandle::refresh`] — a deliberate trade: queries are stable and
+/// repeatable between refreshes, and a refresh is one directory listing
+/// plus sidecar reads (segment buffers carry over through the shared
+/// pool). Subscriptions are independent of snapshots and always follow
+/// the live commit stream.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    cache: Arc<SegmentCache>,
+    hub: Arc<Hub>,
+    snapshot: Mutex<Option<Snapshot>>,
+}
+
+impl ServeHandle {
+    /// Opens (creating if absent) a store directory for serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let cache = Arc::new(SegmentCache::new(&dir));
+        Ok(ServeHandle {
+            inner: Arc::new(Inner {
+                dir,
+                cache,
+                hub: Arc::new(Hub::default()),
+                snapshot: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// The store directory this handle serves.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Creates a [`LaneWriter`] for `lane` in the served directory and
+    /// registers its commit log, so subscriptions to the lane follow it.
+    /// Creating a new writer for a lane a previous (crashed or closed)
+    /// writer owned is the resume path: live subscriptions carry over to
+    /// the new writer without re-delivering anything.
+    ///
+    /// The writer is handed back by value — wrap it in a
+    /// `SpooledSink`, hand it to a reducer shard, anything; the commit
+    /// plumbing rides along inside it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LaneWriter::create`].
+    pub fn create_writer(&self, lane: u32, config: StoreConfig) -> Result<LaneWriter, TraceError> {
+        let writer = LaneWriter::create(&self.inner.dir, lane, config)?;
+        self.inner.hub.register(writer.commit_log());
+        Ok(writer)
+    }
+
+    /// Registers the commit log of a writer created *outside* this
+    /// handle (e.g. by code that owns its own `LaneWriter::create`
+    /// call), so subscriptions can follow its lane. The latest
+    /// registration per lane wins.
+    pub fn register_commit_log(&self, log: CommitLog) {
+        self.inner.hub.register(log);
+    }
+
+    /// The currently registered commit log for `lane`, if any writer
+    /// has registered one.
+    pub fn commit_log(&self, lane: u32) -> Option<CommitLog> {
+        self.inner.hub.current(lane).map(|reg| reg.log)
+    }
+
+    /// The handle's current [`Snapshot`], capturing one on first use.
+    /// The snapshot is immutable — windows committed after its capture
+    /// are served only after [`ServeHandle::refresh`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the directory cannot be listed.
+    pub fn snapshot(&self) -> Result<Snapshot, TraceError> {
+        let mut cached = self.inner.snapshot.lock().expect("snapshot cache poisoned");
+        if let Some(snapshot) = cached.as_ref() {
+            return Ok(snapshot.clone());
+        }
+        let fresh = self.capture()?;
+        *cached = Some(fresh.clone());
+        Ok(fresh)
+    }
+
+    /// Captures a fresh [`Snapshot`] — observing everything committed up
+    /// to now — and makes it the handle's current one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::snapshot`].
+    pub fn refresh(&self) -> Result<Snapshot, TraceError> {
+        let fresh = self.capture()?;
+        *self.inner.snapshot.lock().expect("snapshot cache poisoned") = Some(fresh.clone());
+        Ok(fresh)
+    }
+
+    fn capture(&self) -> Result<Snapshot, TraceError> {
+        let reader = StoreReader::open_with_cache(&self.inner.dir, Arc::clone(&self.inner.cache))?;
+        Ok(reader.snapshot())
+    }
+
+    /// The decoded events of one committed window, answered from the
+    /// handle's current snapshot (see [`ServeHandle::snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Snapshot::window_events`].
+    pub fn window_events(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+    ) -> Result<Option<Vec<TraceEvent>>, TraceError> {
+        self.snapshot()?.window_events(lane, window_id)
+    }
+
+    /// The committed windows intersecting `[from, to)`, decoded, in
+    /// recording order, answered from the handle's current snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Snapshot::windows_in_range`].
+    pub fn windows_in_range(
+        &self,
+        lane: u32,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<(WindowId, Vec<TraceEvent>)>, TraceError> {
+        self.snapshot()?.windows_in_range(lane, from, to)
+    }
+
+    /// Subscribes to `lane` with default [`SubscribeOptions`]: the
+    /// follower receives every committed window exactly once, starting
+    /// from the beginning of the lane, then follows live appends. The
+    /// lane's writer may register before or after this call.
+    pub fn subscribe(&self, lane: u32) -> Subscription {
+        self.subscribe_with(lane, SubscribeOptions::default())
+    }
+
+    /// Subscribes to `lane` with explicit buffering and resume-grace
+    /// tuning.
+    pub fn subscribe_with(&self, lane: u32, opts: SubscribeOptions) -> Subscription {
+        Subscription::spawn(
+            self.inner.dir.clone(),
+            Arc::clone(&self.inner.hub),
+            lane,
+            opts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use trace_model::codec::{BinaryEncoder, TraceEncoder};
+    use trace_model::{EventSink, EventTypeId, RecordMeta};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("endurance-serve-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(writer: &mut LaneWriter, id: u64, count: usize) -> Vec<u8> {
+        let events: Vec<TraceEvent> = (0..count)
+            .map(|i| {
+                TraceEvent::new(
+                    Timestamp::from_micros(id * 1_000 + i as u64 * 10),
+                    EventTypeId::new((i % 3) as u16),
+                    id as u32,
+                )
+            })
+            .collect();
+        let mut encoded = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: Timestamp::from_micros(id * 1_000),
+            end: Timestamp::from_micros((id + 1) * 1_000),
+        };
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        encoded
+    }
+
+    fn drain(sub: &Subscription) -> Vec<TailWindow> {
+        let mut out = Vec::new();
+        loop {
+            match sub.recv(Duration::from_secs(10)).unwrap() {
+                SubscriptionStep::Window(window) => out.push(window),
+                SubscriptionStep::Ended => return out,
+                SubscriptionStep::TimedOut => panic!("no writer left; must end, not time out"),
+            }
+        }
+    }
+
+    #[test]
+    fn subscription_delivers_all_windows_and_matches_the_snapshot() {
+        let dir = temp_dir("deliver");
+        let serve = ServeHandle::open(&dir).unwrap();
+        let follower = serve.subscribe(0); // subscribed before the writer exists
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        let mut payloads = Vec::new();
+        for id in 0..9u64 {
+            payloads.push(record(&mut writer, id, 4));
+        }
+        writer.close().unwrap();
+
+        let got = drain(&follower);
+        let ids: Vec<u64> = got.iter().map(|w| w.entry.window_id).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<u64>>());
+        let followed: Vec<u8> = got.iter().flat_map(|w| w.payload.clone()).collect();
+        let snapshot = serve.refresh().unwrap();
+        assert_eq!(followed, snapshot.lane_payload_bytes(0).unwrap());
+        let stats = follower.stats();
+        assert_eq!(stats.delivered, 9);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.ended);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_queries_are_stable_until_refresh() {
+        let dir = temp_dir("stable");
+        let serve = ServeHandle::open(&dir).unwrap();
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        record(&mut writer, 0, 3);
+        writer.sync().unwrap();
+        assert_eq!(
+            serve
+                .window_events(0, WindowId::new(0))
+                .unwrap()
+                .unwrap()
+                .len(),
+            3
+        );
+        record(&mut writer, 1, 3);
+        writer.close().unwrap();
+        // The cached snapshot predates window 1...
+        assert!(serve.window_events(0, WindowId::new(1)).unwrap().is_none());
+        // ...until a refresh observes it.
+        serve.refresh().unwrap();
+        assert!(serve.window_events(0, WindowId::new(1)).unwrap().is_some());
+        assert_eq!(
+            serve
+                .windows_in_range(0, Timestamp::from_micros(0), Timestamp::from_micros(5_000))
+                .unwrap()
+                .len(),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_subscribers_drop_oldest_but_stay_live() {
+        let dir = temp_dir("lag");
+        let serve = ServeHandle::open(&dir).unwrap();
+        let follower = serve.subscribe_with(
+            0,
+            SubscribeOptions {
+                buffer: 2,
+                ..SubscribeOptions::default()
+            },
+        );
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        for id in 0..20u64 {
+            record(&mut writer, id, 3);
+        }
+        writer.close().unwrap();
+        // Give the pump time to overrun the 2-slot buffer, then drain.
+        let mut got = Vec::new();
+        loop {
+            match follower.recv(Duration::from_secs(10)).unwrap() {
+                SubscriptionStep::Window(window) => got.push(window.entry.window_id),
+                SubscriptionStep::Ended => break,
+                SubscriptionStep::TimedOut => panic!("writer closed; must end"),
+            }
+        }
+        let stats = follower.stats();
+        assert_eq!(got.len() as u64 + stats.dropped, 20);
+        // Whatever was delivered is strictly increasing (no duplicates,
+        // no reordering — only gaps from the drops).
+        assert!(got.windows(2).all(|pair| pair[0] < pair[1]), "{got:?}");
+        if stats.dropped > 0 {
+            assert_eq!(*got.last().unwrap(), 19, "newest windows are kept");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_and_resume_carries_subscriptions_over() {
+        let dir = temp_dir("resume");
+        let serve = ServeHandle::open(&dir).unwrap();
+        let follower = serve.subscribe_with(
+            0,
+            SubscribeOptions {
+                resume_grace: Duration::from_secs(5),
+                ..SubscribeOptions::default()
+            },
+        );
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        for id in 0..3u64 {
+            record(&mut writer, id, 4);
+        }
+        drop(writer); // crash
+
+        // Collect the three committed windows while the lane has no
+        // writer; the subscription stays open within the grace.
+        let mut ids = Vec::new();
+        while ids.len() < 3 {
+            match follower.recv(Duration::from_secs(10)).unwrap() {
+                SubscriptionStep::Window(window) => ids.push(window.entry.window_id),
+                other => panic!("expected a window, got {other:?}"),
+            }
+        }
+
+        // Resume: the new writer registers under the same handle and the
+        // follower continues without re-delivery.
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        for id in 3..6u64 {
+            record(&mut writer, id, 4);
+        }
+        writer.close().unwrap();
+        // The pump holds the subscription open for the resume grace
+        // after the close, so wait comfortably past it for the end.
+        loop {
+            match follower.recv(Duration::from_secs(30)).unwrap() {
+                SubscriptionStep::Window(window) => ids.push(window.entry.window_id),
+                SubscriptionStep::Ended => break,
+                SubscriptionStep::TimedOut => panic!("subscription must end after the grace"),
+            }
+        }
+        assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn many_followers_see_identical_streams() {
+        let dir = temp_dir("fanout");
+        let serve = ServeHandle::open(&dir).unwrap();
+        let followers: Vec<Subscription> = (0..4).map(|_| serve.subscribe(0)).collect();
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        for id in 0..12u64 {
+            record(&mut writer, id, 5);
+        }
+        writer.close().unwrap();
+        let streams: Vec<Vec<u8>> = followers
+            .iter()
+            .map(|follower| {
+                drain(follower)
+                    .iter()
+                    .flat_map(|w| w.payload.clone())
+                    .collect()
+            })
+            .collect();
+        for stream in &streams[1..] {
+            assert_eq!(stream, &streams[0]);
+        }
+        let snapshot = serve.snapshot().unwrap();
+        assert_eq!(streams[0], snapshot.lane_payload_bytes(0).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subscription_to_a_writerless_lane_can_be_dropped() {
+        let dir = temp_dir("idle");
+        let serve = ServeHandle::open(&dir).unwrap();
+        let follower = serve.subscribe(7);
+        assert!(matches!(
+            follower.recv(Duration::from_millis(30)).unwrap(),
+            SubscriptionStep::TimedOut
+        ));
+        drop(follower); // must not hang
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,261 @@
+//! Tail-follow subscriptions: a pump thread drains a
+//! [`Tailer`](endurance_store::Tailer) into a bounded buffer the
+//! subscriber consumes at its own pace.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use endurance_store::{TailStep, TailWindow, Tailer};
+use trace_model::{SubscriptionStats, TraceError};
+
+use crate::hub::Hub;
+
+/// How long pump-side blocking calls wait before re-checking the stop
+/// flag; bounds how long dropping a [`Subscription`] can take.
+const PUMP_QUANTUM: Duration = Duration::from_millis(25);
+
+/// Tuning for one subscription.
+#[derive(Debug, Clone, Copy)]
+pub struct SubscribeOptions {
+    /// Windows buffered between the pump and the subscriber. When the
+    /// subscriber falls further behind, the **oldest** buffered window
+    /// is dropped (counted in [`SubscriptionStats::dropped`]) so the
+    /// subscription stays live instead of stalling the pump.
+    pub buffer: usize,
+    /// After the writer closes, how long the pump waits for a *new*
+    /// writer to take over the lane (the crash/resume path) before the
+    /// subscription ends.
+    pub resume_grace: Duration,
+}
+
+impl Default for SubscribeOptions {
+    fn default() -> Self {
+        SubscribeOptions {
+            buffer: 64,
+            resume_grace: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What one [`Subscription::recv`] call produced.
+#[derive(Debug)]
+pub enum SubscriptionStep {
+    /// The next committed window (oldest still buffered).
+    Window(TailWindow),
+    /// Nothing arrived within the timeout; call again.
+    TimedOut,
+    /// The writer closed, no successor appeared within the resume grace,
+    /// and every buffered window has been consumed. Terminal.
+    Ended,
+}
+
+/// A live, bounded-buffer subscription to one lane's committed windows.
+///
+/// Created by [`crate::ServeHandle::subscribe`]. A background pump
+/// thread follows the lane's commit log and fills the buffer; the
+/// subscriber drains it with [`Subscription::recv`]. The pump never
+/// blocks the writer — a slow subscriber loses its *oldest* buffered
+/// windows (visible in [`SubscriptionStats::dropped`]), never the
+/// writer's throughput.
+///
+/// Dropping the subscription stops the pump promptly.
+#[derive(Debug)]
+pub struct Subscription {
+    shared: Arc<Shared>,
+    pump: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    lane: u32,
+    stop: AtomicBool,
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: VecDeque<TailWindow>,
+    delivered: u64,
+    dropped: u64,
+    behind: u64,
+    ended: bool,
+    error: Option<String>,
+}
+
+impl Subscription {
+    pub(crate) fn spawn(dir: PathBuf, hub: Arc<Hub>, lane: u32, opts: SubscribeOptions) -> Self {
+        let shared = Arc::new(Shared {
+            lane,
+            stop: AtomicBool::new(false),
+            state: Mutex::new(State::default()),
+            available: Condvar::new(),
+        });
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::spawn(move || pump(dir, hub, pump_shared, opts));
+        Subscription {
+            shared,
+            pump: Some(pump),
+        }
+    }
+
+    /// The lane this subscription follows.
+    pub fn lane(&self) -> u32 {
+        self.shared.lane
+    }
+
+    /// Receives the next committed window, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns (stickily) the pump's failure: an I/O or decode error
+    /// from the underlying tailer, including the lapse error after a
+    /// maintenance pass rewrote the lane layout mid-subscription.
+    pub fn recv(&self, timeout: Duration) -> Result<SubscriptionStep, TraceError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("subscription poisoned");
+        loop {
+            if let Some(window) = state.queue.pop_front() {
+                state.delivered += 1;
+                return Ok(SubscriptionStep::Window(window));
+            }
+            if let Some(message) = &state.error {
+                return Err(TraceError::Decode {
+                    offset: 0,
+                    reason: message.clone(),
+                });
+            }
+            if state.ended {
+                return Ok(SubscriptionStep::Ended);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Ok(SubscriptionStep::TimedOut);
+            };
+            let (next, wait) = self
+                .shared
+                .available
+                .wait_timeout(state, remaining)
+                .expect("subscription poisoned");
+            state = next;
+            if wait.timed_out() && state.queue.is_empty() && !state.ended && state.error.is_none() {
+                return Ok(SubscriptionStep::TimedOut);
+            }
+        }
+    }
+
+    /// Lag and drop accounting for this subscription, at this instant.
+    pub fn stats(&self) -> SubscriptionStats {
+        let state = self.shared.state.lock().expect("subscription poisoned");
+        SubscriptionStats {
+            delivered: state.delivered,
+            dropped: state.dropped,
+            buffered: state.queue.len() as u64,
+            behind: state.behind,
+            ended: state.ended,
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+/// The pump thread: follow the lane's current commit log, rebind across
+/// writer resumes, and keep the bounded buffer full.
+fn pump(dir: PathBuf, hub: Arc<Hub>, shared: Arc<Shared>, opts: SubscribeOptions) {
+    let lane = shared.lane;
+    let stopped = || shared.stop.load(Ordering::Relaxed);
+    // Wait for the first writer to register the lane.
+    let mut registration = loop {
+        if stopped() {
+            finish(&shared, None);
+            return;
+        }
+        if let Some(reg) = hub.wait_newer(lane, None, PUMP_QUANTUM) {
+            break reg;
+        }
+    };
+    let mut tailer = Tailer::follow(&dir, registration.log.clone());
+    while !stopped() {
+        match tailer.next(PUMP_QUANTUM) {
+            Err(error) => {
+                finish(&shared, Some(error.to_string()));
+                return;
+            }
+            Ok(TailStep::Window(window)) => {
+                let mut state = shared.state.lock().expect("subscription poisoned");
+                if state.queue.len() >= opts.buffer.max(1) {
+                    state.queue.pop_front();
+                    state.dropped += 1;
+                }
+                state.queue.push_back(window);
+                update_behind(&mut state, &registration.log, &tailer);
+                drop(state);
+                shared.available.notify_all();
+            }
+            Ok(TailStep::TimedOut) => {
+                let mut state = shared.state.lock().expect("subscription poisoned");
+                update_behind(&mut state, &registration.log, &tailer);
+            }
+            Ok(TailStep::Closed) => {
+                // The writer is gone; give a successor (crash/resume)
+                // one grace window to take over before ending.
+                let deadline = Instant::now() + opts.resume_grace;
+                let successor = loop {
+                    if stopped() {
+                        break None;
+                    }
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        break None;
+                    };
+                    let slice = remaining.min(PUMP_QUANTUM);
+                    if let Some(reg) = hub.wait_newer(lane, Some(registration.generation), slice) {
+                        break Some(reg);
+                    }
+                };
+                match successor {
+                    Some(reg) => {
+                        if let Err(error) = tailer.rebind(reg.log.clone()) {
+                            finish(&shared, Some(error.to_string()));
+                            return;
+                        }
+                        registration = reg;
+                    }
+                    None => {
+                        finish(&shared, None);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    finish(&shared, None);
+}
+
+/// How many committed windows the pump has not yet buffered.
+fn update_behind(state: &mut State, log: &endurance_store::CommitLog, tailer: &Tailer) {
+    state.behind = log
+        .view()
+        .watermark
+        .windows
+        .saturating_sub(tailer.delivered());
+}
+
+/// Marks the subscription finished (with an error, if the pump failed)
+/// and wakes any blocked `recv`.
+fn finish(shared: &Shared, error: Option<String>) {
+    let mut state = shared.state.lock().expect("subscription poisoned");
+    state.ended = true;
+    state.error = error;
+    drop(state);
+    shared.available.notify_all();
+}

@@ -1,0 +1,264 @@
+//! The writer → follower commit-watermark channel.
+//!
+//! A [`crate::LaneWriter`] owns one [`CommitLog`] per lane and publishes
+//! a [`CommitWatermark`] after every durable append; any number of
+//! followers hold clones of the log and block on it instead of
+//! poll-scanning segment files. The log carries *state*, not a message
+//! queue: a follower always sees the latest watermark, the cumulative
+//! list of sealed (rotated, final-length) segments, an epoch that bumps
+//! whenever maintenance rewrites the lane layout, and a closed flag set
+//! when the writer goes away. Everything a follower needs to read the
+//! committed prefix — and nothing past it — without ever racing the
+//! writer on the filesystem.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use trace_model::CommitWatermark;
+
+/// Shared commit-watermark channel of one lane (see the module docs).
+///
+/// Cheap to clone; all clones observe the same state. The publishing
+/// side is crate-internal (only [`crate::LaneWriter`] writes); consumers
+/// read via [`CommitLog::view`] / [`CommitLog::wait_newer`].
+#[derive(Debug, Clone)]
+pub struct CommitLog {
+    shared: Arc<Shared>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    lane: u32,
+    state: Mutex<State>,
+    advanced: Condvar,
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    watermark: CommitWatermark,
+    sealed: Vec<(u32, u64)>,
+    epoch: u64,
+    version: u64,
+    closed: bool,
+}
+
+/// One consistent observation of a [`CommitLog`].
+#[derive(Debug, Clone)]
+pub struct CommitView {
+    /// The latest published watermark.
+    pub watermark: CommitWatermark,
+    /// Final committed byte lengths of every sealed (closed) segment,
+    /// ascending by sequence number. A sealed segment never grows again;
+    /// its file may only disappear or shrink through a maintenance pass,
+    /// which bumps `epoch` first.
+    pub sealed: Vec<(u32, u64)>,
+    /// Bumped whenever a maintenance pass rewrites the lane layout
+    /// (merge, retention, recompression); followers must restart from a
+    /// fresh snapshot when they observe a bump.
+    pub epoch: u64,
+    /// Monotonic change counter, for [`CommitLog::wait_newer`].
+    pub version: u64,
+    /// Whether the writer has closed (cleanly or by being dropped). The
+    /// watermark then marks the exact end of the committed data.
+    pub closed: bool,
+}
+
+impl CommitView {
+    /// The committed byte bound of segment `seq` under this view:
+    /// its sealed final length, the live watermark for the segment being
+    /// appended, or `None` for a segment the writer has not reported.
+    pub fn bound(&self, seq: u32) -> Option<u64> {
+        if let Ok(at) = self.sealed.binary_search_by_key(&seq, |&(s, _)| s) {
+            return Some(self.sealed[at].1);
+        }
+        (self.watermark.segment == seq).then_some(self.watermark.committed_bytes)
+    }
+
+    /// The smallest reported segment strictly greater than `seq` (or the
+    /// smallest of all when `seq` is `None`) that holds committed bytes.
+    pub fn next_segment(&self, seq: Option<u32>) -> Option<u32> {
+        let after = |candidate: u32| seq.map_or(true, |s| candidate > s);
+        let sealed = self
+            .sealed
+            .iter()
+            .filter(|&&(s, len)| after(s) && len > 0)
+            .map(|&(s, _)| s)
+            .next();
+        let live = (after(self.watermark.segment) && self.watermark.committed_bytes > 0)
+            .then_some(self.watermark.segment);
+        match (sealed, live) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+impl CommitLog {
+    /// Creates an empty log for `lane` (version 0, nothing committed).
+    pub(crate) fn new(lane: u32) -> Self {
+        CommitLog {
+            shared: Arc::new(Shared {
+                lane,
+                state: Mutex::new(State {
+                    watermark: CommitWatermark::empty(lane),
+                    sealed: Vec::new(),
+                    epoch: 0,
+                    version: 0,
+                    closed: false,
+                }),
+                advanced: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The lane this log describes.
+    pub fn lane(&self) -> u32 {
+        self.shared.lane
+    }
+
+    fn update(&self, apply: impl FnOnce(&mut State)) {
+        let mut state = self.shared.state.lock().expect("commit log poisoned");
+        apply(&mut state);
+        state.version += 1;
+        drop(state);
+        self.shared.advanced.notify_all();
+    }
+
+    /// Publishes a new watermark (writer side, after a durable append).
+    pub(crate) fn publish(&self, watermark: CommitWatermark) {
+        debug_assert_eq!(watermark.lane, self.shared.lane);
+        self.update(|state| state.watermark = watermark);
+    }
+
+    /// Records the final committed length of a rotated segment.
+    pub(crate) fn seal(&self, seq: u32, committed_bytes: u64) {
+        self.update(|state| {
+            match state.sealed.binary_search_by_key(&seq, |&(s, _)| s) {
+                Ok(at) => state.sealed[at].1 = committed_bytes,
+                Err(at) => state.sealed.insert(at, (seq, committed_bytes)),
+            };
+        });
+    }
+
+    /// Announces a lane layout rewrite (maintenance pass); live followers
+    /// observe the bump and restart from a fresh snapshot.
+    pub(crate) fn bump_epoch(&self) {
+        self.update(|state| state.epoch += 1);
+    }
+
+    /// Marks the writer gone. Idempotent; called from the writer's `Drop`,
+    /// so it fires on clean close and simulated crash alike.
+    pub(crate) fn close(&self) {
+        self.update(|state| state.closed = true);
+    }
+
+    /// A consistent snapshot of the log's current state.
+    pub fn view(&self) -> CommitView {
+        let state = self.shared.state.lock().expect("commit log poisoned");
+        CommitView {
+            watermark: state.watermark,
+            sealed: state.sealed.clone(),
+            epoch: state.epoch,
+            version: state.version,
+            closed: state.closed,
+        }
+    }
+
+    /// Blocks until the log's version exceeds `seen` (returning the new
+    /// view) or `timeout` elapses (returning the unchanged view). Never
+    /// blocks when something newer than `seen` is already published.
+    pub fn wait_newer(&self, seen: u64, timeout: Duration) -> CommitView {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("commit log poisoned");
+        while state.version <= seen && !state.closed {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let (next, wait) = self
+                .shared
+                .advanced
+                .wait_timeout(state, remaining)
+                .expect("commit log poisoned");
+            state = next;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        CommitView {
+            watermark: state.watermark,
+            sealed: state.sealed.clone(),
+            epoch: state.epoch,
+            version: state.version,
+            closed: state.closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn views_observe_publishes_and_seals() {
+        let log = CommitLog::new(3);
+        assert_eq!(log.view().version, 0);
+        log.publish(CommitWatermark {
+            lane: 3,
+            segment: 0,
+            committed_bytes: 99,
+            windows: 2,
+            last_window_id: Some(1),
+        });
+        log.seal(0, 99);
+        let view = log.view();
+        assert_eq!(view.watermark.committed_bytes, 99);
+        assert_eq!(view.sealed, vec![(0, 99)]);
+        assert_eq!(view.bound(0), Some(99));
+        assert_eq!(view.bound(1), None);
+        assert!(!view.closed);
+    }
+
+    #[test]
+    fn next_segment_skips_empty_and_orders_sealed_before_live() {
+        let log = CommitLog::new(0);
+        log.seal(0, 0); // recovered-empty segment: no committed bytes
+        log.seal(1, 50);
+        log.publish(CommitWatermark {
+            lane: 0,
+            segment: 2,
+            committed_bytes: 30,
+            windows: 3,
+            last_window_id: Some(2),
+        });
+        let view = log.view();
+        assert_eq!(view.next_segment(None), Some(1));
+        assert_eq!(view.next_segment(Some(1)), Some(2));
+        assert_eq!(view.next_segment(Some(2)), None);
+    }
+
+    #[test]
+    fn wait_newer_returns_immediately_on_newer_version_and_blocks_otherwise() {
+        let log = CommitLog::new(0);
+        log.bump_epoch();
+        let view = log.wait_newer(0, Duration::from_secs(5));
+        assert_eq!(view.version, 1);
+        let start = std::time::Instant::now();
+        let view = log.wait_newer(view.version, Duration::from_millis(30));
+        assert_eq!(view.version, 1);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn close_wakes_waiters() {
+        let log = CommitLog::new(0);
+        let waiter = {
+            let log = log.clone();
+            std::thread::spawn(move || log.wait_newer(0, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        log.close();
+        let view = waiter.join().unwrap();
+        assert!(view.closed);
+    }
+}

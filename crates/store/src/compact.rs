@@ -926,7 +926,7 @@ mod tests {
         let events_before = before.lane_events(0).unwrap();
         let bytes_before = before.lane_payload_bytes(0).unwrap();
         let ids_before: Vec<u64> = before
-            .windows(0)
+            .lane_windows(0)
             .unwrap()
             .iter()
             .map(|w| w.window_id)
@@ -948,7 +948,7 @@ mod tests {
         assert_eq!(after.lane_events(0).unwrap(), events_before);
         assert_eq!(after.lane_payload_bytes(0).unwrap(), bytes_before);
         let ids_after: Vec<u64> = after
-            .windows(0)
+            .lane_windows(0)
             .unwrap()
             .iter()
             .map(|w| w.window_id)
@@ -963,7 +963,7 @@ mod tests {
         write_run(&dir, 10, 3, true); // windows end at 40..400 ms
 
         let before = StoreReader::open(&dir).unwrap();
-        let all = before.windows(0).unwrap().to_vec();
+        let all = before.lane_windows(0).unwrap().to_vec();
         drop(before);
 
         // Keep the trailing 160 ms: newest end is 400 ms, cutoff 240 ms,
@@ -975,13 +975,13 @@ mod tests {
         let after = StoreReader::open(&dir).unwrap();
         assert!(after.recovery().clean);
         let kept: Vec<u64> = after
-            .windows(0)
+            .lane_windows(0)
             .unwrap()
             .iter()
             .map(|w| w.window_id)
             .collect();
         assert_eq!(kept, vec![6, 7, 8, 9]);
-        for entry in after.windows(0).unwrap() {
+        for entry in after.lane_windows(0).unwrap() {
             let original = all.iter().find(|w| w.window_id == entry.window_id).unwrap();
             assert_eq!(entry.events, original.events);
             assert_eq!(entry.start_ns, original.start_ns);
@@ -1010,7 +1010,7 @@ mod tests {
 
         let after = StoreReader::open(&dir).unwrap();
         assert!(after.recovery().clean, "compaction leaves a clean store");
-        assert_eq!(after.windows(0).unwrap().len(), 4);
+        assert_eq!(after.lane_windows(0).unwrap().len(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1055,7 +1055,7 @@ mod tests {
         // segments are ignored, nothing is replayed twice.
         let reader = StoreReader::open(&dir).unwrap();
         assert_eq!(reader.lane_events(0).unwrap(), expected_events);
-        assert_eq!(reader.windows(0).unwrap().len(), 6);
+        assert_eq!(reader.lane_windows(0).unwrap().len(), 6);
         assert!(
             dir.join("lane0000-000001.seg").exists(),
             "the reader must not mutate the store"
@@ -1126,7 +1126,7 @@ mod tests {
             .unwrap();
         assert!(report.is_noop());
         let reader = StoreReader::open(&dir).unwrap();
-        assert_eq!(reader.windows(0).unwrap().len(), 4);
+        assert_eq!(reader.lane_windows(0).unwrap().len(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 

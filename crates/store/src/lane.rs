@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use trace_model::codec::{BinaryEncoder, CodecId, FrameCodec, TraceEncoder};
 use trace_model::{EventSink, RecordMeta, TraceError, TraceEvent};
 
+use crate::commit::CommitLog;
 use crate::compact::{compact_lane_index, LaneCompaction, MaintenancePolicy};
 use crate::index::{LaneIndex, RecoveryReport, SegmentMeta, WindowEntry, SIDECAR_SCHEMA};
 use crate::segment::{
@@ -170,6 +171,9 @@ pub struct LaneWriter {
     last_compaction: Option<LaneCompaction>,
     /// Maintenance passes that actually changed the lane.
     compaction_passes: u64,
+    /// Commit watermarks published to live followers (see
+    /// [`LaneWriter::commit_log`]).
+    commit: CommitLog,
 }
 
 impl LaneWriter {
@@ -261,6 +265,21 @@ impl LaneWriter {
         } else {
             SEGMENT_VERSION_V1
         };
+        // Publish the recovered state to live followers before the first
+        // append: every recovered segment is final (writing resumes in a
+        // fresh one), so followers may read each to exactly its scanned
+        // committed length — torn tails are already truncated above.
+        let commit = CommitLog::new(lane);
+        for meta in &index.segments {
+            commit.seal(meta.seq, meta.committed_bytes);
+        }
+        commit.publish(trace_model::CommitWatermark {
+            lane,
+            segment: next_seq,
+            committed_bytes: 0,
+            windows: index.windows.len() as u64,
+            last_window_id: index.windows.iter().map(|entry| entry.window_id).max(),
+        });
         Ok(LaneWriter {
             dir,
             lane,
@@ -283,7 +302,18 @@ impl LaneWriter {
             poisoned: None,
             last_compaction: None,
             compaction_passes: 0,
+            commit,
         })
+    }
+
+    /// The lane's commit-watermark channel: live followers ([`crate::Tailer`],
+    /// or a subscription in `endurance-serve`) clone this and block on it
+    /// instead of poll-scanning segment files. The writer publishes a new
+    /// watermark after every durable append, seals each segment's final
+    /// length at rotation, bumps the epoch when a maintenance pass
+    /// rewrites the layout, and closes the log when it is dropped.
+    pub fn commit_log(&self) -> CommitLog {
+        self.commit.clone()
     }
 
     /// The lane this writer appends to.
@@ -356,6 +386,10 @@ impl LaneWriter {
     fn rotate(&mut self) -> Result<(), TraceError> {
         if let Some(file) = self.file.take() {
             file.sync_all()?;
+            // The closed segment never grows again: record its final
+            // length so followers that missed intermediate watermarks
+            // still know exactly where its committed frames end.
+            self.commit.seal(self.seq, self.segment_bytes);
             self.seq += 1;
         }
         Ok(())
@@ -478,6 +512,16 @@ impl LaneWriter {
             codec: codec_used.as_u8(),
             raw_len,
         });
+        // The frame is fully on disk (one write_all): commit it to live
+        // followers. A failed append publishes nothing, so followers
+        // never read past the last good frame.
+        self.commit.publish(trace_model::CommitWatermark {
+            lane: self.lane,
+            segment: seq,
+            committed_bytes: self.segment_bytes,
+            windows: self.index.windows.len() as u64,
+            last_window_id: Some(window_id),
+        });
         Ok(())
     }
 
@@ -504,6 +548,9 @@ impl LaneWriter {
                 if !report.is_noop() {
                     self.compaction_passes += 1;
                     self.last_compaction = Some(report);
+                    // Segments were merged, dropped or re-encoded: byte
+                    // offsets a follower holds are stale. Invalidate them.
+                    self.commit.bump_epoch();
                 }
                 Ok(())
             }
@@ -514,6 +561,9 @@ impl LaneWriter {
                 // rescans cleanly and finishes any journalled merge).
                 self.index = backup;
                 self.poisoned = Some(format!("maintenance pass failed: {error}"));
+                // The layout on disk is uncertain; kick live followers
+                // out rather than let them trust stale bounds.
+                self.commit.bump_epoch();
                 Err(error)
             }
         }
@@ -562,6 +612,16 @@ impl LaneWriter {
         self.sync()?;
         self.file = None;
         Ok(())
+    }
+}
+
+impl Drop for LaneWriter {
+    /// Closes the commit log, waking any live follower: after a clean
+    /// [`LaneWriter::close`] *or* a crash-style drop, the last published
+    /// watermark marks the exact end of the committed data (a torn
+    /// in-flight frame is past the watermark by construction).
+    fn drop(&mut self) {
+        self.commit.close();
     }
 }
 

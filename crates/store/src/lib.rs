@@ -37,6 +37,14 @@
 //! * [`SpooledSink`] — a double-buffered writer thread behind the
 //!   synchronous `EventSink` trait, so shard workers overlap monitoring
 //!   with disk I/O without the trait (or in-memory sinks) changing.
+//! * [`Snapshot`] / [`Tailer`] / [`CommitLog`] — the live read side. A
+//!   [`Snapshot`] is an immutable, cheaply cloneable view of everything
+//!   committed at a point in time, backed by `Arc`-shared segment
+//!   buffers pooled in a [`SegmentCache`]. A [`Tailer`] follows a lane
+//!   *while a writer appends*, waking on the writer's [`CommitLog`]
+//!   watermarks and reading only sidecar-committed, CRC-verified frames
+//!   — never a torn tail, never a poll-scan. The `endurance-serve`
+//!   crate builds its subscription fan-out on these primitives.
 //!
 //! ## Record, crash, reopen, replay
 //!
@@ -69,6 +77,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod commit;
 mod compact;
 mod crc32;
 mod index;
@@ -76,15 +85,20 @@ mod lane;
 mod map;
 mod reader;
 mod segment;
+mod snapshot;
 mod spool;
+mod tail;
 
+pub use commit::{CommitLog, CommitView};
 pub use compact::{CompactionReport, Compactor, LaneCompaction, MaintenancePolicy};
 pub use crc32::crc32;
 pub use index::{LaneIndex, RecoveryReport, SegmentMeta, TornTail, WindowEntry};
 pub use lane::{LaneWriter, StoreConfig};
-pub use map::{SegmentMap, DEFAULT_RESIDENT_SEGMENTS};
+pub use map::{SegmentCache, SegmentMap, DEFAULT_RESIDENT_SEGMENTS};
 pub use reader::{LaneReplay, StoreReader};
+pub use snapshot::Snapshot;
 pub use spool::{SpooledSink, DEFAULT_SPOOL_DEPTH};
+pub use tail::{TailStep, TailWindow, Tailer};
 // Re-exported so store configuration does not force a trace-model import.
 pub use trace_model::codec::{CodecId, FrameCodec};
 
@@ -236,7 +250,7 @@ mod tests {
         assert!(dir.join("lane0001-000003.seg").exists());
 
         let reader = StoreReader::open(&dir).unwrap();
-        assert_eq!(reader.windows(1).unwrap().len(), 6);
+        assert_eq!(reader.lane_windows(1).unwrap().len(), 6);
         assert_eq!(reader.total_events(), 6 * 8);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -256,7 +270,13 @@ mod tests {
         let reader = StoreReader::open(&dir).unwrap();
         assert_eq!(reader.total_events(), total as u64);
         assert!(
-            reader.windows(0).unwrap().iter().map(|w| w.segment).max() > Some(0),
+            reader
+                .lane_windows(0)
+                .unwrap()
+                .iter()
+                .map(|w| w.segment)
+                .max()
+                > Some(0),
             "a 256-byte limit must have forced rotations"
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -272,7 +292,7 @@ mod tests {
         writer.close().unwrap();
 
         let reader = StoreReader::open(&dir).unwrap();
-        let windows = reader.windows(0).unwrap();
+        let windows = reader.lane_windows(0).unwrap();
         assert_eq!(windows.len(), 2);
         assert_eq!(windows[0].window_id, 0);
         assert_eq!(windows[1].window_id, 1);
@@ -286,7 +306,7 @@ mod tests {
         writer.close().unwrap();
         let reader = StoreReader::open(&dir).unwrap();
         let ids: Vec<u64> = reader
-            .windows(0)
+            .lane_windows(0)
             .unwrap()
             .iter()
             .map(|w| w.window_id)

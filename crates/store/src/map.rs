@@ -23,9 +23,18 @@
 //! over an N-segment lane holds at most `limit` segment buffers at a
 //! time, evicting the oldest as it advances — one buffered sequential
 //! sweep over the store, not an unbounded mirror of it.
+//!
+//! Since the serving layer landed, the loaded buffers themselves live in
+//! `Arc`-shared [`SegmentData`] blocks that many consumers can hold at
+//! once. A [`SegmentCache`] pools them behind sharded locks, so the maps
+//! handed out by [`crate::StoreReader::segment_map`], every
+//! [`crate::Snapshot`] clone and the reader's own windowed read paths all
+//! hit the *same* resident bytes (and share each frame's one-time CRC
+//! validation) instead of re-reading segment files per consumer.
 
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use trace_model::codec::{BinaryDecoder, CodecId, FrameCodec, TraceDecoder};
 use trace_model::{TraceError, TraceEvent};
@@ -44,23 +53,238 @@ use crate::segment::{
 /// default 8 MiB segments this bounds the map at ~32 MiB.
 pub const DEFAULT_RESIDENT_SEGMENTS: usize = 4;
 
+/// Lock shards of a [`SegmentCache`]: concurrent readers of different
+/// segments contend on different mutexes.
+const CACHE_SHARDS: usize = 8;
+
 /// One loaded segment: its full file contents, format version, and which
-/// frame offsets have already been CRC-validated.
+/// frame offsets have already been CRC-validated. Shared immutably via
+/// `Arc`; the validation memo sits behind its own mutex so concurrent
+/// readers pay one short lock per *first* touch of a frame, nothing on
+/// revisits beyond the memo lookup.
 #[derive(Debug)]
-struct LoadedSegment {
+pub(crate) struct SegmentData {
     bytes: Vec<u8>,
     version: u8,
-    validated: HashSet<u64>,
+    validated: Mutex<HashSet<u64>>,
+}
+
+impl SegmentData {
+    /// Reads the whole segment file and validates its header.
+    fn load(dir: &Path, lane: u32, seq: u32) -> Result<Self, TraceError> {
+        let path = dir.join(segment_file_name(lane, seq));
+        let bytes = std::fs::read(&path)?;
+        let version = parse_segment_header(&bytes, &path, lane, seq)?;
+        Ok(SegmentData {
+            bytes,
+            version,
+            validated: Mutex::new(HashSet::new()),
+        })
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Validates (once) and returns the body byte range of `entry` within
+    /// this segment buffer.
+    fn body_range(
+        &self,
+        lane: u32,
+        entry: &WindowEntry,
+    ) -> Result<std::ops::Range<usize>, TraceError> {
+        // Checked arithmetic: offsets/lengths come from the (possibly
+        // corrupt) index, so an overflow is corruption, not a panic.
+        let bytes_len = self.bytes.len();
+        let out_of_bounds = move || TraceError::Decode {
+            offset: entry.offset as usize,
+            reason: format!(
+                "index points past the end of lane {lane} segment {} ({bytes_len} bytes)",
+                entry.segment,
+            ),
+        };
+        let body_start = entry
+            .offset
+            .checked_add(FRAME_HEADER_LEN)
+            .ok_or_else(out_of_bounds)?;
+        let body_end = body_start
+            .checked_add(u64::from(entry.len))
+            .ok_or_else(out_of_bounds)?;
+        if body_end > self.bytes.len() as u64 {
+            return Err(out_of_bounds());
+        }
+        if u64::from(entry.len) < frame_meta_len(self.version) as u64 {
+            return Err(TraceError::Decode {
+                offset: entry.offset as usize,
+                reason: format!(
+                    "frame body of {} bytes is shorter than the v{} meta block",
+                    entry.len, self.version
+                ),
+            });
+        }
+        let already = {
+            let validated = self.validated.lock().expect("validation memo poisoned");
+            validated.contains(&entry.offset)
+        };
+        if !already {
+            let stored_len = read_u32(&self.bytes, entry.offset as usize);
+            let stored_crc = read_u32(&self.bytes, entry.offset as usize + 4);
+            let body = &self.bytes[body_start as usize..body_end as usize];
+            if stored_len != entry.len {
+                return Err(TraceError::Decode {
+                    offset: entry.offset as usize,
+                    reason: format!(
+                        "index says frame body is {} bytes, file says {stored_len}",
+                        entry.len
+                    ),
+                });
+            }
+            if crc32(body) != stored_crc {
+                return Err(TraceError::Decode {
+                    offset: entry.offset as usize,
+                    reason: format!(
+                        "crc mismatch reading lane {} segment {} offset {}",
+                        lane, entry.segment, entry.offset
+                    ),
+                });
+            }
+            self.validated
+                .lock()
+                .expect("validation memo poisoned")
+                .insert(entry.offset);
+        }
+        Ok(body_start as usize..body_end as usize)
+    }
+
+    /// The frame's codec and raw payload length as recorded *in the
+    /// file* (v1 frames are identity by construction).
+    fn frame_codec_and_raw_len(
+        &self,
+        lane: u32,
+        entry: &WindowEntry,
+        body: &std::ops::Range<usize>,
+    ) -> Result<(CodecId, usize), TraceError> {
+        if self.version < SEGMENT_VERSION_V2 {
+            return Ok((CodecId::Identity, entry.len as usize - frame_meta_len(1)));
+        }
+        let meta = &self.bytes[body.start..body.start + frame_meta_len(2)];
+        let codec = CodecId::from_u8(meta[28]).ok_or_else(|| TraceError::Decode {
+            offset: body.start + 28,
+            reason: format!(
+                "lane {lane} segment {} frame at {} uses unknown codec id {}",
+                entry.segment, entry.offset, meta[28]
+            ),
+        })?;
+        Ok((codec, read_u32(meta, 29) as usize))
+    }
+}
+
+/// A process-wide pool of loaded segment buffers, keyed by
+/// `(lane, segment)` behind sharded locks.
+///
+/// Every consumer wired to the same cache — the owning
+/// [`crate::StoreReader`]'s read paths, the standalone maps it hands out
+/// via [`crate::StoreReader::segment_map`], and each [`crate::Snapshot`]
+/// clone — shares the same `Arc`ed `SegmentData` buffers: one disk read
+/// and one CRC validation per frame across all of them. Lookups of
+/// different segments contend on different shards; holding an `Arc` out
+/// of the cache is lock-free reading thereafter.
+///
+/// Residency is bounded per shard (oldest-loaded evicted first); evicted
+/// buffers stay alive for exactly as long as some consumer still holds
+/// their `Arc`.
+#[derive(Debug)]
+pub struct SegmentCache {
+    dir: PathBuf,
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard: usize,
+}
+
+/// One shard's resident buffers, oldest-loaded first.
+type CacheShard = Vec<(u64, Arc<SegmentData>)>;
+
+impl SegmentCache {
+    /// An empty cache over the store directory `dir` with the default
+    /// residency bound (`CACHE_SHARDS ×` [`DEFAULT_RESIDENT_SEGMENTS`]
+    /// buffers).
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        SegmentCache {
+            dir: dir.as_ref().to_path_buf(),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            per_shard: DEFAULT_RESIDENT_SEGMENTS,
+        }
+    }
+
+    fn key(lane: u32, seq: u32) -> u64 {
+        (u64::from(lane) << 32) | u64::from(seq)
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Vec<(u64, Arc<SegmentData>)>> {
+        // Spread consecutive segments of one lane across shards.
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize % self.shards.len()]
+    }
+
+    /// Returns the loaded buffer for `(lane, seq)`, reading the file on a
+    /// miss — and *re*-reading it when the cached copy is shorter than
+    /// `min_len` bytes (an actively-appended segment legitimately grows
+    /// after it was first cached; a fresh read observes the newer frames).
+    fn get_at_least(
+        &self,
+        lane: u32,
+        seq: u32,
+        min_len: u64,
+    ) -> Result<Arc<SegmentData>, TraceError> {
+        let key = Self::key(lane, seq);
+        let shard = self.shard(key);
+        {
+            let resident = shard.lock().expect("segment cache poisoned");
+            if let Some((_, data)) = resident.iter().find(|(k, _)| *k == key) {
+                if data.len() as u64 >= min_len {
+                    return Ok(Arc::clone(data));
+                }
+            }
+        }
+        // Load outside the lock: a slow disk read must not serialize
+        // unrelated segments in the same shard. A racing double-load is
+        // benign (last insert wins; both copies are valid snapshots).
+        let data = Arc::new(SegmentData::load(&self.dir, lane, seq)?);
+        let mut resident = shard.lock().expect("segment cache poisoned");
+        resident.retain(|(k, _)| *k != key);
+        while resident.len() >= self.per_shard {
+            resident.remove(0);
+        }
+        resident.push((key, Arc::clone(&data)));
+        Ok(data)
+    }
+
+    /// Buffers currently resident across all shards.
+    pub fn resident_segments(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("segment cache poisoned").len())
+            .sum()
+    }
+
+    /// Drops every resident buffer (consumers holding `Arc`s keep
+    /// theirs; subsequent lookups reload from disk).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("segment cache poisoned").clear();
+        }
+    }
 }
 
 /// Buffered zero-copy reader over one lane's segment files.
 ///
-/// Created standalone with [`SegmentMap::new`] or borrowed implicitly by
-/// every [`crate::StoreReader`] read path. Frames are addressed by the
+/// Created standalone with [`SegmentMap::new`], wired to a shared
+/// [`SegmentCache`] with [`SegmentMap::shared`] (what
+/// [`crate::StoreReader::segment_map`] hands out), or borrowed implicitly
+/// by every [`crate::StoreReader`] read path. Frames are addressed by the
 /// [`WindowEntry`] rows of the lane index (see
-/// [`crate::StoreReader::windows`]); [`SegmentMap::payload`] returns the
-/// window's original payload bytes — zero-copy for uncompressed frames,
-/// decoded into an internal scratch buffer for compressed ones.
+/// [`crate::StoreReader::lane_windows`]); [`SegmentMap::payload`] returns
+/// the window's original payload bytes — zero-copy for uncompressed
+/// frames, decoded into an internal scratch buffer for compressed ones.
 ///
 /// The map validates lazily but *completely*: a frame's length and CRC
 /// are checked the first time it is touched, and a mismatch surfaces as
@@ -69,9 +293,12 @@ struct LoadedSegment {
 pub struct SegmentMap {
     dir: PathBuf,
     lane: u32,
-    /// Maximum segments kept resident (0 = unlimited).
+    /// Maximum segments pinned by this map (0 = unlimited).
     limit: usize,
-    segments: BTreeMap<u32, LoadedSegment>,
+    segments: BTreeMap<u32, Arc<SegmentData>>,
+    /// When present, buffers come from (and are shared through) this
+    /// cache instead of private per-map reads.
+    cache: Option<Arc<SegmentCache>>,
     /// Frame codecs, created lazily per id as compressed frames appear.
     codecs: Vec<Box<dyn FrameCodec>>,
     /// Decompressed-payload scratch, reused across frames.
@@ -87,9 +314,20 @@ impl SegmentMap {
             lane,
             limit: DEFAULT_RESIDENT_SEGMENTS,
             segments: BTreeMap::new(),
+            cache: None,
             codecs: Vec::new(),
             payload_scratch: Vec::new(),
         }
+    }
+
+    /// Creates a map over `lane` whose segment buffers come from the
+    /// shared `cache`: repeated maps over the same lane (or a map and a
+    /// [`crate::Snapshot`] side by side) hit the same resident buffers
+    /// instead of each re-reading the segment files.
+    pub fn shared(cache: Arc<SegmentCache>, lane: u32) -> Self {
+        let mut map = SegmentMap::new(&cache.dir, lane);
+        map.cache = Some(cache);
+        map
     }
 
     /// Returns the map with a different resident-segment limit
@@ -111,7 +349,7 @@ impl SegmentMap {
 
     /// Bytes currently held across resident segment buffers.
     pub fn resident_bytes(&self) -> usize {
-        self.segments.values().map(|s| s.bytes.len()).sum()
+        self.segments.values().map(|s| s.len()).sum()
     }
 
     /// Drops every resident buffer (subsequent touches reload).
@@ -119,11 +357,16 @@ impl SegmentMap {
         self.segments.clear();
     }
 
-    /// Loads `seq` if absent, evicting per the resident limit, and
-    /// validates the segment header.
-    fn load(&mut self, seq: u32) -> Result<(), TraceError> {
-        if self.segments.contains_key(&seq) {
-            return Ok(());
+    /// Pins `seq`'s buffer (loading or fetching from the shared cache if
+    /// absent, or if the pinned copy is shorter than `min_len` — an
+    /// actively-appended segment grows between touches), evicting per the
+    /// resident limit.
+    fn load_at_least(&mut self, seq: u32, min_len: u64) -> Result<(), TraceError> {
+        if let Some(data) = self.segments.get(&seq) {
+            if data.len() as u64 >= min_len {
+                return Ok(());
+            }
+            self.segments.remove(&seq);
         }
         if self.limit > 0 {
             while self.segments.len() >= self.limit {
@@ -136,103 +379,20 @@ impl SegmentMap {
                 self.segments.remove(&oldest);
             }
         }
-        let path = self.dir.join(segment_file_name(self.lane, seq));
-        let bytes = std::fs::read(&path)?;
-        let version = parse_segment_header(&bytes, &path, self.lane, seq)?;
-        self.segments.insert(
-            seq,
-            LoadedSegment {
-                bytes,
-                version,
-                validated: HashSet::new(),
-            },
-        );
+        let data = match &self.cache {
+            Some(cache) => cache.get_at_least(self.lane, seq, min_len)?,
+            None => Arc::new(SegmentData::load(&self.dir, self.lane, seq)?),
+        };
+        self.segments.insert(seq, data);
         Ok(())
     }
 
-    /// Validates (once) and returns the body byte range of `entry` within
-    /// its loaded segment.
-    fn body_range(
-        segment: &mut LoadedSegment,
-        lane: u32,
-        entry: &WindowEntry,
-    ) -> Result<std::ops::Range<usize>, TraceError> {
-        // Checked arithmetic: offsets/lengths come from the (possibly
-        // corrupt) index, so an overflow is corruption, not a panic.
-        let bytes_len = segment.bytes.len();
-        let out_of_bounds = move || TraceError::Decode {
-            offset: entry.offset as usize,
-            reason: format!(
-                "index points past the end of lane {lane} segment {} ({bytes_len} bytes)",
-                entry.segment,
-            ),
-        };
-        let body_start = entry
+    /// The byte length a buffer must have to serve `entry` in full.
+    fn needed_len(entry: &WindowEntry) -> u64 {
+        entry
             .offset
-            .checked_add(FRAME_HEADER_LEN)
-            .ok_or_else(out_of_bounds)?;
-        let body_end = body_start
-            .checked_add(u64::from(entry.len))
-            .ok_or_else(out_of_bounds)?;
-        if body_end > segment.bytes.len() as u64 {
-            return Err(out_of_bounds());
-        }
-        if u64::from(entry.len) < frame_meta_len(segment.version) as u64 {
-            return Err(TraceError::Decode {
-                offset: entry.offset as usize,
-                reason: format!(
-                    "frame body of {} bytes is shorter than the v{} meta block",
-                    entry.len, segment.version
-                ),
-            });
-        }
-        if !segment.validated.contains(&entry.offset) {
-            let stored_len = read_u32(&segment.bytes, entry.offset as usize);
-            let stored_crc = read_u32(&segment.bytes, entry.offset as usize + 4);
-            let body = &segment.bytes[body_start as usize..body_end as usize];
-            if stored_len != entry.len {
-                return Err(TraceError::Decode {
-                    offset: entry.offset as usize,
-                    reason: format!(
-                        "index says frame body is {} bytes, file says {stored_len}",
-                        entry.len
-                    ),
-                });
-            }
-            if crc32(body) != stored_crc {
-                return Err(TraceError::Decode {
-                    offset: entry.offset as usize,
-                    reason: format!(
-                        "crc mismatch reading lane {} segment {} offset {}",
-                        lane, entry.segment, entry.offset
-                    ),
-                });
-            }
-            segment.validated.insert(entry.offset);
-        }
-        Ok(body_start as usize..body_end as usize)
-    }
-
-    /// The frame's codec and raw payload length as recorded *in the
-    /// file* (v1 frames are identity by construction).
-    fn frame_codec_and_raw_len(
-        lane: u32,
-        segment: &LoadedSegment,
-        entry: &WindowEntry,
-        body: &std::ops::Range<usize>,
-    ) -> Result<(CodecId, usize), TraceError> {
-        if segment.version < SEGMENT_VERSION_V2 {
-            return Ok((CodecId::Identity, entry.len as usize - frame_meta_len(1)));
-        }
-        let meta = &segment.bytes[body.start..body.start + frame_meta_len(2)];
-        let codec = CodecId::from_u8(meta[28]).ok_or_else(|| TraceError::Decode {
-            offset: body.start + 28,
-            reason: format!(
-                "lane {lane} segment {} frame at {} uses unknown codec id {}",
-                entry.segment, entry.offset, meta[28]
-            ),
-        })?;
-        Ok((codec, read_u32(meta, 29) as usize))
+            .saturating_add(FRAME_HEADER_LEN)
+            .saturating_add(u64::from(entry.len))
     }
 
     /// The codec instance for `id`, created on first use.
@@ -254,13 +414,12 @@ impl SegmentMap {
     /// and [`TraceError::Decode`] on index/file disagreement (truncated
     /// file, length mismatch, CRC mismatch).
     pub fn body(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
-        self.load(entry.segment)?;
-        let lane = self.lane;
+        self.load_at_least(entry.segment, Self::needed_len(entry))?;
         let segment = self
             .segments
-            .get_mut(&entry.segment)
+            .get(&entry.segment)
             .expect("loaded just above");
-        let range = Self::body_range(segment, lane, entry)?;
+        let range = segment.body_range(self.lane, entry)?;
         Ok(&segment.bytes[range])
     }
 
@@ -273,7 +432,7 @@ impl SegmentMap {
     /// Same conditions as [`SegmentMap::body`], plus block decode errors
     /// for compressed frames.
     pub fn payload(&mut self, entry: &WindowEntry) -> Result<&[u8], TraceError> {
-        self.load(entry.segment)?;
+        self.load_at_least(entry.segment, Self::needed_len(entry))?;
         let SegmentMap {
             lane,
             segments,
@@ -281,9 +440,9 @@ impl SegmentMap {
             payload_scratch,
             ..
         } = self;
-        let segment = segments.get_mut(&entry.segment).expect("loaded just above");
-        let range = Self::body_range(segment, *lane, entry)?;
-        let (codec_id, raw_len) = Self::frame_codec_and_raw_len(*lane, segment, entry, &range)?;
+        let segment = segments.get(&entry.segment).expect("loaded just above");
+        let range = segment.body_range(*lane, entry)?;
+        let (codec_id, raw_len) = segment.frame_codec_and_raw_len(*lane, entry, &range)?;
         let block = &segment.bytes[range.start + frame_meta_len(segment.version)..range.end];
         if codec_id == CodecId::Identity {
             if block.len() != raw_len {
@@ -317,7 +476,7 @@ impl SegmentMap {
         entry: &WindowEntry,
         out: &mut Vec<TraceEvent>,
     ) -> Result<usize, TraceError> {
-        self.load(entry.segment)?;
+        self.load_at_least(entry.segment, Self::needed_len(entry))?;
         let SegmentMap {
             lane,
             segments,
@@ -325,9 +484,9 @@ impl SegmentMap {
             payload_scratch,
             ..
         } = self;
-        let segment = segments.get_mut(&entry.segment).expect("loaded just above");
-        let range = Self::body_range(segment, *lane, entry)?;
-        let (codec_id, raw_len) = Self::frame_codec_and_raw_len(*lane, segment, entry, &range)?;
+        let segment = segments.get(&entry.segment).expect("loaded just above");
+        let range = segment.body_range(*lane, entry)?;
+        let (codec_id, raw_len) = segment.frame_codec_and_raw_len(*lane, entry, &range)?;
         let block = &segment.bytes[range.start + frame_meta_len(segment.version)..range.end];
         if codec_id == CodecId::Identity {
             if block.len() != raw_len {
@@ -348,7 +507,7 @@ impl SegmentMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::{FRAME_META_LEN, SEGMENT_HEADER_LEN};
+    use crate::segment::{FRAME_HEADER_LEN, FRAME_META_LEN, SEGMENT_HEADER_LEN};
     use crate::{LaneWriter, StoreConfig, StoreReader};
     use trace_model::codec::{BinaryEncoder, TraceEncoder};
     use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
@@ -404,7 +563,7 @@ mod tests {
         let dir = temp_dir("resident");
         let payloads = write_windows(&dir, 12, 2); // 6 segments
         let reader = StoreReader::open(&dir).unwrap();
-        let entries: Vec<WindowEntry> = reader.windows(0).unwrap().to_vec();
+        let entries: Vec<WindowEntry> = reader.lane_windows(0).unwrap().to_vec();
         let mut map = SegmentMap::new(&dir, 0).with_resident_limit(2);
         for (entry, expected) in entries.iter().zip(&payloads) {
             assert_eq!(map.payload(entry).unwrap(), expected.as_slice());
@@ -426,7 +585,7 @@ mod tests {
             let dir = temp_dir(&format!("codec-{}", codec.as_u8()));
             let payloads = write_windows_with(&dir, 10, 3, codec);
             let reader = StoreReader::open(&dir).unwrap();
-            let entries: Vec<WindowEntry> = reader.windows(0).unwrap().to_vec();
+            let entries: Vec<WindowEntry> = reader.lane_windows(0).unwrap().to_vec();
             let mut map = SegmentMap::new(&dir, 0);
             for (entry, expected) in entries.iter().zip(&payloads) {
                 assert_eq!(map.payload(entry).unwrap(), expected.as_slice(), "{codec}");
@@ -443,7 +602,7 @@ mod tests {
         let dir = temp_dir("corrupt");
         write_windows(&dir, 2, 10);
         let reader = StoreReader::open(&dir).unwrap();
-        let entries: Vec<WindowEntry> = reader.windows(0).unwrap().to_vec();
+        let entries: Vec<WindowEntry> = reader.lane_windows(0).unwrap().to_vec();
         // Flip a payload byte of the second frame.
         let path = dir.join("lane0000-000000.seg");
         let mut bytes = std::fs::read(&path).unwrap();
@@ -481,6 +640,76 @@ mod tests {
         };
         let mut map = SegmentMap::new(&dir, 0);
         assert!(map.payload(&entry).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_maps_hit_the_same_cached_buffers() {
+        let dir = temp_dir("shared");
+        let payloads = write_windows(&dir, 8, 2); // 4 segments
+        let reader = StoreReader::open(&dir).unwrap();
+        let entries: Vec<WindowEntry> = reader.lane_windows(0).unwrap().to_vec();
+        let cache = Arc::new(SegmentCache::new(&dir));
+        let mut first = SegmentMap::shared(Arc::clone(&cache), 0);
+        for (entry, expected) in entries.iter().zip(&payloads) {
+            assert_eq!(first.payload(entry).unwrap(), expected.as_slice());
+        }
+        let loaded = cache.resident_segments();
+        assert!(loaded > 0);
+        // A second map over the same cache re-reads nothing: the buffers
+        // (and their validation memos) are the same Arcs.
+        let mut second = SegmentMap::shared(Arc::clone(&cache), 0);
+        for (entry, expected) in entries.iter().zip(&payloads) {
+            assert_eq!(second.payload(entry).unwrap(), expected.as_slice());
+        }
+        assert_eq!(cache.resident_segments(), loaded);
+        cache.clear();
+        assert_eq!(cache.resident_segments(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_cached_buffers_reload_when_the_segment_grew() {
+        let dir = temp_dir("grow");
+        let config = StoreConfig::default();
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let events = vec![TraceEvent::new(
+            Timestamp::from_micros(1),
+            EventTypeId::new(0),
+            1,
+        )];
+        let mut encoded = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+        let meta = |id: u64| RecordMeta {
+            window_id: WindowId::new(id),
+            start: Timestamp::from_micros(id),
+            end: Timestamp::from_micros(id + 1),
+        };
+        writer.record_window(&meta(0), &events, &encoded).unwrap();
+
+        // Cache the segment while only the first frame exists...
+        let cache = Arc::new(SegmentCache::new(&dir));
+        let mut map = SegmentMap::shared(Arc::clone(&cache), 0);
+        let first = crate::index::WindowEntry {
+            window_id: 0,
+            start_ns: 0,
+            end_ns: 1_000,
+            events: 1,
+            segment: 0,
+            offset: SEGMENT_HEADER_LEN,
+            len: FRAME_META_LEN as u32 + encoded.len() as u32,
+            codec: 0,
+            raw_len: encoded.len() as u32,
+        };
+        assert_eq!(map.payload(&first).unwrap(), encoded.as_slice());
+
+        // ...then append a second frame and address it through the same
+        // cache: the stale buffer is transparently re-read.
+        writer.record_window(&meta(1), &events, &encoded).unwrap();
+        writer.close().unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        let second = reader.lane_windows(0).unwrap()[1];
+        assert_eq!(map.payload(&second).unwrap(), encoded.as_slice());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

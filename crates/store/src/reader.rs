@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use trace_model::codec::CodecId;
 use trace_model::{EventSource, Timestamp, TraceError, TraceEvent, WindowId};
@@ -13,11 +13,12 @@ use crate::crc32::crc32;
 use crate::index::{
     LaneIndex, RecoveryReport, TornTail, WindowEntry, SIDECAR_SCHEMA, SIDECAR_SCHEMA_V1,
 };
-use crate::map::SegmentMap;
+use crate::map::{SegmentCache, SegmentMap};
 use crate::segment::{
     frame_meta_len, parse_segment_file_name, scan_segment, segment_file_name, sidecar_file_name,
     FRAME_HEADER_LEN,
 };
+use crate::snapshot::Snapshot;
 
 /// A reopened trace store: every lane's window index, ready for replay.
 ///
@@ -58,7 +59,7 @@ use crate::segment::{
 /// assert_eq!(reader.lane_ids(), vec![0]);
 /// // Full-lane replay, and a seek straight to one window via the index.
 /// assert_eq!(reader.lane_events(0)?, events);
-/// let first = reader.windows(0).expect("lane index")[0];
+/// let first = reader.lane_windows(0)?[0];
 /// assert_eq!(
 ///     reader.window_events(0, WindowId::new(first.window_id))?,
 ///     Some(events)
@@ -72,7 +73,12 @@ pub struct StoreReader {
     dir: PathBuf,
     lanes: BTreeMap<u32, LaneSlot>,
     recovery: OnceLock<RecoveryReport>,
-    /// Shared segment buffers for the windowed read paths, per lane.
+    /// Pooled `Arc`-shared segment buffers: the windowed read paths, the
+    /// maps handed out by [`StoreReader::segment_map`] and every
+    /// [`Snapshot`] taken from this reader all hit the same bytes.
+    cache: Arc<SegmentCache>,
+    /// Per-lane [`SegmentMap`] fronts (scratch + codec state) for the
+    /// windowed read paths; their buffers come from `cache`.
     maps: Mutex<BTreeMap<u32, SegmentMap>>,
 }
 
@@ -105,6 +111,24 @@ impl StoreReader {
     /// replaying the others. Torn tails are *not* errors; they are
     /// reported in [`StoreReader::recovery`].
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let cache = Arc::new(SegmentCache::new(dir.as_ref()));
+        Self::open_with_cache(dir, cache)
+    }
+
+    /// Opens the store directory read-only, pooling segment buffers in
+    /// `cache` — which **must** have been created over the same
+    /// directory. A long-lived serving process reopening the store to
+    /// observe new lanes or windows passes the same cache each time, so
+    /// already-resident segment buffers (and their one-time CRC
+    /// validations) carry over instead of being re-read.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::open`].
+    pub fn open_with_cache(
+        dir: impl AsRef<Path>,
+        cache: Arc<SegmentCache>,
+    ) -> Result<Self, TraceError> {
         let dir = dir.as_ref().to_path_buf();
         let mut segments: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         for entry in std::fs::read_dir(&dir)? {
@@ -135,6 +159,7 @@ impl StoreReader {
             dir,
             lanes,
             recovery: OnceLock::new(),
+            cache,
             maps: Mutex::new(BTreeMap::new()),
         })
     }
@@ -182,11 +207,14 @@ impl StoreReader {
 
     /// The window index of one lane, in recording order (loading it on
     /// first touch). `None` for an unknown lane or one whose index failed
-    /// to load; use [`StoreReader::lane_windows`] when the load error
-    /// matters.
+    /// to load.
+    ///
+    /// Deprecated thin alias of [`StoreReader::lane_windows`], which
+    /// surfaces *why* a lane has no index (unknown lane, unreadable or
+    /// corrupt segments) instead of collapsing every failure to `None`.
+    #[deprecated(note = "use `lane_windows`, which reports load failures instead of `None`")]
     pub fn windows(&self, lane: u32) -> Option<&[WindowEntry]> {
-        self.lanes.get(&lane)?;
-        self.loaded(lane).ok().map(|l| l.index.windows.as_slice())
+        self.lane_windows(lane).ok()
     }
 
     /// The window index of one lane, surfacing index-load failures
@@ -263,26 +291,45 @@ impl StoreReader {
     /// A standalone [`SegmentMap`] over one lane — the zero-copy frame
     /// reader every replay path uses, handed out for callers that want to
     /// manage buffer residency themselves (address frames with the
-    /// entries from [`StoreReader::windows`]).
+    /// entries from [`StoreReader::lane_windows`]). The map's buffers
+    /// come from the reader's shared [`SegmentCache`]: maps handed out
+    /// here, the reader's own windowed read paths, and every
+    /// [`Snapshot`] taken from this reader hit the same resident bytes
+    /// (and each frame's one-time CRC validation) instead of re-reading
+    /// segment files per consumer.
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::Decode`] for an unknown lane.
     pub fn segment_map(&self, lane: u32) -> Result<SegmentMap, TraceError> {
         self.lane_index(lane)?;
-        Ok(SegmentMap::new(&self.dir, lane))
+        Ok(SegmentMap::shared(Arc::clone(&self.cache), lane))
     }
 
-    /// Drops every cached segment buffer (each lane's shared
-    /// [`SegmentMap`] holds up to [`crate::DEFAULT_RESIDENT_SEGMENTS`]
-    /// loaded segments after a read). Long-lived readers over many-lane
-    /// stores can call this between phases to release the memory;
-    /// subsequent reads reload on demand.
+    /// An immutable, cheaply cloneable [`Snapshot`] of everything this
+    /// reader's lanes hold right now, sharing the reader's
+    /// [`SegmentCache`] (snapshot reads and reader reads hit the same
+    /// buffers). Forces every lane.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(
+            &self.dir,
+            Arc::clone(&self.cache),
+            self.recovery().clone(),
+            self.lanes.keys().map(|&lane| (lane, self.loaded(lane))),
+        )
+    }
+
+    /// Drops every cached segment buffer — the per-lane map fronts *and*
+    /// the shared [`SegmentCache`] pool behind them. Long-lived readers
+    /// over many-lane stores can call this between phases to release the
+    /// memory; subsequent reads reload on demand. (Snapshots holding
+    /// `Arc`s onto evicted buffers keep exactly those alive.)
     pub fn evict_buffers(&self) {
         self.maps
             .lock()
             .expect("segment map cache poisoned")
             .clear();
+        self.cache.clear();
     }
 
     /// Runs `read` against the shared per-lane segment map (creating it
@@ -313,7 +360,7 @@ impl StoreReader {
         }
         let map = maps
             .entry(lane)
-            .or_insert_with(|| SegmentMap::new(&self.dir, lane));
+            .or_insert_with(|| SegmentMap::shared(Arc::clone(&self.cache), lane));
         read(index, map)
     }
 

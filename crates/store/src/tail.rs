@@ -1,0 +1,557 @@
+//! Live tail-following of a lane while a writer appends.
+//!
+//! A [`Tailer`] replays a lane's committed frames *as they land*: it
+//! blocks on the writer's [`CommitLog`](crate::CommitLog) watermarks
+//! instead of poll-scanning files, and it only ever reads bytes the
+//! writer has reported as committed — a torn in-flight frame, or crash
+//! garbage past the committed prefix, is simply outside every bound the
+//! tailer will ever use. Each delivered frame is CRC-verified against
+//! the header the writer wrote, so a follower's output is byte-for-byte
+//! what a cold [`Snapshot`](crate::Snapshot) replay of the same windows
+//! produces.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use trace_model::codec::{BinaryDecoder, CodecId, FrameCodec, TraceDecoder};
+use trace_model::{TraceError, TraceEvent};
+
+use crate::commit::{CommitLog, CommitView};
+use crate::crc32::crc32;
+use crate::index::WindowEntry;
+use crate::segment::{
+    frame_meta_len, parse_segment_header, read_u32, segment_file_name, FRAME_HEADER_LEN,
+    SEGMENT_HEADER_LEN,
+};
+
+/// One committed window delivered by a [`Tailer`].
+#[derive(Debug, Clone)]
+pub struct TailWindow {
+    /// The window's index entry, rebuilt from the CRC-protected frame
+    /// bytes (identical to what the lane sidecar records for it).
+    pub entry: WindowEntry,
+    /// The window's original payload — the exact bytes the recorder
+    /// handed to the sink, after frame decompression.
+    pub payload: Vec<u8>,
+}
+
+impl TailWindow {
+    /// Decodes the window's events from its payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] when the payload is not a valid
+    /// event encoding.
+    pub fn events(&self) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut events = Vec::with_capacity(self.entry.events as usize);
+        BinaryDecoder::new().decode_into(&self.payload, &mut events)?;
+        Ok(events)
+    }
+}
+
+/// What one [`Tailer::next`] call produced.
+#[derive(Debug)]
+pub enum TailStep {
+    /// The next committed window, exactly once, in commit order.
+    Window(TailWindow),
+    /// Nothing new was committed within the timeout; call again.
+    TimedOut,
+    /// The writer closed (cleanly or by dropping) and every committed
+    /// window has been delivered. Terminal for this commit log; see
+    /// [`Tailer::rebind`] to continue across a writer resume.
+    Closed,
+}
+
+/// A live follower over one lane's committed frames.
+///
+/// Created with [`Tailer::follow`] from the writer's commit log (see
+/// [`crate::LaneWriter::commit_log`]); starts at the beginning of the
+/// lane, so a tailer attached mid-run first drains everything already
+/// committed — including windows recovered from a previous process — and
+/// then follows live appends. Call [`Tailer::next`] in a loop.
+///
+/// The tailer never coordinates with the writer beyond the commit log:
+/// it opens the segment files read-only and reads only within committed
+/// bounds, so any number of tailers ride along without slowing appends.
+///
+/// A maintenance pass that rewrites the lane layout (merge, retention,
+/// recompression) invalidates live followers: `next` then returns a
+/// *sticky* [`TraceError::Decode`] and the follower must restart from a
+/// fresh [`Snapshot`](crate::Snapshot).
+#[derive(Debug)]
+pub struct Tailer {
+    dir: PathBuf,
+    lane: u32,
+    log: CommitLog,
+    /// Segment the cursor is in (`None` until the first segment with
+    /// committed data is known).
+    seq: Option<u32>,
+    /// Byte offset of the next unread frame within that segment.
+    offset: u64,
+    /// Locally buffered prefix of the current segment file, grown
+    /// incrementally as the committed bound advances.
+    buf: Vec<u8>,
+    version: u8,
+    header_parsed: bool,
+    /// Last commit-log version this tailer acted on.
+    seen_version: u64,
+    /// The maintenance epoch the tailer is bound to (fixed on first
+    /// observation; any change lapses the tailer).
+    epoch: Option<u64>,
+    delivered: u64,
+    lapsed: bool,
+    codecs: Vec<Box<dyn FrameCodec>>,
+}
+
+impl Tailer {
+    /// Attaches a follower to `log`, reading segment files from the
+    /// store directory `dir`. The cursor starts at the beginning of the
+    /// lane.
+    pub fn follow(dir: impl Into<PathBuf>, log: CommitLog) -> Self {
+        Tailer {
+            dir: dir.into(),
+            lane: log.lane(),
+            log,
+            seq: None,
+            offset: 0,
+            buf: Vec::new(),
+            version: 0,
+            header_parsed: false,
+            seen_version: 0,
+            epoch: None,
+            delivered: 0,
+            lapsed: false,
+            codecs: Vec::new(),
+        }
+    }
+
+    /// The lane this tailer follows.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Windows delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Rebinds the follower to a *new* commit log for the same lane —
+    /// the resume path: when a writer crashes and a new
+    /// [`crate::LaneWriter`] reopens the lane, the old log reports
+    /// [`TailStep::Closed`]; rebinding to the new writer's log lets the
+    /// follower continue from its cursor without re-delivering anything.
+    /// (The committed prefix it already read is exactly what resume
+    /// recovery preserves, so the cursor stays valid.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] when `log` describes a different
+    /// lane.
+    pub fn rebind(&mut self, log: CommitLog) -> Result<(), TraceError> {
+        if log.lane() != self.lane {
+            return Err(TraceError::Decode {
+                offset: 0,
+                reason: format!(
+                    "cannot rebind a lane-{} tailer to a lane-{} commit log",
+                    self.lane,
+                    log.lane()
+                ),
+            });
+        }
+        self.log = log;
+        self.seen_version = 0;
+        self.epoch = None;
+        Ok(())
+    }
+
+    fn lapse(&mut self) -> TraceError {
+        self.lapsed = true;
+        TraceError::Decode {
+            offset: 0,
+            reason: format!(
+                "lane {} layout was rewritten by a maintenance pass under a live tailer; \
+                 restart from a fresh snapshot",
+                self.lane
+            ),
+        }
+    }
+
+    /// Delivers the next committed window, waiting up to `timeout` for
+    /// the writer when the tailer is caught up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when a segment file cannot be read and
+    /// [`TraceError::Decode`] on a commit-bound/file disagreement (CRC
+    /// mismatch, misaligned bound) — or, stickily, after a maintenance
+    /// pass rewrote the lane layout underneath the tailer.
+    pub fn next(&mut self, timeout: Duration) -> Result<TailStep, TraceError> {
+        if self.lapsed {
+            return Err(self.lapse());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut view = self.log.view();
+        loop {
+            match self.epoch {
+                None => self.epoch = Some(view.epoch),
+                Some(epoch) if epoch != view.epoch => return Err(self.lapse()),
+                Some(_) => {}
+            }
+            self.seen_version = view.version;
+            if let Some(window) = self.advance(&view)? {
+                self.delivered += 1;
+                return Ok(TailStep::Window(window));
+            }
+            if view.closed {
+                return Ok(TailStep::Closed);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Ok(TailStep::TimedOut);
+            };
+            let newer = self.log.wait_newer(self.seen_version, remaining);
+            if newer.version <= self.seen_version && !newer.closed {
+                return Ok(TailStep::TimedOut);
+            }
+            view = newer;
+        }
+    }
+
+    /// Reads the next committed frame within `view`'s bounds, advancing
+    /// across sealed segments; `None` when the cursor has consumed
+    /// everything the view reports.
+    fn advance(&mut self, view: &CommitView) -> Result<Option<TailWindow>, TraceError> {
+        loop {
+            let seq = match self.seq {
+                Some(seq) => seq,
+                None => match view.next_segment(None) {
+                    Some(seq) => {
+                        self.enter(seq);
+                        seq
+                    }
+                    None => return Ok(None),
+                },
+            };
+            let Some(bound) = view.bound(seq) else {
+                return Ok(None);
+            };
+            if self.offset < bound {
+                return self.read_frame(seq, bound).map(Some);
+            }
+            // The cursor sits exactly on the committed bound. If the
+            // writer reported a later segment, this one is sealed at
+            // `bound` (rotation seals before moving on) — step across.
+            match view.next_segment(Some(seq)) {
+                Some(next) => self.enter(next),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Positions the cursor at the first frame of segment `seq`.
+    fn enter(&mut self, seq: u32) {
+        self.seq = Some(seq);
+        self.offset = SEGMENT_HEADER_LEN;
+        self.buf.clear();
+        self.header_parsed = false;
+    }
+
+    /// Grows the local buffer to cover `bound` bytes of segment `seq`
+    /// and validates the segment header once.
+    fn fill_to(&mut self, seq: u32, bound: u64) -> Result<(), TraceError> {
+        let path = self.dir.join(segment_file_name(self.lane, seq));
+        while (self.buf.len() as u64) < bound {
+            let mut file = File::open(&path)?;
+            file.seek(SeekFrom::Start(self.buf.len() as u64))?;
+            let read = file.read_to_end(&mut self.buf)?;
+            if read == 0 {
+                return Err(TraceError::Decode {
+                    offset: self.buf.len(),
+                    reason: format!(
+                        "lane {} segment {seq} is shorter than its committed bound of {bound} bytes",
+                        self.lane
+                    ),
+                });
+            }
+        }
+        if !self.header_parsed {
+            self.version = parse_segment_header(&self.buf, &path, self.lane, seq)?;
+            self.header_parsed = true;
+        }
+        Ok(())
+    }
+
+    /// Reads, verifies and decodes the frame at the cursor (which the
+    /// caller has checked lies strictly inside `bound`).
+    fn read_frame(&mut self, seq: u32, bound: u64) -> Result<TailWindow, TraceError> {
+        self.fill_to(seq, bound)?;
+        let offset = self.offset;
+        let corrupt = |reason: String| TraceError::Decode {
+            offset: offset as usize,
+            reason,
+        };
+        if offset + FRAME_HEADER_LEN > bound {
+            return Err(corrupt(format!(
+                "committed bound {bound} splits a frame header in lane {} segment {seq}",
+                self.lane
+            )));
+        }
+        let body_len = read_u32(&self.buf, offset as usize);
+        let stored_crc = read_u32(&self.buf, offset as usize + 4);
+        let body_start = offset + FRAME_HEADER_LEN;
+        let body_end = body_start + u64::from(body_len);
+        if body_end > bound {
+            return Err(corrupt(format!(
+                "committed bound {bound} splits a frame body in lane {} segment {seq}",
+                self.lane
+            )));
+        }
+        let meta_len = frame_meta_len(self.version);
+        if (body_len as usize) < meta_len {
+            return Err(corrupt(format!(
+                "frame body of {body_len} bytes is shorter than the v{} meta block",
+                self.version
+            )));
+        }
+        let body = &self.buf[body_start as usize..body_end as usize];
+        if crc32(body) != stored_crc {
+            return Err(corrupt(format!(
+                "crc mismatch tailing lane {} segment {seq} offset {offset}",
+                self.lane
+            )));
+        }
+        let entry = crate::segment::entry_from_body(self.version, seq, offset, body);
+        let codec = CodecId::from_u8(entry.codec).ok_or_else(|| {
+            corrupt(format!(
+                "frame in lane {} segment {seq} uses unknown codec id {}",
+                self.lane, entry.codec
+            ))
+        })?;
+        let block = &body[meta_len..];
+        let payload = if codec == CodecId::Identity {
+            if block.len() != entry.raw_len as usize {
+                return Err(corrupt(format!(
+                    "identity frame stores {} bytes but claims a raw length of {}",
+                    block.len(),
+                    entry.raw_len
+                )));
+            }
+            block.to_vec()
+        } else {
+            let mut payload = Vec::with_capacity(entry.raw_len as usize);
+            Self::codec_mut(&mut self.codecs, codec).decompress(
+                block,
+                entry.raw_len as usize,
+                &mut payload,
+            )?;
+            payload
+        };
+        self.offset = body_end;
+        Ok(TailWindow { entry, payload })
+    }
+
+    fn codec_mut(codecs: &mut Vec<Box<dyn FrameCodec>>, id: CodecId) -> &mut dyn FrameCodec {
+        if let Some(at) = codecs.iter().position(|codec| codec.id() == id) {
+            return codecs[at].as_mut();
+        }
+        codecs.push(id.new_codec());
+        codecs.last_mut().expect("just pushed").as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneWriter, Snapshot, StoreConfig};
+    use trace_model::codec::{BinaryEncoder, TraceEncoder};
+    use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("endurance-tail-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(writer: &mut LaneWriter, id: u64, count: usize) -> Vec<u8> {
+        let events: Vec<TraceEvent> = (0..count)
+            .map(|i| {
+                TraceEvent::new(
+                    Timestamp::from_micros(id * 1_000 + i as u64 * 10),
+                    EventTypeId::new((i % 3) as u16),
+                    id as u32,
+                )
+            })
+            .collect();
+        let mut encoded = Vec::new();
+        BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+        let meta = RecordMeta {
+            window_id: WindowId::new(id),
+            start: Timestamp::from_micros(id * 1_000),
+            end: Timestamp::from_micros((id + 1) * 1_000),
+        };
+        writer.record_window(&meta, &events, &encoded).unwrap();
+        encoded
+    }
+
+    fn drain(tailer: &mut Tailer) -> Vec<TailWindow> {
+        let mut out = Vec::new();
+        loop {
+            match tailer.next(Duration::from_secs(10)).unwrap() {
+                TailStep::Window(window) => out.push(window),
+                TailStep::Closed => return out,
+                TailStep::TimedOut => panic!("writer is gone; tail must close, not time out"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_tailer_started_mid_run_delivers_every_committed_window_once() {
+        let dir = temp_dir("midrun");
+        let config = StoreConfig::default().with_segment_max_windows(3);
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut payloads = Vec::new();
+        for id in 0..5u64 {
+            payloads.push(record(&mut writer, id, 4));
+        }
+        // Attach mid-run: the tailer first drains the backlog...
+        let mut tailer = Tailer::follow(&dir, writer.commit_log());
+        for id in 5..11u64 {
+            payloads.push(record(&mut writer, id, 4));
+        }
+        writer.close().unwrap();
+        let got = drain(&mut tailer);
+        let ids: Vec<u64> = got.iter().map(|w| w.entry.window_id).collect();
+        assert_eq!(ids, (0..11).collect::<Vec<u64>>());
+        for (window, payload) in got.iter().zip(&payloads) {
+            assert_eq!(&window.payload, payload);
+        }
+        assert_eq!(tailer.delivered(), 11);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_output_matches_a_cold_snapshot_byte_for_byte() {
+        for codec in [CodecId::Identity, CodecId::DeltaVarint, CodecId::LzBlock] {
+            let dir = temp_dir(&format!("vs-snap-{}", codec.as_u8()));
+            let config = StoreConfig::default()
+                .with_segment_max_windows(2)
+                .with_codec(codec);
+            let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+            let mut tailer = Tailer::follow(&dir, writer.commit_log());
+            for id in 0..7u64 {
+                record(&mut writer, id, 5 + id as usize);
+            }
+            writer.close().unwrap();
+            let tailed: Vec<u8> = drain(&mut tailer)
+                .iter()
+                .flat_map(|w| w.payload.clone())
+                .collect();
+            let snapshot = Snapshot::open(&dir).unwrap();
+            assert_eq!(tailed, snapshot.lane_payload_bytes(0).unwrap(), "{codec}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn a_caught_up_tailer_times_out_then_resumes_on_new_commits() {
+        let dir = temp_dir("timeout");
+        let mut writer = LaneWriter::create(&dir, 0, StoreConfig::default()).unwrap();
+        record(&mut writer, 0, 3);
+        let mut tailer = Tailer::follow(&dir, writer.commit_log());
+        assert!(matches!(
+            tailer.next(Duration::from_secs(1)).unwrap(),
+            TailStep::Window(_)
+        ));
+        assert!(matches!(
+            tailer.next(Duration::from_millis(20)).unwrap(),
+            TailStep::TimedOut
+        ));
+        record(&mut writer, 1, 3);
+        assert!(matches!(
+            tailer.next(Duration::from_secs(1)).unwrap(),
+            TailStep::Window(_)
+        ));
+        writer.close().unwrap();
+        assert!(matches!(
+            tailer.next(Duration::from_secs(1)).unwrap(),
+            TailStep::Closed
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_garbage_past_the_watermark_is_invisible_and_resume_rebinds() {
+        let dir = temp_dir("crash");
+        let config = StoreConfig::default().with_segment_max_windows(4);
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut tailer = Tailer::follow(&dir, writer.commit_log());
+        for id in 0..3u64 {
+            record(&mut writer, id, 4);
+        }
+        drop(writer); // crash: commit log closes via Drop
+
+        // Smear a torn frame onto the open segment: a header promising
+        // more bytes than exist, then garbage.
+        let seg = dir.join("lane0000-000000.seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[0x99, 0x00, 0x00, 0x00, 0xAB, 0xCD, 0xEF, 0x01, 0x44]);
+        std::fs::write(&seg, bytes).unwrap();
+
+        // The tailer drains exactly the committed windows and closes —
+        // the garbage sits past every bound it will ever use.
+        let got = drain(&mut tailer);
+        assert_eq!(got.len(), 3);
+
+        // A resuming writer truncates the tear and appends more; the
+        // follower rebinds and continues without re-delivery.
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        assert_eq!(writer.recovery().windows, 3);
+        tailer.rebind(writer.commit_log()).unwrap();
+        record(&mut writer, 3, 4);
+        writer.close().unwrap();
+        let more = drain(&mut tailer);
+        let ids: Vec<u64> = more.iter().map(|w| w.entry.window_id).collect();
+        assert_eq!(ids, vec![3]);
+        assert_eq!(tailer.delivered(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintenance_epoch_bumps_lapse_the_tailer_stickily() {
+        let dir = temp_dir("lapse");
+        let config = StoreConfig::default()
+            .with_segment_max_windows(1)
+            .with_maintenance(crate::MaintenancePolicy::merge_below(1 << 20));
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        let mut tailer = Tailer::follow(&dir, writer.commit_log());
+        record(&mut writer, 0, 3);
+        // Latch the pre-maintenance epoch by delivering a window...
+        assert!(matches!(
+            tailer.next(Duration::from_secs(1)).unwrap(),
+            TailStep::Window(_)
+        ));
+        // ...then let inline maintenance merge segments at a rotation:
+        // the tailer observes the epoch bump and lapses, stickily.
+        for id in 1..6u64 {
+            record(&mut writer, id, 3);
+        }
+        let lapsed = tailer.next(Duration::from_secs(1));
+        assert!(lapsed.is_err(), "{lapsed:?}");
+        assert!(tailer.next(Duration::from_secs(1)).is_err());
+        writer.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebinding_to_another_lanes_log_is_rejected() {
+        let dir = temp_dir("wrong-lane");
+        let writer = LaneWriter::create(&dir, 1, StoreConfig::default()).unwrap();
+        let other = LaneWriter::create(&dir, 2, StoreConfig::default()).unwrap();
+        let mut tailer = Tailer::follow(&dir, writer.commit_log());
+        assert!(tailer.rebind(other.commit_log()).is_err());
+        drop((writer, other));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -138,11 +138,11 @@ proptest! {
         let after = StoreReader::open(&dir).unwrap();
         prop_assert!(after.recovery().clean, "compaction rewrites the sidecar");
         if survivors.is_empty() {
-            prop_assert!(after.windows(0).map_or(true, |w| w.is_empty()));
+            prop_assert!(after.lane_windows(0).map_or(true, |w| w.is_empty()));
             std::fs::remove_dir_all(&dir).ok();
             continue;
         }
-        let entries = after.windows(0).unwrap().to_vec();
+        let entries = after.lane_windows(0).unwrap().to_vec();
         let kept_ids: Vec<u64> = entries.iter().map(|w| w.window_id).collect();
         let expected_ids: Vec<u64> = survivors.iter().map(|(id, _, _)| *id).collect();
         prop_assert_eq!(&kept_ids, &expected_ids);
@@ -176,7 +176,7 @@ proptest! {
         prop_assert!(again.is_noop(), "{}", again);
         let fixed = StoreReader::open(&dir).unwrap();
         let fixed_ids: Vec<u64> = fixed
-            .windows(0)
+            .lane_windows(0)
             .unwrap()
             .iter()
             .map(|w| w.window_id)
@@ -231,7 +231,7 @@ proptest! {
         let reader = StoreReader::open(&dir).unwrap();
         prop_assert!(reader.recovery().clean);
         let kept: Vec<u64> = reader
-            .windows(0)
+            .lane_windows(0)
             .unwrap()
             .iter()
             .map(|w| w.window_id)

@@ -83,7 +83,7 @@ proptest! {
         // Every complete frame before the cut is recovered, in order.
         let complete: Vec<TraceEvent> = {
             let mut events = Vec::new();
-            for (covered, entry) in reader.windows(0).into_iter().flatten().enumerate() {
+            for (covered, entry) in reader.lane_windows(0).unwrap_or(&[]).iter().enumerate() {
                 prop_assert!(entry.offset + 8 + u64::from(entry.len) <= cut,
                     "recovered frame must end before the cut");
                 events.extend(recorded[covered].iter().copied());
@@ -102,7 +102,7 @@ proptest! {
             let report = reader.recovery();
             prop_assert!(!report.clean);
             let frame_boundary = survivors.len() == flat.len()
-                || reader.windows(0).map_or(0, |w| w.len()) * events_per_window
+                || reader.lane_windows(0).map_or(0, |w| w.len()) * events_per_window
                     == survivors.len();
             prop_assert!(frame_boundary);
             if cut > 13 {
@@ -110,9 +110,9 @@ proptest! {
                 // frame boundary (no torn tail) or the tail is reported.
                 let committed: u64 = 13
                     + reader
-                        .windows(0)
-                        .into_iter()
-                        .flatten()
+                        .lane_windows(0)
+                        .unwrap_or(&[])
+                        .iter()
                         .map(|w| 8 + u64::from(w.len))
                         .sum::<u64>();
                 if committed < cut {

@@ -1,0 +1,258 @@
+//! Concurrency coverage for the live read side: tailers racing an
+//! actively appending writer — including a mid-run crash with a torn
+//! tail and a resumed writer — must deliver every committed window
+//! exactly once, in commit order, byte-for-byte identical to a cold
+//! snapshot replay, and never observe torn or duplicate frames.
+
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use endurance_store::{CommitLog, LaneWriter, Snapshot, StoreConfig, TailStep, Tailer};
+use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("endurance-live-tail-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn window_events(id: u64, count: usize) -> Vec<TraceEvent> {
+    (0..count as u64)
+        .map(|i| {
+            TraceEvent::new(
+                Timestamp::from_micros(id * 10_000 + i * 250),
+                EventTypeId::new(((id + i) % 4) as u16),
+                (id * 100 + i) as u32,
+            )
+        })
+        .collect()
+}
+
+fn record(writer: &mut LaneWriter, id: u64, events_per_window: usize) {
+    let events = window_events(id, events_per_window);
+    let mut payload = Vec::new();
+    BinaryEncoder::new().encode(&events, &mut payload).unwrap();
+    let meta = RecordMeta {
+        window_id: WindowId::new(id),
+        start: Timestamp::from_micros(id * 10_000),
+        end: Timestamp::from_micros((id + 1) * 10_000),
+    };
+    writer.record_window(&meta, &events, &payload).unwrap();
+}
+
+/// A generation-counted slot through which the test hands each resumed
+/// writer's commit log to the tailer threads (the role the serving
+/// layer's hub plays in production).
+#[derive(Default)]
+struct LogSlot {
+    state: Mutex<SlotState>,
+    changed: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    generation: u64,
+    log: Option<CommitLog>,
+    finished: bool,
+}
+
+impl LogSlot {
+    fn publish(&self, log: CommitLog) {
+        let mut state = self.state.lock().unwrap();
+        state.generation += 1;
+        state.log = Some(log);
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    fn finish(&self) {
+        self.state.lock().unwrap().finished = true;
+        self.changed.notify_all();
+    }
+
+    /// Blocks until a generation newer than `seen` is published (returns
+    /// it) or the slot is finished (returns `None`).
+    fn wait_newer(&self, seen: u64) -> Option<(u64, CommitLog)> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.generation > seen {
+                return Some((state.generation, state.log.clone().unwrap()));
+            }
+            if state.finished {
+                return None;
+            }
+            state = self.changed.wait(state).unwrap();
+        }
+    }
+}
+
+/// One tailer thread: follow the slot's current log, rebind across
+/// resumes, collect every delivered window until the slot finishes with
+/// no successor.
+fn run_tailer(dir: std::path::PathBuf, slot: Arc<LogSlot>) -> Vec<(u64, Vec<u8>)> {
+    let (mut generation, log) = slot.wait_newer(0).expect("first writer always publishes");
+    let mut tailer = Tailer::follow(&dir, log);
+    let mut got = Vec::new();
+    loop {
+        match tailer.next(Duration::from_millis(50)).unwrap() {
+            TailStep::Window(window) => got.push((window.entry.window_id, window.payload)),
+            TailStep::TimedOut => continue,
+            TailStep::Closed => match slot.wait_newer(generation) {
+                Some((next_generation, log)) => {
+                    tailer.rebind(log).unwrap();
+                    generation = next_generation;
+                }
+                None => return got,
+            },
+        }
+    }
+}
+
+/// Appends raw garbage to the lane's newest segment file, simulating a
+/// write torn by the crash.
+fn smear_torn_tail(dir: &std::path::Path, garbage: &[u8]) {
+    let newest = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            (path.extension().is_some_and(|e| e == "seg")).then_some(path)
+        })
+        .max()
+        .expect("the writer created at least one segment");
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(newest)
+        .unwrap();
+    file.write_all(garbage).unwrap();
+    file.sync_all().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N tailers race a writer that appends, crashes mid-run leaving a
+    /// torn tail, and resumes: every tailer must deliver every committed
+    /// window exactly once, in commit order, and the accumulated bytes
+    /// must equal a cold snapshot replay. The torn garbage must be
+    /// invisible.
+    #[test]
+    fn tailers_survive_crash_truncated_resume_exactly_once(
+        before_crash in 1usize..10,
+        after_resume in 1usize..10,
+        events_per_window in 1usize..6,
+        segment_max_windows in 1u32..5,
+        garbage_seed in any::<u64>(),
+        garbage_len in 1usize..48,
+    ) {
+        // The vendored proptest has no byte-vec strategy; derive the torn
+        // garbage from a seeded LCG instead.
+        let mut state = garbage_seed | 1;
+        let garbage: Vec<u8> = (0..garbage_len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let dir = temp_dir("crash-resume");
+        let slot = Arc::new(LogSlot::default());
+        let config = StoreConfig::default().with_segment_max_windows(segment_max_windows.into());
+
+        let tailers: Vec<_> = (0..3)
+            .map(|_| {
+                let dir = dir.clone();
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || run_tailer(dir, slot))
+            })
+            .collect();
+
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        slot.publish(writer.commit_log());
+        for id in 0..before_crash as u64 {
+            record(&mut writer, id, events_per_window);
+        }
+        drop(writer); // crash
+        smear_torn_tail(&dir, &garbage);
+
+        // Resume: recovery truncates the tear; live tailers rebind and
+        // continue without re-delivery.
+        let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+        slot.publish(writer.commit_log());
+        for id in before_crash as u64..(before_crash + after_resume) as u64 {
+            record(&mut writer, id, events_per_window);
+        }
+        writer.close().unwrap();
+        slot.finish();
+
+        let snapshot = Snapshot::open(&dir).unwrap();
+        let cold: Vec<u8> = snapshot.lane_payload_bytes(0).unwrap();
+        let expected_ids: Vec<u64> = (0..(before_crash + after_resume) as u64).collect();
+        for tailer in tailers {
+            let got = tailer.join().unwrap();
+            let ids: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(&ids, &expected_ids, "exactly once, in commit order");
+            let followed: Vec<u8> = got.iter().flat_map(|(_, payload)| payload.clone()).collect();
+            prop_assert_eq!(&followed, &cold, "byte-for-byte vs the cold snapshot");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Watermark handoff under load: many appends with rotation while
+/// several tailers follow concurrently. Every tailer sees the identical
+/// full stream; no duplicates, no gaps, no torn frames.
+#[test]
+fn concurrent_tailers_see_identical_streams_under_load() {
+    let dir = temp_dir("stress");
+    let config = StoreConfig::default().with_segment_max_windows(7);
+    let mut writer = LaneWriter::create(&dir, 0, config).unwrap();
+    let log = writer.commit_log();
+
+    let tailers: Vec<_> = (0..4)
+        .map(|_| {
+            let dir = dir.clone();
+            let log = log.clone();
+            std::thread::spawn(move || {
+                let mut tailer = Tailer::follow(&dir, log);
+                let mut got = Vec::new();
+                loop {
+                    match tailer.next(Duration::from_millis(20)).unwrap() {
+                        TailStep::Window(window) => {
+                            got.push((window.entry.window_id, window.payload))
+                        }
+                        TailStep::TimedOut => continue,
+                        TailStep::Closed => return got,
+                    }
+                }
+            })
+        })
+        .collect();
+
+    const WINDOWS: u64 = 200;
+    for id in 0..WINDOWS {
+        record(&mut writer, id, 1 + (id % 5) as usize);
+    }
+    writer.close().unwrap();
+
+    let snapshot = Snapshot::open(&dir).unwrap();
+    let cold = snapshot.lane_payload_bytes(0).unwrap();
+    for tailer in tailers {
+        let got = tailer.join().unwrap();
+        let ids: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, (0..WINDOWS).collect::<Vec<u64>>());
+        let unique: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len() as u64, WINDOWS, "no duplicates");
+        let followed: Vec<u8> = got
+            .iter()
+            .flat_map(|(_, payload)| payload.clone())
+            .collect();
+        assert_eq!(followed, cold);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

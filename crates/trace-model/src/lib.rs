@@ -47,6 +47,7 @@
 pub mod codec;
 mod error;
 mod event;
+pub mod live;
 mod registry;
 mod stats;
 pub mod stream;
@@ -55,6 +56,7 @@ pub mod window;
 
 pub use error::TraceError;
 pub use event::{EventTypeId, Severity, TraceEvent};
+pub use live::{CommitWatermark, SubscriptionStats};
 pub use registry::{EventTypeInfo, EventTypeRegistry};
 pub use stats::TraceStats;
 pub use stream::{

@@ -125,7 +125,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("full replay: {} events, in recording order", replayed.len());
 
     // Windowed replay: seek straight to the last recorded window.
-    if let Some(entry) = reader.windows(0).and_then(|windows| windows.last()) {
+    if let Some(entry) = reader
+        .lane_windows(0)
+        .ok()
+        .and_then(|windows| windows.last())
+    {
         let events = reader
             .window_events(0, trace_model::WindowId::new(entry.window_id))?
             .expect("indexed window");

@@ -144,7 +144,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
     // A windowed range query via the rebuilt index.
-    if let Some(entry) = reader.windows(0).and_then(|windows| windows.last()) {
+    if let Some(entry) = reader
+        .lane_windows(0)
+        .ok()
+        .and_then(|windows| windows.last())
+    {
         let ranged = reader.windows_in_range(
             0,
             Timestamp::from_nanos(entry.start_ns),

@@ -128,7 +128,7 @@ fn single_lane_store_replays_byte_for_byte_after_crash() {
         .map(|decision| decision.window_id.index())
         .collect();
     let index_ids: Vec<u64> = reader
-        .windows(0)
+        .lane_windows(0)
         .expect("lane 0")
         .iter()
         .map(|entry| entry.window_id)

@@ -100,7 +100,7 @@ fn compacted_replay_is_byte_for_byte_identical_to_uncompacted_replay() {
     let before = StoreReader::open(&dir).expect("open");
     let events_before = before.lane_events(0).expect("events");
     let bytes_before = before.lane_payload_bytes(0).expect("bytes");
-    let entries_before = before.windows(0).expect("windows").to_vec();
+    let entries_before = before.lane_windows(0).expect("windows").to_vec();
     assert!(
         entries_before.len() >= 3,
         "the burst must record several windows for the merge to matter"
@@ -133,7 +133,7 @@ fn compacted_replay_is_byte_for_byte_identical_to_uncompacted_replay() {
         ranged_before
     );
     let ids_after: Vec<u64> = after
-        .windows(0)
+        .lane_windows(0)
         .expect("windows")
         .iter()
         .map(|w| w.window_id)
