@@ -1,0 +1,48 @@
+//! Benchmarks of the discrete-event fleet simulator: the cost of
+//! planning a fleet from its seed and of streaming a churning, faulted
+//! fleet trace through the event queue (`docs/SCENARIOS.md`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use mm_sim::{FleetEvent, FleetScenario, FleetSim, TraceHasher};
+
+fn bench_fleet_plan(c: &mut Criterion) {
+    let scenario = FleetScenario::churn_demo(2_000, 42).expect("scenario");
+    let mut group = c.benchmark_group("fleet_plan");
+    group.throughput(Throughput::Elements(u64::from(scenario.devices)));
+    group.bench_function("plan_2k_devices", |bench| {
+        bench.iter(|| {
+            FleetSim::new(black_box(&scenario))
+                .expect("sim")
+                .truth()
+                .streams
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fleet_stream(c: &mut Criterion) {
+    let scenario = FleetScenario::churn_demo(500, 42).expect("scenario");
+    let deliveries = FleetSim::new(&scenario)
+        .expect("sim")
+        .filter(|ev| matches!(ev, FleetEvent::Delivery(..)))
+        .count() as u64;
+    let mut group = c.benchmark_group("fleet_stream");
+    group.throughput(Throughput::Elements(deliveries));
+    group.bench_function("churn_500_devices", |bench| {
+        bench.iter(|| {
+            let mut hasher = TraceHasher::new();
+            for event in FleetSim::new(black_box(&scenario)).expect("sim") {
+                if let FleetEvent::Delivery(stream, trace_event) = event {
+                    hasher.update(stream, &trace_event);
+                }
+            }
+            hasher.finish()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_plan, bench_fleet_stream);
+criterion_main!(benches);

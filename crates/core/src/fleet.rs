@@ -1,0 +1,769 @@
+//! Per-stream reduction at fleet scale: the [`FleetReducer`].
+//!
+//! The [`ShardedReducer`](crate::ShardedReducer) treats a shard as the unit
+//! of work — events from many streams land in one session per shard, which
+//! is the right model for the *collector* plane (volume reduction under
+//! backpressure). Fleet health scoring needs the opposite: one
+//! [`ReductionSession`] **per stream**, so each device's windows are judged
+//! against the curated reference on their own, and a device can join late,
+//! leave early, or fail without disturbing its neighbours.
+//!
+//! The `FleetReducer` keeps the sharded engine's threading shape — events
+//! are hash-routed to a fixed worker by stream id, batched onto bounded
+//! channels — but each worker demultiplexes its batches into lazily created
+//! per-stream sessions. Streams appear on their first event (late join),
+//! are finalised by [`close_stream`](FleetReducer::close_stream) (leave),
+//! and a session error aborts only that stream: its outcome records the
+//! error, subsequent events for it are counted and discarded, and every
+//! other stream keeps reducing.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use trace_model::{CountingSink, EventSink, StreamId, TraceEvent};
+
+use crate::config::MonitorConfig;
+use crate::error::CoreError;
+use crate::reference::ReferenceModel;
+use crate::report::ReductionReport;
+use crate::session::{DecisionObserver, NullObserver, ReductionSession};
+use crate::shard::{DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_DEPTH};
+
+/// How worker threads build a session for a newly appeared stream.
+#[derive(Debug, Clone)]
+enum SessionMode {
+    /// Every stream learns its own reference from its opening segment.
+    Learn(MonitorConfig),
+    /// Every stream is scored against one shared, pre-learned model.
+    Model(Arc<ReferenceModel>),
+}
+
+impl SessionMode {
+    fn alpha(&self) -> f64 {
+        match self {
+            SessionMode::Learn(config) => config.alpha,
+            SessionMode::Model(model) => model.config().alpha,
+        }
+    }
+}
+
+/// Messages on the per-worker channel. Batches preserve push order;
+/// `Close` finalises one stream's session.
+enum FleetMsg {
+    Batch(Vec<(StreamId, TraceEvent)>),
+    Close(StreamId),
+}
+
+/// The result of one stream's reduction session.
+///
+/// Exactly one outcome is produced per stream that ever pushed an event,
+/// whether the stream was closed explicitly or swept up when the reducer
+/// finished.
+#[derive(Debug)]
+pub struct StreamOutcome<S = CountingSink, O = NullObserver> {
+    /// The stream this outcome describes.
+    pub stream: StreamId,
+    /// Events accepted by the stream's session.
+    pub events: u64,
+    /// Events discarded after the session failed.
+    pub discarded: u64,
+    /// The session report; `None` when the session failed.
+    pub report: Option<ReductionReport>,
+    /// The rendered session error, if the session failed.
+    pub error: Option<String>,
+    /// The stream's sink (absent only when `finish` itself failed).
+    pub sink: Option<S>,
+    /// The stream's observer (absent only when `finish` itself failed).
+    pub observer: Option<O>,
+}
+
+impl<S, O> StreamOutcome<S, O> {
+    /// Whether the stream reduced cleanly end to end.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Consolidated result of a fleet run: one [`StreamOutcome`] per stream
+/// (sorted by stream id) plus the merged aggregate report.
+#[derive(Debug)]
+pub struct FleetOutcome<S = CountingSink, O = NullObserver> {
+    /// All per-stream counters folded into one report (`alpha` carried
+    /// over from the configuration; failed streams contribute nothing).
+    pub aggregate: ReductionReport,
+    /// Per-stream outcomes, sorted by stream id.
+    pub streams: Vec<StreamOutcome<S, O>>,
+    /// Number of worker threads that ran.
+    pub workers: usize,
+    /// Events accepted across all streams (excludes post-failure discards).
+    pub events_routed: u64,
+    /// Number of streams whose session ended in an error.
+    pub failed_streams: usize,
+}
+
+impl<S, O> FleetOutcome<S, O> {
+    /// Looks up one stream's outcome by id.
+    pub fn stream(&self, id: StreamId) -> Option<&StreamOutcome<S, O>> {
+        self.streams
+            .binary_search_by_key(&id.as_u32(), |s| s.stream.as_u32())
+            .ok()
+            .map(|index| &self.streams[index])
+    }
+}
+
+struct WorkerHandle<S: EventSink, O: DecisionObserver> {
+    sender: Option<SyncSender<FleetMsg>>,
+    pending: Vec<(StreamId, TraceEvent)>,
+    /// Size of the last batch we failed to deliver, for retraction from
+    /// the routed-event count.
+    lost: u64,
+    handle: JoinHandle<Result<Vec<StreamOutcome<S, O>>, CoreError>>,
+}
+
+enum FleetState<S: EventSink, O: DecisionObserver> {
+    Idle,
+    Running(Vec<WorkerHandle<S, O>>),
+}
+
+type SinkFactory<S> = Arc<dyn Fn(StreamId) -> S + Send + Sync>;
+type ObserverFactory<O> = Arc<dyn Fn(StreamId) -> O + Send + Sync>;
+
+/// A multi-threaded, per-stream reduction engine for fleet monitoring.
+///
+/// Feed it `(stream, event)` pairs in arrival order; each stream gets its
+/// own [`ReductionSession`] created on first contact and finalised on
+/// [`close_stream`](Self::close_stream) (or when the reducer finishes).
+/// Worker threads are spawned lazily on the first push and routing is a
+/// stable hash of the stream id, so one stream's events always stay in
+/// order on one worker.
+///
+/// ```rust
+/// use endurance_core::{FleetReducer, MonitorConfig};
+/// use trace_model::{EventTypeId, StreamId, Timestamp, TraceEvent};
+///
+/// # fn main() -> Result<(), endurance_core::CoreError> {
+/// let config = MonitorConfig::builder()
+///     .dimensions(1)
+///     .reference_duration(std::time::Duration::from_secs(2))
+///     .build()?;
+/// let mut fleet = FleetReducer::new(config, 2)?;
+/// for device in 0..4u32 {
+///     for i in 0..25_000u64 {
+///         let event = TraceEvent::new(Timestamp::from_micros(i * 200), EventTypeId::new(0), 0);
+///         fleet.push(StreamId::new(device), event)?;
+///     }
+///     fleet.close_stream(StreamId::new(device))?;
+/// }
+/// let outcome = fleet.finish()?;
+/// assert_eq!(outcome.streams.len(), 4);
+/// assert_eq!(outcome.failed_streams, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FleetReducer<S: EventSink = CountingSink, O: DecisionObserver = NullObserver> {
+    mode: SessionMode,
+    workers: usize,
+    batch_size: usize,
+    queue_depth: usize,
+    sink_factory: SinkFactory<S>,
+    observer_factory: ObserverFactory<O>,
+    state: FleetState<S, O>,
+    events_routed: u64,
+}
+
+impl<S: EventSink, O: DecisionObserver> std::fmt::Debug for FleetReducer<S, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetReducer")
+            .field("workers", &self.workers)
+            .field("batch_size", &self.batch_size)
+            .field("events_routed", &self.events_routed)
+            .field("running", &matches!(self.state, FleetState::Running(_)))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetReducer {
+    /// Creates a fleet reducer where every stream learns its own reference
+    /// from its opening segment.
+    ///
+    /// Prefer [`from_model`](Self::from_model) for real fleets: short-lived
+    /// streams rarely contain a clean learnable prefix.
+    pub fn new(config: MonitorConfig, workers: usize) -> Result<Self, CoreError> {
+        config.validate()?;
+        Self::with_mode(SessionMode::Learn(config), workers)
+    }
+
+    /// Creates a fleet reducer that scores every stream against one shared
+    /// pre-learned reference model.
+    pub fn from_model(model: ReferenceModel, workers: usize) -> Result<Self, CoreError> {
+        model.config().validate()?;
+        Self::with_mode(SessionMode::Model(Arc::new(model)), workers)
+    }
+
+    fn with_mode(mode: SessionMode, workers: usize) -> Result<Self, CoreError> {
+        if workers == 0 {
+            return Err(CoreError::InvalidConfig(
+                "a fleet reducer needs at least one worker".into(),
+            ));
+        }
+        Ok(FleetReducer {
+            mode,
+            workers,
+            batch_size: DEFAULT_BATCH_SIZE,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            sink_factory: Arc::new(|_| CountingSink::new()),
+            observer_factory: Arc::new(|_| NullObserver),
+            state: FleetState::Idle,
+            events_routed: 0,
+        })
+    }
+}
+
+impl<S, O> FleetReducer<S, O>
+where
+    S: EventSink + Send + 'static,
+    O: DecisionObserver + Send + 'static,
+{
+    /// Replaces the per-stream sink factory. The factory is called once
+    /// per stream, on the worker thread, when the stream first appears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_sinks<S2>(
+        self,
+        factory: impl Fn(StreamId) -> S2 + Send + Sync + 'static,
+    ) -> FleetReducer<S2, O>
+    where
+        S2: EventSink + Send + 'static,
+    {
+        assert!(
+            matches!(self.state, FleetState::Idle),
+            "sinks must be installed before any event is pushed"
+        );
+        FleetReducer {
+            mode: self.mode,
+            workers: self.workers,
+            batch_size: self.batch_size,
+            queue_depth: self.queue_depth,
+            sink_factory: Arc::new(factory),
+            observer_factory: self.observer_factory,
+            state: FleetState::Idle,
+            events_routed: 0,
+        }
+    }
+
+    /// Replaces the per-stream observer factory. Called once per stream,
+    /// on the worker thread, when the stream first appears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_observers<O2>(
+        self,
+        factory: impl Fn(StreamId) -> O2 + Send + Sync + 'static,
+    ) -> FleetReducer<S, O2>
+    where
+        O2: DecisionObserver + Send + 'static,
+    {
+        assert!(
+            matches!(self.state, FleetState::Idle),
+            "observers must be installed before any event is pushed"
+        );
+        FleetReducer {
+            mode: self.mode,
+            workers: self.workers,
+            batch_size: self.batch_size,
+            queue_depth: self.queue_depth,
+            sink_factory: self.sink_factory,
+            observer_factory: Arc::new(factory),
+            state: FleetState::Idle,
+            events_routed: 0,
+        }
+    }
+
+    /// Overrides the channel batch size (events per message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero or events have already been pushed.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        assert!(
+            matches!(self.state, FleetState::Idle),
+            "batch size must be set before any event is pushed"
+        );
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Events accepted so far across all streams.
+    pub fn events_routed(&self) -> u64 {
+        self.events_routed
+    }
+
+    /// Routes one event to its stream's session.
+    ///
+    /// The first push spawns the worker threads. Blocks when the target
+    /// worker's channel is full (backpressure). A session error inside a
+    /// worker does **not** surface here — it is confined to that stream
+    /// and reported in its [`StreamOutcome`]; `push` only fails when a
+    /// worker thread itself is gone.
+    pub fn push(&mut self, stream: StreamId, event: TraceEvent) -> Result<(), CoreError> {
+        self.start();
+        let batch_size = self.batch_size;
+        let FleetState::Running(workers) = &mut self.state else {
+            unreachable!("start() always leaves the engine running");
+        };
+        let index = route(stream, workers.len());
+        let worker = &mut workers[index];
+        if worker.sender.is_none() {
+            return Err(worker_gone(index));
+        }
+        worker.pending.push((stream, event));
+        self.events_routed += 1;
+        if worker.pending.len() >= batch_size {
+            if let Err(err) = flush(worker, index) {
+                self.events_routed -= worker.lost;
+                worker.lost = 0;
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares a stream finished: its session is finalised and its
+    /// outcome becomes available once the reducer finishes.
+    ///
+    /// Events already pushed for the stream are delivered first. Closing
+    /// a stream that never pushed an event (or one that already failed)
+    /// is a no-op on the worker. Pushing to a closed stream starts a
+    /// *new* session for the same id; callers are expected not to.
+    pub fn close_stream(&mut self, stream: StreamId) -> Result<(), CoreError> {
+        self.start();
+        let FleetState::Running(workers) = &mut self.state else {
+            unreachable!("start() always leaves the engine running");
+        };
+        let index = route(stream, workers.len());
+        let worker = &mut workers[index];
+        if let Err(err) = flush(worker, index) {
+            self.events_routed -= worker.lost;
+            worker.lost = 0;
+            return Err(err);
+        }
+        let Some(sender) = worker.sender.as_ref() else {
+            return Err(worker_gone(index));
+        };
+        if sender.send(FleetMsg::Close(stream)).is_err() {
+            worker.sender = None;
+            return Err(worker_gone(index));
+        }
+        Ok(())
+    }
+
+    /// Flushes everything, finalises the remaining open streams, joins
+    /// the workers and consolidates the per-stream outcomes.
+    ///
+    /// Streams that were never explicitly closed are finalised in id
+    /// order when the channels drain. Per-stream session errors do *not*
+    /// fail the fleet — they are reported in the affected stream's
+    /// outcome. `Err` here means an infrastructure failure: a worker
+    /// thread panicked or session *construction* failed (a configuration
+    /// problem that would affect every stream identically).
+    pub fn finish(mut self) -> Result<FleetOutcome<S, O>, CoreError> {
+        let alpha = self.mode.alpha();
+        let state = std::mem::replace(&mut self.state, FleetState::Idle);
+        let mut handles = match state {
+            FleetState::Idle => {
+                return Ok(FleetOutcome {
+                    aggregate: ReductionReport::empty(alpha),
+                    streams: Vec::new(),
+                    workers: self.workers,
+                    events_routed: 0,
+                    failed_streams: 0,
+                });
+            }
+            FleetState::Running(handles) => handles,
+        };
+
+        // Close every channel first so all workers wind down in parallel,
+        // then join. A failed flush here means the worker is already gone;
+        // its join result carries the real error.
+        for (index, worker) in handles.iter_mut().enumerate() {
+            if flush(worker, index).is_err() {
+                self.events_routed -= worker.lost;
+                worker.lost = 0;
+            }
+            worker.sender = None;
+        }
+
+        let mut streams: Vec<StreamOutcome<S, O>> = Vec::new();
+        let mut first_error = None;
+        for (index, worker) in handles.into_iter().enumerate() {
+            match worker.handle.join() {
+                Err(_) => {
+                    first_error.get_or_insert(CoreError::Shard {
+                        shard: index,
+                        message: "fleet worker thread panicked".into(),
+                    });
+                }
+                Ok(Err(err)) => {
+                    first_error.get_or_insert(err);
+                }
+                Ok(Ok(outcomes)) => streams.extend(outcomes),
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+
+        streams.sort_by_key(|outcome| outcome.stream.as_u32());
+        let mut aggregate = ReductionReport::empty(alpha);
+        for outcome in &streams {
+            if let Some(report) = &outcome.report {
+                aggregate.merge(report);
+            }
+        }
+        let failed_streams = streams.iter().filter(|s| !s.is_ok()).count();
+        Ok(FleetOutcome {
+            aggregate,
+            streams,
+            workers: self.workers,
+            events_routed: self.events_routed,
+            failed_streams,
+        })
+    }
+
+    fn start(&mut self) {
+        if matches!(self.state, FleetState::Running(_)) {
+            return;
+        }
+        let mut handles = Vec::with_capacity(self.workers);
+        for index in 0..self.workers {
+            let (sender, receiver) = sync_channel(self.queue_depth);
+            let mode = self.mode.clone();
+            let sinks = Arc::clone(&self.sink_factory);
+            let observers = Arc::clone(&self.observer_factory);
+            let handle = thread::Builder::new()
+                .name(format!("fleet-worker-{index}"))
+                .spawn(move || run_worker(mode, sinks, observers, receiver))
+                .expect("failed to spawn fleet worker thread");
+            handles.push(WorkerHandle {
+                sender: Some(sender),
+                pending: Vec::with_capacity(self.batch_size),
+                lost: 0,
+                handle,
+            });
+        }
+        self.state = FleetState::Running(handles);
+    }
+}
+
+/// Stable stream→worker routing: FNV-1a over the stream id, like
+/// [`HashShardKey`](crate::HashShardKey), so a stream's events always
+/// land on the same worker in order.
+fn route(stream: StreamId, workers: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in stream.as_u32().to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % workers as u64) as usize
+}
+
+fn worker_gone(index: usize) -> CoreError {
+    CoreError::Shard {
+        shard: index,
+        message: "fleet worker is no longer accepting events (it panicked or failed)".into(),
+    }
+}
+
+/// Sends the worker's pending batch. On failure the sender is dropped and
+/// `worker.lost` records how many routed events the batch carried so the
+/// caller can retract them.
+fn flush<S: EventSink, O: DecisionObserver>(
+    worker: &mut WorkerHandle<S, O>,
+    index: usize,
+) -> Result<(), CoreError> {
+    if worker.pending.is_empty() {
+        return Ok(());
+    }
+    let Some(sender) = worker.sender.as_ref() else {
+        worker.lost = worker.pending.len() as u64;
+        worker.pending.clear();
+        return Err(worker_gone(index));
+    };
+    let batch = std::mem::take(&mut worker.pending);
+    let size = batch.len() as u64;
+    if sender.send(FleetMsg::Batch(batch)).is_err() {
+        worker.sender = None;
+        worker.lost = size;
+        return Err(worker_gone(index));
+    }
+    Ok(())
+}
+
+fn build_session(mode: &SessionMode) -> Result<ReductionSession, CoreError> {
+    match mode {
+        SessionMode::Learn(config) => ReductionSession::new(config.clone()),
+        SessionMode::Model(model) => ReductionSession::from_model(model.as_ref().clone()),
+    }
+}
+
+fn finish_stream<S: EventSink, O: DecisionObserver>(
+    stream: StreamId,
+    events: u64,
+    session: ReductionSession<S, O>,
+) -> StreamOutcome<S, O> {
+    match session.finish() {
+        Ok(outcome) => StreamOutcome {
+            stream,
+            events,
+            discarded: 0,
+            report: Some(outcome.report),
+            error: None,
+            sink: Some(outcome.sink),
+            observer: Some(outcome.observer),
+        },
+        Err(err) => StreamOutcome {
+            stream,
+            events,
+            discarded: 0,
+            report: None,
+            error: Some(err.to_string()),
+            sink: None,
+            observer: None,
+        },
+    }
+}
+
+fn run_worker<S, O>(
+    mode: SessionMode,
+    sinks: SinkFactory<S>,
+    observers: ObserverFactory<O>,
+    receiver: Receiver<FleetMsg>,
+) -> Result<Vec<StreamOutcome<S, O>>, CoreError>
+where
+    S: EventSink + Send + 'static,
+    O: DecisionObserver + Send + 'static,
+{
+    let mut live: HashMap<u32, (ReductionSession<S, O>, u64)> = HashMap::new();
+    let mut done: Vec<StreamOutcome<S, O>> = Vec::new();
+    // Streams whose session failed: index into `done`, for counting
+    // discarded events.
+    let mut dead: HashMap<u32, usize> = HashMap::new();
+
+    for msg in receiver {
+        match msg {
+            FleetMsg::Batch(batch) => {
+                for (stream, event) in batch {
+                    let id = stream.as_u32();
+                    if let Some(&index) = dead.get(&id) {
+                        done[index].discarded += 1;
+                        continue;
+                    }
+                    let entry = match live.entry(id) {
+                        Entry::Occupied(entry) => entry.into_mut(),
+                        Entry::Vacant(slot) => {
+                            // Construction errors are configuration-level
+                            // and deterministic: fail the whole worker
+                            // rather than silently failing every stream
+                            // one by one.
+                            let session = build_session(&mode)?
+                                .with_sink(sinks(stream))
+                                .with_observer(observers(stream));
+                            slot.insert((session, 0))
+                        }
+                    };
+                    entry.1 += 1;
+                    if let Err(err) = entry.0.push(event) {
+                        let (session, events) = live.remove(&id).expect("present");
+                        let (sink, observer) = session.abort();
+                        let index = done.len();
+                        done.push(StreamOutcome {
+                            stream,
+                            events,
+                            discarded: 0,
+                            report: None,
+                            error: Some(err.to_string()),
+                            sink: Some(sink),
+                            observer: Some(observer),
+                        });
+                        dead.insert(id, index);
+                    }
+                }
+            }
+            FleetMsg::Close(stream) => {
+                if let Some((session, events)) = live.remove(&stream.as_u32()) {
+                    done.push(finish_stream(stream, events, session));
+                }
+            }
+        }
+    }
+
+    // Channel closed: finalise streams that never got an explicit close,
+    // in id order for determinism.
+    let mut rest: Vec<_> = live.into_iter().collect();
+    rest.sort_by_key(|(id, _)| *id);
+    for (id, (session, events)) in rest {
+        done.push(finish_stream(StreamId::new(id), events, session));
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WindowStrategy;
+    use std::time::Duration;
+    use trace_model::{EventTypeId, Timestamp};
+
+    fn test_config() -> MonitorConfig {
+        MonitorConfig::builder()
+            .dimensions(2)
+            .window(WindowStrategy::Count(64))
+            .reference_duration(Duration::from_millis(200))
+            .build()
+            .expect("valid test config")
+    }
+
+    fn steady_event(i: u64) -> TraceEvent {
+        TraceEvent::new(
+            Timestamp::from_micros(i * 100),
+            EventTypeId::new((i % 2) as u16),
+            0,
+        )
+    }
+
+    #[test]
+    fn per_stream_sessions_and_sorted_outcomes() {
+        let mut fleet = FleetReducer::new(test_config(), 3).unwrap();
+        // Push streams in scrambled order; each gets its own session.
+        for i in 0..40_000u64 {
+            for device in [7u32, 2, 11, 4] {
+                fleet.push(StreamId::new(device), steady_event(i)).unwrap();
+            }
+        }
+        for device in [11u32, 7] {
+            fleet.close_stream(StreamId::new(device)).unwrap();
+        }
+        let outcome = fleet.finish().unwrap();
+        let ids: Vec<u32> = outcome.streams.iter().map(|s| s.stream.as_u32()).collect();
+        assert_eq!(ids, vec![2, 4, 7, 11], "sorted, one outcome per stream");
+        assert_eq!(outcome.failed_streams, 0);
+        assert_eq!(outcome.events_routed, 160_000);
+        for stream in &outcome.streams {
+            assert_eq!(stream.events, 40_000);
+            assert!(stream.report.is_some());
+            assert!(stream.sink.is_some());
+        }
+        assert_eq!(
+            outcome.aggregate.monitored_windows + outcome.aggregate.reference_windows,
+            outcome
+                .streams
+                .iter()
+                .filter_map(|s| s.report.as_ref())
+                .map(|r| r.monitored_windows + r.reference_windows)
+                .sum::<u64>()
+        );
+        assert!(outcome.stream(StreamId::new(7)).is_some());
+        assert!(outcome.stream(StreamId::new(3)).is_none());
+    }
+
+    #[test]
+    fn session_failure_is_confined_to_one_stream() {
+        // Stream 1's events are 100× sparser, so its reference segment
+        // yields too few windows to learn from and its session fails with
+        // `InvalidReference` mid-stream; stream 0 must finish cleanly.
+        let mut fleet = FleetReducer::new(test_config(), 1)
+            .unwrap()
+            .with_batch_size(64);
+        let bad = StreamId::new(1);
+        let good = StreamId::new(0);
+        for i in 0..20_000u64 {
+            fleet.push(good, steady_event(i)).unwrap();
+            let sparse = TraceEvent::new(
+                Timestamp::from_micros(i * 10_000),
+                EventTypeId::new((i % 2) as u16),
+                0,
+            );
+            fleet.push(bad, sparse).unwrap();
+        }
+        let outcome = fleet.finish().unwrap();
+        assert_eq!(outcome.streams.len(), 2);
+        assert_eq!(outcome.failed_streams, 1);
+        let good_outcome = outcome.stream(good).unwrap();
+        assert!(good_outcome.is_ok());
+        assert_eq!(good_outcome.events, 20_000);
+        let bad_outcome = outcome.stream(bad).unwrap();
+        assert!(!bad_outcome.is_ok());
+        assert!(bad_outcome.report.is_none());
+        assert!(bad_outcome.error.is_some());
+        // Events after the failure were counted as discarded, not lost.
+        assert_eq!(bad_outcome.events + bad_outcome.discarded, 20_000);
+        assert!(bad_outcome.discarded > 0);
+        // The aborted stream still hands back its sink.
+        assert!(bad_outcome.sink.is_some());
+    }
+
+    #[test]
+    fn close_stream_finalises_early_and_reopening_is_a_new_session() {
+        let mut fleet = FleetReducer::new(test_config(), 2).unwrap();
+        let device = StreamId::new(5);
+        for i in 0..20_000u64 {
+            fleet.push(device, steady_event(i)).unwrap();
+        }
+        fleet.close_stream(device).unwrap();
+        // Closing twice (or closing an unknown stream) is harmless.
+        fleet.close_stream(device).unwrap();
+        fleet.close_stream(StreamId::new(99)).unwrap();
+        let outcome = fleet.finish().unwrap();
+        assert_eq!(outcome.streams.len(), 1);
+        assert!(outcome.streams[0].is_ok());
+    }
+
+    #[test]
+    fn shared_model_mode_scores_streams_against_one_reference() {
+        // Learn a model from one clean stream, then score two fresh
+        // streams against it; neither needs a learnable prefix.
+        let mut learner = crate::session::ReductionSession::new(test_config()).unwrap();
+        for i in 0..30_000u64 {
+            learner.push(steady_event(i)).unwrap();
+        }
+        let model = learner.model().expect("learning finished").clone();
+        let shared_reference = model.reference_windows() as u64;
+
+        let mut fleet = FleetReducer::from_model(model, 2).unwrap();
+        for i in 0..5_000u64 {
+            fleet.push(StreamId::new(0), steady_event(i)).unwrap();
+            fleet.push(StreamId::new(1), steady_event(i)).unwrap();
+        }
+        let outcome = fleet.finish().unwrap();
+        assert_eq!(outcome.streams.len(), 2);
+        assert_eq!(outcome.failed_streams, 0);
+        for stream in &outcome.streams {
+            let report = stream.report.as_ref().unwrap();
+            // No per-stream learning: the report carries the shared
+            // model's reference count and every window is monitored.
+            assert_eq!(report.reference_windows, shared_reference);
+            assert!(report.monitored_windows > 0);
+        }
+    }
+
+    #[test]
+    fn finish_without_pushes_is_empty() {
+        let fleet = FleetReducer::new(test_config(), 4).unwrap();
+        let outcome = fleet.finish().unwrap();
+        assert!(outcome.streams.is_empty());
+        assert_eq!(outcome.events_routed, 0);
+        assert_eq!(outcome.failed_streams, 0);
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        assert!(FleetReducer::new(test_config(), 0).is_err());
+    }
+}

@@ -108,6 +108,7 @@
 mod config;
 mod drift;
 mod error;
+mod fleet;
 mod monitor;
 mod periodicity;
 mod pmf;
@@ -121,6 +122,7 @@ mod shard;
 pub use config::{DriftGateConfig, MonitorConfig, MonitorConfigBuilder, WindowStrategy};
 pub use drift::{DriftDecision, DriftGate};
 pub use error::CoreError;
+pub use fleet::{FleetOutcome, FleetReducer, StreamOutcome};
 pub use monitor::{OnlineMonitor, WindowDecision, WindowVerdict};
 pub use periodicity::{estimate_period, PeriodicSuppressor};
 pub use pmf::{PmfScratch, WindowPmf};

@@ -1,0 +1,322 @@
+//! Churn experiment mode: a faulted, churning device fleet scored against
+//! injected ground truth.
+//!
+//! Where [`MultiStreamExperiment`](crate::MultiStreamExperiment) replays
+//! `N` well-behaved copies of the paper's workload, the churn experiment
+//! drives a [`FleetSim`]: devices join and leave mid-run, clocks skew and
+//! drift, streams stall, and events arrive reordered, duplicated or
+//! dropped, exactly as `docs/SCENARIOS.md` specifies. One pass over the
+//! simulated fleet trace feeds two engines at once:
+//!
+//! * the **collector plane** — a [`ShardedReducer`] with hash routing,
+//!   modelling the shared trace collector: a few shards absorb every
+//!   stream, exercising batching, backpressure and mid-run stream
+//!   appearance/disappearance at fleet volume;
+//! * the **health plane** — a [`FleetReducer`] holding one session per
+//!   stream against a shared curated reference model, producing the
+//!   per-stream window decisions that are scored against each stream's
+//!   [`StreamTruth`].
+//!
+//! The same pass folds every delivered event into a [`TraceHasher`], so
+//! two runs of the same scenario seed can be compared byte-for-byte (the
+//! CI determinism gate).
+
+use endurance_core::{
+    FleetReducer, HashShardKey, MonitorConfig, ReductionReport, ReductionSession, ReferenceModel,
+    ShardedReducer, ShardedReport, WindowDecision,
+};
+use mm_sim::{FleetEvent, FleetScenario, FleetSim, FleetTruth, Simulation, TraceHasher};
+use trace_model::{CountingSink, StreamId};
+
+use crate::experiment::evaluate_decisions;
+use crate::{ConfusionMatrix, EvalError};
+
+use std::time::Duration;
+
+/// Reference-segment length for the curated-model learning run. Long
+/// enough for `K + 1` windows at the paper's 40 ms, short enough that the
+/// per-stream model clones stay small at 100k streams.
+const LEARN_REFERENCE: Duration = Duration::from_secs(3);
+
+/// Total length of the learning run; the tail past the reference segment
+/// forces the learning session over into its monitoring phase so the
+/// model is actually fitted.
+const LEARN_DURATION: Duration = Duration::from_secs(4);
+
+/// A churn experiment: a [`FleetScenario`] plus the engine topology that
+/// will reduce its trace.
+///
+/// ```rust,no_run
+/// use endurance_eval::ChurnExperiment;
+///
+/// # fn main() -> Result<(), endurance_eval::EvalError> {
+/// let experiment = ChurnExperiment::churn_demo(2_000, 42)?;
+/// let result = experiment.run()?;
+/// println!("trace hash  = {:016x}", result.trace_hash);
+/// println!("fleet recall = {:.3}", result.confusion.recall());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnExperiment {
+    /// The fleet scenario under test (devices, churn, faults, seed).
+    pub scenario: FleetScenario,
+    /// The monitor configuration shared by both planes and the learning
+    /// run (dimensions derived from the device template's registry).
+    pub monitor: MonitorConfig,
+    /// Collector-plane shard count.
+    pub shards: usize,
+    /// Health-plane worker-thread count.
+    pub workers: usize,
+}
+
+/// One stream's score against its injected ground truth.
+#[derive(Debug, Clone)]
+pub struct ChurnStreamScore {
+    /// The stream (device index).
+    pub stream: StreamId,
+    /// Detection quality against the stream's own anomaly intervals.
+    pub confusion: ConfusionMatrix,
+    /// Number of monitored windows (decisions) on this stream.
+    pub windows: usize,
+    /// Whether the ground truth says this stream was anomalous at all.
+    pub truly_anomalous: bool,
+    /// Whether the monitor recorded at least one window.
+    pub flagged: bool,
+}
+
+/// Everything measured by one churn run.
+#[derive(Debug)]
+pub struct ChurnResult {
+    /// FNV-1a hash over every delivered `(stream, event)` pair, in
+    /// delivery order — the determinism fingerprint.
+    pub trace_hash: u64,
+    /// Delivered events (including duplicates).
+    pub events: u64,
+    /// The injected ground truth, final after the drain.
+    pub truth: FleetTruth,
+    /// Collector-plane consolidated report (per shard + aggregate).
+    pub collector: ShardedReport,
+    /// Health-plane aggregate report (per-stream counters merged).
+    pub fleet: ReductionReport,
+    /// Per-stream scores, sorted by stream id.
+    pub streams: Vec<ChurnStreamScore>,
+    /// Per-stream confusion matrices merged into one fleet-level matrix.
+    pub confusion: ConfusionMatrix,
+    /// Streams whose health-plane session failed (their score is absent).
+    pub failed_streams: usize,
+    /// Reference windows in the shared curated model.
+    pub model_reference_windows: usize,
+}
+
+impl ChurnResult {
+    /// Number of streams the ground truth marks anomalous.
+    pub fn anomalous_streams(&self) -> usize {
+        self.streams.iter().filter(|s| s.truly_anomalous).count()
+    }
+
+    /// Of the truly anomalous streams, how many the monitor flagged —
+    /// stream-level recall under churn.
+    pub fn flagged_anomalous_streams(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| s.truly_anomalous && s.flagged)
+            .count()
+    }
+}
+
+impl ChurnExperiment {
+    /// Builds an experiment around `scenario`, deriving the monitor's pmf
+    /// dimensionality from the device template's registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidExperiment`] for a zero shard or worker
+    /// count and propagates scenario validation errors.
+    pub fn new(scenario: FleetScenario, shards: usize, workers: usize) -> Result<Self, EvalError> {
+        if shards == 0 || workers == 0 {
+            return Err(EvalError::InvalidExperiment(
+                "a churn experiment needs at least one shard and one worker".into(),
+            ));
+        }
+        scenario.validate()?;
+        let registry = scenario.registry()?;
+        let monitor = MonitorConfig::builder()
+            .dimensions(registry.len())
+            .reference_duration(LEARN_REFERENCE)
+            .build()?;
+        Ok(ChurnExperiment {
+            scenario,
+            monitor,
+            shards,
+            workers,
+        })
+    }
+
+    /// The demo churn scenario ([`FleetScenario::churn_demo`]) with a
+    /// 4-shard collector and 4 health-plane workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario construction errors.
+    pub fn churn_demo(devices: u32, seed: u64) -> Result<Self, EvalError> {
+        Self::new(FleetScenario::churn_demo(devices, seed)?, 4, 4)
+    }
+
+    /// Learns the shared curated reference model from a clean, fault-free
+    /// run of the device template (`docs/SCENARIOS.md` §5: fleet
+    /// monitoring scores every stream against one curated model; 0.8 s
+    /// device lifetimes leave no room for per-stream learning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and learning errors.
+    pub fn learn_reference(&self) -> Result<ReferenceModel, EvalError> {
+        let mut clean = self.scenario.device.clone();
+        clean.name = format!("{}-reference", self.scenario.name);
+        clean.duration = LEARN_DURATION;
+        clean.reference_duration = LEARN_REFERENCE;
+        clean.seed = self.scenario.seed;
+        let registry = clean.registry()?;
+        let mut simulation = Simulation::new(&clean, &registry)?;
+        let mut session = ReductionSession::new(self.monitor.clone())?;
+        session.push_source(&mut simulation)?;
+        session.model().cloned().ok_or_else(|| {
+            EvalError::InvalidExperiment(
+                "the reference run ended before the learning phase completed".into(),
+            )
+        })
+    }
+
+    /// Runs the experiment: one pass over the simulated fleet trace
+    /// feeding the collector plane, the health plane and the determinism
+    /// hash, then scores every stream against its injected ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and reduction errors; per-stream session
+    /// failures do *not* fail the run (they are counted in
+    /// [`ChurnResult::failed_streams`]).
+    pub fn run(&self) -> Result<ChurnResult, EvalError> {
+        let model = self.learn_reference()?;
+        let model_reference_windows = model.reference_windows();
+
+        // Collector plane: a few shards absorb the whole fleet, routed by
+        // stream hash. Each shard *learns* its reference from the mixed
+        // stream it sees — the collector reduces fleet volume, so its
+        // notion of "normal" is the steady fleet mix, and what shifts it
+        // (fleet-wide load spikes) is what gets recorded. Counting sinks —
+        // volume statistics without holding the reduced trace in memory.
+        let mut collector = ShardedReducer::new(self.monitor.clone(), self.shards)?
+            .with_shard_key(HashShardKey)
+            .with_sinks(|_| CountingSink::new());
+
+        // Health plane: one session per stream against the shared model,
+        // collecting per-window decisions for scoring.
+        let mut fleet = FleetReducer::from_model(model, self.workers)?
+            .with_observers(|_| Vec::<WindowDecision>::new());
+
+        let mut sim = FleetSim::new(&self.scenario)?;
+        let mut hasher = TraceHasher::new();
+        for fleet_event in sim.by_ref() {
+            match fleet_event {
+                FleetEvent::Delivery(stream, event) => {
+                    hasher.update(stream, &event);
+                    collector.push(stream, event)?;
+                    fleet.push(stream, event)?;
+                }
+                FleetEvent::StreamClosed(stream) => {
+                    fleet.close_stream(stream)?;
+                }
+            }
+        }
+        let events = sim.deliveries();
+        let truth = sim.truth().clone();
+
+        let collector_outcome = collector.finish()?;
+        if let Some(entry) = collector_outcome
+            .report
+            .per_shard
+            .iter()
+            .find(|e| e.error.is_some())
+        {
+            return Err(EvalError::InvalidExperiment(format!(
+                "collector shard {} failed: {}",
+                entry.shard,
+                entry.error.as_deref().unwrap_or("unknown")
+            )));
+        }
+
+        let fleet_outcome = fleet.finish()?;
+        let mut streams = Vec::with_capacity(fleet_outcome.streams.len());
+        let mut confusion = ConfusionMatrix::default();
+        let mut failed_streams = 0;
+        for outcome in &fleet_outcome.streams {
+            if !outcome.is_ok() {
+                failed_streams += 1;
+                continue;
+            }
+            let stream_truth = truth.stream(outcome.stream.as_u32()).ok_or_else(|| {
+                EvalError::InvalidExperiment(format!(
+                    "stream {} delivered events but has no ground-truth record",
+                    outcome.stream.as_u32()
+                ))
+            })?;
+            let decisions = outcome
+                .observer
+                .as_deref()
+                .unwrap_or(&[] as &[WindowDecision]);
+            let evaluated = evaluate_decisions(&stream_truth.anomalous, decisions);
+            confusion.merge(&evaluated.confusion);
+            streams.push(ChurnStreamScore {
+                stream: outcome.stream,
+                confusion: evaluated.confusion,
+                windows: decisions.len(),
+                truly_anomalous: !stream_truth.anomalous.intervals().is_empty(),
+                flagged: decisions.iter().any(WindowDecision::recorded),
+            });
+        }
+
+        Ok(ChurnResult {
+            trace_hash: hasher.finish(),
+            events,
+            truth,
+            collector: collector_outcome.report,
+            fleet: fleet_outcome.aggregate,
+            streams,
+            confusion,
+            failed_streams,
+            model_reference_windows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_topology_is_rejected() {
+        let scenario = FleetScenario::churn_demo(10, 1).unwrap();
+        assert!(matches!(
+            ChurnExperiment::new(scenario.clone(), 0, 4),
+            Err(EvalError::InvalidExperiment(_))
+        ));
+        assert!(matches!(
+            ChurnExperiment::new(scenario, 4, 0),
+            Err(EvalError::InvalidExperiment(_))
+        ));
+    }
+
+    #[test]
+    fn learned_reference_is_reusable() {
+        let experiment = ChurnExperiment::churn_demo(10, 7).unwrap();
+        let model = experiment.learn_reference().unwrap();
+        assert!(model.reference_windows() > experiment.monitor.k);
+        assert_eq!(model.config().dimensions, experiment.monitor.dimensions);
+    }
+
+    // Full churn runs (including the two-run determinism gate) live in
+    // the workspace integration tests (`tests/fleet_churn.rs`), on a
+    // fleet large enough to exercise every fault kind.
+}

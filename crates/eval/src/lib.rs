@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 mod baselines;
+mod churn;
 mod durable;
 mod error;
 mod experiment;
@@ -47,6 +48,7 @@ mod size;
 mod sweep;
 
 pub use baselines::{run_baselines, BaselineKind, BaselineResult};
+pub use churn::{ChurnExperiment, ChurnResult, ChurnStreamScore};
 pub use durable::DurableRunResult;
 pub use error::EvalError;
 pub use experiment::{Experiment, ExperimentResult};

@@ -1,0 +1,496 @@
+//! The fleet fault model: what can go wrong, how it is configured, and
+//! the ground-truth records the evaluation harness scores against.
+//!
+//! Every fault a [`FleetSim`] can inject is named by a [`FaultKind`];
+//! [`FaultPlan`] holds the probabilities and magnitude ranges the planner
+//! draws from; [`StreamTruth`] / [`FleetTruth`] record exactly what was
+//! injected, per stream, in *delivered-timestamp* space so the evaluation
+//! crate can compare monitor decisions against them directly.
+//!
+//! `docs/SCENARIOS.md` is the normative description of each fault kind
+//! and of the ground-truth schema.
+//!
+//! [`FleetSim`]: crate::FleetSim
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use trace_model::Timestamp;
+
+use crate::{PerturbationInterval, PerturbationSchedule, SimError};
+
+/// Every kind of fault the fleet simulator can inject.
+///
+/// *Structural* faults (everything up to [`FaultKind::LoadSpike`]) are
+/// planned up front from the scenario seed and appear as [`FaultRecord`]s;
+/// *per-event* delivery faults ([`FaultKind::Reorder`],
+/// [`FaultKind::Duplicate`], [`FaultKind::Drop`],
+/// [`FaultKind::ClockRegression`]) are rolled per delivered event and are
+/// accounted in [`DeliveryStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A device joins the fleet mid-run and starts streaming.
+    Join,
+    /// A device leaves the fleet; its stream ends.
+    Leave,
+    /// A stream stops delivering for a while, then flushes everything it
+    /// buffered in one burst (timestamps unchanged, delivery late).
+    Stall,
+    /// A constant offset between the device clock and fleet time.
+    ClockSkew,
+    /// The device clock runs fast or slow by a constant rate.
+    ClockDrift,
+    /// A delivered event's timestamp is pulled *backwards* relative to
+    /// its predecessors on the same stream.
+    ClockRegression,
+    /// An event is delivered later than events that followed it.
+    Reorder,
+    /// An event is delivered twice.
+    Duplicate,
+    /// An event is never delivered.
+    Drop,
+    /// A per-device CPU perturbation: the anomaly detection should flag
+    /// the affected windows.
+    DeviceAnomaly,
+    /// A fleet-wide CPU perturbation hitting every live device (and hence
+    /// every shard) at once.
+    LoadSpike,
+}
+
+impl FaultKind {
+    /// All fault kinds, in the order `docs/SCENARIOS.md` documents them.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::Join,
+        FaultKind::Leave,
+        FaultKind::Stall,
+        FaultKind::ClockSkew,
+        FaultKind::ClockDrift,
+        FaultKind::ClockRegression,
+        FaultKind::Reorder,
+        FaultKind::Duplicate,
+        FaultKind::Drop,
+        FaultKind::DeviceAnomaly,
+        FaultKind::LoadSpike,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::Join => "join",
+            FaultKind::Leave => "leave",
+            FaultKind::Stall => "stall",
+            FaultKind::ClockSkew => "clock-skew",
+            FaultKind::ClockDrift => "clock-drift",
+            FaultKind::ClockRegression => "clock-regression",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Drop => "drop",
+            FaultKind::DeviceAnomaly => "device-anomaly",
+            FaultKind::LoadSpike => "load-spike",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One planned structural fault, recorded as ground truth.
+///
+/// Times are in *fleet* time (the delivered-timestamp clock), so records
+/// can be compared against monitor decisions without further mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The stream the fault applies to.
+    pub stream: u32,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// When the fault takes effect.
+    pub at: Timestamp,
+    /// When the fault ends, for interval-shaped faults (stalls, device
+    /// anomalies); `None` for instantaneous or whole-life faults.
+    pub until: Option<Timestamp>,
+    /// Kind-specific magnitude: skew in seconds, drift as a rate
+    /// multiplier, anomaly/spike CPU load in `[0, 1)`, stall length in
+    /// seconds. Zero for join/leave.
+    pub magnitude: f64,
+}
+
+/// Per-stream counters of the per-event delivery faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryStats {
+    /// Events the device's pipeline produced.
+    pub emitted: u64,
+    /// Events actually delivered (including duplicates).
+    pub delivered: u64,
+    /// Events silently dropped.
+    pub dropped: u64,
+    /// Extra deliveries caused by duplication.
+    pub duplicated: u64,
+    /// Events delivered later than a successor on the same stream.
+    pub reordered: u64,
+    /// Events whose delivered timestamp was pulled backwards.
+    pub regressed: u64,
+    /// Events whose delivery was deferred by a stall.
+    pub stalled: u64,
+}
+
+impl DeliveryStats {
+    /// Folds another stream's counters into this one.
+    pub fn merge(&mut self, other: &DeliveryStats) {
+        self.emitted += other.emitted;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.regressed += other.regressed;
+        self.stalled += other.stalled;
+    }
+}
+
+/// Ground truth for one stream of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamTruth {
+    /// The stream id (also the device index).
+    pub stream: u32,
+    /// Fleet time at which the device joined.
+    pub joined: Timestamp,
+    /// Fleet time at which the device left.
+    pub left: Timestamp,
+    /// Constant clock skew added to every delivered timestamp.
+    pub skew: Duration,
+    /// Clock rate multiplier (1.0 = a perfect clock).
+    pub drift: f64,
+    /// The intervals in which this stream is *actually* anomalous, in
+    /// delivered-timestamp space — device anomalies and the fleet-wide
+    /// load spikes that overlapped this device's life, mapped through the
+    /// device's clock and merged. This is what eval scores against.
+    pub anomalous: PerturbationSchedule,
+    /// The structural faults injected into this stream.
+    pub faults: Vec<FaultRecord>,
+    /// Per-event delivery-fault counters, final once the run is drained.
+    pub delivery: DeliveryStats,
+}
+
+impl StreamTruth {
+    /// Whether any fault of `kind` was planned for this stream.
+    pub fn has_fault(&self, kind: FaultKind) -> bool {
+        self.faults.iter().any(|f| f.kind == kind)
+    }
+}
+
+/// Ground truth for a whole fleet run: per-stream records plus the
+/// fleet-wide load spikes. Obtain it from [`FleetSim::truth`]; the
+/// delivery counters are final only after the event iterator is drained.
+///
+/// [`FleetSim::truth`]: crate::FleetSim::truth
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTruth {
+    /// The fleet scenario seed everything was derived from.
+    pub seed: u64,
+    /// The fleet-wide load-spike intervals, in fleet time.
+    pub spikes: Vec<PerturbationInterval>,
+    /// One record per device, indexed by stream id.
+    pub streams: Vec<StreamTruth>,
+}
+
+impl FleetTruth {
+    /// Ground truth for one stream, if it exists.
+    pub fn stream(&self, stream: u32) -> Option<&StreamTruth> {
+        self.streams.get(stream as usize)
+    }
+
+    /// Delivery counters summed over the whole fleet.
+    pub fn total_delivery(&self) -> DeliveryStats {
+        let mut total = DeliveryStats::default();
+        for stream in &self.streams {
+            total.merge(&stream.delivery);
+        }
+        total
+    }
+
+    /// Number of structural fault records of `kind` across the fleet.
+    pub fn fault_count(&self, kind: FaultKind) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.faults.iter().filter(|f| f.kind == kind).count())
+            .sum()
+    }
+
+    /// Number of streams with at least one ground-truth anomalous
+    /// interval.
+    pub fn anomalous_streams(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| !s.anomalous.is_empty())
+            .count()
+    }
+}
+
+/// Probabilities and magnitude ranges for every injectable fault.
+///
+/// The defaults describe a moderately unreliable fleet; [`FaultPlan::none`]
+/// turns every fault off (pure churn), and the fields are public so
+/// scenarios can dial each axis independently. All probabilities are in
+/// `[0, 1]`; per-event probabilities are rolled once per emitted event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that a device suffers one mid-life stall.
+    pub stall_probability: f64,
+    /// Stall length range (uniform).
+    pub stall_min: Duration,
+    /// See [`FaultPlan::stall_min`].
+    pub stall_max: Duration,
+    /// Maximum constant clock skew (uniform in `[0, skew_max]`).
+    pub skew_max: Duration,
+    /// Maximum drift-rate deviation: rates are uniform in
+    /// `[1 - drift_max, 1 + drift_max]`.
+    pub drift_max: f64,
+    /// Per-event probability of a timestamp regression.
+    pub regression_probability: f64,
+    /// Maximum regression pull-back (uniform).
+    pub regression_max: Duration,
+    /// Per-event probability of a delayed (reordered) delivery.
+    pub reorder_probability: f64,
+    /// Maximum reorder delivery delay (uniform).
+    pub reorder_max_delay: Duration,
+    /// Per-event probability of a duplicated delivery.
+    pub duplicate_probability: f64,
+    /// Per-event probability of a dropped delivery.
+    pub drop_probability: f64,
+    /// Probability that a device gets one CPU-anomaly interval.
+    pub anomaly_probability: f64,
+    /// Anomaly length range (uniform), in device-local time.
+    pub anomaly_min: Duration,
+    /// See [`FaultPlan::anomaly_min`].
+    pub anomaly_max: Duration,
+    /// Anomaly CPU-load range (uniform in `[load_min, load_max)`).
+    pub anomaly_load_min: f64,
+    /// See [`FaultPlan::anomaly_load_min`].
+    pub anomaly_load_max: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            stall_probability: 0.10,
+            stall_min: Duration::from_millis(100),
+            stall_max: Duration::from_millis(600),
+            skew_max: Duration::from_millis(250),
+            drift_max: 0.02,
+            regression_probability: 0.002,
+            regression_max: Duration::from_millis(15),
+            reorder_probability: 0.005,
+            reorder_max_delay: Duration::from_millis(60),
+            duplicate_probability: 0.002,
+            drop_probability: 0.005,
+            anomaly_probability: 0.30,
+            anomaly_min: Duration::from_millis(600),
+            anomaly_max: Duration::from_millis(1_500),
+            anomaly_load_min: 0.85,
+            anomaly_load_max: 0.95,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled: devices still churn, but their
+    /// clocks are perfect and delivery is exact.
+    pub fn none() -> Self {
+        FaultPlan {
+            stall_probability: 0.0,
+            stall_min: Duration::ZERO,
+            stall_max: Duration::ZERO,
+            skew_max: Duration::ZERO,
+            drift_max: 0.0,
+            regression_probability: 0.0,
+            regression_max: Duration::ZERO,
+            reorder_probability: 0.0,
+            reorder_max_delay: Duration::ZERO,
+            duplicate_probability: 0.0,
+            drop_probability: 0.0,
+            anomaly_probability: 0.0,
+            anomaly_min: Duration::ZERO,
+            anomaly_max: Duration::ZERO,
+            anomaly_load_min: 0.0,
+            anomaly_load_max: 0.0,
+        }
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if a probability is outside
+    /// `[0, 1]`, a range is inverted, a drift deviation is not in
+    /// `[0, 1)`, or an anomaly load is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let probs = [
+            ("stall_probability", self.stall_probability),
+            ("regression_probability", self.regression_probability),
+            ("reorder_probability", self.reorder_probability),
+            ("duplicate_probability", self.duplicate_probability),
+            ("drop_probability", self.drop_probability),
+            ("anomaly_probability", self.anomaly_probability),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SimError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if self.stall_min > self.stall_max {
+            return Err(SimError::InvalidConfig(
+                "stall_min must not exceed stall_max".into(),
+            ));
+        }
+        if self.anomaly_min > self.anomaly_max {
+            return Err(SimError::InvalidConfig(
+                "anomaly_min must not exceed anomaly_max".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.drift_max) {
+            return Err(SimError::InvalidConfig(format!(
+                "drift_max must be in [0, 1), got {}",
+                self.drift_max
+            )));
+        }
+        if self.anomaly_probability > 0.0 {
+            if !(0.0..1.0).contains(&self.anomaly_load_min)
+                || !(0.0..1.0).contains(&self.anomaly_load_max)
+                || self.anomaly_load_min > self.anomaly_load_max
+            {
+                return Err(SimError::InvalidConfig(
+                    "anomaly loads must satisfy 0 <= load_min <= load_max < 1".into(),
+                ));
+            }
+            if self.anomaly_min.is_zero() {
+                return Err(SimError::InvalidConfig(
+                    "anomaly_min must be non-zero when anomalies are enabled".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_validates() {
+        FaultPlan::default().validate().unwrap();
+        FaultPlan::none().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        let plan = FaultPlan {
+            drop_probability: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            stall_min: Duration::from_secs(2),
+            stall_max: Duration::from_secs(1),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            drift_max: 1.0,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            anomaly_load_max: 1.0,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            anomaly_min: Duration::ZERO,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn fault_kinds_display_uniquely() {
+        let mut names: Vec<String> = FaultKind::ALL.iter().map(|k| k.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn delivery_stats_merge_adds_counters() {
+        let mut a = DeliveryStats {
+            emitted: 10,
+            delivered: 9,
+            dropped: 1,
+            duplicated: 0,
+            reordered: 2,
+            regressed: 1,
+            stalled: 3,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.emitted, 20);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.stalled, 6);
+    }
+
+    #[test]
+    fn truth_helpers_aggregate_per_stream_records() {
+        let truth = FleetTruth {
+            seed: 1,
+            spikes: Vec::new(),
+            streams: vec![
+                StreamTruth {
+                    stream: 0,
+                    joined: Timestamp::ZERO,
+                    left: Timestamp::from_secs(1),
+                    skew: Duration::ZERO,
+                    drift: 1.0,
+                    anomalous: PerturbationSchedule::none(),
+                    faults: vec![FaultRecord {
+                        stream: 0,
+                        kind: FaultKind::Stall,
+                        at: Timestamp::from_millis(100),
+                        until: Some(Timestamp::from_millis(300)),
+                        magnitude: 0.2,
+                    }],
+                    delivery: DeliveryStats::default(),
+                },
+                StreamTruth {
+                    stream: 1,
+                    joined: Timestamp::ZERO,
+                    left: Timestamp::from_secs(1),
+                    skew: Duration::ZERO,
+                    drift: 1.0,
+                    anomalous: PerturbationSchedule::from_intervals(vec![
+                        PerturbationInterval::new(
+                            Timestamp::from_millis(100),
+                            Timestamp::from_millis(400),
+                            0.9,
+                        )
+                        .unwrap(),
+                    ])
+                    .unwrap(),
+                    faults: Vec::new(),
+                    delivery: DeliveryStats::default(),
+                },
+            ],
+        };
+        assert_eq!(truth.fault_count(FaultKind::Stall), 1);
+        assert_eq!(truth.fault_count(FaultKind::Drop), 0);
+        assert_eq!(truth.anomalous_streams(), 1);
+        assert!(truth.stream(0).unwrap().has_fault(FaultKind::Stall));
+        assert!(truth.stream(2).is_none());
+    }
+}

@@ -36,11 +36,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod element;
 mod error;
+mod fault;
+mod fleet;
 mod frame;
 mod perturbation;
 mod pipeline;
@@ -48,11 +50,16 @@ mod qos;
 mod rng;
 mod scenario;
 mod scheduler;
+mod sim;
 mod tracegen;
 mod workload;
 
 pub use element::{ElementSpec, MediaKind};
 pub use error::SimError;
+pub use fault::{DeliveryStats, FaultKind, FaultPlan, FaultRecord, FleetTruth, StreamTruth};
+pub use fleet::{
+    ChurnModel, FleetEvent, FleetScenario, FleetScenarioBuilder, FleetSim, TraceHasher,
+};
 pub use frame::{Frame, FrameKind, GopStructure};
 pub use perturbation::{PerturbationInterval, PerturbationSchedule};
 pub use pipeline::PipelineSpec;
@@ -60,5 +67,6 @@ pub use qos::{PlayoutBuffer, PresentOutcome};
 pub use rng::SimRng;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use scheduler::CpuModel;
+pub use sim::EventQueue;
 pub use tracegen::{qos_event_names, Simulation};
 pub use workload::{simulate_to_vec, WorkloadSummary};

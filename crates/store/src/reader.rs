@@ -205,18 +205,6 @@ impl StoreReader {
         self.lanes.len()
     }
 
-    /// The window index of one lane, in recording order (loading it on
-    /// first touch). `None` for an unknown lane or one whose index failed
-    /// to load.
-    ///
-    /// Deprecated thin alias of [`StoreReader::lane_windows`], which
-    /// surfaces *why* a lane has no index (unknown lane, unreadable or
-    /// corrupt segments) instead of collapsing every failure to `None`.
-    #[deprecated(note = "use `lane_windows`, which reports load failures instead of `None`")]
-    pub fn windows(&self, lane: u32) -> Option<&[WindowEntry]> {
-        self.lane_windows(lane).ok()
-    }
-
     /// The window index of one lane, surfacing index-load failures
     /// (unknown lane, unreadable or corrupt segments) as errors instead
     /// of an empty answer.

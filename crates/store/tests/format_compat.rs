@@ -368,11 +368,6 @@ proptest! {
         prop_assert!(reader.recovery().clean);
         prop_assert_eq!(reader.lane_payload_bytes(0).unwrap(), expected_bytes);
         prop_assert_eq!(reader.lane_windows(0).unwrap().len() as u64, windows);
-        // Deprecated alias coverage: `windows` answers exactly like
-        // `lane_windows` collapsed to an Option.
-        #[allow(deprecated)]
-        let via_alias = reader.windows(0).map(<[_]>::len);
-        prop_assert_eq!(via_alias, Some(windows as usize));
         drop(reader);
         let again = Compactor::new(&dir, policy).compact().unwrap();
         prop_assert!(again.is_noop(), "{}", again);

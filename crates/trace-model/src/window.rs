@@ -350,9 +350,16 @@ impl WindowAssembler {
     /// windows closed after a failure are necessarily empty and are
     /// dropped.
     ///
-    /// Events must arrive in non-decreasing timestamp order for time-based
-    /// windows; out-of-order events are filed into the currently open
-    /// window (matching the historical batch behaviour).
+    /// **Out-of-order tolerance** (`docs/SCENARIOS.md` §6): events should
+    /// arrive in non-decreasing timestamp order, but real fleet feeds
+    /// reorder, duplicate and regress timestamps. The assembler never
+    /// fails or panics on such input: a late event is filed into the
+    /// window *open at its arrival* (it never reopens an already closed
+    /// window), duplicates are kept (two identical events are two
+    /// events), and when a window closes its contents are stably sorted
+    /// by timestamp so downstream consumers (pmfs, codecs, stores) always
+    /// see ordered events. Window *assignment* is therefore a
+    /// deterministic function of the arrival sequence.
     ///
     /// # Errors
     ///
@@ -417,7 +424,11 @@ impl WindowAssembler {
     }
 
     fn close_count_window(&mut self) -> Window {
-        let buf = std::mem::take(&mut self.buf);
+        let mut buf = std::mem::take(&mut self.buf);
+        // Stable, so same-timestamp events (duplicates, simultaneous
+        // arrivals) keep their arrival order — see the push() tolerance
+        // contract.
+        buf.sort_by_key(|ev| ev.timestamp);
         let start = buf
             .first()
             .map(|ev| ev.timestamp)
@@ -432,7 +443,8 @@ impl WindowAssembler {
     }
 
     fn close_time_window(&mut self, duration: Duration) -> Window {
-        let buf = std::mem::take(&mut self.buf);
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.sort_by_key(|ev| ev.timestamp);
         let start = self.window_start;
         let end = start.saturating_add(duration);
         self.window_start = end;
