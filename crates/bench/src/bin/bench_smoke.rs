@@ -45,11 +45,21 @@
 //!    spare cores for the followers to run on: on hosts with fewer
 //!    hardware threads than followers-plus-writer the ratio is reported
 //!    but the gate is skipped.
+//! 6. **Instrumentation overhead**: `session_push_instrumented` — the
+//!    same single-session loop with a live `endurance_obs::Registry`
+//!    attached — must stay within 3 % of the disabled-registry
+//!    `session_push` rate. This is the "cheap enough to leave on"
+//!    contract from `docs/OBSERVABILITY.md`, gated here so a regression
+//!    in the instrumentation layer fails the PR that introduced it.
 //!
 //! The artifact also records `store_compact` (a maintenance pass merging
 //! a many-segment lane), per-store-config on-disk bytes and compression
-//! ratios, the live-follower overhead ratio (schema 4), and, when a
-//! baseline is given, the per-config deltas vs the reference.
+//! ratios, the live-follower overhead ratio, and, when a baseline is
+//! given, the per-config deltas vs the reference. Since schema 5,
+//! instrumented configurations additionally embed the
+//! `endurance_obs::MetricsSnapshot` captured over their measured reps
+//! (`metrics`), so a perf regression arrives with its counter context —
+//! cache hit rates, CRC validations, compaction passes — attached.
 //!
 //! The artifact also records `session_push` — one session over the merged
 //! untagged feed. That configuration does per-*fleet* windows (4× fewer
@@ -58,11 +68,13 @@
 //! baseline.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
+use endurance_obs::{MetricsSnapshot, Registry};
 use endurance_serve::{ServeHandle, SubscribeOptions, SubscriptionStep};
 use endurance_store::{
     CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
@@ -95,6 +107,10 @@ const REQUIRED_DELTA_RATIO: f64 = 1.5;
 const LIVE_FOLLOW_TOLERANCE: f64 = 0.10;
 /// Followers racing the writer in the `store_live_mixed` configuration.
 const LIVE_FOLLOWERS: usize = 4;
+/// An enabled metrics registry may cost the session push loop at most
+/// this fraction of the disabled-registry rate (the observability
+/// acceptance bar: cheap enough to leave on).
+const INSTRUMENTED_TOLERANCE: f64 = 0.03;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Measurement {
@@ -105,6 +121,12 @@ struct Measurement {
     bytes_on_disk: Option<u64>,
     /// Raw payload bytes over stored bytes, for store-backed configs.
     compression_ratio: Option<f64>,
+    /// Registry snapshot accumulated over every measured rep, for
+    /// instrumented configs (schema 5): the counter context a perf
+    /// regression should arrive with. `None` for pure-CPU configs that
+    /// run with the registry disabled.
+    #[serde(default)]
+    metrics: Option<MetricsSnapshot>,
 }
 
 impl Measurement {
@@ -115,7 +137,13 @@ impl Measurement {
             events_per_sec,
             bytes_on_disk: None,
             compression_ratio: None,
+            metrics: None,
         }
+    }
+
+    fn with_snapshot(mut self, snapshot: MetricsSnapshot) -> Self {
+        self.metrics = Some(snapshot);
+        self
     }
 }
 
@@ -362,6 +390,30 @@ fn main() -> ExitCode {
     eprintln!("  session_push:      {:>12.0} events/s", session_rate);
     configs.push(Measurement::rate("session_push", events, session_rate));
 
+    // The same loop with a live registry attached: every event crosses
+    // the instrumented push path (branch + sampled timer), every closed
+    // window flushes its counters. The gap vs session_push is the whole
+    // cost of leaving observability on, gated at 3% below.
+    let obs_registry = Registry::new();
+    let instrumented_rate = measure(reps, events, || {
+        let mut session = ReductionSession::new(config.clone())
+            .expect("session")
+            .with_sink(CountingSink::new())
+            .with_metrics(Arc::clone(&obs_registry));
+        for (_, event) in &tagged {
+            session.push(*event).expect("push");
+        }
+        std::hint::black_box(session.finish().expect("finish").report);
+    });
+    eprintln!(
+        "  session_push_instrumented: {:>4.0} events/s",
+        instrumented_rate
+    );
+    configs.push(
+        Measurement::rate("session_push_instrumented", events, instrumented_rate)
+            .with_snapshot(obs_registry.snapshot()),
+    );
+
     // The same single session, recording through the spooled writer-thread
     // adapter instead of directly into the in-memory sink. The gap between
     // this and session_push is the full cost of the async-sink layer.
@@ -427,14 +479,18 @@ fn main() -> ExitCode {
     // Throughput is normalised to the *pushed* events, so this number is
     // directly comparable with the in-memory sharded_4 line.
     let store_dir = std::env::temp_dir().join(format!("bench-smoke-store-{}", std::process::id()));
+    let store_registry = Registry::new();
     let store_rate = measure(reps, events, || {
         let _ = std::fs::remove_dir_all(&store_dir);
         let dir = store_dir.clone();
+        let registry = Arc::clone(&store_registry);
         let mut reducer = ShardedReducer::new(config.clone(), 4)
             .expect("reducer")
             .with_sinks(|shard| {
                 SpooledSink::new(
-                    LaneWriter::create(&dir, shard as u32, StoreConfig::default()).expect("lane"),
+                    LaneWriter::create(&dir, shard as u32, StoreConfig::default())
+                        .expect("lane")
+                        .with_metrics(&registry),
                 )
             });
         reducer.push_batch(&tagged).expect("push");
@@ -455,7 +511,10 @@ fn main() -> ExitCode {
     });
     let _ = std::fs::remove_dir_all(&store_dir);
     eprintln!("  store_write_replay:{:>12.0} events/s", store_rate);
-    configs.push(Measurement::rate("store_write_replay", events, store_rate));
+    configs.push(
+        Measurement::rate("store_write_replay", events, store_rate)
+            .with_snapshot(store_registry.snapshot()),
+    );
 
     // Replay configs: the same dense many-segment lane read through the
     // legacy seek-per-frame path and the buffered SegmentMap path. Both
@@ -492,10 +551,12 @@ fn main() -> ExitCode {
     let compact_dir =
         std::env::temp_dir().join(format!("bench-smoke-compact-{}", std::process::id()));
     let compact_windows = if options.quick { 400 } else { 1_200 };
+    let compact_registry = Registry::new();
     let mut compact_rate = f64::MIN;
     for _ in 0..reps {
         let compact_events = write_replay_store(&compact_dir, compact_windows, 1);
-        let compactor = Compactor::new(&compact_dir, MaintenancePolicy::merge_below(u64::MAX));
+        let compactor = Compactor::new(&compact_dir, MaintenancePolicy::merge_below(u64::MAX))
+            .with_metrics(&compact_registry);
         let start = Instant::now();
         let report = compactor.compact().expect("compact");
         let elapsed = start.elapsed().as_secs_f64().max(1e-9);
@@ -507,11 +568,10 @@ fn main() -> ExitCode {
     }
     let _ = std::fs::remove_dir_all(&compact_dir);
     eprintln!("  store_compact:     {:>12.0} events/s", compact_rate);
-    configs.push(Measurement::rate(
-        "store_compact",
-        compact_windows * 8,
-        compact_rate,
-    ));
+    configs.push(
+        Measurement::rate("store_compact", compact_windows * 8, compact_rate)
+            .with_snapshot(compact_registry.snapshot()),
+    );
 
     // Per-codec store configs: the same mm-sim endurance trace, cut into
     // one-second recorded windows (the monitor's recording granularity),
@@ -525,10 +585,13 @@ fn main() -> ExitCode {
     for codec in CodecId::ALL {
         let mut bytes_on_disk = 0u64;
         let mut ratio = 1.0f64;
+        let codec_registry = Registry::new();
         let rate = measure(reps, codec_events, || {
             let _ = std::fs::remove_dir_all(&codec_dir);
             let config = StoreConfig::default().with_codec(codec);
-            let mut writer = LaneWriter::create(&codec_dir, 0, config).expect("lane");
+            let mut writer = LaneWriter::create(&codec_dir, 0, config)
+                .expect("lane")
+                .with_metrics(&codec_registry);
             for (meta, events, encoded) in &codec_windows {
                 writer.record_window(meta, events, encoded).expect("record");
             }
@@ -550,6 +613,7 @@ fn main() -> ExitCode {
             events_per_sec: rate,
             bytes_on_disk: Some(bytes_on_disk),
             compression_ratio: Some(ratio),
+            metrics: Some(codec_registry.snapshot()),
         });
     }
     let _ = std::fs::remove_dir_all(&codec_dir);
@@ -562,6 +626,7 @@ fn main() -> ExitCode {
         std::env::temp_dir().join(format!("bench-smoke-recompress-{}", std::process::id()));
     let mut recompress_rate = f64::MIN;
     let mut recompress_report = None;
+    let recompress_registry = Registry::new();
     for _ in 0..reps {
         let _ = std::fs::remove_dir_all(&recompress_dir);
         let config = StoreConfig::default().with_segment_max_windows(16);
@@ -571,7 +636,7 @@ fn main() -> ExitCode {
         }
         writer.close().expect("close");
         let policy = MaintenancePolicy::disabled().with_recompress(CodecId::DeltaVarint);
-        let compactor = Compactor::new(&recompress_dir, policy);
+        let compactor = Compactor::new(&recompress_dir, policy).with_metrics(&recompress_registry);
         let start = Instant::now();
         let report = compactor.compact().expect("recompress");
         let elapsed = start.elapsed().as_secs_f64().max(1e-9);
@@ -594,6 +659,7 @@ fn main() -> ExitCode {
         events_per_sec: recompress_rate,
         bytes_on_disk: Some(recompress_report.lanes.iter().map(|l| l.bytes_after).sum()),
         compression_ratio: Some(recompress_ratio),
+        metrics: Some(recompress_registry.snapshot()),
     });
 
     // Live serving configs: the same pre-encoded windows recorded through
@@ -604,10 +670,13 @@ fn main() -> ExitCode {
     // verified) outside the timed region.
     let live_dir = std::env::temp_dir().join(format!("bench-smoke-live-{}", std::process::id()));
     let mut live_rates = [f64::MIN; 2];
+    let live_registries = [Registry::new(), Registry::new()];
     for (slot, followers) in [0usize, LIVE_FOLLOWERS].into_iter().enumerate() {
         for _ in 0..reps {
             let _ = std::fs::remove_dir_all(&live_dir);
-            let serve = ServeHandle::open(&live_dir).expect("serve");
+            let serve = ServeHandle::open(&live_dir)
+                .expect("serve")
+                .with_metrics(Arc::clone(&live_registries[slot]));
             let drains: Vec<_> = (0..followers)
                 .map(|_| {
                     let subscription = serve.subscribe_with(
@@ -667,16 +736,14 @@ fn main() -> ExitCode {
         "  store_live_mixed:  {:>12.0} events/s  ({LIVE_FOLLOWERS} followers)",
         live_mixed_rate
     );
-    configs.push(Measurement::rate(
-        "store_live_solo",
-        codec_events,
-        live_solo_rate,
-    ));
-    configs.push(Measurement::rate(
-        "store_live_mixed",
-        codec_events,
-        live_mixed_rate,
-    ));
+    configs.push(
+        Measurement::rate("store_live_solo", codec_events, live_solo_rate)
+            .with_snapshot(live_registries[0].snapshot()),
+    );
+    configs.push(
+        Measurement::rate("store_live_mixed", codec_events, live_mixed_rate)
+            .with_snapshot(live_registries[1].snapshot()),
+    );
 
     // Load the baseline (when given) before writing the artifact so the
     // per-config deltas ride along in it.
@@ -719,7 +786,7 @@ fn main() -> ExitCode {
     let delta_ratio = identity_bytes as f64 / codec_bytes[&CodecId::DeltaVarint].max(1) as f64;
     let live_follow_ratio = live_mixed_rate / live_solo_rate.max(1e-9);
     let artifact = Artifact {
-        schema: 4,
+        schema: 5,
         quick: options.quick,
         parallelism,
         configs,
@@ -796,6 +863,27 @@ fn main() -> ExitCode {
             "bench_smoke: ok   session_spooled: {spooled_rate:.0} events/s vs session_push \
              {session_rate:.0} (within {:.0}%)",
             SPOOL_TOLERANCE * 100.0
+        );
+    }
+
+    // Gate on instrumentation overhead: the same session loop with a
+    // live registry must stay within INSTRUMENTED_TOLERANCE of the
+    // disabled-registry rate. This is the observability layer's "cheap
+    // enough to leave on" contract — a new counter on the push path that
+    // breaks this budget fails here, not in production.
+    let instrumented_floor = session_rate * (1.0 - INSTRUMENTED_TOLERANCE);
+    if instrumented_rate < instrumented_floor {
+        eprintln!(
+            "bench_smoke: FAIL session_push_instrumented: {instrumented_rate:.0} events/s is \
+             more than {:.0}% below session_push ({session_rate:.0})",
+            INSTRUMENTED_TOLERANCE * 100.0
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   session_push_instrumented: {instrumented_rate:.0} events/s vs \
+             session_push {session_rate:.0} (within {:.0}%)",
+            INSTRUMENTED_TOLERANCE * 100.0
         );
     }
 

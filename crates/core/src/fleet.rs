@@ -19,10 +19,11 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+use endurance_obs::{Counter, Gauge, Histogram, Registry};
 use trace_model::{CountingSink, EventSink, StreamId, TraceEvent};
 
 use crate::config::MonitorConfig;
@@ -55,6 +56,39 @@ impl SessionMode {
 enum FleetMsg {
     Batch(Vec<(StreamId, TraceEvent)>),
     Close(StreamId),
+}
+
+/// Fleet-level metric handles (`core_fleet_*`), shared by the router and
+/// every worker; detached no-ops unless a registry is installed.
+#[derive(Debug, Clone)]
+struct FleetMetrics {
+    /// `core_fleet_events_total` — events handed to workers, counted per
+    /// flushed batch.
+    events_total: Counter,
+    /// `core_fleet_backpressure_stalls_total` — flushes that found the
+    /// target worker's channel full and had to block.
+    backpressure_stalls_total: Counter,
+    /// `core_fleet_batch_ns` — latency of handing one batch to a worker,
+    /// including any backpressure wait.
+    batch_ns: Histogram,
+    /// `core_fleet_queue_depth` — event batches in flight across all
+    /// worker channels.
+    queue_depth: Gauge,
+    /// `core_fleet_streams_open` — live per-stream sessions across all
+    /// workers.
+    streams_open: Gauge,
+}
+
+impl FleetMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        FleetMetrics {
+            events_total: registry.counter("core_fleet_events_total"),
+            backpressure_stalls_total: registry.counter("core_fleet_backpressure_stalls_total"),
+            batch_ns: registry.histogram("core_fleet_batch_ns"),
+            queue_depth: registry.gauge("core_fleet_queue_depth"),
+            streams_open: registry.gauge("core_fleet_streams_open"),
+        }
+    }
 }
 
 /// The result of one stream's reduction session.
@@ -172,6 +206,10 @@ pub struct FleetReducer<S: EventSink = CountingSink, O: DecisionObserver = NullO
     observer_factory: ObserverFactory<O>,
     state: FleetState<S, O>,
     events_routed: u64,
+    /// Disabled by default; [`FleetReducer::with_metrics`] swaps in an
+    /// enabled registry for the router, workers and per-stream sessions.
+    registry: Arc<Registry>,
+    metrics: FleetMetrics,
 }
 
 impl<S: EventSink, O: DecisionObserver> std::fmt::Debug for FleetReducer<S, O> {
@@ -209,6 +247,8 @@ impl FleetReducer {
                 "a fleet reducer needs at least one worker".into(),
             ));
         }
+        let registry = Registry::disabled();
+        let metrics = FleetMetrics::from_registry(&registry);
         Ok(FleetReducer {
             mode,
             workers,
@@ -218,6 +258,8 @@ impl FleetReducer {
             observer_factory: Arc::new(|_| NullObserver),
             state: FleetState::Idle,
             events_routed: 0,
+            registry,
+            metrics,
         })
     }
 }
@@ -253,6 +295,8 @@ where
             observer_factory: self.observer_factory,
             state: FleetState::Idle,
             events_routed: 0,
+            registry: self.registry,
+            metrics: self.metrics,
         }
     }
 
@@ -282,7 +326,29 @@ where
             observer_factory: Arc::new(factory),
             state: FleetState::Idle,
             events_routed: 0,
+            registry: self.registry,
+            metrics: self.metrics,
         }
+    }
+
+    /// Installs a metrics registry on the router, the workers and every
+    /// per-stream session: the router reports `core_fleet_events_total`,
+    /// `core_fleet_batch_ns`, `core_fleet_backpressure_stalls_total` and
+    /// `core_fleet_queue_depth`, the workers keep
+    /// `core_fleet_streams_open` current, and the per-stream sessions
+    /// report the `core_session_*` family, aggregated across the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        assert!(
+            matches!(self.state, FleetState::Idle),
+            "metrics must be installed before any event is pushed"
+        );
+        self.metrics = FleetMetrics::from_registry(&registry);
+        self.registry = registry;
+        self
     }
 
     /// Overrides the channel batch size (events per message).
@@ -326,7 +392,7 @@ where
         worker.pending.push((stream, event));
         self.events_routed += 1;
         if worker.pending.len() >= batch_size {
-            if let Err(err) = flush(worker, index) {
+            if let Err(err) = flush(worker, index, &self.metrics) {
                 self.events_routed -= worker.lost;
                 worker.lost = 0;
                 return Err(err);
@@ -349,7 +415,7 @@ where
         };
         let index = route(stream, workers.len());
         let worker = &mut workers[index];
-        if let Err(err) = flush(worker, index) {
+        if let Err(err) = flush(worker, index, &self.metrics) {
             self.events_routed -= worker.lost;
             worker.lost = 0;
             return Err(err);
@@ -393,7 +459,7 @@ where
         // then join. A failed flush here means the worker is already gone;
         // its join result carries the real error.
         for (index, worker) in handles.iter_mut().enumerate() {
-            if flush(worker, index).is_err() {
+            if flush(worker, index, &self.metrics).is_err() {
                 self.events_routed -= worker.lost;
                 worker.lost = 0;
             }
@@ -447,9 +513,11 @@ where
             let mode = self.mode.clone();
             let sinks = Arc::clone(&self.sink_factory);
             let observers = Arc::clone(&self.observer_factory);
+            let registry = Arc::clone(&self.registry);
+            let metrics = self.metrics.clone();
             let handle = thread::Builder::new()
                 .name(format!("fleet-worker-{index}"))
-                .spawn(move || run_worker(mode, sinks, observers, receiver))
+                .spawn(move || run_worker(mode, sinks, observers, receiver, registry, metrics))
                 .expect("failed to spawn fleet worker thread");
             handles.push(WorkerHandle {
                 sender: Some(sender),
@@ -487,6 +555,7 @@ fn worker_gone(index: usize) -> CoreError {
 fn flush<S: EventSink, O: DecisionObserver>(
     worker: &mut WorkerHandle<S, O>,
     index: usize,
+    metrics: &FleetMetrics,
 ) -> Result<(), CoreError> {
     if worker.pending.is_empty() {
         return Ok(());
@@ -498,11 +567,34 @@ fn flush<S: EventSink, O: DecisionObserver>(
     };
     let batch = std::mem::take(&mut worker.pending);
     let size = batch.len() as u64;
-    if sender.send(FleetMsg::Batch(batch)).is_err() {
+    let batch_span = metrics.batch_ns.span();
+    // Non-blocking first: a full channel is the worker falling behind,
+    // worth counting as a stall before blocking on it (backpressure).
+    let message = match sender.try_send(FleetMsg::Batch(batch)) {
+        Ok(()) => {
+            batch_span.end();
+            metrics.events_total.add(size);
+            metrics.queue_depth.add(1);
+            return Ok(());
+        }
+        Err(TrySendError::Full(message)) => {
+            metrics.backpressure_stalls_total.inc();
+            message
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            worker.sender = None;
+            worker.lost = size;
+            return Err(worker_gone(index));
+        }
+    };
+    if sender.send(message).is_err() {
         worker.sender = None;
         worker.lost = size;
         return Err(worker_gone(index));
     }
+    batch_span.end();
+    metrics.events_total.add(size);
+    metrics.queue_depth.add(1);
     Ok(())
 }
 
@@ -545,6 +637,8 @@ fn run_worker<S, O>(
     sinks: SinkFactory<S>,
     observers: ObserverFactory<O>,
     receiver: Receiver<FleetMsg>,
+    registry: Arc<Registry>,
+    metrics: FleetMetrics,
 ) -> Result<Vec<StreamOutcome<S, O>>, CoreError>
 where
     S: EventSink + Send + 'static,
@@ -559,6 +653,7 @@ where
     for msg in receiver {
         match msg {
             FleetMsg::Batch(batch) => {
+                metrics.queue_depth.sub(1);
                 for (stream, event) in batch {
                     let id = stream.as_u32();
                     if let Some(&index) = dead.get(&id) {
@@ -573,8 +668,10 @@ where
                             // rather than silently failing every stream
                             // one by one.
                             let session = build_session(&mode)?
+                                .with_metrics(Arc::clone(&registry))
                                 .with_sink(sinks(stream))
                                 .with_observer(observers(stream));
+                            metrics.streams_open.add(1);
                             slot.insert((session, 0))
                         }
                     };
@@ -582,6 +679,7 @@ where
                     if let Err(err) = entry.0.push(event) {
                         let (session, events) = live.remove(&id).expect("present");
                         let (sink, observer) = session.abort();
+                        metrics.streams_open.sub(1);
                         let index = done.len();
                         done.push(StreamOutcome {
                             stream,
@@ -598,6 +696,7 @@ where
             }
             FleetMsg::Close(stream) => {
                 if let Some((session, events)) = live.remove(&stream.as_u32()) {
+                    metrics.streams_open.sub(1);
                     done.push(finish_stream(stream, events, session));
                 }
             }
@@ -609,6 +708,7 @@ where
     let mut rest: Vec<_> = live.into_iter().collect();
     rest.sort_by_key(|(id, _)| *id);
     for (id, (session, events)) in rest {
+        metrics.streams_open.sub(1);
         done.push(finish_stream(StreamId::new(id), events, session));
     }
     Ok(done)
@@ -751,6 +851,44 @@ mod tests {
             assert_eq!(report.reference_windows, shared_reference);
             assert!(report.monitored_windows > 0);
         }
+    }
+
+    #[test]
+    fn metrics_track_fleet_batches_and_open_streams() {
+        let registry = Registry::new();
+        let mut fleet = FleetReducer::new(test_config(), 2)
+            .unwrap()
+            .with_batch_size(256)
+            .with_metrics(Arc::clone(&registry));
+        for i in 0..20_000u64 {
+            for device in 0..3u32 {
+                fleet.push(StreamId::new(device), steady_event(i)).unwrap();
+            }
+        }
+        // Mid-run: all three streams have live sessions.
+        assert_eq!(
+            registry.snapshot().gauge("core_fleet_streams_open"),
+            Some(3)
+        );
+        fleet.close_stream(StreamId::new(1)).unwrap();
+        let outcome = fleet.finish().unwrap();
+        assert_eq!(outcome.failed_streams, 0);
+
+        let snapshot = registry.snapshot();
+        // Every accepted event was eventually handed to a worker.
+        assert_eq!(
+            snapshot.counter("core_fleet_events_total"),
+            Some(outcome.events_routed)
+        );
+        // Channels drained, every stream finalised.
+        assert_eq!(snapshot.gauge("core_fleet_queue_depth"), Some(0));
+        assert_eq!(snapshot.gauge("core_fleet_streams_open"), Some(0));
+        // The per-stream sessions carried the registry too.
+        assert_eq!(
+            snapshot.counter("core_session_events_total"),
+            Some(outcome.events_routed)
+        );
+        assert!(snapshot.histogram("core_fleet_batch_ns").unwrap().count > 0);
     }
 
     #[test]

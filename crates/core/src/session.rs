@@ -25,6 +25,9 @@
 //! wrapper that collects a session's streamed output into the historical
 //! [`crate::ReductionOutcome`].
 
+use std::sync::Arc;
+
+use endurance_obs::{Counter, Histogram, Registry};
 use trace_model::{
     EventSink, EventSource, MemorySink, Timestamp, TraceEvent, Window, WindowAssembler,
 };
@@ -33,6 +36,44 @@ use crate::{
     CoreError, MonitorConfig, OnlineMonitor, PmfScratch, ReductionReport, ReferenceModel,
     TraceRecorder, WindowDecision, WindowStrategy,
 };
+
+/// Push-path timing is sampled one-in-N so the steady-state cost of an
+/// instrumented session stays a branch per event (see
+/// `docs/OBSERVABILITY.md`, "Overhead contract").
+const PUSH_SAMPLE_MASK: u64 = 1023;
+
+/// The session's metric handles, resolved once at construction so the
+/// hot path never touches the registry's intern table.
+#[derive(Debug)]
+struct SessionMetrics {
+    /// `core_session_events_total` — flushed per closed window, not per
+    /// push, to keep atomics off the event path.
+    events_total: Counter,
+    /// `core_session_transitions_total` — learning→monitoring fits.
+    transitions_total: Counter,
+    /// `core_session_push_ns` — sampled 1-in-1024 push latencies.
+    push_ns: Histogram,
+    /// `core_session_window_close_ns` — full window-routing latency.
+    window_close_ns: Histogram,
+    /// `core_session_decision_ns` — gate + LOF scoring latency.
+    decision_ns: Histogram,
+}
+
+impl SessionMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        SessionMetrics {
+            events_total: registry.counter("core_session_events_total"),
+            transitions_total: registry.counter("core_session_transitions_total"),
+            push_ns: registry.histogram("core_session_push_ns"),
+            window_close_ns: registry.histogram("core_session_window_close_ns"),
+            decision_ns: registry.histogram("core_session_decision_ns"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::from_registry(&Registry::disabled())
+    }
+}
 
 /// Observer of per-window monitoring decisions, notified in stream order.
 ///
@@ -172,6 +213,9 @@ pub struct ReductionSession<S: EventSink = MemorySink, O: DecisionObserver = Nul
     /// Pooled pmf buffers: one window pmf is rebuilt in place per
     /// monitored window instead of allocating three vectors each time.
     scratch: PmfScratch,
+    /// Metric handles (detached no-ops until
+    /// [`ReductionSession::with_metrics`] installs an enabled registry).
+    metrics: SessionMetrics,
 }
 
 impl ReductionSession<MemorySink, NullObserver> {
@@ -201,6 +245,7 @@ impl ReductionSession<MemorySink, NullObserver> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: PmfScratch::new(),
+            metrics: SessionMetrics::disabled(),
             config,
         })
     }
@@ -247,6 +292,7 @@ impl ReductionSession<MemorySink, NullObserver> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: PmfScratch::new(),
+            metrics: SessionMetrics::disabled(),
             config,
         })
     }
@@ -285,6 +331,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: self.scratch,
+            metrics: self.metrics,
         }
     }
 
@@ -309,7 +356,29 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: self.scratch,
+            metrics: self.metrics,
         }
+    }
+
+    /// Installs a metrics registry; the session reports
+    /// `core_session_events_total`, `core_session_transitions_total`,
+    /// `core_session_window_close_ns`, `core_session_decision_ns` and
+    /// sampled `core_session_push_ns` into it. Event counts are flushed
+    /// per closed window and push timing is sampled 1-in-1024, so the
+    /// per-event cost stays a branch (the overhead contract in
+    /// `docs/OBSERVABILITY.md`, enforced by the bench gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been pushed: the metrics would have
+    /// missed them.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        assert_eq!(
+            self.events_pushed, 0,
+            "metrics must be installed before any event is pushed"
+        );
+        self.metrics = SessionMetrics::from_registry(&registry);
+        self
     }
 
     /// The session's configuration.
@@ -387,6 +456,13 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
     /// too short for the configured `K` when the transition fires, and
     /// propagates monitoring, encoding and sink errors.
     pub fn push(&mut self, event: TraceEvent) -> Result<(), CoreError> {
+        // Sampled push timing: only an enabled registry reads the clock,
+        // and then only one push in 1024.
+        let timer = if self.metrics.push_ns.timed() && self.events_pushed & PUSH_SAMPLE_MASK == 0 {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         self.events_pushed += 1;
         let ReductionSession {
             config,
@@ -396,6 +472,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             observer,
             reference_end,
             scratch,
+            metrics,
             ..
         } = self;
         assembler.push(event, &mut |window| {
@@ -405,6 +482,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 recorder,
                 observer,
                 scratch,
+                metrics,
                 *reference_end,
                 window,
             )
@@ -412,6 +490,9 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         self.peak_buffered_events = self
             .peak_buffered_events
             .max(self.assembler.buffered_events());
+        if let Some(start) = timer {
+            self.metrics.push_ns.record_duration(start.elapsed());
+        }
         Ok(())
     }
 
@@ -467,6 +548,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 observer,
                 reference_end,
                 scratch,
+                metrics,
                 ..
             } = self;
             Self::handle_window(
@@ -475,6 +557,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 recorder,
                 observer,
                 scratch,
+                metrics,
                 *reference_end,
                 window,
             )?;
@@ -483,6 +566,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         // parity with the batch reducer (and to surface reference errors).
         if let PhaseState::Learning { reference } = &self.state {
             self.state = Self::fit_monitor(reference, &self.config)?;
+            self.metrics.transitions_total.inc();
         }
         Ok(())
     }
@@ -548,15 +632,19 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
     }
 
     /// Routes one closed window through the phase state machine.
+    #[allow(clippy::too_many_arguments)]
     fn handle_window(
         config: &MonitorConfig,
         state: &mut PhaseState,
         recorder: &mut TraceRecorder<S>,
         observer: &mut O,
         scratch: &mut PmfScratch,
+        metrics: &SessionMetrics,
         reference_end: Timestamp,
         window: Window,
     ) -> Result<(), CoreError> {
+        let _close_span = metrics.window_close_ns.span();
+        metrics.events_total.add(window.len() as u64);
         if let PhaseState::Learning { reference } = state {
             if window.end <= reference_end {
                 reference.push(window);
@@ -565,6 +653,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             // First window past the horizon: fit the model, drop the
             // reference windows, and monitor this window.
             *state = Self::fit_monitor(reference, config)?;
+            metrics.transitions_total.inc();
         }
         let PhaseState::Monitoring { monitor, .. } = state else {
             unreachable!("handled above");
@@ -572,7 +661,10 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         // Pooled pmf construction: the scratch rebuilds one pmf in place,
         // so the steady monitoring state allocates nothing per window.
         let pmf = scratch.window_pmf(&window, config.dimensions, config.smoothing);
-        let decision = monitor.observe_pmf(&window, pmf)?;
+        let decision = {
+            let _decision_span = metrics.decision_ns.span();
+            monitor.observe_pmf(&window, pmf)?
+        };
         recorder.offer(&window, decision.recorded())?;
         observer.on_decision(&decision);
         Ok(())
@@ -787,6 +879,36 @@ mod tests {
             outcome.report.monitored_windows,
             monitored_after_first_flush
         );
+    }
+
+    #[test]
+    fn metrics_registry_observes_the_whole_session() {
+        let registry = endurance_obs::Registry::new();
+        let mut session = ReductionSession::new(config())
+            .unwrap()
+            .with_metrics(Arc::clone(&registry));
+        for event in steady_stream(Duration::from_secs(5)) {
+            session.push(event).unwrap();
+        }
+        let pushed = session.events_pushed();
+        let outcome = session.finish().unwrap();
+
+        let snapshot = registry.snapshot();
+        // Every pushed event lands in some closed window (finish flushes
+        // the trailing partial one), so the window-flushed counter is
+        // exact.
+        assert_eq!(snapshot.counter("core_session_events_total"), Some(pushed));
+        assert_eq!(snapshot.counter("core_session_transitions_total"), Some(1));
+        let closes = snapshot.histogram("core_session_window_close_ns").unwrap();
+        assert_eq!(
+            closes.count,
+            outcome.report.reference_windows + outcome.report.monitored_windows
+        );
+        let decisions = snapshot.histogram("core_session_decision_ns").unwrap();
+        assert_eq!(decisions.count, outcome.report.monitored_windows);
+        // 1-in-1024 sampling saw at least one push on a 25k-event run.
+        let pushes = snapshot.histogram("core_session_push_ns").unwrap();
+        assert!(pushes.count >= pushed / 1024);
     }
 
     #[test]

@@ -25,12 +25,16 @@ use endurance_core::{
     FleetReducer, HashShardKey, MonitorConfig, ReductionReport, ReductionSession, ReferenceModel,
     ShardedReducer, ShardedReport, WindowDecision,
 };
-use mm_sim::{FleetEvent, FleetScenario, FleetSim, FleetTruth, Simulation, TraceHasher};
+use endurance_obs::Registry;
+use mm_sim::{
+    DeliveryStats, FleetEvent, FleetScenario, FleetSim, FleetTruth, Simulation, TraceHasher,
+};
 use trace_model::{CountingSink, StreamId};
 
 use crate::experiment::evaluate_decisions;
 use crate::{ConfusionMatrix, EvalError};
 
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Reference-segment length for the curated-model learning run. Long
@@ -68,6 +72,9 @@ pub struct ChurnExperiment {
     pub shards: usize,
     /// Health-plane worker-thread count.
     pub workers: usize,
+    /// Metrics registry threaded through both planes and the simulator;
+    /// disabled unless [`ChurnExperiment::with_metrics`] replaced it.
+    registry: Arc<Registry>,
 }
 
 /// One stream's score against its injected ground truth.
@@ -95,6 +102,10 @@ pub struct ChurnResult {
     pub events: u64,
     /// The injected ground truth, final after the drain.
     pub truth: FleetTruth,
+    /// Fleet-wide delivery accounting (emitted, dropped, duplicated,
+    /// reordered, regressed, stalled, delivered), summed over every
+    /// stream's [`StreamTruth`](mm_sim::StreamTruth).
+    pub delivery: DeliveryStats,
     /// Collector-plane consolidated report (per shard + aggregate).
     pub collector: ShardedReport,
     /// Health-plane aggregate report (per-stream counters merged).
@@ -150,7 +161,20 @@ impl ChurnExperiment {
             monitor,
             shards,
             workers,
+            registry: Registry::disabled(),
         })
+    }
+
+    /// Publishes the run's metrics into `registry`: collector-plane
+    /// channel and session counters (`core_shard_*`, `core_session_*`),
+    /// health-plane counters (`core_fleet_*`) and the fleet simulator's
+    /// queue gauge (`sim_fleet_*`). Attach a
+    /// [`MetricsHub`](endurance_obs::MetricsHub) reporter to the same
+    /// registry to watch the run live.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// The demo churn scenario ([`FleetScenario::churn_demo`]) with a
@@ -209,14 +233,16 @@ impl ChurnExperiment {
         // volume statistics without holding the reduced trace in memory.
         let mut collector = ShardedReducer::new(self.monitor.clone(), self.shards)?
             .with_shard_key(HashShardKey)
-            .with_sinks(|_| CountingSink::new());
+            .with_sinks(|_| CountingSink::new())
+            .with_metrics(Arc::clone(&self.registry));
 
         // Health plane: one session per stream against the shared model,
         // collecting per-window decisions for scoring.
         let mut fleet = FleetReducer::from_model(model, self.workers)?
-            .with_observers(|_| Vec::<WindowDecision>::new());
+            .with_observers(|_| Vec::<WindowDecision>::new())
+            .with_metrics(Arc::clone(&self.registry));
 
-        let mut sim = FleetSim::new(&self.scenario)?;
+        let mut sim = FleetSim::new(&self.scenario)?.with_metrics(&self.registry);
         let mut hasher = TraceHasher::new();
         for fleet_event in sim.by_ref() {
             match fleet_event {
@@ -277,10 +303,12 @@ impl ChurnExperiment {
             });
         }
 
+        let delivery = truth.total_delivery();
         Ok(ChurnResult {
             trace_hash: hasher.finish(),
             events,
             truth,
+            delivery,
             collector: collector_outcome.report,
             fleet: fleet_outcome.aggregate,
             streams,

@@ -18,6 +18,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use endurance_obs::{Counter, Gauge, Registry};
 use serde::{Deserialize, Serialize};
 
 use trace_model::{EventTypeRegistry, StreamId, Timestamp, TraceEvent};
@@ -451,6 +452,28 @@ pub struct FleetSim {
     out: VecDeque<FleetEvent>,
     truth: FleetTruth,
     deliveries: u64,
+    metrics: SimMetrics,
+}
+
+/// Registry handles for the fleet driver: deliveries yielded and the
+/// discrete-event queue's depth (sampled after each pop).
+#[derive(Debug)]
+struct SimMetrics {
+    events_total: Counter,
+    queue_depth: Gauge,
+}
+
+impl SimMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        SimMetrics {
+            events_total: registry.counter("sim_fleet_events_total"),
+            queue_depth: registry.gauge("sim_fleet_queue_depth"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::from_registry(&Registry::disabled())
+    }
 }
 
 impl FleetSim {
@@ -499,7 +522,19 @@ impl FleetSim {
                 streams,
             },
             deliveries: 0,
+            metrics: SimMetrics::disabled(),
         })
+    }
+
+    /// Publishes the simulator's delivery counter and event-queue depth
+    /// gauge into `registry` (`sim_fleet_events_total`,
+    /// `sim_fleet_queue_depth`). Metrics do not perturb the simulation:
+    /// the delivery stream and [`FleetTruth`] stay byte-identical for a
+    /// given seed with or without a registry attached.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = SimMetrics::from_registry(registry);
+        self
     }
 
     /// The ground truth for this run. Structural records (joins, leaves,
@@ -624,6 +659,7 @@ impl Iterator for FleetSim {
                 return Some(item);
             }
             let (_, action) = self.queue.pop()?;
+            self.metrics.queue_depth.set(self.queue.len() as i64);
             match action {
                 Action::Join(device) => {
                     self.start_device(device);
@@ -640,6 +676,7 @@ impl Iterator for FleetSim {
                     self.slots[device as usize].in_flight -= 1;
                     self.truth.streams[device as usize].delivery.delivered += 1;
                     self.deliveries += 1;
+                    self.metrics.events_total.inc();
                     self.out
                         .push_back(FleetEvent::Delivery(StreamId::new(device), event));
                     if pull_next {

@@ -1,0 +1,124 @@
+//! The live observation channel: a reporter thread that periodically
+//! renders snapshot deltas to any writer.
+
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::snapshot::MetricsSnapshot;
+use crate::text::TextExposition;
+
+/// Owns a shared [`Registry`] and spawns periodic reporters over it.
+///
+/// The hub is the "observer pays" end of the observability layer: the
+/// instrumented subsystems only bump atomics; a hub reporter thread
+/// snapshots the registry on its own schedule and renders what changed
+/// since the previous tick, so the cost of *watching* scales with the
+/// reporting interval, never with the event rate.
+#[derive(Debug, Clone)]
+pub struct MetricsHub {
+    registry: Arc<Registry>,
+}
+
+impl MetricsHub {
+    /// Wraps a registry in a hub.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        MetricsHub { registry }
+    }
+
+    /// The wrapped registry, for threading into subsystems.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Spawns a background thread that, every `interval`, snapshots the
+    /// registry and writes a text exposition of the **delta** since the
+    /// previous tick (gauges render their current reading) to `writer`,
+    /// preceded by a `# tick N (+Δms)` header line. A final tick is
+    /// flushed when the reporter is stopped or dropped.
+    ///
+    /// The interval is clamped to at least one millisecond.
+    pub fn spawn_reporter<W>(&self, interval: Duration, writer: W) -> Reporter
+    where
+        W: io::Write + Send + 'static,
+    {
+        let interval = interval.max(Duration::from_millis(1));
+        let registry = Arc::clone(&self.registry);
+        let signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_signal = Arc::clone(&signal);
+        let handle = std::thread::Builder::new()
+            .name("obs-reporter".to_string())
+            .spawn(move || report_loop(registry, interval, writer, thread_signal))
+            .expect("failed to spawn metrics reporter thread");
+        Reporter {
+            signal,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to a running reporter thread; stop it with [`Reporter::stop`]
+/// or by dropping it (both flush one final tick first).
+#[derive(Debug)]
+pub struct Reporter {
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Stops the reporter: flushes a final snapshot delta and joins the
+    /// thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (stopped, condvar) = &*self.signal;
+        *stopped.lock().expect("reporter signal poisoned") = true;
+        condvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn report_loop<W: io::Write>(
+    registry: Arc<Registry>,
+    interval: Duration,
+    mut writer: W,
+    signal: Arc<(Mutex<bool>, Condvar)>,
+) {
+    let (stop_flag, condvar) = &*signal;
+    let started = std::time::Instant::now();
+    let mut previous = MetricsSnapshot::default();
+    let mut tick = 0u64;
+    loop {
+        let stopping = {
+            let guard = stop_flag.lock().expect("reporter signal poisoned");
+            let (guard, _) = condvar
+                .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                .expect("reporter signal poisoned");
+            *guard
+        };
+        tick += 1;
+        let snapshot = registry.snapshot();
+        let delta = snapshot.delta(&previous);
+        let mut text = format!("# tick {tick} (+{}ms)\n", started.elapsed().as_millis());
+        text.push_str(&TextExposition::render(&delta));
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            return; // nowhere left to report to
+        }
+        previous = snapshot;
+        if stopping {
+            return;
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The metric registry and its lock-free instrument handles.
+//!
+//! Instrument handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//! `Arc`-backed cells resolved once, at component construction time, and
+//! then updated from hot paths with nothing but relaxed atomics. The
+//! [`Registry`] interns them by `(name, labels)` so any number of
+//! components share one cell, and turns the whole set into a
+//! [`MetricsSnapshot`](crate::MetricsSnapshot) on demand.
+//!
+//! A **disabled** registry ([`Registry::disabled`]) hands out fully
+//! functional but *unregistered* cells: updates still cost at most one
+//! relaxed atomic (so code can read its own counters back, e.g. for
+//! stats structs), spans skip their clock reads entirely, and
+//! [`Registry::snapshot`] is empty. That is the overhead contract
+//! `docs/OBSERVABILITY.md` documents: a single branch + relaxed atomic
+//! per instrumentation site, whether anyone is watching or not.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot};
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i` (for `1 ≤ i ≤ 64`) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Returns the log2 bucket index for a recorded value (see
+/// [`HISTOGRAM_BUCKETS`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying cell. Increments are relaxed atomics;
+/// the counter keeps counting even when its registry is disabled (it
+/// just never appears in a snapshot), so components may read their own
+/// counters back to build stats views.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A free-standing counter not attached to any registry.
+    pub fn detached() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions (queue depths,
+/// lag, open-stream counts).
+///
+/// Cloning shares the underlying cell; all operations are relaxed
+/// atomics and keep working when the registry is disabled.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A free-standing gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge {
+            cell: Arc::new(AtomicI64::new(0)),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared storage of one histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // `count` is bumped last, with release ordering, so a reader
+        // that loads `count` first (acquire) sees at least that many
+        // bucket/sum contributions: snapshots are internally consistent
+        // (bucket total ≥ count) even mid-hammering.
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Acquire);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((index as u8, n));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        }
+    }
+}
+
+/// A log2-bucket histogram of `u64` values (nanoseconds, bytes, depths).
+///
+/// Values land in 65 power-of-two buckets (see [`bucket_index`]);
+/// recording is three relaxed-ish atomic adds with no locking. Cloning
+/// shares the underlying cells. [`Histogram::span`] starts a timer that
+/// records elapsed nanoseconds on drop — and skips its clock reads
+/// entirely when the registry that minted the histogram is disabled.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+    /// Copied from the minting registry: gates span clock reads only;
+    /// direct `record` calls always count.
+    timed: bool,
+}
+
+impl Histogram {
+    /// A free-standing histogram (spans enabled) not attached to any
+    /// registry.
+    pub fn detached() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore::new()),
+            timed: true,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.core.record(value);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating at
+    /// `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Whether spans on this histogram actually read the clock (false
+    /// when minted by a disabled registry).
+    #[inline]
+    pub fn timed(&self) -> bool {
+        self.timed
+    }
+
+    /// Starts a [`Span`] that records elapsed nanoseconds into this
+    /// histogram when dropped. On a disabled registry this is a no-op
+    /// that never touches the clock.
+    #[inline]
+    pub fn span(&self) -> Span {
+        Span {
+            inner: self.timed.then(|| (Arc::clone(&self.core), Instant::now())),
+        }
+    }
+
+    /// Total recorded values so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Acquire)
+    }
+
+    /// Sum of recorded values so far.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A scope timer: started by [`Histogram::span`], records the elapsed
+/// wall-clock nanoseconds into the histogram when dropped.
+///
+/// When the registry is disabled the span holds nothing and drops for
+/// free — no clock read at either end.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<(Arc<HistogramCore>, Instant)>,
+}
+
+impl Span {
+    /// A span that records nothing (what a disabled registry's
+    /// histograms produce).
+    pub fn disabled() -> Self {
+        Span { inner: None }
+    }
+
+    /// Ends the span now instead of at scope exit.
+    pub fn end(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((core, started)) = self.inner.take() {
+            core.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Key a metric is interned under: name plus sorted label pairs.
+type MetricKey = (String, Vec<(String, String)>);
+
+/// One interned metric cell.
+#[derive(Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The workspace metric registry.
+///
+/// Components resolve instrument handles once at construction
+/// ([`Registry::counter`], [`Registry::gauge`], [`Registry::histogram`],
+/// and their `_with` label variants) and update them lock-free from
+/// their hot paths. [`Registry::snapshot`] walks the interned set and
+/// produces a stable, name-sorted [`MetricsSnapshot`].
+///
+/// `Registry::new()` returns an enabled registry; [`Registry::disabled`]
+/// returns the no-op default every subsystem falls back to — see the
+/// module docs for the exact cost contract.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    slots: Mutex<BTreeMap<MetricKey, Slot>>,
+}
+
+impl Registry {
+    /// Creates an enabled registry, shared behind an [`Arc`] so it can
+    /// be threaded through every subsystem.
+    pub fn new() -> Arc<Registry> {
+        Arc::new(Registry {
+            enabled: true,
+            slots: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Creates the default no-op registry: handles still work as local
+    /// cells (one relaxed atomic per update, spans skip the clock), but
+    /// nothing is interned and [`Registry::snapshot`] is always empty.
+    pub fn disabled() -> Arc<Registry> {
+        Arc::new(Registry {
+            enabled: false,
+            slots: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Whether this registry retains metrics for snapshots.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "metric names use the lower_snake `subsystem_object_unit` scheme, got {name:?}"
+        );
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    /// Resolves (interning on first use) the counter `name` with no
+    /// labels.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Resolves (interning on first use) the counter `name` with the
+    /// given label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `(name, labels)` was already interned as a
+    /// different metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        if !self.enabled {
+            return Counter::detached();
+        }
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        match slots
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Slot::Counter(Counter::detached()))
+        {
+            Slot::Counter(counter) => counter.clone(),
+            _ => panic!("metric {name:?} is already registered as a non-counter"),
+        }
+    }
+
+    /// Resolves (interning on first use) the gauge `name` with no
+    /// labels.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Resolves (interning on first use) the gauge `name` with the given
+    /// label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `(name, labels)` was already interned as a
+    /// different metric kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        if !self.enabled {
+            return Gauge::detached();
+        }
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        match slots
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Slot::Gauge(Gauge::detached()))
+        {
+            Slot::Gauge(gauge) => gauge.clone(),
+            _ => panic!("metric {name:?} is already registered as a non-gauge"),
+        }
+    }
+
+    /// Resolves (interning on first use) the histogram `name` with no
+    /// labels.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Resolves (interning on first use) the histogram `name` with the
+    /// given label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `(name, labels)` was already interned as a
+    /// different metric kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        if !self.enabled {
+            return Histogram {
+                core: Arc::new(HistogramCore::new()),
+                timed: false,
+            };
+        }
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        match slots
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Slot::Histogram(Histogram::detached()))
+        {
+            Slot::Histogram(histogram) => histogram.clone(),
+            _ => panic!("metric {name:?} is already registered as a non-histogram"),
+        }
+    }
+
+    /// A point-in-time view of every interned metric, sorted by
+    /// `(name, labels)`. Empty on a disabled registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().expect("metric registry poisoned");
+        let samples = slots
+            .iter()
+            .map(|((name, labels), slot)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match slot {
+                    Slot::Counter(counter) => MetricValue::Counter(counter.get()),
+                    Slot::Gauge(gauge) => MetricValue::Gauge(gauge.get()),
+                    Slot::Histogram(histogram) => MetricValue::Histogram(histogram.core.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}

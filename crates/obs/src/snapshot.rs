@@ -1,0 +1,201 @@
+//! Point-in-time metric snapshots and their delta semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// One metric's value inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotonically increasing counter.
+    Counter(u64),
+    /// A point-in-time gauge reading.
+    Gauge(i64),
+    /// A log2-bucket histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// A histogram's frozen state: total count, value sum and the sparse
+/// list of non-empty log2 buckets (see
+/// [`bucket_index`](crate::bucket_index) for the bucket layout).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// `(bucket index, count)` pairs for non-empty buckets, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of the per-bucket counts (equals [`HistogramSnapshot::count`]
+    /// in a quiescent snapshot; may briefly exceed it while writers are
+    /// mid-record).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// This snapshot minus an earlier one of the same histogram
+    /// (saturating per bucket).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for &(index, count) in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|&&(i, _)| i == index)
+                .map_or(0, |&(_, n)| n);
+            let diff = count.saturating_sub(before);
+            if diff > 0 {
+                buckets.push((index, diff));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+/// One named metric inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name (`subsystem_object_unit` scheme).
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of a whole [`Registry`](crate::Registry):
+/// every interned metric, sorted by `(name, labels)` so two snapshots
+/// of the same registry are positionally comparable and serialized
+/// output is stable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// The sampled metrics, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of sampled metrics.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Looks up one metric by exact name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+        sorted.sort();
+        self.samples
+            .iter()
+            .find(|sample| {
+                sample.name == name
+                    && sample.labels.len() == sorted.len()
+                    && sample
+                        .labels
+                        .iter()
+                        .zip(&sorted)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|sample| &sample.value)
+    }
+
+    /// The value of the label-less counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name, &[]) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of the label-less gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name, &[]) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The label-less histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name, &[]) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sums counter `name` across every label combination (e.g. per-lane
+    /// `store_frames_written_total{lane="..."}` into a fleet total).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|sample| sample.name == name)
+            .filter_map(|sample| match &sample.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sums gauge `name` across every label combination.
+    pub fn gauge_total(&self, name: &str) -> i64 {
+        self.samples
+            .iter()
+            .filter(|sample| sample.name == name)
+            .filter_map(|sample| match &sample.value {
+                MetricValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// This snapshot minus an `earlier` one of the same registry:
+    /// counters and histograms subtract (saturating; metrics absent
+    /// earlier pass through unchanged), gauges keep their **current**
+    /// reading — a gauge is already a point-in-time value. Dividing a
+    /// delta's counters by the wall-clock interval between the two
+    /// snapshots yields rates (events/s, bytes/s).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let samples = self
+            .samples
+            .iter()
+            .map(|sample| {
+                let before = earlier
+                    .samples
+                    .iter()
+                    .find(|e| e.name == sample.name && e.labels == sample.labels);
+                let value = match (&sample.value, before.map(|e| &e.value)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(now.delta(then))
+                    }
+                    (value, _) => value.clone(),
+                };
+                MetricSample {
+                    name: sample.name.clone(),
+                    labels: sample.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}

@@ -1,0 +1,124 @@
+//! Registry concurrency contract: N writer threads hammer counters and
+//! histograms while M snapshot threads read. Snapshots must be
+//! internally consistent, per-metric monotone, and the final totals
+//! exact once every writer has joined.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use endurance_obs::{MetricValue, MetricsSnapshot, Registry};
+
+const WRITERS: usize = 4;
+const READERS: usize = 3;
+const ITERS_PER_WRITER: u64 = 200_000;
+
+fn counter_of(snapshot: &MetricsSnapshot, name: &str) -> u64 {
+    snapshot.counter(name).unwrap_or(0)
+}
+
+#[test]
+fn concurrent_writers_and_snapshot_readers_agree() {
+    let registry = Registry::new();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let counter = registry.counter("obs_test_ops_total");
+            let per_writer =
+                registry.counter_with("obs_test_writer_ops_total", &[("writer", &w.to_string())]);
+            let histogram = registry.histogram("obs_test_values");
+            std::thread::spawn(move || {
+                for i in 0..ITERS_PER_WRITER {
+                    counter.inc();
+                    per_writer.inc();
+                    histogram.record(i % 4096);
+                }
+            })
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut snapshots_taken = 0u64;
+                let mut last = MetricsSnapshot::default();
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = registry.snapshot();
+                    snapshots_taken += 1;
+
+                    // Per-metric monotonicity: no counter or histogram
+                    // ever appears to run backwards between snapshots.
+                    assert!(
+                        counter_of(&snapshot, "obs_test_ops_total")
+                            >= counter_of(&last, "obs_test_ops_total"),
+                        "total counter regressed between snapshots"
+                    );
+                    if let (Some(now), Some(then)) = (
+                        snapshot.histogram("obs_test_values"),
+                        last.histogram("obs_test_values"),
+                    ) {
+                        assert!(now.count >= then.count, "histogram count regressed");
+                        assert!(now.sum >= then.sum, "histogram sum regressed");
+                        assert!(
+                            now.bucket_total() >= then.bucket_total(),
+                            "histogram buckets regressed"
+                        );
+                    }
+
+                    // Internal consistency: every record bumps its
+                    // bucket *before* the (release-ordered) count, so a
+                    // snapshot's bucket total can never lag its count.
+                    if let Some(h) = snapshot.histogram("obs_test_values") {
+                        assert!(
+                            h.bucket_total() >= h.count,
+                            "snapshot saw count {} but only {} bucketed values",
+                            h.count,
+                            h.bucket_total()
+                        );
+                    }
+
+                    // The shared counter can never exceed what the
+                    // writers could possibly have produced.
+                    assert!(
+                        counter_of(&snapshot, "obs_test_ops_total")
+                            <= (WRITERS as u64) * ITERS_PER_WRITER
+                    );
+
+                    last = snapshot;
+                }
+                snapshots_taken
+            })
+        })
+        .collect();
+
+    for writer in writers {
+        writer.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        let taken = reader.join().expect("reader panicked");
+        assert!(taken > 0, "reader never snapshotted");
+    }
+
+    // Final totals are exact: every increment from every writer landed.
+    let expected = (WRITERS as u64) * ITERS_PER_WRITER;
+    let final_snapshot = registry.snapshot();
+    assert_eq!(counter_of(&final_snapshot, "obs_test_ops_total"), expected);
+    assert_eq!(
+        final_snapshot.counter_total("obs_test_writer_ops_total"),
+        expected
+    );
+    for w in 0..WRITERS {
+        assert_eq!(
+            final_snapshot.get("obs_test_writer_ops_total", &[("writer", &w.to_string())]),
+            Some(&MetricValue::Counter(ITERS_PER_WRITER))
+        );
+    }
+    let h = final_snapshot.histogram("obs_test_values").unwrap();
+    assert_eq!(h.count, expected);
+    assert_eq!(h.bucket_total(), expected);
+    let expected_sum: u64 = WRITERS as u64 * (0..ITERS_PER_WRITER).map(|i| i % 4096).sum::<u64>();
+    assert_eq!(h.sum, expected_sum);
+}

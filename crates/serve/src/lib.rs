@@ -59,6 +59,7 @@ mod subscription;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use endurance_obs::Registry;
 use endurance_store::{CommitLog, LaneWriter, SegmentCache, Snapshot, StoreConfig, StoreReader};
 use trace_model::{Timestamp, TraceError, TraceEvent, WindowId};
 
@@ -94,6 +95,7 @@ struct Inner {
     cache: Arc<SegmentCache>,
     hub: Arc<Hub>,
     snapshot: Mutex<Option<Snapshot>>,
+    registry: Arc<Registry>,
 }
 
 impl ServeHandle {
@@ -112,8 +114,35 @@ impl ServeHandle {
                 cache,
                 hub: Arc::new(Hub::default()),
                 snapshot: Mutex::new(None),
+                registry: Registry::disabled(),
             }),
         })
+    }
+
+    /// Publishes this handle's serving metrics — and those of every
+    /// writer, snapshot and subscription it subsequently creates — into
+    /// `registry`: segment-cache hits/misses and CRC validations
+    /// (`store_segcache_*`, `store_crc_validations_total`), lane write
+    /// counters on writers from [`ServeHandle::create_writer`]
+    /// (`store_frames_written_total`, …), and per-lane delivery counters
+    /// plus watermark-lag gauges on subscriptions (`serve_*`).
+    ///
+    /// Call immediately after [`ServeHandle::open`], before creating
+    /// writers, subscriptions or clones: existing clones keep serving
+    /// from the un-instrumented segment pool.
+    #[must_use]
+    pub fn with_metrics(self, registry: Arc<Registry>) -> Self {
+        let dir = self.inner.dir.clone();
+        let cache = Arc::new(SegmentCache::new(&dir).with_metrics(&registry));
+        ServeHandle {
+            inner: Arc::new(Inner {
+                dir,
+                cache,
+                hub: Arc::clone(&self.inner.hub),
+                snapshot: Mutex::new(None),
+                registry,
+            }),
+        }
     }
 
     /// The store directory this handle serves.
@@ -135,7 +164,8 @@ impl ServeHandle {
     ///
     /// Same conditions as [`LaneWriter::create`].
     pub fn create_writer(&self, lane: u32, config: StoreConfig) -> Result<LaneWriter, TraceError> {
-        let writer = LaneWriter::create(&self.inner.dir, lane, config)?;
+        let writer =
+            LaneWriter::create(&self.inner.dir, lane, config)?.with_metrics(&self.inner.registry);
         self.inner.hub.register(writer.commit_log());
         Ok(writer)
     }
@@ -233,6 +263,7 @@ impl ServeHandle {
             Arc::clone(&self.inner.hub),
             lane,
             opts,
+            &self.inner.registry,
         )
     }
 }
@@ -447,6 +478,59 @@ mod tests {
         }
         let snapshot = serve.snapshot().unwrap();
         assert_eq!(streams[0], snapshot.lane_payload_bytes(0).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_metrics_match_tailer_and_cache_ground_truth() {
+        let dir = temp_dir("metrics");
+        let registry = Registry::new();
+        let serve = ServeHandle::open(&dir)
+            .unwrap()
+            .with_metrics(Arc::clone(&registry));
+        let follower = serve.subscribe(0);
+        let mut writer = serve.create_writer(0, StoreConfig::default()).unwrap();
+        for id in 0..9u64 {
+            record(&mut writer, id, 4);
+        }
+        writer.close().unwrap();
+        let got = drain(&follower);
+        assert_eq!(got.len(), 9);
+
+        // Delivery counters and the lag gauge agree with the follower's
+        // own accounting once the lane is fully drained.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_total("serve_windows_delivered_total"),
+            follower.stats().delivered
+        );
+        assert_eq!(snap.counter_total("serve_windows_dropped_total"), 0);
+        assert_eq!(snap.gauge_total("serve_watermark_lag"), 0);
+        assert_eq!(snap.counter_total("store_frames_written_total"), 9);
+
+        // First cold read pass: every segment fetch is a miss, every
+        // frame is CRC-validated exactly once.
+        let snapshot = serve.refresh().unwrap();
+        snapshot.lane_payload_bytes(0).unwrap();
+        let after_first = registry.snapshot();
+        let misses = after_first.counter_total("store_segcache_misses_total");
+        let hits = after_first.counter_total("store_segcache_hits_total");
+        assert!(misses >= 1);
+        assert_eq!(after_first.counter_total("store_crc_validations_total"), 9);
+
+        // A fresh snapshot over the same pool: the same segment fetches
+        // all hit the shared buffers, nothing re-reads or re-validates.
+        serve.refresh().unwrap().lane_payload_bytes(0).unwrap();
+        let after_second = registry.snapshot();
+        assert_eq!(
+            after_second.counter_total("store_segcache_misses_total"),
+            misses
+        );
+        assert_eq!(
+            after_second.counter_total("store_segcache_hits_total"),
+            hits + misses
+        );
+        assert_eq!(after_second.counter_total("store_crc_validations_total"), 9);
         std::fs::remove_dir_all(&dir).ok();
     }
 

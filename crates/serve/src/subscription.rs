@@ -9,6 +9,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use endurance_obs::{Counter, Gauge, Histogram, Registry};
 use endurance_store::{TailStep, TailWindow, Tailer};
 use trace_model::{SubscriptionStats, TraceError};
 
@@ -75,6 +76,32 @@ struct Shared {
     stop: AtomicBool,
     state: Mutex<State>,
     available: Condvar,
+    metrics: SubscriptionMetrics,
+}
+
+/// Registry handles for one subscription, labelled by lane. Several
+/// followers of the same lane share the same label set, so the exported
+/// counters aggregate across them while [`Subscription::stats`] stays
+/// per-follower.
+#[derive(Debug)]
+struct SubscriptionMetrics {
+    windows_delivered: Counter,
+    windows_dropped: Counter,
+    watermark_lag: Gauge,
+    pump_ns: Histogram,
+}
+
+impl SubscriptionMetrics {
+    fn for_lane(registry: &Registry, lane: u32) -> Self {
+        let index = lane.to_string();
+        let labels: &[(&str, &str)] = &[("lane", &index)];
+        SubscriptionMetrics {
+            windows_delivered: registry.counter_with("serve_windows_delivered_total", labels),
+            windows_dropped: registry.counter_with("serve_windows_dropped_total", labels),
+            watermark_lag: registry.gauge_with("serve_watermark_lag", labels),
+            pump_ns: registry.histogram_with("serve_pump_ns", labels),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -88,12 +115,19 @@ struct State {
 }
 
 impl Subscription {
-    pub(crate) fn spawn(dir: PathBuf, hub: Arc<Hub>, lane: u32, opts: SubscribeOptions) -> Self {
+    pub(crate) fn spawn(
+        dir: PathBuf,
+        hub: Arc<Hub>,
+        lane: u32,
+        opts: SubscribeOptions,
+        registry: &Registry,
+    ) -> Self {
         let shared = Arc::new(Shared {
             lane,
             stop: AtomicBool::new(false),
             state: Mutex::new(State::default()),
             available: Condvar::new(),
+            metrics: SubscriptionMetrics::for_lane(registry, lane),
         });
         let pump_shared = Arc::clone(&shared);
         let pump = std::thread::spawn(move || pump(dir, hub, pump_shared, opts));
@@ -121,6 +155,7 @@ impl Subscription {
         loop {
             if let Some(window) = state.queue.pop_front() {
                 state.delivered += 1;
+                self.shared.metrics.windows_delivered.inc();
                 return Ok(SubscriptionStep::Window(window));
             }
             if let Some(message) = &state.error {
@@ -162,7 +197,7 @@ impl Subscription {
 
 impl Drop for Subscription {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(pump) = self.pump.take() {
             let _ = pump.join();
         }
@@ -173,7 +208,7 @@ impl Drop for Subscription {
 /// writer resumes, and keep the bounded buffer full.
 fn pump(dir: PathBuf, hub: Arc<Hub>, shared: Arc<Shared>, opts: SubscribeOptions) {
     let lane = shared.lane;
-    let stopped = || shared.stop.load(Ordering::Relaxed);
+    let stopped = || shared.stop.load(Ordering::SeqCst);
     // Wait for the first writer to register the lane.
     let mut registration = loop {
         if stopped() {
@@ -192,19 +227,24 @@ fn pump(dir: PathBuf, hub: Arc<Hub>, shared: Arc<Shared>, opts: SubscribeOptions
                 return;
             }
             Ok(TailStep::Window(window)) => {
+                let pump_span = shared.metrics.pump_ns.span();
                 let mut state = shared.state.lock().expect("subscription poisoned");
                 if state.queue.len() >= opts.buffer.max(1) {
                     state.queue.pop_front();
                     state.dropped += 1;
+                    shared.metrics.windows_dropped.inc();
                 }
                 state.queue.push_back(window);
                 update_behind(&mut state, &registration.log, &tailer);
+                shared.metrics.watermark_lag.set(state.behind as i64);
                 drop(state);
+                pump_span.end();
                 shared.available.notify_all();
             }
             Ok(TailStep::TimedOut) => {
                 let mut state = shared.state.lock().expect("subscription poisoned");
                 update_behind(&mut state, &registration.log, &tailer);
+                shared.metrics.watermark_lag.set(state.behind as i64);
             }
             Ok(TailStep::Closed) => {
                 // The writer is gone; give a successor (crash/resume)

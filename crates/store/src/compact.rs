@@ -36,6 +36,8 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use endurance_obs::{Counter, Histogram, Registry};
+
 use crate::crc32::crc32;
 use crate::index::{LaneIndex, SegmentMeta, WindowEntry};
 use crate::reader::load_lane;
@@ -300,6 +302,45 @@ impl std::fmt::Display for CompactionReport {
 pub struct Compactor {
     dir: std::path::PathBuf,
     policy: MaintenancePolicy,
+    metrics: CompactorMetrics,
+}
+
+/// The standalone pass's metric handles. The names are shared with the
+/// writer's inline maintenance (`LaneWriter`), so both drive the same
+/// series: one pass that changed the store counts once, however it ran.
+#[derive(Debug)]
+struct CompactorMetrics {
+    /// `store_compaction_passes_total` — passes that changed the store.
+    passes: Counter,
+    /// `store_compaction_reclaimed_bytes_total` — on-disk bytes removed.
+    reclaimed_bytes: Counter,
+    /// `store_compaction_pass_ns` — wall time of each pass.
+    pass_ns: Histogram,
+}
+
+impl CompactorMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        CompactorMetrics {
+            passes: registry.counter("store_compaction_passes_total"),
+            reclaimed_bytes: registry.counter("store_compaction_reclaimed_bytes_total"),
+            pass_ns: registry.histogram("store_compaction_pass_ns"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::from_registry(&Registry::disabled())
+    }
+
+    /// Folds one finished pass into the series. A pass that touched
+    /// nothing (already-compact store, disabled policy) is not counted:
+    /// the counter tracks passes that changed the store, mirroring the
+    /// writer's inline-maintenance accounting.
+    fn record(&self, changed: bool, reclaimed: u64) {
+        if changed {
+            self.passes.inc();
+            self.reclaimed_bytes.add(reclaimed);
+        }
+    }
 }
 
 impl Compactor {
@@ -308,7 +349,17 @@ impl Compactor {
         Compactor {
             dir: dir.as_ref().to_path_buf(),
             policy,
+            metrics: CompactorMetrics::disabled(),
         }
+    }
+
+    /// Exports this pass's counters into `registry` under the same
+    /// `store_compaction_*` names the writer's inline maintenance uses
+    /// (see `docs/OBSERVABILITY.md`).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = CompactorMetrics::from_registry(registry);
+        self
     }
 
     /// The policy the pass applies.
@@ -325,6 +376,7 @@ impl Compactor {
     /// [`TraceError::Decode`] when a segment is corrupt beyond a torn
     /// tail (frames are CRC-verified as they are copied).
     pub fn compact(&self) -> Result<CompactionReport, TraceError> {
+        let pass_span = self.metrics.pass_ns.span();
         let mut lanes: std::collections::BTreeMap<u32, Vec<u32>> =
             std::collections::BTreeMap::new();
         for entry in std::fs::read_dir(&self.dir)? {
@@ -340,6 +392,11 @@ impl Compactor {
             seqs.sort_unstable();
             report.lanes.push(self.compact_lane_seqs(lane, &seqs)?);
         }
+        pass_span.end();
+        let changed = report.merged_runs() > 0
+            || report.reclaimed_bytes() > 0
+            || report.recompressed_windows() > 0;
+        self.metrics.record(changed, report.reclaimed_bytes());
         Ok(report)
     }
 
@@ -350,6 +407,7 @@ impl Compactor {
     /// Same conditions as [`Compactor::compact`]; an unknown lane is an
     /// empty no-op.
     pub fn compact_lane(&self, lane: u32) -> Result<LaneCompaction, TraceError> {
+        let pass_span = self.metrics.pass_ns.span();
         recover_interrupted_merge(&self.dir, lane)?;
         let mut seqs: Vec<u32> = std::fs::read_dir(&self.dir)?
             .filter_map(|entry| {
@@ -359,7 +417,13 @@ impl Compactor {
             })
             .collect();
         seqs.sort_unstable();
-        self.compact_lane_seqs(lane, &seqs)
+        let report = self.compact_lane_seqs(lane, &seqs)?;
+        pass_span.end();
+        let changed = report.merged_runs > 0
+            || report.reclaimed_bytes() > 0
+            || report.recompressed_windows > 0;
+        self.metrics.record(changed, report.reclaimed_bytes());
+        Ok(report)
     }
 
     fn compact_lane_seqs(&self, lane: u32, seqs: &[u32]) -> Result<LaneCompaction, TraceError> {

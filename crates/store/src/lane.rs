@@ -4,6 +4,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use endurance_obs::{Counter, Histogram, Registry};
 use trace_model::codec::{BinaryEncoder, CodecId, FrameCodec, TraceEncoder};
 use trace_model::{EventSink, RecordMeta, TraceError, TraceEvent};
 
@@ -84,6 +85,48 @@ impl StoreConfig {
     pub fn with_maintenance(mut self, policy: MaintenancePolicy) -> Self {
         self.maintenance = policy;
         self
+    }
+}
+
+/// The writer's metric handles, labelled `{lane="i"}` where per-lane
+/// attribution matters; detached no-ops unless a registry is installed.
+#[derive(Debug)]
+pub(crate) struct LaneMetrics {
+    /// `store_frames_written_total{lane}` — frames appended this session
+    /// (recovered windows are not frames *written* and are excluded).
+    pub(crate) frames_written: Counter,
+    /// `store_bytes_written_total{lane}` — frame bytes appended (headers
+    /// and codec framing included; segment headers excluded).
+    pub(crate) bytes_written: Counter,
+    /// `store_rotations_total{lane}` — segments closed by rotation.
+    pub(crate) rotations: Counter,
+    /// `store_compaction_passes_total` — maintenance passes that changed
+    /// any lane.
+    compaction_passes: Counter,
+    /// `store_compaction_reclaimed_bytes_total` — on-disk bytes removed
+    /// by maintenance (merge overhead + dropped windows + re-encoding).
+    compaction_reclaimed_bytes: Counter,
+    /// `store_compaction_pass_ns` — wall time of each maintenance pass,
+    /// including no-op passes.
+    compaction_pass_ns: Histogram,
+}
+
+impl LaneMetrics {
+    pub(crate) fn from_registry(registry: &Registry, lane: u32) -> Self {
+        let index = lane.to_string();
+        let labels: &[(&str, &str)] = &[("lane", &index)];
+        LaneMetrics {
+            frames_written: registry.counter_with("store_frames_written_total", labels),
+            bytes_written: registry.counter_with("store_bytes_written_total", labels),
+            rotations: registry.counter_with("store_rotations_total", labels),
+            compaction_passes: registry.counter("store_compaction_passes_total"),
+            compaction_reclaimed_bytes: registry.counter("store_compaction_reclaimed_bytes_total"),
+            compaction_pass_ns: registry.histogram("store_compaction_pass_ns"),
+        }
+    }
+
+    pub(crate) fn disabled(lane: u32) -> Self {
+        Self::from_registry(&Registry::disabled(), lane)
     }
 }
 
@@ -174,6 +217,9 @@ pub struct LaneWriter {
     /// Commit watermarks published to live followers (see
     /// [`LaneWriter::commit_log`]).
     commit: CommitLog,
+    /// Metric handles (detached no-ops until
+    /// [`LaneWriter::with_metrics`] installs an enabled registry).
+    metrics: LaneMetrics,
 }
 
 impl LaneWriter {
@@ -303,7 +349,18 @@ impl LaneWriter {
             last_compaction: None,
             compaction_passes: 0,
             commit,
+            metrics: LaneMetrics::disabled(lane),
         })
+    }
+
+    /// Installs a metrics registry; the writer reports
+    /// `store_frames_written_total`, `store_bytes_written_total` and
+    /// `store_rotations_total` (all labelled `{lane="i"}`) plus the
+    /// `store_compaction_*` family into it. Install right after
+    /// [`LaneWriter::create`], before recording, for exact totals.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = LaneMetrics::from_registry(registry, self.lane);
+        self
     }
 
     /// The lane's commit-watermark channel: live followers ([`crate::Tailer`],
@@ -391,6 +448,7 @@ impl LaneWriter {
             // still know exactly where its committed frames end.
             self.commit.seal(self.seq, self.segment_bytes);
             self.seq += 1;
+            self.metrics.rotations.inc();
         }
         Ok(())
     }
@@ -496,6 +554,8 @@ impl LaneWriter {
         self.segment_windows += 1;
         self.bytes_on_disk += frame_len;
         self.events_recorded += events.len();
+        self.metrics.frames_written.inc();
+        self.metrics.bytes_written.add(frame_len);
         self.index
             .segments
             .last_mut()
@@ -535,9 +595,12 @@ impl LaneWriter {
             return Ok(());
         }
         let backup = self.index.clone();
+        let bytes_before = self.bytes_on_disk;
+        let pass_span = self.metrics.compaction_pass_ns.span();
         let index = std::mem::replace(&mut self.index, LaneIndex::new(self.lane));
         match compact_lane_index(&self.dir, index, &self.config.maintenance, 0) {
             Ok((index, report)) => {
+                drop(pass_span);
                 self.index = index;
                 self.bytes_on_disk = self
                     .index
@@ -547,6 +610,10 @@ impl LaneWriter {
                     .sum();
                 if !report.is_noop() {
                     self.compaction_passes += 1;
+                    self.metrics.compaction_passes.inc();
+                    self.metrics
+                        .compaction_reclaimed_bytes
+                        .add(bytes_before.saturating_sub(self.bytes_on_disk));
                     self.last_compaction = Some(report);
                     // Segments were merged, dropped or re-encoded: byte
                     // offsets a follower holds are stale. Invalidate them.

@@ -36,6 +36,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use endurance_obs::{Counter, Registry};
 use trace_model::codec::{BinaryDecoder, CodecId, FrameCodec, TraceDecoder};
 use trace_model::{TraceError, TraceEvent};
 
@@ -67,11 +68,14 @@ pub(crate) struct SegmentData {
     bytes: Vec<u8>,
     version: u8,
     validated: Mutex<HashSet<u64>>,
+    /// Counts each first-touch CRC check; detached for buffers loaded
+    /// outside a metrics-wired [`SegmentCache`].
+    crc_validations: Counter,
 }
 
 impl SegmentData {
     /// Reads the whole segment file and validates its header.
-    fn load(dir: &Path, lane: u32, seq: u32) -> Result<Self, TraceError> {
+    fn load(dir: &Path, lane: u32, seq: u32, crc_validations: Counter) -> Result<Self, TraceError> {
         let path = dir.join(segment_file_name(lane, seq));
         let bytes = std::fs::read(&path)?;
         let version = parse_segment_header(&bytes, &path, lane, seq)?;
@@ -79,6 +83,7 @@ impl SegmentData {
             bytes,
             version,
             validated: Mutex::new(HashSet::new()),
+            crc_validations,
         })
     }
 
@@ -148,6 +153,7 @@ impl SegmentData {
                     ),
                 });
             }
+            self.crc_validations.inc();
             self.validated
                 .lock()
                 .expect("validation memo poisoned")
@@ -198,6 +204,30 @@ pub struct SegmentCache {
     dir: PathBuf,
     shards: Vec<Mutex<CacheShard>>,
     per_shard: usize,
+    metrics: CacheMetrics,
+}
+
+/// Registry handles for the cache: lookup hits/misses plus the CRC
+/// validations performed by the buffers it loads.
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    crc_validations: Counter,
+}
+
+impl CacheMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        CacheMetrics {
+            hits: registry.counter("store_segcache_hits_total"),
+            misses: registry.counter("store_segcache_misses_total"),
+            crc_validations: registry.counter("store_crc_validations_total"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::from_registry(&Registry::disabled())
+    }
 }
 
 /// One shard's resident buffers, oldest-loaded first.
@@ -212,7 +242,18 @@ impl SegmentCache {
             dir: dir.as_ref().to_path_buf(),
             shards: (0..CACHE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             per_shard: DEFAULT_RESIDENT_SEGMENTS,
+            metrics: CacheMetrics::disabled(),
         }
+    }
+
+    /// Publishes the cache's lookup and CRC-validation counters into
+    /// `registry` (`store_segcache_hits_total`,
+    /// `store_segcache_misses_total`, `store_crc_validations_total`).
+    /// Call before the cache is shared; a stale-buffer re-read counts as
+    /// a miss, since it pays the same disk read a cold miss would.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = CacheMetrics::from_registry(registry);
+        self
     }
 
     fn key(lane: u32, seq: u32) -> u64 {
@@ -241,6 +282,7 @@ impl SegmentCache {
             let resident = shard.lock().expect("segment cache poisoned");
             if let Some((_, data)) = resident.iter().find(|(k, _)| *k == key) {
                 if data.len() as u64 >= min_len {
+                    self.metrics.hits.inc();
                     return Ok(Arc::clone(data));
                 }
             }
@@ -248,7 +290,13 @@ impl SegmentCache {
         // Load outside the lock: a slow disk read must not serialize
         // unrelated segments in the same shard. A racing double-load is
         // benign (last insert wins; both copies are valid snapshots).
-        let data = Arc::new(SegmentData::load(&self.dir, lane, seq)?);
+        self.metrics.misses.inc();
+        let data = Arc::new(SegmentData::load(
+            &self.dir,
+            lane,
+            seq,
+            self.metrics.crc_validations.clone(),
+        )?);
         let mut resident = shard.lock().expect("segment cache poisoned");
         resident.retain(|(k, _)| *k != key);
         while resident.len() >= self.per_shard {
@@ -381,7 +429,12 @@ impl SegmentMap {
         }
         let data = match &self.cache {
             Some(cache) => cache.get_at_least(self.lane, seq, min_len)?,
-            None => Arc::new(SegmentData::load(&self.dir, self.lane, seq)?),
+            None => Arc::new(SegmentData::load(
+                &self.dir,
+                self.lane,
+                seq,
+                Counter::detached(),
+            )?),
         };
         self.segments.insert(seq, data);
         Ok(())

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             println!("  {:<16} {count:>10}", kind.to_string());
         }
     }
-    let delivery = result.truth.total_delivery();
+    let delivery = result.delivery;
     println!(
         "delivery: {} emitted, {} delivered ({} dropped, {} duplicated, {} reordered, \
          {} regressed, {} stalled)",
@@ -112,5 +112,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The determinism contract the CI gate relies on: the hash is a pure
     // function of the scenario seed.
     assert!(result.events > 0, "the fleet delivered nothing");
+    // The surfaced delivery stats must agree with the event stream the
+    // planes actually consumed.
+    assert_eq!(
+        delivery.delivered, result.events,
+        "ground-truth delivery accounting diverged from the stream"
+    );
     Ok(())
 }
