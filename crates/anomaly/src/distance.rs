@@ -52,11 +52,24 @@ pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
 /// (up to smoothing).
 pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
     debug_assert_eq!(p.len(), q.len());
-    let ps = smooth(p);
-    let qs = smooth(q);
-    ps.iter()
-        .zip(&qs)
-        .map(|(pi, qi)| if *pi > 0.0 { pi * (pi / qi).ln() } else { 0.0 })
+    // Streaming equivalent of smoothing both inputs into temporaries:
+    // totals first, per-element normalisation inline. Every floating
+    // point operation (and its order) matches the Vec-based [`smooth`],
+    // so results are bit-identical — but this function sits on the
+    // per-window drift-gate path, where it must not allocate.
+    let p_total: f64 = p.iter().map(|x| x.max(0.0) + PMF_EPSILON).sum();
+    let q_total: f64 = q.iter().map(|x| x.max(0.0) + PMF_EPSILON).sum();
+    p.iter()
+        .zip(q)
+        .map(|(x, y)| {
+            let pi = (x.max(0.0) + PMF_EPSILON) / p_total;
+            let qi = (y.max(0.0) + PMF_EPSILON) / q_total;
+            if pi > 0.0 {
+                pi * (pi / qi).ln()
+            } else {
+                0.0
+            }
+        })
         .sum::<f64>()
         .max(0.0)
 }

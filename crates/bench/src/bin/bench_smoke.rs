@@ -51,15 +51,26 @@
 //!    `session_push` rate. This is the "cheap enough to leave on"
 //!    contract from `docs/OBSERVABILITY.md`, gated here so a regression
 //!    in the instrumentation layer fails the PR that introduced it.
+//! 7. **CRC kernel**: the slice-by-8 `crc32` (`crc32_frame`) must beat
+//!    the bit-at-a-time reference (`crc32_frame_scalar`) by ≥ 3× on
+//!    frame-sized payloads — every frame append and recovery scan pays
+//!    this kernel.
+//! 8. **Parallel compaction**: the auto-sized multi-lane maintenance
+//!    pass (`store_compact`) must beat the single-worker pass
+//!    (`store_compact_serial`) by ≥ 1.5× on hosts with a core per lane;
+//!    smaller hosts report the ratio but skip the gate.
 //!
 //! The artifact also records `store_compact` (a maintenance pass merging
-//! a many-segment lane), per-store-config on-disk bytes and compression
-//! ratios, the live-follower overhead ratio, and, when a baseline is
-//! given, the per-config deltas vs the reference. Since schema 5,
-//! instrumented configurations additionally embed the
+//! four many-segment lanes on the auto-sized worker pool, its resolved
+//! worker count in `compaction_workers`), per-store-config on-disk bytes
+//! and compression ratios, the live-follower overhead ratio, and, when a
+//! baseline is given, the per-config deltas vs the reference. Since
+//! schema 5, instrumented configurations additionally embed the
 //! `endurance_obs::MetricsSnapshot` captured over their measured reps
 //! (`metrics`), so a perf regression arrives with its counter context —
 //! cache hit rates, CRC validations, compaction passes — attached.
+//! Schema 6 adds the CRC and parallel-compaction configurations and
+//! speedups.
 //!
 //! The artifact also records `session_push` — one session over the merged
 //! untagged feed. That configuration does per-*fleet* windows (4× fewer
@@ -77,7 +88,8 @@ use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
 use endurance_obs::{MetricsSnapshot, Registry};
 use endurance_serve::{ServeHandle, SubscribeOptions, SubscriptionStep};
 use endurance_store::{
-    CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink, StoreConfig, StoreReader,
+    crc32, crc32_scalar, CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink,
+    StoreConfig, StoreReader,
 };
 use mm_sim::{Scenario, Simulation};
 use trace_model::codec::{BinaryEncoder, TraceEncoder};
@@ -111,6 +123,17 @@ const LIVE_FOLLOWERS: usize = 4;
 /// this fraction of the disabled-registry rate (the observability
 /// acceptance bar: cheap enough to leave on).
 const INSTRUMENTED_TOLERANCE: f64 = 0.03;
+/// The slice-by-8 CRC kernel must beat the bit-at-a-time reference by at
+/// least this factor on frame-sized payloads.
+const REQUIRED_CRC_SPEEDUP: f64 = 3.0;
+/// Lanes in the multi-lane compaction workload (one writer shard each).
+const COMPACT_LANES: u32 = 4;
+/// The auto-sized parallel compaction pass must beat the single-worker
+/// pass by at least this factor on hosts with a core per lane.
+const REQUIRED_COMPACT_SPEEDUP: f64 = 1.5;
+/// Frame-body size the CRC kernel is benchmarked over (a typical
+/// recorded-window payload).
+const CRC_FRAME_BYTES: usize = 4096;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Measurement {
@@ -158,9 +181,19 @@ struct Artifact {
     schema: u32,
     quick: bool,
     parallelism: usize,
+    /// Worker threads the multi-lane `store_compact` pass resolved to
+    /// (`min(lanes, parallelism)` under the auto policy default).
+    compaction_workers: usize,
     configs: Vec<Measurement>,
     speedup_4_shards: f64,
     replay_speedup_buffered: f64,
+    /// `crc32_frame` over `crc32_frame_scalar`: the slice-by-8 kernel's
+    /// speedup vs the bit-at-a-time reference (gated at >= 3x).
+    crc32_speedup: f64,
+    /// `store_compact` (auto workers) over `store_compact_serial` (one
+    /// worker) on the same multi-lane store (gated at >= 1.5x on hosts
+    /// with a core per lane).
+    compact_parallel_speedup: f64,
     /// On-disk bytes of the identity store over the DeltaVarint store on
     /// the codec workload (gated at >= 1.5).
     delta_codec_ratio: f64,
@@ -319,39 +352,41 @@ fn measure(reps: usize, events: u64, mut run: impl FnMut()) -> f64 {
     best
 }
 
-/// Writes a dense single-lane store — `windows` small windows (the shape
-/// anomaly recording leaves: many short frames), rotating every
-/// `per_segment` — and returns the total event count. This is the shared
-/// data set for the replay and compaction configs.
-fn write_replay_store(dir: &std::path::Path, windows: u64, per_segment: u64) -> u64 {
+/// Writes a dense store — `windows` small windows per lane (the shape
+/// anomaly recording leaves: many short frames) across `lanes` lanes,
+/// rotating every `per_segment` — and returns the total event count.
+/// This is the shared data set for the replay and compaction configs.
+fn write_replay_store(dir: &std::path::Path, lanes: u32, windows: u64, per_segment: u64) -> u64 {
     let _ = std::fs::remove_dir_all(dir);
-    let config = StoreConfig::default().with_segment_max_windows(per_segment);
-    let mut writer = LaneWriter::create(dir, 0, config).expect("lane");
     let mut encoder = BinaryEncoder::new();
     let mut events_total = 0u64;
-    for id in 0..windows {
-        let events: Vec<TraceEvent> = (0..8u64)
-            .map(|i| {
-                TraceEvent::new(
-                    Timestamp::from_micros(id * 40_000 + i * 1_000),
-                    EventTypeId::new(((id + i) % 6) as u16),
-                    i as u32,
-                )
-            })
-            .collect();
-        let mut encoded = Vec::new();
-        encoder.encode(&events, &mut encoded).expect("encode");
-        let meta = RecordMeta {
-            window_id: WindowId::new(id),
-            start: Timestamp::from_micros(id * 40_000),
-            end: Timestamp::from_micros((id + 1) * 40_000),
-        };
-        writer
-            .record_window(&meta, &events, &encoded)
-            .expect("record");
-        events_total += events.len() as u64;
+    for lane in 0..lanes {
+        let config = StoreConfig::default().with_segment_max_windows(per_segment);
+        let mut writer = LaneWriter::create(dir, lane, config).expect("lane");
+        for id in 0..windows {
+            let events: Vec<TraceEvent> = (0..8u64)
+                .map(|i| {
+                    TraceEvent::new(
+                        Timestamp::from_micros(id * 40_000 + i * 1_000),
+                        EventTypeId::new(((id + i + u64::from(lane)) % 6) as u16),
+                        i as u32,
+                    )
+                })
+                .collect();
+            let mut encoded = Vec::new();
+            encoder.encode(&events, &mut encoded).expect("encode");
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: Timestamp::from_micros(id * 40_000),
+                end: Timestamp::from_micros((id + 1) * 40_000),
+            };
+            writer
+                .record_window(&meta, &events, &encoded)
+                .expect("record");
+            events_total += events.len() as u64;
+        }
+        writer.close().expect("close");
     }
-    writer.close().expect("close");
     events_total
 }
 
@@ -522,7 +557,7 @@ fn main() -> ExitCode {
     let replay_dir =
         std::env::temp_dir().join(format!("bench-smoke-replay-{}", std::process::id()));
     let replay_windows = if options.quick { 4_000 } else { 12_000 };
-    let replay_events = write_replay_store(&replay_dir, replay_windows, 128);
+    let replay_events = write_replay_store(&replay_dir, 1, replay_windows, 128);
     let seek_rate = measure(reps, replay_events, || {
         let reader = StoreReader::open(&replay_dir).expect("open");
         std::hint::black_box(reader.lane_events_seek_per_frame(0).expect("seek replay"));
@@ -545,31 +580,95 @@ fn main() -> ExitCode {
     ));
     let _ = std::fs::remove_dir_all(&replay_dir);
 
-    // Compaction config: merge a heavily fragmented lane (one window per
-    // segment) into consolidated segments. The store is rebuilt outside
-    // the timed region each rep.
+    // CRC configs: the frame checksum kernel over frame-sized payloads,
+    // sliced (the production `crc32`) and bit-at-a-time (the reference
+    // `crc32_scalar`). Throughput is bytes per second; the speedup of the
+    // sliced kernel is gated at >= 3x below.
+    let crc_frames = if options.quick { 1_024 } else { 4_096 };
+    let crc_buf: Vec<u8> = {
+        // Deterministic xorshift fill: content does not affect CRC cost,
+        // but a constant buffer would invite the optimiser to fold.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..crc_frames * CRC_FRAME_BYTES)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect()
+    };
+    let crc_bytes = crc_buf.len() as u64;
+    let crc_rate = measure(reps, crc_bytes, || {
+        for frame in crc_buf.chunks(CRC_FRAME_BYTES) {
+            std::hint::black_box(crc32(frame));
+        }
+    });
+    let crc_scalar_rate = measure(reps, crc_bytes, || {
+        for frame in crc_buf.chunks(CRC_FRAME_BYTES) {
+            std::hint::black_box(crc32_scalar(frame));
+        }
+    });
+    eprintln!("  crc32_frame:       {:>12.0} bytes/s", crc_rate);
+    eprintln!("  crc32_frame_scalar:{:>12.0} bytes/s", crc_scalar_rate);
+    configs.push(Measurement::rate("crc32_frame", crc_bytes, crc_rate));
+    configs.push(Measurement::rate(
+        "crc32_frame_scalar",
+        crc_bytes,
+        crc_scalar_rate,
+    ));
+
+    // Compaction configs: merge heavily fragmented lanes (one window per
+    // segment, one lane per writer shard) into consolidated segments,
+    // once with a single worker and once with the auto-sized pool. The
+    // store is rebuilt outside the timed region each rep; the parallel
+    // pass's speedup is gated at >= 1.5x below where cores allow.
     let compact_dir =
         std::env::temp_dir().join(format!("bench-smoke-compact-{}", std::process::id()));
     let compact_windows = if options.quick { 400 } else { 1_200 };
+    let compaction_workers = (COMPACT_LANES as usize).min(parallelism);
     let compact_registry = Registry::new();
-    let mut compact_rate = f64::MIN;
-    for _ in 0..reps {
-        let compact_events = write_replay_store(&compact_dir, compact_windows, 1);
-        let compactor = Compactor::new(&compact_dir, MaintenancePolicy::merge_below(u64::MAX))
-            .with_metrics(&compact_registry);
-        let start = Instant::now();
-        let report = compactor.compact().expect("compact");
-        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-        assert!(
-            report.merged_runs() > 0,
-            "the fragmented lane must be merged"
-        );
-        compact_rate = compact_rate.max(compact_events as f64 / elapsed);
+    let mut compact_rates = [f64::MIN; 2];
+    let mut compact_events = 0u64;
+    for (slot, workers) in [1usize, 0].into_iter().enumerate() {
+        for _ in 0..reps {
+            compact_events = write_replay_store(&compact_dir, COMPACT_LANES, compact_windows, 1);
+            let policy = MaintenancePolicy::merge_below(u64::MAX).with_compact_workers(workers);
+            let compactor = Compactor::new(&compact_dir, policy);
+            let compactor = if workers == 0 {
+                // Only the shipped (auto-sized) pass feeds the artifact's
+                // metrics snapshot.
+                compactor.with_metrics(&compact_registry)
+            } else {
+                compactor
+            };
+            let start = Instant::now();
+            let report = compactor.compact().expect("compact");
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            assert!(
+                report.merged_runs() >= COMPACT_LANES as usize,
+                "every fragmented lane must be merged"
+            );
+            compact_rates[slot] = compact_rates[slot].max(compact_events as f64 / elapsed);
+        }
     }
     let _ = std::fs::remove_dir_all(&compact_dir);
-    eprintln!("  store_compact:     {:>12.0} events/s", compact_rate);
+    let [compact_serial_rate, compact_rate] = compact_rates;
+    eprintln!(
+        "  store_compact_serial:{:>10.0} events/s",
+        compact_serial_rate
+    );
+    eprintln!(
+        "  store_compact:     {:>12.0} events/s  ({compaction_workers} workers)",
+        compact_rate
+    );
+    configs.push(Measurement::rate(
+        "store_compact_serial",
+        compact_events,
+        compact_serial_rate,
+    ));
     configs.push(
-        Measurement::rate("store_compact", compact_windows * 8, compact_rate)
+        Measurement::rate("store_compact", compact_events, compact_rate)
             .with_snapshot(compact_registry.snapshot()),
     );
 
@@ -782,16 +881,21 @@ fn main() -> ExitCode {
 
     let speedup = sharded_4_rate / serial_rate.max(1e-9);
     let replay_speedup = buffered_rate / seek_rate.max(1e-9);
+    let crc32_speedup = crc_rate / crc_scalar_rate.max(1e-9);
+    let compact_parallel_speedup = compact_rate / compact_serial_rate.max(1e-9);
     let identity_bytes = codec_bytes[&CodecId::Identity].max(1);
     let delta_ratio = identity_bytes as f64 / codec_bytes[&CodecId::DeltaVarint].max(1) as f64;
     let live_follow_ratio = live_mixed_rate / live_solo_rate.max(1e-9);
     let artifact = Artifact {
-        schema: 5,
+        schema: 6,
         quick: options.quick,
         parallelism,
+        compaction_workers,
         configs,
         speedup_4_shards: speedup,
         replay_speedup_buffered: replay_speedup,
+        crc32_speedup,
+        compact_parallel_speedup,
         delta_codec_ratio: delta_ratio,
         recompress_ratio,
         live_follow_ratio,
@@ -900,6 +1004,48 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_smoke: ok   buffered replay: {replay_speedup:.2}x over the seek-per-frame \
              path (>= {REQUIRED_REPLAY_SPEEDUP:.1}x)"
+        );
+    }
+
+    // Gate on the CRC kernel: the slice-by-8 implementation must beat
+    // the bit-at-a-time reference decisively on frame-sized payloads —
+    // every frame append and every recovery scan pays this kernel.
+    if crc32_speedup < REQUIRED_CRC_SPEEDUP {
+        eprintln!(
+            "bench_smoke: FAIL crc32 kernel: {crc32_speedup:.2}x over the scalar reference, \
+             need >= {REQUIRED_CRC_SPEEDUP:.1}x"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_smoke: ok   crc32 kernel: {crc32_speedup:.2}x over the scalar reference \
+             (>= {REQUIRED_CRC_SPEEDUP:.1}x)"
+        );
+    }
+
+    // Gate on parallel compaction: the auto-sized multi-lane pass must
+    // actually scale where a core per lane exists. On smaller hosts the
+    // ratio is reported but not gated — the pool cannot conjure cores.
+    if parallelism >= COMPACT_LANES as usize {
+        if compact_parallel_speedup < REQUIRED_COMPACT_SPEEDUP {
+            eprintln!(
+                "bench_smoke: FAIL parallel compaction: {compact_parallel_speedup:.2}x over \
+                 the single-worker pass with {compaction_workers} workers, need >= \
+                 {REQUIRED_COMPACT_SPEEDUP:.1}x"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "bench_smoke: ok   parallel compaction: {compact_parallel_speedup:.2}x over \
+                 the single-worker pass (>= {REQUIRED_COMPACT_SPEEDUP:.1}x, \
+                 {compaction_workers} workers)"
+            );
+        }
+    } else {
+        eprintln!(
+            "bench_smoke: skip parallel compaction gate: only {parallelism} hardware \
+             thread(s) available (needs {COMPACT_LANES}); measured \
+             {compact_parallel_speedup:.2}x"
         );
     }
 

@@ -213,6 +213,12 @@ pub struct ReductionSession<S: EventSink = MemorySink, O: DecisionObserver = Nul
     /// Pooled pmf buffers: one window pmf is rebuilt in place per
     /// monitored window instead of allocating three vectors each time.
     scratch: PmfScratch,
+    /// Spent window buffer awaiting return to the assembler
+    /// ([`WindowAssembler::recycle`]): monitored windows deposit their
+    /// event vector here after the decision is streamed, and the next
+    /// `push`/`flush` hands it back, so the steady monitoring state
+    /// allocates nothing per event.
+    recycled: Vec<TraceEvent>,
     /// Metric handles (detached no-ops until
     /// [`ReductionSession::with_metrics`] installs an enabled registry).
     metrics: SessionMetrics,
@@ -245,6 +251,7 @@ impl ReductionSession<MemorySink, NullObserver> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: PmfScratch::new(),
+            recycled: Vec::new(),
             metrics: SessionMetrics::disabled(),
             config,
         })
@@ -292,6 +299,7 @@ impl ReductionSession<MemorySink, NullObserver> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: PmfScratch::new(),
+            recycled: Vec::new(),
             metrics: SessionMetrics::disabled(),
             config,
         })
@@ -331,6 +339,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: self.scratch,
+            recycled: self.recycled,
             metrics: self.metrics,
         }
     }
@@ -356,6 +365,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             events_pushed: 0,
             peak_buffered_events: 0,
             scratch: self.scratch,
+            recycled: self.recycled,
             metrics: self.metrics,
         }
     }
@@ -472,6 +482,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
             observer,
             reference_end,
             scratch,
+            recycled,
             metrics,
             ..
         } = self;
@@ -482,11 +493,17 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 recorder,
                 observer,
                 scratch,
+                recycled,
                 metrics,
                 *reference_end,
                 window,
             )
         })?;
+        // Hand the spent buffer back outside the emit closure (the
+        // assembler is mutably borrowed while it runs).
+        if self.recycled.capacity() > 0 {
+            self.assembler.recycle(std::mem::take(&mut self.recycled));
+        }
         self.peak_buffered_events = self
             .peak_buffered_events
             .max(self.assembler.buffered_events());
@@ -548,6 +565,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 observer,
                 reference_end,
                 scratch,
+                recycled,
                 metrics,
                 ..
             } = self;
@@ -557,10 +575,14 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
                 recorder,
                 observer,
                 scratch,
+                recycled,
                 metrics,
                 *reference_end,
                 window,
             )?;
+            if self.recycled.capacity() > 0 {
+                self.assembler.recycle(std::mem::take(&mut self.recycled));
+            }
         }
         // A stream that never left the reference horizon still learns, for
         // parity with the batch reducer (and to surface reference errors).
@@ -639,6 +661,7 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         recorder: &mut TraceRecorder<S>,
         observer: &mut O,
         scratch: &mut PmfScratch,
+        recycled: &mut Vec<TraceEvent>,
         metrics: &SessionMetrics,
         reference_end: Timestamp,
         window: Window,
@@ -667,6 +690,14 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
         };
         recorder.offer(&window, decision.recorded())?;
         observer.on_decision(&decision);
+        // The window is spent: stash its buffer for the caller to hand
+        // back to the assembler (learning windows are kept as reference
+        // material and never reach this point).
+        let mut events = window.events;
+        events.clear();
+        if events.capacity() > recycled.capacity() {
+            *recycled = events;
+        }
         Ok(())
     }
 }

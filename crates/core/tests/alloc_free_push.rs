@@ -1,0 +1,87 @@
+//! Counting-allocator proof of the allocation-free push path.
+//!
+//! The steady monitoring state — gate-similar windows on a fitted model —
+//! must perform **zero** heap allocations per pushed event: the pmf is
+//! rebuilt in pooled scratch, the window buffer cycles between the
+//! assembler and the session, and the streaming KL gate works in place.
+//! This test pins that contract with a counting `#[global_allocator]`
+//! (its own integration-test binary, so the counter sees every
+//! allocation the session makes and nothing else running in parallel).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use endurance_core::{MonitorConfig, ReductionSession, SessionPhase};
+use trace_model::{EventTypeId, Timestamp, TraceEvent};
+
+/// Counts every allocation and reallocation; frees are not interesting
+/// (the contract is about acquiring memory on the hot path).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// 5 kHz stream whose 40 ms windows each hold exactly 50 events of each
+/// of 4 types, so every monitored window is gate-similar (divergence 0)
+/// and the steady state never leaves the merge path.
+fn event(i: u64) -> TraceEvent {
+    TraceEvent::new(
+        Timestamp::from_nanos(i * 200_000),
+        EventTypeId::new((i % 4) as u16),
+        0,
+    )
+}
+
+#[test]
+fn steady_state_monitoring_pushes_do_not_allocate() {
+    let config = MonitorConfig::builder()
+        .dimensions(4)
+        .k(10)
+        .reference_duration(Duration::from_secs(2))
+        .build()
+        .unwrap();
+    let mut session = ReductionSession::new(config).unwrap();
+
+    // Warm up through the learning phase and well into monitoring so
+    // every pooled buffer has reached its steady capacity.
+    let warmup = 25_000u64; // 5 s at 5 kHz
+    for i in 0..warmup {
+        session.push(event(i)).unwrap();
+    }
+    assert_eq!(session.phase(), SessionPhase::Monitoring);
+    assert!(session.windows_monitored() > 10);
+
+    let steady = 25_000u64;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in warmup..warmup + steady {
+        session.push(event(i)).unwrap();
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state monitoring must not allocate ({delta} allocations over {steady} events)"
+    );
+
+    let outcome = session.finish().unwrap();
+    assert!(outcome.report.monitored_windows > 10);
+    assert_eq!(outcome.report.anomalous_windows, 0);
+}

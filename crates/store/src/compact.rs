@@ -36,7 +36,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
-use endurance_obs::{Counter, Histogram, Registry};
+use endurance_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::crc32::crc32;
 use crate::index::{LaneIndex, SegmentMeta, WindowEntry};
@@ -79,6 +79,15 @@ pub struct MaintenancePolicy {
     /// repeated passes convergent.
     #[serde(default)]
     pub recompress: Option<CodecId>,
+    /// Worker threads for the standalone multi-lane pass
+    /// ([`Compactor::compact`]): lanes are compacted concurrently on up
+    /// to this many threads (each lane is still one sequential job, so
+    /// the per-lane journal/rename crash protocol is untouched). `0` —
+    /// the default — auto-sizes to `min(lanes, available_parallelism)`.
+    /// Single-lane passes and the writer's inline maintenance are
+    /// inherently one-lane and ignore this knob.
+    #[serde(default)]
+    pub compact_workers: usize,
 }
 
 impl Default for MaintenancePolicy {
@@ -102,6 +111,7 @@ impl MaintenancePolicy {
             retention_ns: None,
             max_merged_bytes: Self::DEFAULT_MAX_MERGED_BYTES,
             recompress: None,
+            compact_workers: 0,
         }
     }
 
@@ -114,6 +124,7 @@ impl MaintenancePolicy {
             retention_ns: None,
             max_merged_bytes: Self::DEFAULT_MAX_MERGED_BYTES,
             recompress: None,
+            compact_workers: 0,
         }
     }
 
@@ -143,6 +154,14 @@ impl MaintenancePolicy {
     /// [`MaintenancePolicy::recompress`]).
     pub fn with_recompress(mut self, codec: CodecId) -> Self {
         self.recompress = Some(codec);
+        self
+    }
+
+    /// Returns the policy with an explicit worker count for the
+    /// standalone multi-lane pass (`0` restores the auto default, see
+    /// [`MaintenancePolicy::compact_workers`]).
+    pub fn with_compact_workers(mut self, workers: usize) -> Self {
+        self.compact_workers = workers;
         self
     }
 
@@ -316,6 +335,12 @@ struct CompactorMetrics {
     reclaimed_bytes: Counter,
     /// `store_compaction_pass_ns` — wall time of each pass.
     pass_ns: Histogram,
+    /// `store_compaction_lane_pass_ns` — wall time of each per-lane job
+    /// inside a pass (one sample per lane, whichever worker ran it).
+    lane_pass_ns: Histogram,
+    /// `store_compaction_parallel_lanes` — worker threads the last
+    /// multi-lane pass resolved to (1 = serial).
+    parallel_lanes: Gauge,
 }
 
 impl CompactorMetrics {
@@ -324,6 +349,8 @@ impl CompactorMetrics {
             passes: registry.counter("store_compaction_passes_total"),
             reclaimed_bytes: registry.counter("store_compaction_reclaimed_bytes_total"),
             pass_ns: registry.histogram("store_compaction_pass_ns"),
+            lane_pass_ns: registry.histogram("store_compaction_lane_pass_ns"),
+            parallel_lanes: registry.gauge("store_compaction_parallel_lanes"),
         }
     }
 
@@ -370,11 +397,20 @@ impl Compactor {
     /// Compacts every lane in the directory and rewrites each lane's
     /// sidecar, so the store reopens clean.
     ///
+    /// Lanes are independent jobs: with more than one lane they run
+    /// concurrently on up to [`MaintenancePolicy::compact_workers`]
+    /// threads (auto-sized by default), and every lane is attempted even
+    /// when a sibling fails — one corrupt lane must not keep the others
+    /// from being maintained. Each lane's own journal/rename protocol is
+    /// unchanged, so crash safety is exactly the serial pass's.
+    ///
     /// # Errors
     ///
     /// Returns [`TraceError::Io`] on filesystem failures and
     /// [`TraceError::Decode`] when a segment is corrupt beyond a torn
-    /// tail (frames are CRC-verified as they are copied).
+    /// tail (frames are CRC-verified as they are copied). The error is
+    /// the failing lane's first (lowest lane number), raised only after
+    /// every lane has run to completion.
     pub fn compact(&self) -> Result<CompactionReport, TraceError> {
         let pass_span = self.metrics.pass_ns.span();
         let mut lanes: std::collections::BTreeMap<u32, Vec<u32>> =
@@ -385,19 +421,91 @@ impl Compactor {
                 lanes.entry(lane).or_default().push(seq);
             }
         }
+        let work: Vec<(u32, Vec<u32>)> = lanes.into_iter().collect();
+        let workers = self.worker_count(work.len());
+        self.metrics.parallel_lanes.set(workers as i64);
+
+        let mut outcomes: Vec<Option<Result<LaneCompaction, TraceError>>> = if workers <= 1 {
+            work.iter()
+                .map(|(lane, seqs)| Some(self.compact_lane_job(*lane, seqs)))
+                .collect()
+        } else {
+            // A shared cursor hands lanes to whichever worker is free, so
+            // one slow (large) lane never serialises the rest behind it.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Result<LaneCompaction, TraceError>>>> =
+                work.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let at = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        let Some((lane, seqs)) = work.get(at) else {
+                            break;
+                        };
+                        let outcome = self.compact_lane_job(*lane, seqs);
+                        *slots[at].lock().expect("no panics hold this lock") = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("workers joined"))
+                .collect()
+        };
+
+        // Successes in ascending lane order (`work` is BTreeMap-sorted);
+        // the lowest failing lane's error surfaces after every lane ran.
         let mut report = CompactionReport::default();
-        for (lane, mut seqs) in lanes {
-            recover_interrupted_merge(&self.dir, lane)?;
-            seqs.retain(|seq| self.dir.join(segment_file_name(lane, *seq)).exists());
-            seqs.sort_unstable();
-            report.lanes.push(self.compact_lane_seqs(lane, &seqs)?);
+        let mut first_error: Option<TraceError> = None;
+        for outcome in outcomes.drain(..) {
+            match outcome.expect("every lane was attempted") {
+                Ok(lane_report) => report.lanes.push(lane_report),
+                Err(error) => {
+                    if first_error.is_none() {
+                        first_error = Some(error);
+                    }
+                }
+            }
         }
         pass_span.end();
+        if let Some(error) = first_error {
+            return Err(error);
+        }
         let changed = report.merged_runs() > 0
             || report.reclaimed_bytes() > 0
             || report.recompressed_windows() > 0;
         self.metrics.record(changed, report.reclaimed_bytes());
         Ok(report)
+    }
+
+    /// Worker threads for a pass over `lanes` lanes: the policy knob, or
+    /// `min(lanes, available_parallelism)` when it is zero (auto).
+    fn worker_count(&self, lanes: usize) -> usize {
+        let cap = if self.policy.compact_workers > 0 {
+            self.policy.compact_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        cap.min(lanes).max(1)
+    }
+
+    /// One lane's complete job — crash recovery, then the compaction
+    /// pass — timed as a `store_compaction_lane_pass_ns` sample. This is
+    /// the unit of work the parallel pass distributes.
+    fn compact_lane_job(&self, lane: u32, seqs: &[u32]) -> Result<LaneCompaction, TraceError> {
+        let lane_span = self.metrics.lane_pass_ns.span();
+        recover_interrupted_merge(&self.dir, lane)?;
+        let mut seqs: Vec<u32> = seqs
+            .iter()
+            .copied()
+            .filter(|seq| self.dir.join(segment_file_name(lane, *seq)).exists())
+            .collect();
+        seqs.sort_unstable();
+        let outcome = self.compact_lane_seqs(lane, &seqs);
+        lane_span.end();
+        outcome
     }
 
     /// Compacts one lane and rewrites its sidecar.
@@ -408,16 +516,14 @@ impl Compactor {
     /// empty no-op.
     pub fn compact_lane(&self, lane: u32) -> Result<LaneCompaction, TraceError> {
         let pass_span = self.metrics.pass_ns.span();
-        recover_interrupted_merge(&self.dir, lane)?;
-        let mut seqs: Vec<u32> = std::fs::read_dir(&self.dir)?
+        let seqs: Vec<u32> = std::fs::read_dir(&self.dir)?
             .filter_map(|entry| {
                 let name = entry.ok()?.file_name();
                 let (file_lane, seq) = parse_segment_file_name(name.to_str()?)?;
                 (file_lane == lane).then_some(seq)
             })
             .collect();
-        seqs.sort_unstable();
-        let report = self.compact_lane_seqs(lane, &seqs)?;
+        let report = self.compact_lane_job(lane, &seqs)?;
         pass_span.end();
         let changed = report.merged_runs > 0
             || report.reclaimed_bytes() > 0
@@ -955,8 +1061,18 @@ mod tests {
     }
 
     fn write_run(dir: &std::path::Path, windows: u64, per_segment: u64, close: bool) {
+        write_lane_run(dir, 0, windows, per_segment, close);
+    }
+
+    fn write_lane_run(
+        dir: &std::path::Path,
+        lane: u32,
+        windows: u64,
+        per_segment: u64,
+        close: bool,
+    ) {
         let config = StoreConfig::default().with_segment_max_windows(per_segment);
-        let mut writer = LaneWriter::create(dir, 0, config).unwrap();
+        let mut writer = LaneWriter::create(dir, lane, config).unwrap();
         for id in 0..windows {
             let events: Vec<TraceEvent> = (0..8)
                 .map(|i| {
@@ -1076,6 +1192,38 @@ mod tests {
         assert!(after.recovery().clean, "compaction leaves a clean store");
         assert_eq!(after.lane_windows(0).unwrap().len(), 4);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_corrupt_lane_does_not_abort_sibling_lane_merges() {
+        // Same scenario through the serial path and the thread pool: the
+        // failure must stay scoped to the lane that owns it either way.
+        for workers in [1usize, 4] {
+            let dir = temp_dir(&format!("sibling-isolation-{workers}"));
+            write_lane_run(&dir, 0, 6, 2, false); // 3 segments, no sidecar
+            write_lane_run(&dir, 1, 6, 2, false);
+            // Bad magic is cross-file corruption, not a torn write: lane
+            // 0's pass must surface it as an error rather than truncate.
+            let path = dir.join("lane0000-000000.seg");
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[0] ^= 0xFF;
+            std::fs::write(&path, bytes).unwrap();
+
+            let policy = MaintenancePolicy::merge_below(u64::MAX).with_compact_workers(workers);
+            let err = Compactor::new(&dir, policy).compact().unwrap_err();
+            assert!(matches!(err, TraceError::Decode { .. }), "{err}");
+
+            // Lane 1 was still maintained: its three segments merged.
+            assert!(dir.join("lane0001-000000.seg").exists());
+            assert!(
+                !dir.join("lane0001-000001.seg").exists(),
+                "workers={workers}: sibling lane must merge despite lane 0 failing"
+            );
+            // Lane 0 is exactly as the corruption left it.
+            assert!(dir.join("lane0000-000001.seg").exists());
+            assert!(dir.join("lane0000-000002.seg").exists());
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     /// Replicates the on-disk state of a merge crash: dir holds the old

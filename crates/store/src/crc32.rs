@@ -4,15 +4,34 @@
 //! normal outcome of killing a recording process mid-write — are detected
 //! and truncated on reopen instead of being replayed as garbage. The
 //! polynomial is the ubiquitous reflected `0xEDB88320` (zlib, PNG,
-//! Ethernet), table-driven: ~1 byte/cycle, far faster than the frame
-//! writes it guards.
+//! Ethernet).
+//!
+//! Two implementations share that polynomial:
+//!
+//! * [`crc32`] — the hot-path kernel, slice-by-8: eight interleaved
+//!   256-entry tables (built at compile time, like the single table
+//!   before it) fold eight message bytes per iteration, so the eight
+//!   table lookups are independent and pipeline instead of forming one
+//!   serial dependency chain per byte. This is what every frame append,
+//!   first-touch read validation, compaction copy re-check and recovery
+//!   scan calls.
+//! * [`crc32_scalar`] — the classic one-table byte-at-a-time loop, kept
+//!   as the executable reference. The two are byte-identical on every
+//!   input (the digest is part of the on-disk format, so this is an
+//!   invariant, not an optimisation detail); the `crc32_equivalence`
+//!   property test in `tests/speed_equivalence.rs` pins them together.
 
 /// The reflected IEEE polynomial.
 const POLYNOMIAL: u32 = 0xEDB8_8320;
 
-/// One 256-entry lookup table, built at compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Eight interleaved 256-entry lookup tables, built at compile time.
+///
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k]` gives the
+/// CRC contribution of a byte that sits `k` positions earlier within an
+/// eight-byte group (`TABLES[k][b] == advance(TABLES[k-1][b])` where
+/// `advance` shifts one zero byte through the register).
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,18 +44,57 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
 /// CRC-32/IEEE of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+///
+/// Slice-by-8: eight bytes per main-loop iteration, scalar tail for the
+/// remainder. Digests are byte-identical to [`crc32_scalar`] on every
+/// input.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let low = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        crc = TABLES[7][(low & 0xFF) as usize]
+            ^ TABLES[6][((low >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((low >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(low >> 24) as usize]
+            ^ TABLES[3][chunk[4] as usize]
+            ^ TABLES[2][chunk[5] as usize]
+            ^ TABLES[1][chunk[6] as usize]
+            ^ TABLES[0][chunk[7] as usize];
+    }
+    for byte in chunks.remainder() {
+        let index = ((crc ^ u32::from(*byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLES[0][index];
+    }
+    !crc
+}
+
+/// Reference CRC-32/IEEE: the one-table byte-at-a-time loop.
+///
+/// Kept as the executable specification the slice-by-8 kernel is
+/// property-tested against; use [`crc32`] everywhere else.
+pub fn crc32_scalar(bytes: &[u8]) -> u32 {
     let mut crc = u32::MAX;
     for byte in bytes {
         let index = ((crc ^ u32::from(*byte)) & 0xFF) as usize;
-        crc = (crc >> 8) ^ TABLE[index];
+        crc = (crc >> 8) ^ TABLES[0][index];
     }
     !crc
 }
@@ -51,6 +109,9 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32_scalar(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_scalar(b""), 0);
+        assert_eq!(crc32_scalar(b"a"), 0xE8B7_BE43);
     }
 
     #[test]
@@ -63,5 +124,25 @@ mod tests {
             data[i] ^= 0x01;
         }
         assert_eq!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn slice8_matches_scalar_across_lengths_and_alignments() {
+        // Every length 0..=72 (covers the 8-byte main loop plus every
+        // remainder) at every start offset within one group.
+        let data: Vec<u8> = (0u32..80)
+            .map(|i| (i.wrapping_mul(0x9E) ^ 0x5A) as u8)
+            .collect();
+        for start in 0..8 {
+            for end in start..data.len() {
+                let slice = &data[start..end];
+                assert_eq!(
+                    crc32(slice),
+                    crc32_scalar(slice),
+                    "start {start}, len {}",
+                    slice.len()
+                );
+            }
+        }
     }
 }

@@ -91,7 +91,7 @@ mod tail;
 
 pub use commit::{CommitLog, CommitView};
 pub use compact::{CompactionReport, Compactor, LaneCompaction, MaintenancePolicy};
-pub use crc32::crc32;
+pub use crc32::{crc32, crc32_scalar};
 pub use index::{LaneIndex, RecoveryReport, SegmentMeta, TornTail, WindowEntry};
 pub use lane::{LaneWriter, StoreConfig};
 pub use map::{SegmentCache, SegmentMap, DEFAULT_RESIDENT_SEGMENTS};

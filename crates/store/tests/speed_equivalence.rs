@@ -1,0 +1,153 @@
+//! The perf-path rewrites must be invisible except for speed. Two
+//! property tests pin that:
+//!
+//! * `crc32_equivalence` — the slice-by-8 [`crc32`] equals the
+//!   bit-at-a-time reference [`crc32_scalar`] for every input length and
+//!   alignment (the sliced kernel processes misaligned heads/tails
+//!   byte-wise, so offsets matter).
+//! * `parallel_compaction_equivalence` — a multi-threaded maintenance
+//!   pass leaves byte-identical files on disk and returns an equal
+//!   report versus the single-worker pass, for any store geometry.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use endurance_store::{
+    crc32, crc32_scalar, CodecId, Compactor, LaneWriter, MaintenancePolicy, StoreConfig,
+};
+use trace_model::codec::{BinaryEncoder, TraceEncoder};
+use trace_model::{EventSink, EventTypeId, RecordMeta, Timestamp, TraceEvent, WindowId};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "endurance-speed-equiv-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes a deterministic multi-lane store: `lanes` lanes of `windows`
+/// windows each (sizes varying per window), rotating every `per_segment`
+/// windows. Identical inputs produce identical bytes on disk.
+fn write_store(dir: &std::path::Path, lanes: u32, windows: u64, per_segment: u64, close: bool) {
+    for lane in 0..lanes {
+        let config = StoreConfig::default().with_segment_max_windows(per_segment);
+        let mut writer = LaneWriter::create(dir, lane, config).unwrap();
+        for id in 0..windows {
+            let count = 3 + ((id + u64::from(lane)) % 5) as usize * 4;
+            let events: Vec<TraceEvent> = (0..count as u64)
+                .map(|i| {
+                    TraceEvent::new(
+                        Timestamp::from_micros(id * 40_000 + i * 100),
+                        EventTypeId::new(((id + i + u64::from(lane)) % 5) as u16),
+                        (i + u64::from(lane)) as u32,
+                    )
+                })
+                .collect();
+            let mut encoded = Vec::new();
+            BinaryEncoder::new().encode(&events, &mut encoded).unwrap();
+            let meta = RecordMeta {
+                window_id: WindowId::new(id),
+                start: Timestamp::from_micros(id * 40_000),
+                end: Timestamp::from_micros((id + 1) * 40_000),
+            };
+            writer.record_window(&meta, &events, &encoded).unwrap();
+        }
+        if close {
+            writer.close().unwrap();
+        }
+    }
+}
+
+/// Every regular file in `dir` by name, fully read.
+fn dir_contents(dir: &std::path::Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| {
+            let entry = entry.unwrap();
+            (
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crc32_equivalence(bytes in prop::collection::vec(any::<u8>(), 0..2048), offset in 0usize..16) {
+        // The published CRC-32/IEEE check vector pins the polynomial and
+        // reflection conventions, not just internal consistency.
+        prop_assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        let slice = &bytes[offset.min(bytes.len())..];
+        prop_assert_eq!(
+            crc32(slice),
+            crc32_scalar(slice),
+            "length {} at offset {}",
+            slice.len(),
+            offset
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_compaction_equivalence(
+        lanes in 1u32..5,
+        windows in 1u64..12,
+        per_segment in 1u64..5,
+        close in any::<bool>(),
+        recompress in any::<bool>(),
+        retention_fraction in 0.0f64..1.3,
+    ) {
+        let tag = format!(
+            "{lanes}-{windows}-{per_segment}-{}-{}-{}",
+            u8::from(close),
+            u8::from(recompress),
+            (retention_fraction * 73.0) as u64
+        );
+        let serial_dir = temp_dir(&format!("serial-{tag}"));
+        let parallel_dir = temp_dir(&format!("parallel-{tag}"));
+        write_store(&serial_dir, lanes, windows, per_segment, close);
+        write_store(&parallel_dir, lanes, windows, per_segment, close);
+
+        let mut policy = MaintenancePolicy::merge_below(u64::MAX)
+            .with_retention_ns(((windows * 40_000_000) as f64 * retention_fraction) as u64 + 1);
+        if recompress {
+            policy = policy.with_recompress(CodecId::DeltaVarint);
+        }
+
+        let serial_report = Compactor::new(&serial_dir, policy.with_compact_workers(1))
+            .compact()
+            .unwrap();
+        let parallel_report = Compactor::new(&parallel_dir, policy.with_compact_workers(4))
+            .compact()
+            .unwrap();
+
+        // Equal reports (lane order included) and byte-identical files —
+        // segments and sidecars both.
+        prop_assert_eq!(&serial_report, &parallel_report);
+        let serial_files = dir_contents(&serial_dir);
+        let parallel_files = dir_contents(&parallel_dir);
+        let serial_names: Vec<&String> = serial_files.keys().collect();
+        let parallel_names: Vec<&String> = parallel_files.keys().collect();
+        prop_assert_eq!(serial_names, parallel_names);
+        for (name, bytes) in &serial_files {
+            prop_assert_eq!(
+                bytes,
+                &parallel_files[name],
+                "file {} differs between serial and parallel passes",
+                name
+            );
+        }
+
+        std::fs::remove_dir_all(&serial_dir).ok();
+        std::fs::remove_dir_all(&parallel_dir).ok();
+    }
+}

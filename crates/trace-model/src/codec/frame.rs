@@ -56,7 +56,9 @@
 
 use std::fmt;
 
-use super::{decode_u64, encode_u64, BinaryDecoder, BinaryEncoder, TraceDecoder, TraceEncoder};
+use super::{
+    decode_u64, encode_u64, varint_len, BinaryDecoder, BinaryEncoder, TraceDecoder, TraceEncoder,
+};
 use crate::{EventTypeId, Severity, Timestamp, TraceError, TraceEvent};
 
 /// Identifier of a frame codec, stored in every format-v2 frame header.
@@ -347,8 +349,6 @@ pub struct DeltaVarintCodec {
     columns: Vec<Vec<u32>>,
     /// Per-event dictionary indices.
     tokens: Vec<u8>,
-    /// Scratch for sizing candidate column encodings.
-    column_scratch: Vec<u8>,
     /// Decoded timestamps (pooled).
     ts: Vec<u64>,
     /// Per-type value counts and assembly cursors (pooled).
@@ -407,15 +407,22 @@ impl DeltaVarintCodec {
     }
 
     /// Encodes one payload column with the cheapest `(scheme, lag)` pair.
-    fn encode_column(vals: &[u32], scratch: &mut Vec<u8>, out: &mut Vec<u8>) {
+    ///
+    /// Candidates are *measured*, not materialised: every `(scheme, lag)`
+    /// combination used to be fully encoded into a scratch buffer just to
+    /// learn its size; [`Self::measure_column_as`] computes the same size
+    /// without writing a byte, and only the winner is encoded — straight
+    /// into `out`. The iteration order and the strict `<` comparison are
+    /// unchanged, so the selected pair (and therefore the block bytes)
+    /// are identical to what the materialising encoder produced.
+    fn encode_column(vals: &[u32], out: &mut Vec<u8>) {
         let mut best: Option<(u8, usize)> = None; // (scheme, lag) of the smallest
         let mut best_len = usize::MAX;
         for lag in 1..=EDV_MAX_LAG.min(vals.len().max(1)) {
             for scheme in [EDV_SCHEME_PLAIN, EDV_SCHEME_RLE] {
-                scratch.clear();
-                Self::encode_column_as(vals, scheme, lag, scratch);
-                if scratch.len() < best_len {
-                    best_len = scratch.len();
+                let len = Self::measure_column_as(vals, scheme, lag);
+                if len < best_len {
+                    best_len = len;
                     best = Some((scheme, lag));
                 }
             }
@@ -423,7 +430,34 @@ impl DeltaVarintCodec {
         let (scheme, lag) = best.expect("lag 1 is always tried");
         out.push(scheme);
         out.push(lag as u8);
+        out.reserve(best_len);
         Self::encode_column_as(vals, scheme, lag, out);
+    }
+
+    /// Size in bytes of [`Self::encode_column_as`]'s output for the same
+    /// arguments, computed without encoding anything.
+    fn measure_column_as(vals: &[u32], scheme: u8, lag: usize) -> usize {
+        if scheme == EDV_SCHEME_PLAIN {
+            return vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| varint_len(zigzag(i64::from(v) - lag_prev(vals, i, lag))))
+                .sum();
+        }
+        let mut len = 0usize;
+        let mut i = 0;
+        while i < vals.len() {
+            let delta = i64::from(vals[i]) - lag_prev(vals, i, lag);
+            let mut run = 1usize;
+            while i + run < vals.len()
+                && i64::from(vals[i + run]) - lag_prev(vals, i + run, lag) == delta
+            {
+                run += 1;
+            }
+            len += varint_len(zigzag(delta)) + varint_len(run as u64);
+            i += run;
+        }
+        len
     }
 
     fn encode_column_as(vals: &[u32], scheme: u8, lag: usize, out: &mut Vec<u8>) {
@@ -693,7 +727,10 @@ impl FrameCodec for DeltaVarintCodec {
             return Ok(false);
         }
 
-        // Timestamps.
+        // Timestamps: one pass over the event slice (steady streams cost
+        // one or two delta bytes per event, so reserve for that shape
+        // once instead of growing inside the loop).
+        out.reserve(2 * events.len() + 16);
         encode_u64(events[0].timestamp.as_nanos(), out);
         for pair in events.windows(2) {
             encode_u64(
@@ -726,15 +763,11 @@ impl FrameCodec for DeltaVarintCodec {
         }
 
         // Payload columns.
-        let columns = std::mem::take(&mut self.columns);
-        let mut scratch = std::mem::take(&mut self.column_scratch);
-        for (at, _) in self.types.iter().enumerate() {
-            if !columns[at].is_empty() {
-                Self::encode_column(&columns[at], &mut scratch, out);
+        for at in 0..self.types.len() {
+            if !self.columns[at].is_empty() {
+                Self::encode_column(&self.columns[at], out);
             }
         }
-        self.columns = columns;
-        self.column_scratch = scratch;
 
         if out.len() - start >= payload.len() {
             out.truncate(start);

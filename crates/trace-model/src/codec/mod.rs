@@ -27,7 +27,7 @@ mod varint;
 pub use binary::{BinaryDecoder, BinaryEncoder};
 pub use frame::{CodecId, DeltaVarintCodec, FrameCodec, IdentityCodec, LzBlockCodec};
 pub use text::{TextDecoder, TextEncoder};
-pub(crate) use varint::{decode_u64, encode_u64};
+pub(crate) use varint::{decode_u64, encode_u64, varint_len};
 
 use crate::{TraceError, TraceEvent};
 

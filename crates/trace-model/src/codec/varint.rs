@@ -17,6 +17,17 @@ pub(crate) fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
     }
 }
 
+/// Number of bytes [`encode_u64`] emits for `value`, without emitting
+/// them — the sizing primitive behind the frame codec's measure-then-
+/// encode column passes.
+#[inline]
+pub(crate) fn varint_len(value: u64) -> usize {
+    // Bits in the value (at least one, so zero still costs a byte),
+    // seven payload bits per varint byte.
+    let bits = 64 - (value | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
 /// Decodes an LEB128 varint starting at `offset`, returning the value and
 /// the offset just past it.
 pub(crate) fn decode_u64(bytes: &[u8], offset: usize) -> Result<(u64, usize), TraceError> {
@@ -59,6 +70,21 @@ mod tests {
         let (decoded, consumed) = decode_u64(&buf, 0).unwrap();
         assert_eq!(decoded, value);
         assert_eq!(consumed, buf.len());
+        assert_eq!(varint_len(value), buf.len(), "measured size of {value}");
+    }
+
+    #[test]
+    fn varint_len_matches_encode_at_every_boundary() {
+        let mut buf = Vec::new();
+        for shift in 0..64 {
+            for value in [1u64 << shift, (1u64 << shift) - 1, (1u64 << shift) + 1] {
+                buf.clear();
+                encode_u64(value, &mut buf);
+                assert_eq!(varint_len(value), buf.len(), "value {value:#x}");
+            }
+        }
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(u64::MAX), 10);
     }
 
     #[test]

@@ -290,6 +290,10 @@ pub struct WindowAssembler {
     next_id: WindowId,
     /// Events of the currently open window.
     buf: Vec<TraceEvent>,
+    /// Recycled window buffer ([`WindowAssembler::recycle`]): the next
+    /// window to close starts from this capacity instead of regrowing
+    /// from empty, so a steady-state push loop stops allocating.
+    spare: Vec<TraceEvent>,
     /// Start of the currently open window (time-based mode only).
     window_start: Timestamp,
     started: bool,
@@ -325,8 +329,22 @@ impl WindowAssembler {
             boundary,
             next_id: WindowId::new(0),
             buf: Vec::new(),
+            spare: Vec::new(),
             window_start: Timestamp::ZERO,
             started: false,
+        }
+    }
+
+    /// Hands a spent window's event buffer back to the assembler.
+    ///
+    /// The buffer is cleared and kept as the backing store of a future
+    /// window (the larger of the offered buffer and the current spare
+    /// wins), so a caller that recycles every window it consumes runs
+    /// the steady-state push loop without per-window allocations.
+    pub fn recycle(&mut self, mut buf: Vec<TraceEvent>) {
+        buf.clear();
+        if buf.capacity() > self.spare.capacity() {
+            self.spare = buf;
         }
     }
 
@@ -423,12 +441,25 @@ impl WindowAssembler {
         Some(window)
     }
 
+    /// Whether `events` is already in non-decreasing timestamp order —
+    /// the common case, where closing a window can skip the (allocating)
+    /// stable sort entirely.
+    fn is_ordered(events: &[TraceEvent]) -> bool {
+        events
+            .windows(2)
+            .all(|pair| pair[0].timestamp <= pair[1].timestamp)
+    }
+
     fn close_count_window(&mut self) -> Window {
-        let mut buf = std::mem::take(&mut self.buf);
+        let mut buf = std::mem::replace(&mut self.buf, std::mem::take(&mut self.spare));
         // Stable, so same-timestamp events (duplicates, simultaneous
         // arrivals) keep their arrival order — see the push() tolerance
-        // contract.
-        buf.sort_by_key(|ev| ev.timestamp);
+        // contract. Skipped when arrivals were already ordered: a stable
+        // sort allocates its merge buffer even on sorted input, and the
+        // ordered case is the steady state.
+        if !Self::is_ordered(&buf) {
+            buf.sort_by_key(|ev| ev.timestamp);
+        }
         let start = buf
             .first()
             .map(|ev| ev.timestamp)
@@ -443,8 +474,10 @@ impl WindowAssembler {
     }
 
     fn close_time_window(&mut self, duration: Duration) -> Window {
-        let mut buf = std::mem::take(&mut self.buf);
-        buf.sort_by_key(|ev| ev.timestamp);
+        let mut buf = std::mem::replace(&mut self.buf, std::mem::take(&mut self.spare));
+        if !Self::is_ordered(&buf) {
+            buf.sort_by_key(|ev| ev.timestamp);
+        }
         let start = self.window_start;
         let end = start.saturating_add(duration);
         self.window_start = end;
