@@ -98,6 +98,18 @@ pub struct LofModel {
     lrds: Vec<f64>,
 }
 
+/// Two fitted models are equal when they were fitted from the same
+/// points under the same configuration; the index is a pure function of
+/// `(points, config)` and is deliberately left out of the comparison.
+impl PartialEq for LofModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+            && self.config == other.config
+            && self.k_distances == other.k_distances
+            && self.lrds == other.lrds
+    }
+}
+
 #[derive(Debug, Clone)]
 enum IndexImpl {
     Brute(BruteForceIndex),

@@ -70,7 +70,11 @@
 //! (`metrics`), so a perf regression arrives with its counter context —
 //! cache hit rates, CRC validations, compaction passes — attached.
 //! Schema 6 adds the CRC and parallel-compaction configurations and
-//! speedups.
+//! speedups. Schema 7 adds `repro_minimize` — the ddmin
+//! trace-minimization loop from `endurance-repro`, shrinking a
+//! synthetic five-window extraction to a 1-minimal repro with a fresh
+//! detector re-run per oracle call — so a slowdown in the
+//! extract-and-minimize path fails the PR that caused it.
 //!
 //! The artifact also records `session_push` — one session over the merged
 //! untagged feed. That configuration does per-*fleet* windows (4× fewer
@@ -84,8 +88,9 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use endurance_core::{MonitorConfig, ReductionSession, ShardedReducer};
+use endurance_core::{MonitorConfig, ReductionSession, ReferenceModel, ShardedReducer};
 use endurance_obs::{MetricsSnapshot, Registry};
+use endurance_repro::{minimize, MinimizeConfig, ReproArtifact};
 use endurance_serve::{ServeHandle, SubscribeOptions, SubscriptionStep};
 use endurance_store::{
     crc32, crc32_scalar, CodecId, Compactor, LaneWriter, MaintenancePolicy, SpooledSink,
@@ -95,7 +100,7 @@ use mm_sim::{Scenario, Simulation};
 use trace_model::codec::{BinaryEncoder, TraceEncoder};
 use trace_model::{
     CountingSink, EventSink, EventTypeId, InterleavedStreams, MemorySource, RecordMeta, StreamId,
-    Timestamp, TraceEvent, WindowId,
+    Timestamp, TraceEvent, Window, WindowId,
 };
 
 const DEVICES: u32 = 4;
@@ -338,6 +343,59 @@ fn codec_workload(quick: bool) -> Vec<(RecordMeta, Vec<TraceEvent>, Vec<u8>)> {
     }
     flush(&mut window, window_start, &mut windows);
     windows
+}
+
+/// Builds the repro-minimization workload: a sealed synthetic
+/// five-window extraction whose middle window is saturated with an
+/// event type the learned reference has never seen (the same
+/// deterministic scenario as `endurance-repro`'s golden fixture, with
+/// larger windows so each ddmin oracle call re-runs a real detector
+/// pass).
+fn repro_workload() -> ReproArtifact {
+    const WINDOW_NS: u64 = 40_000_000;
+    const EVENTS_PER_WINDOW: usize = 48;
+    let config = MonitorConfig::builder()
+        .dimensions(4)
+        .k(5)
+        .alpha(1.2)
+        .build()
+        .expect("valid repro monitor config");
+    let mix = |window: u64, anomalous: bool| -> Vec<TraceEvent> {
+        (0..EVENTS_PER_WINDOW as u64)
+            .map(|i| {
+                let ty = if anomalous {
+                    3
+                } else {
+                    match (i + window) % 8 {
+                        0 => 2,
+                        1..=4 => 0,
+                        _ => 1,
+                    }
+                };
+                let offset = (i + 1) * (WINDOW_NS / (EVENTS_PER_WINDOW as u64 + 1));
+                TraceEvent::new(
+                    Timestamp::from_nanos(window * WINDOW_NS + offset),
+                    EventTypeId::new(ty),
+                    i as u32,
+                )
+            })
+            .collect()
+    };
+    let reference: Vec<Window> = (0..12u64)
+        .map(|w| Window {
+            id: WindowId::new(w),
+            start: Timestamp::from_nanos(w * WINDOW_NS),
+            end: Timestamp::from_nanos((w + 1) * WINDOW_NS),
+            events: mix(w, false),
+        })
+        .collect();
+    let model = ReferenceModel::learn_from_windows(&reference, &config).expect("model learns");
+    let mut events = Vec::new();
+    for w in 100u64..105 {
+        events.extend(mix(w, w == 102));
+    }
+    ReproArtifact::from_events("bench-repro", 0, 102 * WINDOW_NS, &config, &model, &events)
+        .expect("synthetic extraction reproduces")
 }
 
 /// Best-of-`reps` events/second for one measured closure.
@@ -844,6 +902,29 @@ fn main() -> ExitCode {
             .with_snapshot(live_registries[1].snapshot()),
     );
 
+    // Repro-minimization config: ddmin over the synthetic extraction,
+    // each oracle call re-running a fresh detector session from the
+    // artifact's own config and model. Throughput is normalised to the
+    // events the minimizer starts from, so the rate tracks the real
+    // cost drivers (oracle calls × events re-run per call).
+    let repro_artifact = repro_workload();
+    let repro_events = repro_artifact.event_count() as u64;
+    let repro_minimize_config = MinimizeConfig::default();
+    let repro_rate = measure(reps, repro_events, || {
+        let outcome = minimize(&repro_artifact, &repro_minimize_config).expect("minimize");
+        assert!(
+            outcome.report.proven_minimal,
+            "the synthetic repro must minimize within the default budget"
+        );
+        std::hint::black_box(outcome.artifact.event_count());
+    });
+    eprintln!("  repro_minimize:    {:>12.0} events/s", repro_rate);
+    configs.push(Measurement::rate(
+        "repro_minimize",
+        repro_events,
+        repro_rate,
+    ));
+
     // Load the baseline (when given) before writing the artifact so the
     // per-config deltas ride along in it.
     let baseline: Option<Baseline> = match &options.baseline {
@@ -887,7 +968,7 @@ fn main() -> ExitCode {
     let delta_ratio = identity_bytes as f64 / codec_bytes[&CodecId::DeltaVarint].max(1) as f64;
     let live_follow_ratio = live_mixed_rate / live_solo_rate.max(1e-9);
     let artifact = Artifact {
-        schema: 6,
+        schema: 7,
         quick: options.quick,
         parallelism,
         compaction_workers,

@@ -131,7 +131,8 @@ pub use reducer::{ReductionOutcome, TraceReducer};
 pub use reference::ReferenceModel;
 pub use report::ReductionReport;
 pub use session::{
-    DecisionObserver, FnObserver, NullObserver, ReductionSession, SessionOutcome, SessionPhase,
+    rerun_with_model, DecisionObserver, FnObserver, NullObserver, ReductionSession, RerunOutcome,
+    SessionOutcome, SessionPhase,
 };
 pub use shard::{
     HashShardKey, RoundRobinShardKey, ShardKey, ShardReportEntry, ShardResult, ShardedOutcome,

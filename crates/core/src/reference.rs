@@ -26,6 +26,21 @@ pub struct ReferenceModel {
     config: MonitorConfig,
 }
 
+/// Two models are equal when every learned parameter matches: the
+/// fitted LOF model, the reference aggregate pmf, the calibrated gate
+/// threshold, the reference window count and the learning configuration.
+/// This is the verdict-equality contract reproduction artifacts rely on:
+/// equal models score every window identically.
+impl PartialEq for ReferenceModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.lof == other.lof
+            && self.aggregate == other.aggregate
+            && self.calibrated_gate_threshold == other.calibrated_gate_threshold
+            && self.reference_windows == other.reference_windows
+            && self.config == other.config
+    }
+}
+
 /// Serialisable form of a [`ReferenceModel`].
 #[derive(Debug, Serialize, Deserialize)]
 struct ReferenceModelData {
@@ -37,6 +52,21 @@ struct ReferenceModelData {
 }
 
 impl ReferenceModel {
+    /// Returns the same learned model with a different embedded
+    /// configuration.
+    ///
+    /// Every learned parameter — the fitted LOF model, the aggregate
+    /// pmf, the calibrated gate threshold — is kept as-is; only the
+    /// configuration consulted by downstream monitors (drift-gate
+    /// behaviour, merge weight, `α`) changes. Oracle re-runs use this
+    /// to disable the drift gate without relearning, so every window is
+    /// scored statelessly.
+    #[must_use]
+    pub fn with_config_override(mut self, config: MonitorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Learns a reference model from the pmfs of the reference windows.
     ///
     /// # Errors

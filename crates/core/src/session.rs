@@ -702,6 +702,52 @@ impl<S: EventSink, O: DecisionObserver> ReductionSession<S, O> {
     }
 }
 
+/// Everything a one-shot oracle re-run ([`rerun_with_model`]) produces:
+/// every window decision in stream order plus the headline report.
+#[derive(Debug, Clone)]
+pub struct RerunOutcome {
+    /// One decision per closed window, in stream order.
+    pub decisions: Vec<WindowDecision>,
+    /// Headline volume/monitoring summary of the re-run.
+    pub report: ReductionReport,
+}
+
+/// Re-runs a batch of events through a fresh monitoring-only session
+/// built from an injected, already-curated reference model.
+///
+/// This is the detector's *oracle* entry point for reproduction
+/// tooling: the outcome is a pure function of `(config, model, events)`
+/// — no learning phase, no state carried between calls — so repeated
+/// invocations over the same inputs yield identical decisions. Pass a
+/// config whose drift gate is [`DriftGateConfig::Disabled`] when every
+/// window must be LOF-scored statelessly (the gate's running aggregate
+/// is the only history-dependent part of the monitor).
+///
+/// [`DriftGateConfig::Disabled`]: crate::DriftGateConfig::Disabled
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an invalid `config` or a
+/// model/config dimension mismatch.
+pub fn rerun_with_model(
+    config: MonitorConfig,
+    model: ReferenceModel,
+    events: &[TraceEvent],
+) -> Result<RerunOutcome, CoreError> {
+    // The monitor consults the *model's* embedded config for gate
+    // behaviour; align it with the caller's config so the outcome is a
+    // function of the arguments alone.
+    let model = model.with_config_override(config.clone());
+    let mut session =
+        ReductionSession::from_model_with_config(config, model)?.with_observer(Vec::new());
+    session.push_batch(events)?;
+    let outcome = session.finish()?;
+    Ok(RerunOutcome {
+        decisions: outcome.observer,
+        report: outcome.report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

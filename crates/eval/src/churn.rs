@@ -29,10 +29,10 @@ use endurance_obs::Registry;
 use mm_sim::{
     DeliveryStats, FleetEvent, FleetScenario, FleetSim, FleetTruth, Simulation, TraceHasher,
 };
-use trace_model::{CountingSink, StreamId};
+use trace_model::{CountingSink, EventSink, StreamId, WindowId};
 
 use crate::experiment::evaluate_decisions;
-use crate::{ConfusionMatrix, EvalError};
+use crate::{ConfusionMatrix, EvalError, WindowLabel};
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -90,6 +90,10 @@ pub struct ChurnStreamScore {
     pub truly_anomalous: bool,
     /// Whether the monitor recorded at least one window.
     pub flagged: bool,
+    /// Ids of the windows behind each true-positive decision, in stream
+    /// order — the exact targets a reproduction extractor needs, so no
+    /// re-scan of the recorded lane is ever required.
+    pub tp_windows: Vec<WindowId>,
 }
 
 /// Everything measured by one churn run.
@@ -223,6 +227,25 @@ impl ChurnExperiment {
     /// [`ChurnResult::failed_streams`]).
     pub fn run(&self) -> Result<ChurnResult, EvalError> {
         let model = self.learn_reference()?;
+        let (result, _sinks) = self.run_inner(model, |_| CountingSink::new())?;
+        Ok(result)
+    }
+
+    /// The shared engine behind [`ChurnExperiment::run`] and the durable
+    /// variant (`run_durable`, in the `repro` module): one pass over the
+    /// fleet trace with a caller-chosen per-stream sink factory. Returns
+    /// the scored result plus every recovered per-stream sink (including
+    /// sinks of failed streams, so durable writers can still be wound
+    /// down cleanly).
+    pub(crate) fn run_inner<S, F>(
+        &self,
+        model: ReferenceModel,
+        sinks: F,
+    ) -> Result<(ChurnResult, Vec<(StreamId, S)>), EvalError>
+    where
+        S: EventSink + Send + 'static,
+        F: Fn(StreamId) -> S + Send + Sync + 'static,
+    {
         let model_reference_windows = model.reference_windows();
 
         // Collector plane: a few shards absorb the whole fleet, routed by
@@ -239,6 +262,7 @@ impl ChurnExperiment {
         // Health plane: one session per stream against the shared model,
         // collecting per-window decisions for scoring.
         let mut fleet = FleetReducer::from_model(model, self.workers)?
+            .with_sinks(sinks)
             .with_observers(|_| Vec::<WindowDecision>::new())
             .with_metrics(Arc::clone(&self.registry));
 
@@ -274,10 +298,15 @@ impl ChurnExperiment {
         }
 
         let fleet_outcome = fleet.finish()?;
+        let aggregate = fleet_outcome.aggregate;
         let mut streams = Vec::with_capacity(fleet_outcome.streams.len());
+        let mut sinks = Vec::with_capacity(fleet_outcome.streams.len());
         let mut confusion = ConfusionMatrix::default();
         let mut failed_streams = 0;
-        for outcome in &fleet_outcome.streams {
+        for mut outcome in fleet_outcome.streams {
+            if let Some(sink) = outcome.sink.take() {
+                sinks.push((outcome.stream, sink));
+            }
             if !outcome.is_ok() {
                 failed_streams += 1;
                 continue;
@@ -293,6 +322,12 @@ impl ChurnExperiment {
                 .as_deref()
                 .unwrap_or(&[] as &[WindowDecision]);
             let evaluated = evaluate_decisions(&stream_truth.anomalous, decisions);
+            let tp_windows = evaluated
+                .labeled
+                .iter()
+                .filter(|labeled| labeled.label == WindowLabel::TruePositive)
+                .map(|labeled| labeled.decision.window_id)
+                .collect();
             confusion.merge(&evaluated.confusion);
             streams.push(ChurnStreamScore {
                 stream: outcome.stream,
@@ -300,22 +335,24 @@ impl ChurnExperiment {
                 windows: decisions.len(),
                 truly_anomalous: !stream_truth.anomalous.intervals().is_empty(),
                 flagged: decisions.iter().any(WindowDecision::recorded),
+                tp_windows,
             });
         }
 
         let delivery = truth.total_delivery();
-        Ok(ChurnResult {
+        let result = ChurnResult {
             trace_hash: hasher.finish(),
             events,
             truth,
             delivery,
             collector: collector_outcome.report,
-            fleet: fleet_outcome.aggregate,
+            fleet: aggregate,
             streams,
             confusion,
             failed_streams,
             model_reference_windows,
-        })
+        };
+        Ok((result, sinks))
     }
 }
 

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use endurance_core::CoreError;
+use endurance_repro::ReproError;
 use mm_sim::SimError;
 use trace_model::TraceError;
 
@@ -16,6 +17,8 @@ pub enum EvalError {
     Core(CoreError),
     /// The trace model failed (windowing, codecs).
     Trace(TraceError),
+    /// Reproduction-artifact extraction failed.
+    Repro(ReproError),
 }
 
 impl fmt::Display for EvalError {
@@ -25,6 +28,7 @@ impl fmt::Display for EvalError {
             EvalError::Sim(err) => write!(f, "simulation error: {err}"),
             EvalError::Core(err) => write!(f, "trace reduction error: {err}"),
             EvalError::Trace(err) => write!(f, "trace model error: {err}"),
+            EvalError::Repro(err) => write!(f, "repro extraction error: {err}"),
         }
     }
 }
@@ -35,6 +39,7 @@ impl std::error::Error for EvalError {
             EvalError::Sim(err) => Some(err),
             EvalError::Core(err) => Some(err),
             EvalError::Trace(err) => Some(err),
+            EvalError::Repro(err) => Some(err),
             EvalError::InvalidExperiment(_) => None,
         }
     }

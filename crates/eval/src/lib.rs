@@ -44,6 +44,7 @@ mod live;
 mod metrics;
 mod multistream;
 mod report;
+mod repro;
 mod size;
 mod sweep;
 
@@ -59,5 +60,6 @@ pub use live::FleetLiveResult;
 pub use metrics::ConfusionMatrix;
 pub use multistream::{MultiStreamExperiment, MultiStreamResult, StreamResult};
 pub use report::{baseline_table, headline_table, sweep_table};
+pub use repro::ChurnDurableResult;
 pub use size::format_bytes;
 pub use sweep::{alpha_sweep_from_decisions, default_alpha_grid, SweepPoint};

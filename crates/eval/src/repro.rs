@@ -1,0 +1,202 @@
+//! Durable churn runs that auto-extract reproduction artifacts.
+//!
+//! The missing half of the incident loop: a churn run records every
+//! stream's reduced trace to its own store lane, and when the scoring
+//! pass labels a decision a true positive, the flagged window is
+//! extracted from the reopened store — byte-for-byte, with context —
+//! into a sealed [`ReproArtifact`], ready for `endurance-repro`'s
+//! minimizer and corpus writer. Nothing re-scans the recorded lanes:
+//! [`ChurnStreamScore::tp_windows`](crate::ChurnStreamScore::tp_windows)
+//! names the exact windows to pull.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use endurance_repro::{extract_window, ReproArtifact, ReproError};
+use endurance_store::{LaneWriter, RecoveryReport, StoreConfig, StoreReader};
+use trace_model::{EventSink, RecordMeta, StreamId, TraceError, TraceEvent, WindowId};
+
+use crate::{ChurnExperiment, ChurnResult, EvalError};
+
+impl From<ReproError> for EvalError {
+    fn from(err: ReproError) -> Self {
+        EvalError::Repro(err)
+    }
+}
+
+/// Per-stream durable sink: a store lane writer, or its creation
+/// failure deferred until the first record. Fleet sink factories are
+/// infallible and run lazily on worker threads, so a lane that cannot
+/// be opened must fail the *stream* (isolated, counted in
+/// [`ChurnResult::failed_streams`]) rather than panic the worker.
+#[derive(Debug)]
+enum LaneSink {
+    Ready(Box<LaneWriter>),
+    Failed(String),
+}
+
+impl LaneSink {
+    fn create(dir: &Path, lane: u32, config: StoreConfig) -> Self {
+        match LaneWriter::create(dir, lane, config) {
+            Ok(writer) => LaneSink::Ready(Box::new(writer)),
+            Err(err) => LaneSink::Failed(err.to_string()),
+        }
+    }
+
+    fn deferred_error(msg: &str) -> TraceError {
+        TraceError::Io(std::io::Error::other(msg.to_string()))
+    }
+}
+
+impl EventSink for LaneSink {
+    fn record(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+        match self {
+            LaneSink::Ready(writer) => writer.record(events),
+            LaneSink::Failed(msg) => Err(Self::deferred_error(msg)),
+        }
+    }
+
+    fn record_encoded(&mut self, events: &[TraceEvent], encoded: &[u8]) -> Result<(), TraceError> {
+        match self {
+            LaneSink::Ready(writer) => writer.record_encoded(events, encoded),
+            LaneSink::Failed(msg) => Err(Self::deferred_error(msg)),
+        }
+    }
+
+    fn record_window(
+        &mut self,
+        meta: &RecordMeta,
+        events: &[TraceEvent],
+        encoded: &[u8],
+    ) -> Result<(), TraceError> {
+        match self {
+            LaneSink::Ready(writer) => writer.record_window(meta, events, encoded),
+            LaneSink::Failed(msg) => Err(Self::deferred_error(msg)),
+        }
+    }
+
+    fn recorded_events(&self) -> usize {
+        match self {
+            LaneSink::Ready(writer) => writer.recorded_events(),
+            LaneSink::Failed(_) => 0,
+        }
+    }
+}
+
+/// A [`ChurnResult`] plus what the durable run left behind: the cold
+/// reopen's recovery report and one sealed artifact per distinct
+/// true-positive window.
+#[derive(Debug)]
+pub struct ChurnDurableResult {
+    /// The scored churn run (identical scoring to the in-memory run).
+    pub result: ChurnResult,
+    /// What reopening the store found (clean sidecars vs rescans, torn
+    /// tails).
+    pub recovery: RecoveryReport,
+    /// Store lanes the run recorded through (one per stream that
+    /// delivered events).
+    pub lanes: usize,
+    /// One sealed, self-verifying artifact per distinct true-positive
+    /// window across the fleet, in `(stream, window)` order.
+    pub artifacts: Vec<ReproArtifact>,
+    /// True-positive windows whose extraction did not reproduce the
+    /// anomalous verdict under the stateless oracle (none in practice;
+    /// counted rather than silently dropped).
+    pub skipped_targets: usize,
+}
+
+impl ChurnExperiment {
+    /// Runs the experiment with every stream recording through its own
+    /// store lane, reopens the store cold, and extracts one sealed
+    /// [`ReproArtifact`] (two context windows each side) for every
+    /// distinct window behind a true-positive decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidExperiment`] when `dir` already
+    /// holds data or a stream's lane writer could not be opened, and
+    /// propagates simulation, reduction, storage and extraction errors.
+    pub fn run_durable(&self, dir: impl AsRef<Path>) -> Result<ChurnDurableResult, EvalError> {
+        self.run_durable_with(dir, StoreConfig::default(), 2)
+    }
+
+    /// Like [`ChurnExperiment::run_durable`], with an explicit store
+    /// configuration and artifact context width (recorded neighbour
+    /// windows kept on each side of each extracted target).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChurnExperiment::run_durable`].
+    pub fn run_durable_with(
+        &self,
+        dir: impl AsRef<Path>,
+        store: StoreConfig,
+        context: usize,
+    ) -> Result<ChurnDurableResult, EvalError> {
+        let dir = dir.as_ref();
+        if let Ok(mut entries) = std::fs::read_dir(dir) {
+            if entries.next().is_some() {
+                return Err(EvalError::InvalidExperiment(format!(
+                    "{} already holds data; durable churn runs need a fresh directory \
+                     so the extracted artifacts describe this run alone",
+                    dir.display()
+                )));
+            }
+        }
+
+        let model = self.learn_reference()?;
+        let lane_dir = dir.to_path_buf();
+        let (result, sinks) = self.run_inner(model.clone(), move |stream: StreamId| {
+            LaneSink::create(&lane_dir, stream.as_u32(), store)
+        })?;
+
+        // Wind the storage layer down cleanly: close every lane
+        // (writing its sidecar) before anything trusts the disk.
+        let lanes = sinks.len();
+        for (stream, sink) in sinks {
+            match sink {
+                LaneSink::Ready(writer) => writer.close()?,
+                LaneSink::Failed(msg) => {
+                    return Err(EvalError::InvalidExperiment(format!(
+                        "stream {} could not open its store lane: {msg}",
+                        stream.as_u32()
+                    )))
+                }
+            }
+        }
+
+        // Cold reopen: extraction below trusts only the disk.
+        let reader = StoreReader::open(dir)?;
+        let recovery = reader.recovery().clone();
+        let mut artifacts = Vec::new();
+        let mut skipped_targets = 0;
+        for score in &result.streams {
+            let lane = score.stream.as_u32();
+            let targets: BTreeSet<u64> = score.tp_windows.iter().map(|id| id.index()).collect();
+            for window_id in targets {
+                let name = format!("{}-s{}-w{}", self.scenario.name, lane, window_id);
+                match extract_window(
+                    &reader,
+                    lane,
+                    WindowId::new(window_id),
+                    context,
+                    &self.monitor,
+                    &model,
+                    name,
+                ) {
+                    Ok(artifact) => artifacts.push(artifact),
+                    Err(ReproError::NotReproduced(_)) => skipped_targets += 1,
+                    Err(err) => return Err(err.into()),
+                }
+            }
+        }
+
+        Ok(ChurnDurableResult {
+            result,
+            recovery,
+            lanes,
+            artifacts,
+            skipped_targets,
+        })
+    }
+}

@@ -1,0 +1,175 @@
+//! Typed failures of the reproduction pipeline.
+
+use std::fmt;
+
+use endurance_core::{CoreError, WindowVerdict};
+use trace_model::TraceError;
+
+/// Errors produced by extraction, artifact loading, minimization and
+/// corpus emission.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReproError {
+    /// The artifact bytes could not be parsed into the schema.
+    Malformed(String),
+    /// The artifact was written by an unknown schema version.
+    UnsupportedSchema {
+        /// Schema version found in the artifact bytes.
+        found: u32,
+        /// The schema version this build understands.
+        supported: u32,
+    },
+    /// The artifact's content hash does not match its payload: the bytes
+    /// were corrupted (or edited) after sealing.
+    HashMismatch {
+        /// The hash recorded in the artifact.
+        expected: u64,
+        /// The hash recomputed over the loaded content.
+        actual: u64,
+    },
+    /// The store does not hold the requested window.
+    NoSuchWindow {
+        /// Lane that was searched.
+        lane: u32,
+        /// Window id that was not found.
+        window_id: u64,
+    },
+    /// Re-running the artifact did not reproduce the anomalous verdict
+    /// on the target window.
+    NotReproduced(String),
+    /// Re-running the artifact produced a verdict differing from a
+    /// pinned expectation.
+    VerdictMismatch {
+        /// Start timestamp (ns) of the mismatching window.
+        start_ns: u64,
+        /// The verdict pinned in the artifact.
+        expected: WindowVerdict,
+        /// The verdict the re-run produced.
+        actual: WindowVerdict,
+    },
+    /// The re-run produced a different number of decisions than the
+    /// artifact pinned.
+    DecisionCountMismatch {
+        /// Number of verdicts pinned in the artifact.
+        expected: usize,
+        /// Number of decisions the re-run produced.
+        actual: usize,
+    },
+    /// Corpus files could not be written or read.
+    Io(std::io::Error),
+    /// The trace model failed (windowing, codecs).
+    Trace(TraceError),
+    /// The trace-reduction core failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ReproError::UnsupportedSchema { found, supported } => write!(
+                f,
+                "unsupported artifact schema {found} (this build understands {supported})"
+            ),
+            ReproError::HashMismatch { expected, actual } => write!(
+                f,
+                "artifact content hash mismatch: sealed {expected:#018x}, recomputed {actual:#018x}"
+            ),
+            ReproError::NoSuchWindow { lane, window_id } => {
+                write!(f, "lane {lane} holds no window #{window_id}")
+            }
+            ReproError::NotReproduced(msg) => {
+                write!(f, "artifact does not reproduce the verdict: {msg}")
+            }
+            ReproError::VerdictMismatch {
+                start_ns,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "window at {start_ns} ns re-ran as {actual:?}, artifact pinned {expected:?}"
+            ),
+            ReproError::DecisionCountMismatch { expected, actual } => write!(
+                f,
+                "re-run produced {actual} decisions, artifact pinned {expected}"
+            ),
+            ReproError::Io(err) => write!(f, "corpus io error: {err}"),
+            ReproError::Trace(err) => write!(f, "trace model error: {err}"),
+            ReproError::Core(err) => write!(f, "trace reduction error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReproError::Io(err) => Some(err),
+            ReproError::Trace(err) => Some(err),
+            ReproError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReproError {
+    fn from(err: std::io::Error) -> Self {
+        ReproError::Io(err)
+    }
+}
+
+impl From<TraceError> for ReproError {
+    fn from(err: TraceError) -> Self {
+        ReproError::Trace(err)
+    }
+}
+
+impl From<CoreError> for ReproError {
+    fn from(err: CoreError) -> Self {
+        ReproError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources_work() {
+        use std::error::Error as _;
+        let variants: Vec<ReproError> = vec![
+            ReproError::Malformed("bad".into()),
+            ReproError::UnsupportedSchema {
+                found: 9,
+                supported: 1,
+            },
+            ReproError::HashMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            ReproError::NoSuchWindow {
+                lane: 0,
+                window_id: 3,
+            },
+            ReproError::NotReproduced("gone".into()),
+            ReproError::VerdictMismatch {
+                start_ns: 40,
+                expected: WindowVerdict::Anomalous,
+                actual: WindowVerdict::CheckedNormal,
+            },
+            ReproError::DecisionCountMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            ReproError::from(std::io::Error::other("disk")),
+            ReproError::from(TraceError::Registry("z".into())),
+            ReproError::from(CoreError::InvalidConfig("y".into())),
+        ];
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+        }
+        assert!(variants[0].source().is_none());
+        assert!(variants[7].source().is_some());
+        assert!(variants[8].source().is_some());
+        assert!(variants[9].source().is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! Pulling reproduction artifacts out of a durable store.
+//!
+//! Extraction is byte-for-byte: the window payloads an artifact carries
+//! are exactly the encoded bytes the recorder wrote (the store's
+//! segment map undoes any frame-codec transformation, nothing else).
+//! The artifact's oracle config is the detection config with the drift
+//! gate disabled, so the seal-time re-run — and every re-run after it —
+//! scores each window statelessly. See `docs/REPRO.md` for why an
+//! originally-anomalous window keeps its verdict under that oracle.
+
+use endurance_core::{DriftGateConfig, MonitorConfig, ReferenceModel};
+use endurance_store::{StoreReader, WindowEntry};
+use trace_model::{Timestamp, WindowId};
+
+use crate::artifact::{build_sealed, ArtifactWindow, ReproArtifact};
+use crate::error::ReproError;
+
+/// The oracle variant of a detection config: identical except the
+/// drift gate is disabled, so every window is LOF-scored without any
+/// history-dependent state.
+pub fn oracle_config(monitor: &MonitorConfig) -> MonitorConfig {
+    let mut config = monitor.clone();
+    config.drift_gate = DriftGateConfig::Disabled;
+    config
+}
+
+fn artifact_windows(windows: Vec<(WindowEntry, Vec<u8>)>) -> Vec<ArtifactWindow> {
+    windows
+        .into_iter()
+        .map(|(entry, payload)| ArtifactWindow {
+            window_id: entry.window_id,
+            start_ns: entry.start_ns,
+            end_ns: entry.end_ns,
+            events: entry.events,
+            payload,
+        })
+        .collect()
+}
+
+/// Extracts a sealed artifact reproducing the flagged window
+/// `window_id` of `lane`, with up to `context` recorded neighbour
+/// windows on each side.
+///
+/// `monitor` is the detection configuration the store was produced
+/// under and `model` the curated reference model; the artifact embeds
+/// the gate-disabled oracle variant of `monitor` plus the model's
+/// canonical JSON, re-runs once to pin every verdict, and seals its
+/// content hash.
+///
+/// # Errors
+///
+/// Returns [`ReproError::NoSuchWindow`] when the lane does not hold
+/// `window_id`, [`ReproError::NotReproduced`] when the target window
+/// does not re-score anomalous under the oracle, and propagates store
+/// read failures.
+pub fn extract_window(
+    reader: &StoreReader,
+    lane: u32,
+    window_id: WindowId,
+    context: usize,
+    monitor: &MonitorConfig,
+    model: &ReferenceModel,
+    name: impl Into<String>,
+) -> Result<ReproArtifact, ReproError> {
+    let windows = reader.windows_around(lane, window_id, context)?;
+    let Some(target) = windows
+        .iter()
+        .find(|(entry, _)| entry.window_id == window_id.index())
+    else {
+        return Err(ReproError::NoSuchWindow {
+            lane,
+            window_id: window_id.index(),
+        });
+    };
+    let target_start_ns = target.0.start_ns;
+    build_sealed(
+        name.into(),
+        lane,
+        target_start_ns,
+        oracle_config(monitor),
+        model,
+        artifact_windows(windows),
+    )
+}
+
+/// Extracts a sealed artifact from every recorded window of `lane`
+/// whose `[start, end)` span intersects the half-open timestamp
+/// `range`, targeting the window that starts at `target_start`.
+///
+/// # Errors
+///
+/// Returns [`ReproError::NotReproduced`] when the range holds no
+/// recorded windows or the target does not re-score anomalous;
+/// otherwise as [`extract_window`].
+pub fn extract_range(
+    reader: &StoreReader,
+    lane: u32,
+    range: std::ops::Range<Timestamp>,
+    target_start: Timestamp,
+    monitor: &MonitorConfig,
+    model: &ReferenceModel,
+    name: impl Into<String>,
+) -> Result<ReproArtifact, ReproError> {
+    let windows = reader.windows_with_payloads_in_range(lane, range.start, range.end)?;
+    if windows.is_empty() {
+        return Err(ReproError::NotReproduced(format!(
+            "lane {lane} holds no recorded windows in [{} ns, {} ns)",
+            range.start.as_nanos(),
+            range.end.as_nanos()
+        )));
+    }
+    build_sealed(
+        name.into(),
+        lane,
+        target_start.as_nanos(),
+        oracle_config(monitor),
+        model,
+        artifact_windows(windows),
+    )
+}

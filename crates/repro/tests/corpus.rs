@@ -1,0 +1,158 @@
+//! Executes the checked-in regression corpus under `crates/repro/corpus/`.
+//!
+//! The corpus is what the `trace → regression test` loop leaves behind:
+//! each minimized [`ReproArtifact`] rendered by [`CorpusWriter`] as a
+//! data fixture plus a tiny generated `#[test]` spec. Including the
+//! generated manifest here makes plain `cargo test` re-assert every
+//! corpus verdict and content hash forever — the emitted specs are
+//! first-class tier-1 tests, not artifacts on the side.
+//!
+//! Regenerate with
+//! `cargo test -p endurance-repro --test corpus -- --ignored regen_corpus`
+//! and commit the diff.
+
+use std::time::Duration;
+
+use endurance_core::{MonitorConfig, ReferenceModel, WindowStrategy};
+use endurance_repro::{minimize, CorpusWriter, MinimizeConfig, ReproArtifact};
+use trace_model::{EventTypeId, Timestamp, TraceEvent, Window, WindowId};
+
+// The generated corpus: one `include!` line per emitted spec, each spec
+// loading its fixture with `include_bytes!` and re-running the oracle.
+include!("../corpus/corpus_tests.rs");
+
+/// 40 ms in nanoseconds: the oracle's window span.
+const WINDOW_NS: u64 = 40_000_000;
+
+/// Same deterministic scenario as `tests/golden_fixture.rs`: a healthy
+/// fleet lane with one window saturated by a never-seen event type.
+fn monitor_config() -> MonitorConfig {
+    MonitorConfig::builder()
+        .window(WindowStrategy::Time(Duration::from_millis(40)))
+        .dimensions(4)
+        .k(5)
+        .alpha(1.2)
+        .build()
+        .expect("corpus monitor config is valid")
+}
+
+fn window_events(window: u64, mix: &[u16]) -> Vec<TraceEvent> {
+    let count = mix.len() as u64;
+    mix.iter()
+        .enumerate()
+        .map(|(i, &ty)| {
+            let offset = (i as u64 + 1) * (WINDOW_NS / (count + 1));
+            TraceEvent::new(
+                Timestamp::from_nanos(window * WINDOW_NS + offset),
+                EventTypeId::new(ty),
+                i as u32,
+            )
+        })
+        .collect()
+}
+
+fn normal_mix(variant: u64) -> Vec<u16> {
+    (0..16)
+        .map(|i| match (i + variant) % 8 {
+            0 => 2,
+            1..=4 => 0,
+            _ => 1,
+        })
+        .collect()
+}
+
+fn learn_model(config: &MonitorConfig) -> ReferenceModel {
+    let windows: Vec<Window> = (0..12u64)
+        .map(|w| Window {
+            id: WindowId::new(w),
+            start: Timestamp::from_nanos(w * WINDOW_NS),
+            end: Timestamp::from_nanos((w + 1) * WINDOW_NS),
+            events: window_events(w, &normal_mix(w)),
+        })
+        .collect();
+    ReferenceModel::learn_from_windows(&windows, config).expect("reference model learns")
+}
+
+/// Builds the extracted (un-minimized) corpus artifact.
+fn build_extracted() -> ReproArtifact {
+    let config = monitor_config();
+    let model = learn_model(&config);
+    let mut events = Vec::new();
+    for (i, w) in (200u64..205).enumerate() {
+        let mix = if w == 202 {
+            vec![3u16; 16]
+        } else {
+            normal_mix(i as u64)
+        };
+        events.extend(window_events(w, &mix));
+    }
+    ReproArtifact::from_events(
+        "burst-anomaly",
+        3,
+        202 * WINDOW_NS,
+        &config,
+        &model,
+        &events,
+    )
+    .expect("corpus scenario reproduces an anomalous target")
+}
+
+/// Regenerates `crates/repro/corpus/` in place: the extracted artifact
+/// and its ddmin-minimized form, plus the manifest. Run explicitly and
+/// commit the diff.
+#[test]
+#[ignore = "regenerates the checked-in corpus; run explicitly"]
+fn regen_corpus() {
+    let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    if corpus_dir.exists() {
+        std::fs::remove_dir_all(&corpus_dir).unwrap();
+    }
+
+    let extracted = build_extracted();
+    let minimized = minimize(&extracted, &MinimizeConfig::default())
+        .expect("corpus artifact minimizes")
+        .artifact;
+    let mut renamed = minimized;
+    renamed.name = "burst-anomaly-min".into();
+    renamed.seal();
+
+    let mut writer = CorpusWriter::new(&corpus_dir).unwrap();
+    writer.write(&extracted).unwrap();
+    writer.write(&renamed).unwrap();
+    writer.write_manifest().unwrap();
+}
+
+/// The checked-in corpus must match what the deterministic scenario
+/// regenerates — fixture drift without a schema bump is a breaking
+/// change sneaking past review.
+#[test]
+fn corpus_matches_regeneration() {
+    let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let extracted = build_extracted();
+    let on_disk = std::fs::read(corpus_dir.join("fixtures").join("burst_anomaly.repro.json"))
+        .expect("checked-in corpus fixture exists");
+    assert_eq!(
+        extracted.to_bytes().unwrap(),
+        on_disk,
+        "regenerated corpus artifact differs from the checked-in fixture"
+    );
+}
+
+/// The minimized corpus entry must be strictly smaller than the
+/// extracted one and still pinned anomalous — the whole point of
+/// shipping ddmin output instead of raw extractions.
+#[test]
+fn minimized_corpus_entry_is_strictly_smaller() {
+    let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let fixtures = corpus_dir.join("fixtures");
+    let extracted = ReproArtifact::from_bytes(
+        &std::fs::read(fixtures.join("burst_anomaly.repro.json")).unwrap(),
+    )
+    .unwrap();
+    let minimized = ReproArtifact::from_bytes(
+        &std::fs::read(fixtures.join("burst_anomaly_min.repro.json")).unwrap(),
+    )
+    .unwrap();
+    assert!(minimized.event_count() < extracted.event_count());
+    assert!(minimized.windows.len() <= extracted.windows.len());
+}

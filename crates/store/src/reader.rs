@@ -376,6 +376,82 @@ impl StoreReader {
         })
     }
 
+    /// The index entry of one recorded window, if the lane holds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Decode`] for an unknown lane.
+    pub fn window_entry(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+    ) -> Result<Option<WindowEntry>, TraceError> {
+        Ok(self
+            .lane_windows(lane)?
+            .iter()
+            .find(|entry| entry.window_id == window_id.index())
+            .copied())
+    }
+
+    /// The recorded windows surrounding `window_id` in recording order:
+    /// up to `context` neighbours on each side plus the target itself,
+    /// each paired with its payload bytes verbatim — exactly the encoded
+    /// bytes the recorder wrote, with any frame-codec transformation
+    /// already undone by the segment map.
+    ///
+    /// Returns an empty vector when the lane does not hold `window_id`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_payload`].
+    pub fn windows_around(
+        &self,
+        lane: u32,
+        window_id: WindowId,
+        context: usize,
+    ) -> Result<Vec<(WindowEntry, Vec<u8>)>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let Some(target) = index
+                .windows
+                .iter()
+                .position(|entry| entry.window_id == window_id.index())
+            else {
+                return Ok(Vec::new());
+            };
+            let from = target.saturating_sub(context);
+            let to = (target + context + 1).min(index.windows.len());
+            let mut out = Vec::with_capacity(to - from);
+            for entry in &index.windows[from..to] {
+                out.push((*entry, map.payload(entry)?.to_vec()));
+            }
+            Ok(out)
+        })
+    }
+
+    /// The recorded windows whose `[start, end)` range intersects
+    /// `[from, to)`, in recording order, each paired with its stored
+    /// payload bytes verbatim (see [`StoreReader::windows_around`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::window_payload`].
+    pub fn windows_with_payloads_in_range(
+        &self,
+        lane: u32,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<(WindowEntry, Vec<u8>)>, TraceError> {
+        self.with_lane_map(lane, |index, map| {
+            let mut out = Vec::new();
+            for entry in &index.windows {
+                if entry.start_ns < to.as_nanos() && entry.end_ns > from.as_nanos() {
+                    out.push((*entry, map.payload(entry)?.to_vec()));
+                }
+            }
+            Ok(out)
+        })
+    }
+
     /// The decoded events of one indexed window, served from the lane's
     /// buffered segment map.
     ///

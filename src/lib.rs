@@ -12,13 +12,17 @@
 //! * [`mm_sim`] — the multimedia-pipeline workload simulator;
 //! * [`endurance_eval`] — ground truth, metrics, sweeps and baselines;
 //! * [`endurance_store`] — durable segment storage for recorded traces,
-//!   with crash recovery, windowed replay and the spooled sink adapter.
+//!   with crash recovery, windowed replay and the spooled sink adapter;
+//! * [`endurance_repro`] — reproduction artifacts extracted from
+//!   recorded stores, the ddmin minimizer and the regression-corpus
+//!   writer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use endurance_core;
 pub use endurance_eval;
+pub use endurance_repro;
 pub use endurance_store;
 pub use lof_anomaly;
 pub use mm_sim;
